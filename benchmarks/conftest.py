@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation) and both prints the rendered artefact and archives it under
+``benchmarks/output/`` so a run of ``pytest benchmarks/ --benchmark-only``
+leaves the full reproduction on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.phy.parameters import default_parameters
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+@pytest.fixture(scope="session")
+def params():
+    """The paper's Table I parameters."""
+    return default_parameters()
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """Callable that archives a rendered artefact and echoes it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _archive(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[archived to {path}]")
+
+    return _archive

@@ -1,0 +1,152 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* sensitivity of ``W_c*`` to the max backoff stage ``m`` (unstated in the
+  paper's Table I);
+* keeping versus dropping the energy cost ``e`` in the optimisation (the
+  paper's Lemma 3 uses ``g >> e``);
+* GTFT tolerance ``(r0, beta)`` versus stability under observation noise;
+* simulator measurement length versus the variance of the per-node
+  optimum (the Var(W_c*) columns).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.game.definition import MACGame
+from repro.game.equilibrium import efficient_window
+from repro.game.repeated import RepeatedGameEngine
+from repro.game.strategies import GenerousTitForTat
+from repro.phy.parameters import AccessMode
+from repro.phy.timing import slot_times
+from repro.sim.adaptive import measure_per_node_optimum
+
+
+def test_bench_ablation_max_stage(benchmark, archive, params):
+    """W_c* is insensitive to m in basic mode, mildly sensitive in RTS."""
+
+    def sweep():
+        rows = []
+        for m in (3, 5, 7):
+            p = params.with_updates(max_backoff_stage=m)
+            basic = efficient_window(
+                20, p, slot_times(p, AccessMode.BASIC)
+            )
+            rts = efficient_window(
+                20, p, slot_times(p, AccessMode.RTS_CTS)
+            )
+            rows.append([m, basic, rts])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    basic_values = [row[1] for row in rows]
+    rts_values = [row[2] for row in rows]
+    # Basic: essentially insensitive; RTS/CTS: within ~25% of the m=5
+    # value across the whole ladder sweep.
+    assert max(basic_values) - min(basic_values) <= 2
+    reference = rows[1][2]  # m = 5
+    assert max(rts_values) - min(rts_values) <= 0.25 * reference
+    archive(
+        "ablation_max_stage",
+        format_table(
+            ["m", "Wc* basic (n=20)", "Wc* RTS/CTS (n=20)"],
+            rows,
+            title="Ablation: max backoff stage",
+        ),
+    )
+
+
+def test_bench_ablation_cost_term(benchmark, archive, params):
+    """Keeping e moves W_c* right along a plateau that is nearly flat."""
+
+    def sweep():
+        rows = []
+        game = MACGame(n_players=20, params=params)
+        for ignore in (True, False):
+            star = efficient_window(
+                20, params, game.times, ignore_cost=ignore
+            )
+            utility = game.symmetric_utility(star)
+            rows.append(
+                ["g >> e (paper)" if ignore else "exact", star, utility]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    star_free, star_exact = rows[0][1], rows[1][1]
+    assert star_exact >= star_free
+    # Plateau: the two optima's (cost-inclusive) payoffs differ < 0.5%.
+    assert rows[0][2] == pytest.approx(rows[1][2], rel=0.005)
+    archive(
+        "ablation_cost_term",
+        format_table(
+            ["optimisation", "Wc* (n=20, basic)", "payoff at Wc*"],
+            rows,
+            title="Ablation: energy-cost term in the NE computation",
+        ),
+    )
+
+
+def test_bench_ablation_gtft_tolerance(benchmark, archive, params):
+    """Stricter GTFT chases noise; generous settings stay put."""
+
+    def sweep():
+        rows = []
+        game = MACGame(n_players=5, params=params)
+        for memory, tolerance in [(1, 0.99), (2, 0.9), (3, 0.75)]:
+            engine = RepeatedGameEngine(
+                game,
+                [GenerousTitForTat(memory=memory, tolerance=tolerance)] * 5,
+                [200] * 5,
+                observation_noise=8,
+                rng=np.random.default_rng(42),
+            )
+            trace = engine.run(12)
+            final_min = int(trace.window_history().min())
+            rows.append([memory, tolerance, final_min])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # The most generous configuration must hold the initial window; the
+    # strictest one reacts to noise at least as much.
+    assert rows[-1][2] == 200
+    assert rows[0][2] <= rows[-1][2]
+    archive(
+        "ablation_gtft_tolerance",
+        format_table(
+            ["memory r0", "tolerance beta", "lowest window reached"],
+            rows,
+            title="Ablation: GTFT tolerance under observation noise +-8",
+        ),
+    )
+
+
+def test_bench_ablation_measurement_length(benchmark, archive, params):
+    """Longer measurements shrink Var(W_c*), as in the paper's tables."""
+
+    def sweep():
+        rows = []
+        for slots in (20_000, 160_000):
+            measured = measure_per_node_optimum(
+                5,
+                params,
+                AccessMode.BASIC,
+                slots_per_point=slots,
+                seed=9,
+            )
+            rows.append([slots, measured.mean, measured.variance])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    short_var, long_var = rows[0][2], rows[1][2]
+    assert long_var <= short_var
+    archive(
+        "ablation_measurement_length",
+        format_table(
+            ["slots per point", "mean Wc*", "Var(Wc*)"],
+            rows,
+            title="Ablation: measurement length vs Var(Wc*) (n=5, basic)",
+        ),
+    )

@@ -1,0 +1,27 @@
+"""Benchmark + regeneration of the myopic best-response collapse.
+
+The Section VIII reconciliation with [Cagalj et al. 2005]: the same
+model with stage-myopic best responders races to the bottom of the
+strategy space, while the TFT population holds the efficient NE.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import bestresponse
+
+
+def test_bench_bestresponse(benchmark, archive, params):
+    result = benchmark.pedantic(
+        lambda: bestresponse.run(params=params, n_players=6, n_stages=6),
+        rounds=1,
+        iterations=1,
+    )
+    # The myopic population undercuts immediately and welfare drops;
+    # the TFT population's welfare never moves.
+    assert result.myopic_windows[0] == result.initial_window
+    assert result.myopic_windows[-1] < result.initial_window / 10
+    assert result.welfare_loss > 0.2
+    assert all(
+        abs(w - result.tft_welfare[0]) < 1e-6 for w in result.tft_welfare
+    )
+    archive("bestresponse", result.render())

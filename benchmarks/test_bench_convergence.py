@@ -1,0 +1,18 @@
+"""Benchmark + regeneration of the TFT/GTFT convergence dynamics study."""
+
+from __future__ import annotations
+
+from repro.experiments import convergence
+
+
+def test_bench_convergence(benchmark, archive, params):
+    result = benchmark.pedantic(
+        lambda: convergence.run(params=params, n_players=8, n_stages=12),
+        rounds=1,
+        iterations=1,
+    )
+    tft, gtft, deviator = result.runs
+    assert tft.common and tft.converged_at == 1
+    assert gtft.common
+    assert deviator.common
+    archive("convergence", result.render())

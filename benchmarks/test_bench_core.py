@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are throughput benchmarks in the conventional pytest-benchmark
+sense (repeated timing), covering the operations every experiment leans
+on: the symmetric and heterogeneous fixed points, the efficient-window
+computation, one simulator segment and one stage of the repeated game.
+"""
+
+from __future__ import annotations
+
+from repro.bianchi.fixedpoint import solve_heterogeneous, solve_symmetric
+from repro.game.definition import MACGame
+from repro.game.equilibrium import analyze_equilibria, efficient_window
+from repro.sim.engine import DcfSimulator
+
+
+def test_bench_symmetric_fixed_point(benchmark, params):
+    result = benchmark(
+        solve_symmetric, 335, 20, params.max_backoff_stage
+    )
+    assert 0 < result.tau < 1
+
+
+def test_bench_heterogeneous_fixed_point(benchmark, params):
+    windows = [16, 32, 64, 128, 256, 512, 1024, 2048]
+    result = benchmark(
+        solve_heterogeneous, windows, params.max_backoff_stage
+    )
+    assert result.residual < 1e-8
+
+
+def test_bench_efficient_window(benchmark, params, basic_times=None):
+    from repro.phy.timing import slot_times
+    from repro.phy.parameters import AccessMode
+
+    times = slot_times(params, AccessMode.BASIC)
+    result = benchmark(efficient_window, 20, params, times)
+    assert result == 335
+
+
+def test_bench_equilibrium_analysis(benchmark, params):
+    from repro.phy.timing import slot_times
+    from repro.phy.parameters import AccessMode
+
+    times = slot_times(params, AccessMode.BASIC)
+    result = benchmark(analyze_equilibria, 10, params, times)
+    assert result.window_star > 0
+
+
+def test_bench_simulator_segment(benchmark, params):
+    def run_segment():
+        return DcfSimulator([78] * 5, params, seed=1).run(20_000)
+
+    result = benchmark(run_segment)
+    assert result.counters.total_slots >= 20_000
+
+
+def test_bench_stage_solve(benchmark, params):
+    game = MACGame(n_players=10, params=params)
+    profile = [40, 60, 80, 100, 120, 140, 160, 180, 200, 220]
+    result = benchmark(game.stage, profile)
+    assert result.utilities.shape == (10,)

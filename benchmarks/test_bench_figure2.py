@@ -1,0 +1,30 @@
+"""Benchmark + regeneration of Figure 2 (global payoff vs CW, basic).
+
+Regenerates the three ``U/C`` curves (``n in {5, 20, 50}``) and checks
+the paper's shape: unimodal curves, peaks ordered by population, and the
+efficient NE sitting on each curve's maximum plateau.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, archive, params):
+    result = benchmark.pedantic(
+        lambda: figure2.run(params=params, n_points=35),
+        rounds=1,
+        iterations=1,
+    )
+    for n, values in result.curves.items():
+        peak = int(np.argmax(values))
+        assert np.all(np.diff(values[: peak + 1]) >= -1e-15)
+        assert np.all(np.diff(values[peak:]) <= 1e-15)
+        star = result.optima[n]
+        star_index = int(np.flatnonzero(result.windows == star)[0])
+        assert values[star_index] >= values.max() * 0.999
+    peaks = [result.peak_window(n) for n in (5, 20, 50)]
+    assert peaks == sorted(peaks)
+    archive("figure2", result.render())

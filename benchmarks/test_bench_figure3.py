@@ -1,0 +1,32 @@
+"""Benchmark + regeneration of Figure 3 (global payoff vs CW, RTS/CTS).
+
+Beyond Figure 2's shape checks, verifies the paper's observation that
+the RTS/CTS curves are much flatter: a far larger share of the sweep
+stays within 5% of each curve's peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure2, figure3
+
+
+def test_bench_figure3(benchmark, archive, params):
+    result = benchmark.pedantic(
+        lambda: figure3.run(params=params, n_points=35),
+        rounds=1,
+        iterations=1,
+    )
+    for n, values in result.curves.items():
+        peak = int(np.argmax(values))
+        assert np.all(np.diff(values[: peak + 1]) >= -1e-15)
+        assert np.all(np.diff(values[peak:]) <= 1e-15)
+    basic = figure2.run(params=params, sizes=(20,), n_points=35)
+
+    def plateau_share(curves, n):
+        values = curves.curves[n]
+        return float((values >= values.max() * 0.95).mean())
+
+    assert plateau_share(result, 20) > plateau_share(basic, 20)
+    archive("figure3", result.render())

@@ -1,0 +1,30 @@
+"""Benchmark + regeneration of the Section V.E malicious-player study.
+
+Sweeps attacker windows under the paper's defaults (monotone welfare
+degradation) and regenerates the collapse configuration where the attack
+genuinely paralyses the network.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import malicious
+from repro.experiments.malicious import collapse_demo
+
+
+def test_bench_malicious(benchmark, archive, params):
+    result = benchmark.pedantic(
+        lambda: malicious.run(params=params, n_players=10),
+        rounds=1,
+        iterations=1,
+    )
+    payoffs = [row.global_payoff for row in result.rows]
+    assert all(a < b for a, b in zip(payoffs, payoffs[1:]))
+    assert payoffs[0] < result.reference_payoff / 2
+    archive("malicious", result.render())
+
+
+def test_bench_malicious_collapse(benchmark, archive):
+    result = benchmark.pedantic(collapse_demo, rounds=1, iterations=1)
+    by_window = {row.attack_window: row for row in result.rows}
+    assert by_window[1].collapsed
+    archive("malicious_collapse", result.render())

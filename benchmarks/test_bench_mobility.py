@@ -1,0 +1,26 @@
+"""Benchmark + regeneration of the mobility-dynamics study.
+
+Sticky TFT (the paper's literal rule) ratchets to the historical
+minimum window across mobility epochs; re-opening TFT tracks each
+snapshot.  The bench archives the epoch table and asserts the ratchet
+property.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import mobility_dynamics
+
+
+def test_bench_mobility(benchmark, archive, params):
+    result = benchmark.pedantic(
+        lambda: mobility_dynamics.run(
+            params=params, n_nodes=60, n_epochs=6, seed=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    sticky = result.trace.sticky_windows()
+    assert all(a >= b for a, b in zip(sticky, sticky[1:]))
+    assert result.trace.reopening_windows() == result.trace.snapshot_minima()
+    assert result.ratchet_gap >= 0
+    archive("mobility", result.render())

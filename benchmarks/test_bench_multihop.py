@@ -1,0 +1,26 @@
+"""Benchmark + regeneration of the Section VII.B multi-hop study.
+
+Runs random-waypoint snapshots at the paper's scale (100 nodes, 250 m
+range, 1000 m x 1000 m) through the local games, the TFT flood and the
+quasi-optimality sweep; checks the paper's bands (per-node >= ~96%,
+global within a few percent).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import multihop_quasi
+
+
+def test_bench_multihop(benchmark, archive, params):
+    result = benchmark.pedantic(
+        lambda: multihop_quasi.run(
+            params=params, n_nodes=100, n_snapshots=2, seed=7
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.worst_node_fraction > 0.85
+    assert result.worst_global_fraction > 0.9
+    for snapshot in result.snapshots:
+        assert snapshot.converged_window >= 1
+    archive("multihop", result.render())

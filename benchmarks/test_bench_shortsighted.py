@@ -1,0 +1,29 @@
+"""Benchmark + regeneration of the Section V.D short-sighted study.
+
+Sweeps the deviator's discount factor; checks the paper's dichotomy
+(myopic deviators profit with aggressive windows, patient ones conform)
+and the induced network degradation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import shortsighted
+
+
+def test_bench_shortsighted(benchmark, archive, params):
+    result = benchmark.pedantic(
+        lambda: shortsighted.run(params=params, n_players=10),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row.discount: row for row in result.rows}
+    assert rows[0.01].best_window < result.reference_window // 4
+    assert rows[0.01].gain > 0
+    assert rows[0.9999].best_window == result.reference_window
+    assert rows[0.9999].degradation == pytest.approx(0.0, abs=1e-9)
+    # Best deviation window grows with far-sightedness.
+    windows = [rows[d].best_window for d in sorted(rows)]
+    assert windows == sorted(windows)
+    archive("shortsighted", result.render())

@@ -1,0 +1,16 @@
+"""Benchmark + regeneration of Table I (network parameters).
+
+The computation is trivial; the benchmark measures the parameter/timing
+derivation path and regenerates the table so the archived reproduction is
+complete.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, archive):
+    result = benchmark(table1.run)
+    assert result.derived["Ts (basic)"] > result.derived["Tc (basic)"]
+    archive("table1", result.render())

@@ -1,0 +1,34 @@
+"""Benchmark + regeneration of Table II (efficient NE, basic access).
+
+Regenerates the analytic and simulated columns for ``n in {5, 20, 50}``
+and checks the paper's shape: analytic values within a few percent of the
+published ones and simulated means on the plateau.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table2
+from repro.experiments.table2 import PAPER_BASIC
+
+SLOTS = 120_000
+
+
+def test_bench_table2(benchmark, archive, params):
+    result = benchmark.pedantic(
+        lambda: table2.run(params=params, slots_per_point=SLOTS, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    by_n = {row.n_nodes: row for row in result.rows}
+    for n, paper_value in PAPER_BASIC.items():
+        row = by_n[n]
+        assert row.analytic_window == pytest.approx(paper_value, rel=0.05)
+        assert row.simulated_mean == pytest.approx(
+            row.analytic_window, rel=0.4
+        )
+    # Monotone in n, as in the paper.
+    values = [by_n[n].analytic_window for n in sorted(by_n)]
+    assert values == sorted(values)
+    archive("table2", result.render())

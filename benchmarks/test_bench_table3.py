@@ -1,0 +1,32 @@
+"""Benchmark + regeneration of Table III (efficient NE, RTS/CTS).
+
+``n = 20`` reproduces the paper exactly; ``n = 50`` within 5%; ``n = 5``
+sits on an extremely flat plateau (see EXPERIMENTS.md) so only the
+magnitude is pinned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table3
+from repro.experiments.table3 import PAPER_RTS
+
+SLOTS = 120_000
+
+
+def test_bench_table3(benchmark, archive, params):
+    result = benchmark.pedantic(
+        lambda: table3.run(params=params, slots_per_point=SLOTS, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    by_n = {row.n_nodes: row for row in result.rows}
+    assert by_n[20].analytic_window == PAPER_RTS[20]
+    assert by_n[50].analytic_window == pytest.approx(PAPER_RTS[50], rel=0.05)
+    assert 0.4 * PAPER_RTS[5] < by_n[5].analytic_window < 1.6 * PAPER_RTS[5]
+    for row in result.rows:
+        assert row.simulated_mean == pytest.approx(
+            row.analytic_window, rel=0.4
+        )
+    archive("table3", result.render())

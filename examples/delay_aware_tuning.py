@@ -1,0 +1,91 @@
+"""Tuning the NE for latency-sensitive traffic (Section VIII).
+
+The paper's Discussion notes its utility ignores delay and that "more
+factors need to be considered depending on the target application".
+This example makes the remark quantitative and lands on a perhaps
+surprising answer: in a saturated network the efficient NE is *already*
+delay-efficient.
+
+The script:
+
+1. sweeps the mean access delay and its jitter against the common
+   window, locating both minima relative to ``W_c*``;
+2. prices jitter into the utility at several sensitivities ``lambda``
+   and reports the delay-aware NE trade-off curve;
+3. validates the mean-delay model against the simulator's measured
+   inter-delivery times.
+
+Run with::
+
+    python examples/delay_aware_tuning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MACGame, efficient_window
+from repro.bianchi.delay import access_delay_jitter, expected_access_delay
+from repro.game.delay_aware import delay_tradeoff_curve
+from repro.sim import DcfSimulator
+
+N_STATIONS = 10
+
+
+def main() -> None:
+    game = MACGame(n_players=N_STATIONS)
+    params, times = game.params, game.times
+    star = efficient_window(N_STATIONS, params, times)
+
+    # ------------------------------------------------------------------
+    # 1. Where do delay and jitter bottom out?
+    # ------------------------------------------------------------------
+    print(f"=== n={N_STATIONS}, W_c*={star}: delay landscape ===")
+    print(f"{'W':>6} {'mean delay (ms)':>16} {'jitter (ms)':>12}")
+    for window in (star // 4, star // 2, star, 2 * star, 8 * star, 24 * star):
+        delay = expected_access_delay(window, N_STATIONS, params, times)
+        jitter = access_delay_jitter(window, N_STATIONS, params, times)
+        marker = "  <- W_c*" if window == star else ""
+        print(
+            f"{window:>6} {delay.delay_us / 1000:>16.1f} "
+            f"{jitter / 1000:>12.1f}{marker}"
+        )
+    print("-> the mean bottoms out on the W_c* plateau (throughput and "
+          "delay are co-optimised in saturation); the jitter minimum "
+          "sits slightly above it.")
+
+    # ------------------------------------------------------------------
+    # 2. Pricing jitter into the game
+    # ------------------------------------------------------------------
+    weights = [0.0, 0.5, 2.0]
+    curve = delay_tradeoff_curve(game, weights)
+    print("\n=== Delay-aware NE trade-off ===")
+    for weight in weights:
+        analysis = curve[weight]
+        print(
+            f"lambda={weight:<4}: W*(lambda)={analysis.window_star:<4} "
+            f"jitter={analysis.jitter_us / 1000:6.1f} ms  "
+            f"throughput utility={analysis.throughput_utility:.4e}"
+        )
+    base = curve[0.0].throughput_utility
+    cost = 1.0 - curve[2.0].throughput_utility / base
+    print(f"-> even a strong jitter price moves the NE modestly and "
+          f"costs only {100 * cost:.2f}% throughput: the paper's NE is "
+          "robust to delay sensitivity within the saturated model.")
+
+    # ------------------------------------------------------------------
+    # 3. Model vs simulator
+    # ------------------------------------------------------------------
+    predicted = expected_access_delay(star, N_STATIONS, params, times)
+    result = DcfSimulator([star] * N_STATIONS, params, seed=31).run(200_000)
+    delivered = result.counters.per_node[0].successes
+    measured = result.counters.elapsed_us / delivered
+    print("\n=== Validation ===")
+    print(f"predicted per-packet access delay: "
+          f"{predicted.delay_us / 1000:.1f} ms")
+    print(f"measured inter-delivery time (sim): {measured / 1000:.1f} ms "
+          f"({100 * abs(measured - predicted.delay_us) / measured:.1f}% apart)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""TFT on measured contention windows - no observation oracle.
+
+The paper's TFT assumes every node can observe its peers' CW values,
+citing [Kyasanur & Vaidya 2003].  This example removes the assumption:
+each stage actually runs the DCF simulator, every station estimates the
+others' windows from what it overheard (attempt rates + collision
+fractions invert the backoff chain in closed form), and the strategies
+act on those *estimates*.
+
+The script shows:
+
+1. the estimator's accuracy against known windows;
+2. empirical TFT: convergence to the minimum window, and the slow
+   noise-driven drift that perfect-observation analysis hides;
+3. empirical Generous TFT: the paper's tolerance parameters absorbing
+   exactly that estimation noise.
+
+Run with::
+
+    python examples/measured_tft.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detect import EmpiricalRepeatedGame, estimate_windows
+from repro.game import GenerousTitForTat, MACGame, TitForTat
+from repro.phy import default_parameters
+from repro.sim import DcfSimulator
+
+N_STATIONS = 5
+
+
+def main() -> None:
+    params = default_parameters()
+    game = MACGame(n_players=N_STATIONS, params=params)
+
+    # ------------------------------------------------------------------
+    # 1. Estimator accuracy
+    # ------------------------------------------------------------------
+    true_windows = [32, 64, 128, 256, 512]
+    result = DcfSimulator(true_windows, params, seed=11).run(200_000)
+    estimates = estimate_windows(result, params.max_backoff_stage)
+    print("=== CW estimation from promiscuous observation ===")
+    for true, estimate in zip(true_windows, estimates):
+        print(f"true W = {true:4d}   estimated = {estimate:7.1f} "
+              f"({100 * abs(estimate - true) / true:.1f}% off)")
+
+    # ------------------------------------------------------------------
+    # 2. Empirical TFT
+    # ------------------------------------------------------------------
+    initial = [64, 100, 200, 80, 150]
+    tft = EmpiricalRepeatedGame(
+        game,
+        [TitForTat() for _ in range(N_STATIONS)],
+        initial,
+        slots_per_stage=60_000,
+        seed=1,
+    )
+    trace = tft.run(5)
+    print("\n=== Empirical TFT (decisions on estimated windows) ===")
+    for stage in trace.stages:
+        windows = ", ".join(f"{int(w):4d}" for w in stage.windows)
+        print(f"stage {stage.stage}: [{windows}]")
+    print("-> converges to the minimum as the analysis predicts, but "
+          "estimation noise nudges the common window a little each "
+          "stage - plain TFT chases every underestimate.")
+
+    # ------------------------------------------------------------------
+    # 3. Empirical Generous TFT
+    # ------------------------------------------------------------------
+    gtft = EmpiricalRepeatedGame(
+        game,
+        [GenerousTitForTat(memory=3, tolerance=0.8)
+         for _ in range(N_STATIONS)],
+        [int(np.min(initial))] * N_STATIONS,
+        slots_per_stage=60_000,
+        seed=1,
+    )
+    gtft_trace = gtft.run(6)
+    print("\n=== Empirical Generous TFT (r0=3, beta=0.8) ===")
+    history = gtft_trace.window_history()
+    print(f"window range over {history.shape[0]} stages: "
+          f"{int(history.min())}..{int(history.max())}")
+    print("-> the tolerance the paper introduces 'taking into account "
+          "the various factors that influence the measurement' holds "
+          "the common window rock steady under the same noise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Selfish MAC in a mobile multi-hop field (Section VI / VII.B).
+
+The paper's multi-hop scenario: 100 nodes with 250 m range roam a
+1000 m x 1000 m field under random waypoint mobility.  Every node opens
+with the efficient window of its *local* single-hop game and follows TFT;
+the network floods down to the global minimum window, which Theorem 3
+shows is a Nash equilibrium - not globally optimal, but quasi-optimal.
+
+The script takes mobility snapshots and, per snapshot:
+
+* solves the local games and the TFT flood (reporting the converged
+  window and how many stages the flood took);
+* verifies the Theorem 3 no-deviation property;
+* measures quasi-optimality (per-node and global payoff retention);
+* cross-checks the hidden-node degradation's CW-independence with the
+  spatial simulator on the first snapshot.
+
+Run with::
+
+    python examples/multihop_field.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.multihop_quasi import hidden_independence
+from repro.multihop import MultihopGame, RandomWaypointModel
+from repro.phy import default_parameters
+
+N_NODES = 60          # scaled down from 100 to keep the demo snappy
+TX_RANGE = 250.0
+N_SNAPSHOTS = 2
+
+
+def main() -> None:
+    params = default_parameters()
+    model = RandomWaypointModel(
+        N_NODES, max_speed=5.0, rng=np.random.default_rng(99)
+    )
+
+    first_topology = None
+    print(f"=== {N_NODES} mobile nodes, {TX_RANGE:.0f} m range, "
+          "random waypoint <= 5 m/s, RTS/CTS ===")
+    for index, topology in enumerate(
+        model.snapshots(TX_RANGE, interval=100.0, count=N_SNAPSHOTS)
+    ):
+        if first_topology is None:
+            first_topology = topology
+        game = MultihopGame(topology, params)
+        equilibrium = game.solve()
+        quasi = game.quasi_optimality(equilibrium)
+        stable = game.check_no_profitable_deviation(equilibrium)
+        degrees = topology.degrees()
+        print(f"\n--- snapshot {index} "
+              f"(degrees {degrees.min()}..{degrees.max()}, "
+              f"mean {degrees.mean():.1f}) ---")
+        print(f"local efficient windows: "
+              f"{equilibrium.local.windows.min()}"
+              f"..{equilibrium.local.windows.max()}")
+        print(f"TFT flood converged to W_m = {equilibrium.converged_window} "
+              f"in {equilibrium.convergence_stages} stages")
+        print(f"Theorem 3 no-deviation check: "
+              f"{'passed' if stable else 'FAILED'}")
+        print(f"per-node payoff retention at the NE: worst "
+              f"{quasi.worst_node_fraction:.3f} "
+              "(paper reports >= 0.96)")
+        print(f"global payoff retention: {quasi.global_fraction:.3f} "
+              "(paper reports ~0.97)")
+
+    # ------------------------------------------------------------------
+    # The Section VI key approximation, checked mechanistically.
+    # ------------------------------------------------------------------
+    windows = [32, 64, 128, 256]
+    degradation = hidden_independence(
+        first_topology, windows, params=params, n_slots=30_000
+    )
+    print("\n=== Hidden-node degradation vs common CW "
+          "(spatial simulator) ===")
+    for window, value in zip(windows, degradation):
+        print(f"  W = {window:4d}: mean hidden-loss fraction = {value:.4f}")
+    spread = degradation.max() - degradation.min()
+    print(f"-> varies by only {spread:.3f} absolute across an 8x window "
+          "range (the sender-side collision probability varies far "
+          "more): the paper's approximation that p_hn is insensitive "
+          "to CW holds for windows that are not too small.")
+
+
+if __name__ == "__main__":
+    main()

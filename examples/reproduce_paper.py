@@ -1,0 +1,69 @@
+"""Reproduce every table and figure of the paper in one run.
+
+Walks the experiment registry (Tables I-III, Figures 2-3, the multi-hop
+study and the Section V.C/V.D/V.E analyses) and prints each reproduction
+in the paper's layout.  This is the script behind EXPERIMENTS.md.
+
+Run with::
+
+    python examples/reproduce_paper.py            # full (several minutes)
+    python examples/reproduce_paper.py --quick    # reduced simulation size
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+QUICK_OVERRIDES = {
+    "table2": {"slots_per_point": 40_000},
+    "table3": {"slots_per_point": 40_000},
+    "fig2": {"n_points": 20},
+    "fig3": {"n_points": 20},
+    "multihop": {"n_nodes": 60, "n_snapshots": 2},
+    "search": {"slots_per_probe": 20_000},
+}
+
+FULL_OVERRIDES = {
+    "multihop": {"n_nodes": 100, "n_snapshots": 3},
+}
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller simulations (roughly a minute total)",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="ID",
+        choices=sorted(EXPERIMENTS),
+        help="run a single experiment id",
+    )
+    args = parser.parse_args(argv)
+
+    overrides = QUICK_OVERRIDES if args.quick else FULL_OVERRIDES
+    ids = [args.only] if args.only else list(EXPERIMENTS)
+
+    for experiment_id in ids:
+        experiment = EXPERIMENTS[experiment_id]
+        kwargs = overrides.get(experiment_id, {})
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, **kwargs)
+        elapsed = time.perf_counter() - started
+        print("=" * 72)
+        print(f"{experiment.paper_artifact} ({experiment_id}) - "
+              f"{experiment.description} [{elapsed:.1f}s]")
+        print("=" * 72)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,87 @@
+"""A saturated hotspot of selfish laptops: analysis vs simulation.
+
+The scenario the paper's introduction motivates: a room of ``n`` saturated
+stations with programmable wireless adapters.  Every station can tamper
+with its contention window.  What happens?
+
+The script:
+
+1. computes the efficient NE window ``W_c*`` and compares the network at
+   ``W_c*`` against the 802.11 default (``CW_min = 32``) - selfish but
+   long-sighted play *improves* on the standard here, because the
+   standard's window is far too aggressive for a crowded saturated room;
+2. validates the analytical fixed point against the DCF simulator;
+3. runs the Section V.C distributed search protocol with noisy,
+   simulator-backed payoff measurements to find ``W_c*`` without knowing
+   ``n``.
+
+Run with::
+
+    python examples/selfish_hotspot.py
+"""
+
+from __future__ import annotations
+
+from repro import MACGame, efficient_window, solve_symmetric
+from repro.experiments.search_protocol import simulator_measurement
+from repro.game.search import run_search_protocol
+from repro.sim import DcfSimulator
+
+N_STATIONS = 20
+IEEE_DEFAULT_CW = 32
+
+
+def main() -> None:
+    game = MACGame(n_players=N_STATIONS)
+    params = game.params
+
+    # ------------------------------------------------------------------
+    # 1. Efficient NE vs the 802.11 default window
+    # ------------------------------------------------------------------
+    w_star = efficient_window(N_STATIONS, params, game.times)
+    print(f"=== {N_STATIONS} saturated stations, basic access ===")
+    for label, window in (
+        (f"IEEE 802.11 default (CW={IEEE_DEFAULT_CW})", IEEE_DEFAULT_CW),
+        (f"efficient NE (W_c*={w_star})", w_star),
+    ):
+        outcome = game.stage([window] * N_STATIONS)
+        print(
+            f"{label:36s} utility/node = {outcome.utilities[0]:.3e}/us, "
+            f"throughput = {outcome.throughput:.3f}, "
+            f"collision p = {outcome.collision[0]:.3f}"
+        )
+    print("-> long-sighted selfishness beats the standard in a crowded "
+          "saturated room: fewer collisions, more payload time.")
+
+    # ------------------------------------------------------------------
+    # 2. Model vs simulator at the NE
+    # ------------------------------------------------------------------
+    analytic = solve_symmetric(w_star, N_STATIONS, params.max_backoff_stage)
+    simulator = DcfSimulator([w_star] * N_STATIONS, params, seed=2024)
+    measured = simulator.run(150_000)
+    print("\n=== Fixed point vs simulation at W_c* ===")
+    print(f"tau: analytic {analytic.tau:.5f}  simulated "
+          f"{measured.tau.mean():.5f}")
+    print(f"p:   analytic {analytic.collision:.4f}  simulated "
+          f"{measured.collision.mean():.4f}")
+    print(f"normalized throughput (simulated): {measured.throughput:.3f}")
+
+    # ------------------------------------------------------------------
+    # 3. Distributed search without knowing n (Section V.C)
+    # ------------------------------------------------------------------
+    measure = simulator_measurement(game, slots_per_probe=60_000, seed=7)
+    outcome = run_search_protocol(game, start_window=64, measure=measure, step=8)
+    print("\n=== Distributed search (noisy, simulator-backed) ===")
+    probes = ", ".join(f"{w}" for w, _ in outcome.measurements)
+    print(f"probed windows: {probes}")
+    print(f"protocol found W = {outcome.window} "
+          f"(analytic W_c* = {w_star}; the utility plateau around the "
+          "optimum is flat, so nearby answers cost almost nothing)")
+    found_u = game.symmetric_utility(outcome.window)
+    best_u = game.symmetric_utility(w_star)
+    print(f"payoff at found window = {100.0 * found_u / best_u:.2f}% "
+          "of the optimum")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Bianchi-style Markov chain model of saturated IEEE 802.11 DCF.
+
+This subpackage implements Section III of the paper: a two-dimensional
+backoff Markov chain per node, generalised to *heterogeneous* contention
+windows (each node may use its own ``W_i``), the coupled fixed point in
+``(tau_1..tau_n, p_1..p_n)``, and the slot statistics / normalized
+throughput built on top of its solution.
+"""
+
+from repro.bianchi.markov import (
+    BackoffChain,
+    stationary_distribution,
+    transmission_probability,
+)
+from repro.bianchi.fixedpoint import (
+    FixedPointSolution,
+    SymmetricSolution,
+    solve_heterogeneous,
+    solve_symmetric,
+)
+from repro.bianchi.throughput import (
+    SlotStatistics,
+    normalized_throughput,
+    slot_statistics,
+)
+from repro.bianchi.delay import (
+    AccessDelay,
+    access_delay_jitter,
+    expected_access_delay,
+    mean_backoff_slots,
+)
+from repro.bianchi.fairness import jain_index, throughput_shares
+
+__all__ = [
+    "AccessDelay",
+    "BackoffChain",
+    "FixedPointSolution",
+    "SlotStatistics",
+    "SymmetricSolution",
+    "access_delay_jitter",
+    "expected_access_delay",
+    "jain_index",
+    "mean_backoff_slots",
+    "normalized_throughput",
+    "throughput_shares",
+    "slot_statistics",
+    "solve_heterogeneous",
+    "solve_symmetric",
+    "stationary_distribution",
+    "transmission_probability",
+]

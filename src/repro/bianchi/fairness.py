@@ -1,0 +1,72 @@
+"""Fairness metrics over per-node allocations.
+
+The paper's TFT "ensures the fairness among players": after convergence
+everyone uses one window and earns one payoff.  This module provides the
+standard quantitative lens - Jain's fairness index and per-node shares -
+so experiments can measure how *unfair* a heterogeneous profile is and
+how TFT convergence restores fairness.
+
+Jain's index of an allocation ``x``::
+
+    J(x) = (sum x)^2 / (n * sum x^2)
+
+ranges from ``1/n`` (one node takes everything) to ``1`` (perfect
+equality), and is scale-invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.bianchi.throughput import slot_statistics
+from repro.phy.timing import SlotTimes
+
+__all__ = ["jain_index", "throughput_shares"]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def jain_index(allocation: ArrayLike) -> float:
+    """Jain's fairness index of a non-negative allocation.
+
+    Parameters
+    ----------
+    allocation:
+        Per-node allocation (throughput shares, payoffs...); all entries
+        must be non-negative with a positive sum.
+
+    Returns
+    -------
+    float
+        ``J`` in ``[1/n, 1]``.
+    """
+    x = np.asarray(allocation, dtype=float)
+    if x.ndim != 1 or x.size < 1:
+        raise ParameterError("allocation must be a non-empty 1-D sequence")
+    if np.any(x < 0):
+        raise ParameterError(f"allocation must be non-negative, got {x!r}")
+    total = float(x.sum())
+    if total <= 0:
+        raise ParameterError("allocation must have a positive sum")
+    # Normalise by the maximum first: the index is scale-invariant and
+    # this keeps the squared sum from underflowing for denormal inputs.
+    scaled = x / float(x.max())
+    return float(scaled.sum()) ** 2 / (x.size * float((scaled**2).sum()))
+
+
+def throughput_shares(tau: ArrayLike, times: SlotTimes) -> np.ndarray:
+    """Per-node shares of the successful airtime.
+
+    Each node's share is its probability of owning a success slot,
+    normalised over all nodes - the long-run fraction of delivered
+    packets that are its.  Returns a vector summing to 1 (all-zero
+    ``tau`` is rejected: there is no traffic to share).
+    """
+    stats = slot_statistics(tau, times)
+    total = float(stats.per_node_success.sum())
+    if total <= 0:
+        raise ParameterError("no successful traffic to share")
+    return stats.per_node_success / total

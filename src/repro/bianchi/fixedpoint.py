@@ -1,0 +1,304 @@
+"""Coupled fixed point of the heterogeneous DCF model (equations (2)-(3)).
+
+Given per-node contention windows ``W_1..W_n``, the model is the system
+
+``tau_i = tau(W_i, p_i)``          (per-node Markov chain, equation (2))
+``p_i   = 1 - prod_{j != i} (1 - tau_j)``   (coupling, equation (3))
+
+which is ``2n`` equations in ``2n`` unknowns.  We solve it by damped
+fixed-point iteration on the ``tau`` vector with a ``scipy.optimize.root``
+fallback for stubborn instances, and verify the residual before returning.
+
+For the symmetric case (all nodes share one ``W``) the system collapses to
+a scalar fixed point ``tau = tau(W, 1 - (1 - tau)^{n-1})``; the paper notes
+(after Bianchi) that this admits a unique solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import ConvergenceError, ParameterError
+from repro.bianchi.markov import transmission_probability
+
+__all__ = [
+    "FixedPointSolution",
+    "SymmetricSolution",
+    "solve_heterogeneous",
+    "solve_symmetric",
+]
+
+_DEFAULT_TOL = 1e-12
+_DEFAULT_MAX_ITER = 100_000
+_DAMPING = 0.5
+
+
+@dataclass(frozen=True)
+class FixedPointSolution:
+    """Solution of the heterogeneous fixed point.
+
+    Attributes
+    ----------
+    windows:
+        The per-node contention windows the solution corresponds to.
+    tau:
+        Per-node transmission probabilities ``tau_i``.
+    collision:
+        Per-node conditional collision probabilities ``p_i``.
+    residual:
+        Max-norm residual of ``tau_i - tau(W_i, p_i)`` at the solution.
+    iterations:
+        Number of damped iterations used (0 if the root fallback solved it).
+    """
+
+    windows: np.ndarray
+    tau: np.ndarray
+    collision: np.ndarray
+    residual: float
+    iterations: int
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the solved network."""
+        return int(self.tau.shape[0])
+
+
+@dataclass(frozen=True)
+class SymmetricSolution:
+    """Solution of the symmetric (common-``W``) fixed point.
+
+    Attributes
+    ----------
+    window:
+        The common contention window ``W``.
+    n_nodes:
+        Network size ``n``.
+    tau:
+        Common transmission probability.
+    collision:
+        Common conditional collision probability ``p = 1-(1-tau)^{n-1}``.
+    residual:
+        Scalar residual at the solution.
+    iterations:
+        Number of damped iterations used.
+    """
+
+    window: float
+    n_nodes: int
+    tau: float
+    collision: float
+    residual: float
+    iterations: int
+
+
+def _collision_probabilities(tau: np.ndarray) -> np.ndarray:
+    """``p_i = 1 - prod_{j != i}(1 - tau_j)``, computed stably.
+
+    Uses log-space products; exact leave-one-out division would lose
+    precision when some ``1 - tau_j`` is tiny.
+    """
+    one_minus = 1.0 - tau
+    if np.any(one_minus <= 0.0):
+        # Some tau hit 1: everyone else collides with certainty.
+        n = tau.shape[0]
+        p = np.empty(n)
+        for i in range(n):
+            others = np.delete(one_minus, i)
+            p[i] = 1.0 - float(np.prod(others))
+        return p
+    logs = np.log(one_minus)
+    total = logs.sum()
+    return 1.0 - np.exp(total - logs)
+
+
+def solve_heterogeneous(
+    windows: Sequence[float],
+    max_stage: int,
+    *,
+    tol: float = _DEFAULT_TOL,
+    max_iterations: int = _DEFAULT_MAX_ITER,
+    initial_tau: Optional[Sequence[float]] = None,
+) -> FixedPointSolution:
+    """Solve the coupled ``(tau, p)`` system for per-node windows.
+
+    Parameters
+    ----------
+    windows:
+        Contention window of each node (length ``n >= 1``).
+    max_stage:
+        Maximum backoff stage ``m`` (shared by all nodes).
+    tol:
+        Convergence tolerance on the max-norm of the tau update.
+    max_iterations:
+        Iteration budget for the damped scheme before falling back to
+        ``scipy.optimize.root``.
+    initial_tau:
+        Optional warm start for the tau vector.
+
+    Returns
+    -------
+    FixedPointSolution
+
+    Raises
+    ------
+    ConvergenceError
+        If neither the damped iteration nor the root fallback reaches the
+        requested tolerance.
+    """
+    w = np.asarray(list(windows), dtype=float)
+    if w.ndim != 1 or w.shape[0] < 1:
+        raise ParameterError("windows must be a non-empty 1-D sequence")
+    if np.any(w < 1):
+        raise ParameterError(f"all windows must be >= 1, got {w!r}")
+    n = w.shape[0]
+
+    if n == 1:
+        # A lone node never collides: p = 0, tau = tau(W, 0).
+        tau = np.array([transmission_probability(w[0], 0.0, max_stage)])
+        return FixedPointSolution(
+            windows=w,
+            tau=tau,
+            collision=np.zeros(1),
+            residual=0.0,
+            iterations=0,
+        )
+
+    if initial_tau is not None:
+        tau = np.asarray(list(initial_tau), dtype=float)
+        if tau.shape != w.shape:
+            raise ParameterError("initial_tau must match windows in length")
+    else:
+        tau = np.full(n, 0.1)
+
+    def step(current: np.ndarray) -> np.ndarray:
+        p = _collision_probabilities(current)
+        return np.array(
+            [
+                transmission_probability(w[i], min(p[i], 1.0 - 1e-15), max_stage)
+                for i in range(n)
+            ]
+        )
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        updated = _DAMPING * tau + (1.0 - _DAMPING) * step(tau)
+        delta = float(np.max(np.abs(updated - tau)))
+        tau = updated
+        if delta < tol:
+            break
+    else:
+        tau = _root_fallback(w, max_stage, tau)
+        iterations = 0
+
+    p = _collision_probabilities(tau)
+    residual = float(np.max(np.abs(tau - step(tau))))
+    if residual > 1e-8:
+        raise ConvergenceError(
+            f"fixed point residual {residual:.3e} exceeds tolerance for "
+            f"windows={w!r}"
+        )
+    return FixedPointSolution(
+        windows=w, tau=tau, collision=p, residual=residual, iterations=iterations
+    )
+
+
+def _root_fallback(w: np.ndarray, max_stage: int, tau0: np.ndarray) -> np.ndarray:
+    """Solve the system with ``scipy.optimize.root`` as a last resort."""
+    n = w.shape[0]
+
+    def residual(tau: np.ndarray) -> np.ndarray:
+        clipped = np.clip(tau, 1e-12, 1.0 - 1e-12)
+        p = _collision_probabilities(clipped)
+        target = np.array(
+            [
+                transmission_probability(w[i], min(p[i], 1.0 - 1e-15), max_stage)
+                for i in range(n)
+            ]
+        )
+        return clipped - target
+
+    result = optimize.root(residual, np.clip(tau0, 1e-6, 1 - 1e-6), method="hybr")
+    if not result.success:
+        raise ConvergenceError(
+            f"heterogeneous fixed point did not converge for windows={w!r}: "
+            f"{result.message}"
+        )
+    return np.clip(result.x, 1e-12, 1.0 - 1e-12)
+
+
+def solve_symmetric(
+    window: float,
+    n_nodes: int,
+    max_stage: int,
+    *,
+    tol: float = _DEFAULT_TOL,
+    max_iterations: int = _DEFAULT_MAX_ITER,
+) -> SymmetricSolution:
+    """Solve the scalar symmetric fixed point for a common window.
+
+    Parameters
+    ----------
+    window:
+        Common contention window ``W`` (real values accepted).
+    n_nodes:
+        Network size ``n >= 1``.
+    max_stage:
+        Maximum backoff stage ``m``.
+
+    Returns
+    -------
+    SymmetricSolution
+
+    Raises
+    ------
+    ConvergenceError
+        If the damped iteration does not reach ``tol``; in practice the map
+        is a contraction after damping and this does not trigger.
+    """
+    if n_nodes < 1:
+        raise ParameterError(f"n_nodes must be >= 1, got {n_nodes!r}")
+    if window < 1:
+        raise ParameterError(f"window must be >= 1, got {window!r}")
+
+    if n_nodes == 1:
+        tau = transmission_probability(window, 0.0, max_stage)
+        return SymmetricSolution(
+            window=float(window),
+            n_nodes=1,
+            tau=tau,
+            collision=0.0,
+            residual=0.0,
+            iterations=0,
+        )
+
+    tau = 0.1
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        p = 1.0 - (1.0 - tau) ** (n_nodes - 1)
+        target = transmission_probability(window, min(p, 1.0 - 1e-15), max_stage)
+        updated = _DAMPING * tau + (1.0 - _DAMPING) * target
+        delta = abs(updated - tau)
+        tau = updated
+        if delta < tol:
+            break
+    else:
+        raise ConvergenceError(
+            f"symmetric fixed point did not converge for window={window!r}, "
+            f"n={n_nodes!r}"
+        )
+    p = 1.0 - (1.0 - tau) ** (n_nodes - 1)
+    residual = abs(
+        tau - transmission_probability(window, min(p, 1.0 - 1e-15), max_stage)
+    )
+    return SymmetricSolution(
+        window=float(window),
+        n_nodes=n_nodes,
+        tau=tau,
+        collision=p,
+        residual=float(residual),
+        iterations=iterations,
+    )

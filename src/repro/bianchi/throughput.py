@@ -1,0 +1,141 @@
+"""Slot statistics and normalized throughput (Section III).
+
+Given per-node transmission probabilities the channel alternates between
+idle slots (duration ``sigma``), successful transmissions (``Ts``) and
+collisions (``Tc``).  This module computes:
+
+* ``Ptr``  - probability at least one node transmits in a slot,
+* ``Ps``   - probability a transmission slot is a success,
+* ``Tslot``- expected slot duration,
+* ``S``    - normalized throughput, the fraction of time carrying payload,
+
+plus per-node success probabilities used by the utility layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.phy.timing import SlotTimes
+
+__all__ = ["SlotStatistics", "slot_statistics", "normalized_throughput"]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class SlotStatistics:
+    """Channel-level statistics of one slot (Section III).
+
+    Attributes
+    ----------
+    p_transmission:
+        ``Ptr`` - probability at least one node transmits.
+    p_success:
+        ``Ps`` - probability exactly one node transmits, conditioned on at
+        least one transmitting (0 when ``Ptr`` is 0).
+    p_idle:
+        ``1 - Ptr``.
+    expected_slot_us:
+        ``Tslot`` - expected duration of a slot in microseconds.
+    per_node_success:
+        Array of per-node probabilities that node ``i`` alone transmits in
+        a random slot, ``tau_i * prod_{j != i}(1 - tau_j)``.
+    """
+
+    p_transmission: float
+    p_success: float
+    p_idle: float
+    expected_slot_us: float
+    per_node_success: np.ndarray
+
+
+def _as_tau_array(tau: ArrayLike) -> np.ndarray:
+    arr = np.asarray(tau, dtype=float)
+    if arr.ndim != 1 or arr.shape[0] < 1:
+        raise ParameterError("tau must be a non-empty 1-D sequence")
+    if np.any(arr < 0) or np.any(arr > 1):
+        raise ParameterError(f"tau values must lie in [0, 1], got {arr!r}")
+    return arr
+
+
+def slot_statistics(tau: ArrayLike, times: SlotTimes) -> SlotStatistics:
+    """Compute the slot statistics for per-node transmission probabilities.
+
+    Parameters
+    ----------
+    tau:
+        Per-node transmission probabilities ``tau_1..tau_n``.
+    times:
+        Slot durations ``(Ts, Tc, sigma)`` for the access mode in use.
+
+    Returns
+    -------
+    SlotStatistics
+    """
+    arr = _as_tau_array(tau)
+    one_minus = 1.0 - arr
+    p_idle = float(np.prod(one_minus))
+    p_tr = 1.0 - p_idle
+
+    per_node = np.empty_like(arr)
+    for i in range(arr.shape[0]):
+        per_node[i] = arr[i] * float(np.prod(np.delete(one_minus, i)))
+    p_single = float(per_node.sum())
+    # The ratio can exceed 1 by a few ulps (e.g. a single node, where
+    # p_single == p_tr analytically); clamp to keep the contract.
+    p_success = min(p_single / p_tr, 1.0) if p_tr > 0 else 0.0
+
+    expected_slot = (
+        p_idle * times.idle_us
+        + p_single * times.success_us
+        + (p_tr - p_single) * times.collision_us
+    )
+    return SlotStatistics(
+        p_transmission=p_tr,
+        p_success=p_success,
+        p_idle=p_idle,
+        expected_slot_us=expected_slot,
+        per_node_success=per_node,
+    )
+
+
+def normalized_throughput(
+    tau: ArrayLike, times: SlotTimes, payload_time_us: float
+) -> float:
+    """Normalized saturation throughput ``S`` (Section III).
+
+    ``S = Ps Ptr E[P] / Tslot`` - the fraction of channel time spent
+    carrying payload bits.
+
+    Parameters
+    ----------
+    tau:
+        Per-node transmission probabilities.
+    times:
+        Slot durations for the access mode in use.
+    payload_time_us:
+        ``E[P]``, the payload transmission time in microseconds.
+
+    Returns
+    -------
+    float
+        Throughput in ``[0, 1)``.
+    """
+    if payload_time_us <= 0:
+        raise ParameterError(
+            f"payload_time_us must be positive, got {payload_time_us!r}"
+        )
+    stats = slot_statistics(tau, times)
+    if stats.expected_slot_us <= 0:
+        return 0.0
+    return (
+        stats.p_success
+        * stats.p_transmission
+        * payload_time_us
+        / stats.expected_slot_us
+    )

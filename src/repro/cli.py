@@ -1,0 +1,100 @@
+"""Command-line interface for the reproduction.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments list                 # every registered experiment
+    repro-experiments run table2           # regenerate one artefact
+    repro-experiments run table2 --quick   # reduced simulation size
+    repro-experiments run-all --quick      # the whole evaluation
+
+The quick overrides mirror ``examples/reproduce_paper.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["build_parser", "entry", "main"]
+
+QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
+    "table2": {"slots_per_point": 40_000},
+    "table3": {"slots_per_point": 40_000},
+    "fig2": {"n_points": 20},
+    "fig3": {"n_points": 20},
+    "multihop": {"n_nodes": 60, "n_snapshots": 2},
+    "search": {"slots_per_probe": 20_000},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the evaluation of 'Selfishness, Not Always A "
+            "Nightmare' (Chen & Leneutre, ICDCS 2007)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered experiments")
+
+    run = commands.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    run.add_argument(
+        "--quick", action="store_true", help="reduced simulation size"
+    )
+
+    run_all = commands.add_parser("run-all", help="run every experiment")
+    run_all.add_argument(
+        "--quick", action="store_true", help="reduced simulation size"
+    )
+    return parser
+
+
+def _run_one(experiment_id: str, quick: bool) -> None:
+    experiment = EXPERIMENTS[experiment_id]
+    kwargs = QUICK_OVERRIDES.get(experiment_id, {}) if quick else {}
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, **kwargs)
+    elapsed = time.perf_counter() - started
+    print("=" * 72)
+    print(
+        f"{experiment.paper_artifact} ({experiment_id}) - "
+        f"{experiment.description} [{elapsed:.1f}s]"
+    )
+    print("=" * 72)
+    print(result.render())
+    print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(eid) for eid in EXPERIMENTS)
+        for eid in sorted(EXPERIMENTS):
+            experiment = EXPERIMENTS[eid]
+            print(
+                f"{eid.ljust(width)}  {experiment.paper_artifact:14s}"
+                f"  {experiment.description}"
+            )
+        return 0
+    if args.command == "run":
+        _run_one(args.experiment_id, args.quick)
+        return 0
+    if args.command == "run-all":
+        for eid in EXPERIMENTS:
+            _run_one(eid, args.quick)
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def entry() -> None:  # pragma: no cover - thin wrapper
+    """Console-script entry point."""
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Contention-window observation (the measurement TFT relies on).
+
+The paper's TFT strategy assumes each node can measure the CW values its
+peers used in the previous stage, citing [Kyasanur & Vaidya, DSN 2003]
+for the mechanism and noting that the broadcast medium makes observation
+easy in promiscuous mode.  This subpackage supplies that missing layer:
+
+* :mod:`repro.detect.estimator` - a closed-form CW estimator from
+  promiscuously observable quantities (per-node attempt rates and
+  collision fractions), plus a streaming observer that accumulates them
+  from channel events;
+* :mod:`repro.detect.empirical` - an *empirical* repeated-game engine:
+  each stage actually runs the DCF simulator, every player estimates the
+  others' windows from what it overheard, and the TFT/GTFT strategies of
+  :mod:`repro.game.strategies` act on those estimates.  This closes the
+  loop the paper leaves open between the game analysis and a deployable
+  protocol.
+"""
+
+from repro.detect.estimator import (
+    WindowObserver,
+    estimate_window,
+    estimate_windows,
+)
+from repro.detect.empirical import EmpiricalRepeatedGame, EmpiricalStage
+from repro.detect.misbehavior import MisbehaviorReport, detect_misbehavior
+
+__all__ = [
+    "EmpiricalRepeatedGame",
+    "EmpiricalStage",
+    "MisbehaviorReport",
+    "WindowObserver",
+    "detect_misbehavior",
+    "estimate_window",
+    "estimate_windows",
+]

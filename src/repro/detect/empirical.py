@@ -1,0 +1,169 @@
+"""Empirical repeated game: TFT on *measured* windows.
+
+The analytical engine (:mod:`repro.game.repeated`) hands strategies the
+true window profile (the paper's perfect-observation assumption).  This
+engine removes the oracle: each stage actually runs the DCF simulator on
+the current profile, every player estimates the others' windows from the
+channel events it overheard (:mod:`repro.detect.estimator`), and the
+stock strategies act on those estimates - its own window it of course
+knows exactly.
+
+With enough observation slots per stage the estimates are tight and the
+empirical dynamics coincide with the analytical ones (TFT floods the
+minimum window in one reaction stage); with short stages the estimation
+noise is exactly the regime Generous TFT's tolerance was designed for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GameDefinitionError
+from repro.detect.estimator import estimate_windows
+from repro.game.definition import MACGame
+from repro.game.strategies import Strategy
+from repro.sim.engine import DcfSimulator
+
+__all__ = ["EmpiricalRepeatedGame", "EmpiricalStage"]
+
+
+@dataclass(frozen=True)
+class EmpiricalStage:
+    """One stage of an empirical run.
+
+    Attributes
+    ----------
+    stage:
+        Stage index.
+    windows:
+        The profile actually configured this stage.
+    estimated_windows:
+        The (shared-channel) window estimates after the stage's
+        simulation; ``nan`` where a node stayed silent.
+    payoff_rates:
+        Per-node *measured* payoffs, ``(n_s g - n_e e) / t_m``.
+    """
+
+    stage: int
+    windows: np.ndarray
+    estimated_windows: np.ndarray
+    payoff_rates: np.ndarray
+
+
+@dataclass
+class EmpiricalTrace:
+    """Full record of an empirical repeated-game run."""
+
+    stages: List[EmpiricalStage] = field(default_factory=list)
+
+    @property
+    def final_windows(self) -> np.ndarray:
+        """Profile of the last stage."""
+        if not self.stages:
+            raise GameDefinitionError("trace is empty")
+        return self.stages[-1].windows
+
+    def window_history(self) -> np.ndarray:
+        """Stacked profiles, shape ``(n_stages, n_players)``."""
+        return np.stack([stage.windows for stage in self.stages])
+
+
+class EmpiricalRepeatedGame:
+    """Run the repeated MAC game on the simulator with measured CWs.
+
+    Parameters
+    ----------
+    game:
+        The stage game (constants, access mode, player count).
+    strategies:
+        One strategy per player (the same objects the analytical engine
+        uses).
+    initial_windows:
+        Stage-0 profile.
+    slots_per_stage:
+        Virtual slots simulated (and observed) per stage.  More slots =
+        tighter estimates.
+    seed:
+        Base seed; each stage uses an independent stream.
+    """
+
+    def __init__(
+        self,
+        game: MACGame,
+        strategies: Sequence[Strategy],
+        initial_windows: Sequence[int],
+        *,
+        slots_per_stage: int = 60_000,
+        seed: int = 0,
+    ) -> None:
+        if len(strategies) != game.n_players:
+            raise GameDefinitionError(
+                f"need {game.n_players} strategies, got {len(strategies)}"
+            )
+        if slots_per_stage < 1:
+            raise GameDefinitionError(
+                f"slots_per_stage must be >= 1, got {slots_per_stage!r}"
+            )
+        self.game = game
+        self.strategies = list(strategies)
+        self.initial_windows = game.validate_profile(initial_windows)
+        self.slots_per_stage = slots_per_stage
+        self.seed = seed
+
+    def run(self, n_stages: int) -> EmpiricalTrace:
+        """Play ``n_stages`` simulated stages and return the trace."""
+        if n_stages < 1:
+            raise GameDefinitionError(
+                f"n_stages must be >= 1, got {n_stages!r}"
+            )
+        trace = EmpiricalTrace()
+        windows = self.initial_windows.copy()
+        # Per-player observed histories (1-D profiles as each player saw
+        # them: estimates for others, exact for itself).
+        histories: List[List[np.ndarray]] = [
+            [] for _ in range(self.game.n_players)
+        ]
+
+        for stage in range(n_stages):
+            if stage > 0:
+                windows = np.array(
+                    [
+                        float(
+                            self.strategies[player].next_window(
+                                player, histories[player], self.game
+                            )
+                        )
+                        for player in range(self.game.n_players)
+                    ]
+                )
+            simulator = DcfSimulator(
+                [int(w) for w in windows],
+                self.game.params,
+                self.game.mode,
+                seed=self.seed + stage,
+            )
+            result = simulator.run(self.slots_per_stage)
+            estimates = estimate_windows(
+                result, self.game.params.max_backoff_stage
+            )
+            lo, hi = self.game.params.cw_min, self.game.params.cw_max
+            for player in range(self.game.n_players):
+                view = estimates.copy()
+                # Silent nodes observed nothing: assume they are polite
+                # (top of the strategy space) rather than aggressive.
+                view[np.isnan(view)] = hi
+                view = np.clip(np.round(view), lo, hi)
+                view[player] = windows[player]  # own window known exactly
+                histories[player].append(view)
+            trace.stages.append(
+                EmpiricalStage(
+                    stage=stage,
+                    windows=windows.copy(),
+                    estimated_windows=estimates,
+                    payoff_rates=result.payoff_rates.copy(),
+                )
+            )
+        return trace

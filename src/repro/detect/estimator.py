@@ -1,0 +1,163 @@
+"""Closed-form contention-window estimation from channel observations.
+
+In a single collision domain a promiscuous observer sees every channel
+event: which nodes attempted in a slot and whether the slot was a
+success or a collision.  That yields, per node ``i``:
+
+* ``tau_hat_i`` - attempts per virtual slot;
+* ``p_hat_i``  - collided attempts per attempt.
+
+The backoff chain's equation (2) then *inverts in closed form*::
+
+    W_hat = (2 / tau_hat - 1) / (1 + p_hat * sum_{j=0}^{m-1} (2 p_hat)^j)
+
+which is exactly how :func:`repro.game.equilibrium.window_for_tau`
+recovers a window from the symmetric fixed point - here applied per
+node with its own measured pair.  The estimator is consistent: as the
+observation window grows, ``(tau_hat, p_hat) -> (tau, p)`` and
+``W_hat -> W``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.bianchi.markov import _geometric_sum
+from repro.sim.engine import SimulationResult
+
+__all__ = ["WindowObserver", "estimate_window", "estimate_windows"]
+
+
+def estimate_window(tau_hat: float, p_hat: float, max_stage: int) -> float:
+    """Invert equation (2): the window consistent with ``(tau, p)``.
+
+    Parameters
+    ----------
+    tau_hat:
+        Measured attempts per virtual slot, in ``(0, 1]``.
+    p_hat:
+        Measured collided-attempt fraction, in ``[0, 1)``.
+    max_stage:
+        Maximum backoff stage ``m`` (802.11 protocol constant, known to
+        the observer).
+
+    Returns
+    -------
+    float
+        The estimated stage-0 window (real-valued; callers round).
+    """
+    if not 0.0 < tau_hat <= 1.0:
+        raise ParameterError(f"tau_hat must lie in (0, 1], got {tau_hat!r}")
+    if not 0.0 <= p_hat < 1.0:
+        raise ParameterError(f"p_hat must lie in [0, 1), got {p_hat!r}")
+    if max_stage < 0:
+        raise ParameterError(f"max_stage must be >= 0, got {max_stage!r}")
+    series = _geometric_sum(2.0 * p_hat, max_stage)
+    return (2.0 / tau_hat - 1.0) / (1.0 + p_hat * series)
+
+
+def estimate_windows(
+    result: SimulationResult, max_stage: int
+) -> np.ndarray:
+    """Per-node window estimates from one simulator run.
+
+    Nodes that never attempted get ``nan`` (nothing was observable).
+    """
+    estimates = np.full(result.tau.shape, np.nan)
+    for i, (tau_hat, p_hat) in enumerate(zip(result.tau, result.collision)):
+        if tau_hat > 0:
+            estimates[i] = estimate_window(
+                float(tau_hat), float(min(p_hat, 1 - 1e-12)), max_stage
+            )
+    return estimates
+
+
+class WindowObserver:
+    """Streaming CW estimator fed by channel events.
+
+    The observer mirrors what a promiscuous station can log: one call
+    per virtual slot, listing the attempting nodes and the outcome.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of stations under observation.
+    max_stage:
+        The protocol's maximum backoff stage ``m``.
+
+    Examples
+    --------
+    >>> observer = WindowObserver(n_nodes=2, max_stage=5)
+    >>> observer.record_idle(8)
+    >>> observer.record_transmission([0], success=True)
+    >>> observer.total_slots
+    9
+    """
+
+    def __init__(self, n_nodes: int, max_stage: int) -> None:
+        if n_nodes < 1:
+            raise ParameterError(f"n_nodes must be >= 1, got {n_nodes!r}")
+        if max_stage < 0:
+            raise ParameterError(f"max_stage must be >= 0, got {max_stage!r}")
+        self.n_nodes = n_nodes
+        self.max_stage = max_stage
+        self.total_slots = 0
+        self.attempts = np.zeros(n_nodes, dtype=np.int64)
+        self.collisions = np.zeros(n_nodes, dtype=np.int64)
+
+    def record_idle(self, slots: int = 1) -> None:
+        """Log ``slots`` idle virtual slots."""
+        if slots < 0:
+            raise ParameterError(f"slots must be >= 0, got {slots!r}")
+        self.total_slots += slots
+
+    def record_transmission(
+        self, transmitters: Sequence[int], success: bool
+    ) -> None:
+        """Log one busy virtual slot with its attempting nodes."""
+        indices = list(transmitters)
+        if not indices:
+            raise ParameterError("a busy slot needs at least one transmitter")
+        if success and len(indices) != 1:
+            raise ParameterError(
+                "a successful slot has exactly one transmitter"
+            )
+        for index in indices:
+            if not 0 <= index < self.n_nodes:
+                raise ParameterError(
+                    f"transmitter {index!r} out of range [0, {self.n_nodes})"
+                )
+            self.attempts[index] += 1
+            if not success:
+                self.collisions[index] += 1
+        self.total_slots += 1
+
+    # ------------------------------------------------------------------
+    def tau_estimates(self) -> np.ndarray:
+        """Measured per-node attempt rates."""
+        if self.total_slots == 0:
+            raise ParameterError("no slots observed yet")
+        return self.attempts / self.total_slots
+
+    def collision_estimates(self) -> np.ndarray:
+        """Measured per-node collided-attempt fractions."""
+        with np.errstate(invalid="ignore"):
+            p = self.collisions / self.attempts
+        return np.nan_to_num(p)
+
+    def estimates(self) -> np.ndarray:
+        """Per-node window estimates (``nan`` for silent nodes)."""
+        tau_hat = self.tau_estimates()
+        p_hat = self.collision_estimates()
+        result = np.full(self.n_nodes, np.nan)
+        for i in range(self.n_nodes):
+            if tau_hat[i] > 0:
+                result[i] = estimate_window(
+                    float(tau_hat[i]),
+                    float(min(p_hat[i], 1 - 1e-12)),
+                    self.max_stage,
+                )
+        return result

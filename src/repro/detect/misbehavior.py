@@ -1,0 +1,115 @@
+"""Misbehaviour flagging from estimated contention windows.
+
+The observation mechanism the paper cites ([Kyasanur & Vaidya,
+DSN 2003]) exists to *detect misbehaving stations*.  GTFT already embeds
+the decision rule - react when some player's (averaged) window undercuts
+``beta`` times your own - and this module factors that rule out as a
+standalone detector over the estimates of
+:mod:`repro.detect.estimator`, so monitoring code can flag deviators
+without running a game.
+
+A node is flagged when its estimated window falls below ``tolerance``
+times the population reference (median by default) - the same
+``beta``-undercut test GTFT applies, made symmetric by using the
+median rather than each observer's own window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["MisbehaviorReport", "detect_misbehavior"]
+
+
+@dataclass(frozen=True)
+class MisbehaviorReport:
+    """Outcome of one detection pass.
+
+    Attributes
+    ----------
+    estimates:
+        The per-node window estimates examined (``nan`` = unobserved).
+    reference:
+        The population reference window (median of the finite
+        estimates, unless overridden).
+    threshold:
+        Flagging cut-off, ``tolerance * reference``.
+    flagged:
+        Boolean mask: node's estimate fell below the threshold.
+    """
+
+    estimates: np.ndarray
+    reference: float
+    threshold: float
+    flagged: np.ndarray
+
+    @property
+    def flagged_nodes(self) -> np.ndarray:
+        """Indices of the flagged nodes."""
+        return np.flatnonzero(self.flagged)
+
+    @property
+    def any_flagged(self) -> bool:
+        """Whether any node was flagged."""
+        return bool(self.flagged.any())
+
+
+def detect_misbehavior(
+    estimates: Sequence[float],
+    *,
+    tolerance: float = 0.8,
+    reference: Optional[float] = None,
+) -> MisbehaviorReport:
+    """Flag nodes whose estimated window undercuts the population.
+
+    Parameters
+    ----------
+    estimates:
+        Per-node window estimates (``nan`` entries - silent nodes - are
+        never flagged and excluded from the reference).
+    tolerance:
+        ``beta`` in ``(0, 1]``: flag below ``beta * reference``.  The
+        GTFT default of ~0.8 absorbs estimation noise; raise it toward 1
+        for a stricter monitor.
+    reference:
+        Population reference window; defaults to the median of the
+        finite estimates.
+
+    Returns
+    -------
+    MisbehaviorReport
+    """
+    arr = np.asarray(list(estimates), dtype=float)
+    if arr.ndim != 1 or arr.size < 2:
+        raise ParameterError(
+            "estimates must contain at least two nodes to compare"
+        )
+    if not 0.0 < tolerance <= 1.0:
+        raise ParameterError(
+            f"tolerance must lie in (0, 1], got {tolerance!r}"
+        )
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        raise ParameterError("no finite estimates to compare")
+    if np.any(finite <= 0):
+        raise ParameterError("window estimates must be positive")
+    if reference is None:
+        reference = float(np.median(finite))
+    if reference <= 0:
+        raise ParameterError(
+            f"reference must be positive, got {reference!r}"
+        )
+    threshold = tolerance * reference
+    with np.errstate(invalid="ignore"):
+        flagged = np.where(np.isfinite(arr), arr < threshold, False)
+    return MisbehaviorReport(
+        estimates=arr,
+        reference=reference,
+        threshold=threshold,
+        flagged=flagged,
+    )

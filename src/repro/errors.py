@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+downstream users can catch one base class.  Specific subclasses signal the
+layer that failed: model configuration, numerical solving, game definition,
+simulation, or the distributed search protocol.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ConvergenceError",
+    "GameDefinitionError",
+    "ParameterError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "StrategyError",
+    "TopologyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A PHY/MAC or model parameter is out of its valid domain."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A numerical fixed point or root search failed to converge."""
+
+
+class GameDefinitionError(ReproError, ValueError):
+    """A game was constructed with an inconsistent specification."""
+
+
+class StrategyError(ReproError, RuntimeError):
+    """A strategy was driven outside its contract (e.g. missing history)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """The distributed NE-search protocol violated its message contract."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A multi-hop topology is invalid for the requested operation."""

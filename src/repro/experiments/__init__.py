@@ -1,0 +1,33 @@
+"""Reproductions of the paper's evaluation (Section VII).
+
+One module per table / figure / reported study:
+
+* :mod:`repro.experiments.table1` - the network-parameter table.
+* :mod:`repro.experiments.table2` - efficient NE, basic access
+  (analytic ``W_c*`` vs simulated per-node optimum and variance).
+* :mod:`repro.experiments.table3` - same under RTS/CTS.
+* :mod:`repro.experiments.figure2` - global payoff vs common CW, basic.
+* :mod:`repro.experiments.figure3` - same under RTS/CTS.
+* :mod:`repro.experiments.multihop_quasi` - the Section VII.B multi-hop
+  study (converged window, per-node and global quasi-optimality,
+  ``p_hn`` CW-independence check).
+* :mod:`repro.experiments.shortsighted` - Section V.D deviation payoffs.
+* :mod:`repro.experiments.malicious` - Section V.E attacker impact.
+* :mod:`repro.experiments.search_protocol` - Section V.C protocol runs.
+* :mod:`repro.experiments.convergence` - TFT/GTFT convergence dynamics.
+
+:mod:`repro.experiments.registry` indexes them; every experiment returns
+a plain result object and renders through
+:mod:`repro.experiments.reporting`.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.reporting import format_series, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "format_series",
+    "format_table",
+    "get_experiment",
+    "run_experiment",
+]

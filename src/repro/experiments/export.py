@@ -1,0 +1,75 @@
+"""JSON export of experiment results.
+
+Every experiment returns a (frozen) dataclass tree built from Python
+scalars, numpy arrays, dicts and lists.  This module serialises any such
+result to JSON so downstream tooling (plotting, regression tracking,
+CI dashboards) can consume the reproduction without importing the
+library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["result_to_dict", "to_json", "write_json"]
+
+
+def result_to_dict(result: Any) -> Any:
+    """Recursively convert an experiment result to plain JSON types.
+
+    Handles dataclasses, numpy arrays/scalars, enums, mappings,
+    sequences and scalars; mapping keys are stringified (JSON object
+    keys must be strings).
+    """
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return {
+            field.name: result_to_dict(getattr(result, field.name))
+            for field in dataclasses.fields(result)
+        }
+    if isinstance(result, Enum):
+        return result.value
+    if isinstance(result, np.ndarray):
+        return [result_to_dict(item) for item in result.tolist()]
+    if isinstance(result, (np.integer,)):
+        return int(result)
+    if isinstance(result, (np.floating,)):
+        return float(result)
+    if isinstance(result, (np.bool_,)):
+        return bool(result)
+    if isinstance(result, dict):
+        return {
+            str(key): result_to_dict(value) for key, value in result.items()
+        }
+    if isinstance(result, (list, tuple)):
+        return [result_to_dict(item) for item in result]
+    if isinstance(result, (str, int, float, bool)) or result is None:
+        if isinstance(result, float) and not np.isfinite(result):
+            return None
+        return result
+    if isinstance(result, range):
+        return list(result)
+    raise ParameterError(
+        f"cannot serialise {type(result).__name__!r} to JSON"
+    )
+
+
+def to_json(result: Any, *, indent: Optional[int] = 2) -> str:
+    """Serialise an experiment result to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def write_json(
+    result: Any, path: Union[str, Path], *, indent: Optional[int] = 2
+) -> Path:
+    """Serialise an experiment result to a file; returns the path."""
+    target = Path(path)
+    target.write_text(to_json(result, indent=indent) + "\n")
+    return target

@@ -1,0 +1,144 @@
+"""Figure 2 - global payoff versus common CW, basic access.
+
+The paper plots ``U / C`` against the common contention window, where
+``U`` is the global (discounted) payoff and ``C = g T / (sigma (1 -
+delta))`` a normalising constant.  With ``U = n u_i T / (1 - delta)``
+(every player on the same window after convergence), the normalised
+quantity reduces to::
+
+    U / C = n * u_i(W) * sigma / g
+
+- dimensionless and independent of the stage length and discount.  The
+curve is unimodal with its maximum at ``W_c*`` and is strikingly flat
+around it, the robustness the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.experiments.reporting import format_series
+from repro.game.definition import MACGame
+from repro.game.equilibrium import efficient_window
+from repro.phy.parameters import AccessMode, PhyParameters, default_parameters
+from repro.phy.timing import slot_times
+
+__all__ = ["GlobalPayoffCurves", "run", "run_mode"]
+
+
+@dataclass(frozen=True)
+class GlobalPayoffCurves:
+    """Normalised global payoff curves for several network sizes.
+
+    Attributes
+    ----------
+    mode:
+        Access mode of the sweep.
+    windows:
+        The common-window grid (shared by all curves).
+    curves:
+        Mapping ``n`` -> normalised global payoff ``U/C`` per window.
+    optima:
+        Mapping ``n`` -> the analytic efficient window ``W_c*``.
+    """
+
+    mode: AccessMode
+    windows: np.ndarray
+    curves: Dict[int, np.ndarray]
+    optima: Dict[int, int]
+
+    def peak_window(self, n_nodes: int) -> int:
+        """Grid window with the maximal payoff for one curve."""
+        curve = self.curves[n_nodes]
+        return int(self.windows[int(np.argmax(curve))])
+
+    def render(self) -> str:
+        """Render the curves as an ASCII chart plus the aligned series."""
+        from repro.experiments.plotting import ascii_plot
+
+        label = "basic" if self.mode is AccessMode.BASIC else "RTS/CTS"
+        series = {
+            f"U/C (n={n})": curve.tolist() for n, curve in self.curves.items()
+        }
+        chart = ascii_plot(
+            self.windows.tolist(),
+            series,
+            x_label="W (grid rank)",
+            title=f"Global payoff versus CW value, {label} case",
+        )
+        table = format_series(
+            self.windows.tolist(),
+            series,
+            x_label="W",
+        )
+        return chart + "\n\n" + table
+
+
+def _log_grid(lo: int, hi: int, n_points: int) -> np.ndarray:
+    if lo < 1 or hi <= lo:
+        raise ParameterError(f"invalid grid bounds [{lo}, {hi}]")
+    grid = np.unique(
+        np.round(np.geomspace(lo, hi, n_points)).astype(int)
+    )
+    return grid
+
+
+def run_mode(
+    mode: AccessMode,
+    *,
+    params: Optional[PhyParameters] = None,
+    sizes: Sequence[int] = (5, 20, 50),
+    n_points: int = 40,
+    grid: Optional[Sequence[int]] = None,
+) -> GlobalPayoffCurves:
+    """Sweep the normalised global payoff for one access mode.
+
+    The default grid is geometric from 2 to ~4x the largest ``W_c*`` so
+    every curve's rise, peak and decay are visible, with each curve's own
+    ``W_c*`` spliced in.
+    """
+    if params is None:
+        params = default_parameters()
+    times = slot_times(params, mode)
+    optima = {
+        n: efficient_window(n, params, times) for n in sizes
+    }
+    if grid is None:
+        hi = max(optima.values()) * 4
+        grid_arr = _log_grid(2, int(hi), n_points)
+        grid_arr = np.unique(
+            np.concatenate([grid_arr, np.asarray(list(optima.values()))])
+        )
+    else:
+        grid_arr = np.unique(np.asarray([int(w) for w in grid]))
+        if np.any(grid_arr < 1):
+            raise ParameterError("grid windows must be >= 1")
+
+    curves: Dict[int, np.ndarray] = {}
+    for n_nodes in sizes:
+        game = MACGame(n_players=n_nodes, params=params, mode=mode)
+        values = np.array(
+            [game.global_payoff(int(w)) for w in grid_arr]
+        )
+        # Normalise: U/C = n u_i sigma / g  (u summed over players already).
+        curves[n_nodes] = values * times.idle_us / params.gain
+
+    return GlobalPayoffCurves(
+        mode=mode, windows=grid_arr, curves=curves, optima=optima
+    )
+
+
+def run(
+    *,
+    params: Optional[PhyParameters] = None,
+    sizes: Sequence[int] = (5, 20, 50),
+    n_points: int = 40,
+) -> GlobalPayoffCurves:
+    """Reproduce Figure 2 (basic access)."""
+    return run_mode(
+        AccessMode.BASIC, params=params, sizes=sizes, n_points=n_points
+    )

@@ -1,0 +1,110 @@
+"""ASCII line plots for the paper's figures.
+
+The reproduction is terminal-first: figures render as text.  Tables are
+handled by :mod:`repro.experiments.reporting`; this module draws the
+*shape* of a figure - the unimodal payoff curves of Figures 2/3 - as an
+ASCII chart so a reader can eyeball the peak and the plateau without
+leaving the console.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@"
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    x_label: str = "x",
+    title: str = "",
+) -> str:
+    """Render aligned series as an ASCII chart.
+
+    Parameters
+    ----------
+    x:
+        Shared x values (monotone increasing).  Plotted on a *rank*
+        scale - one column per consecutive grid point - which suits the
+        geometric window grids of the figure sweeps.
+    series:
+        Mapping from series name to y values (same length as ``x``).
+    width, height:
+        Plot area size in characters.
+    x_label:
+        Label under the x axis.
+    title:
+        Optional title line.
+
+    Returns
+    -------
+    str
+        The rendered chart.
+    """
+    xs = np.asarray(list(x), dtype=float)
+    if xs.ndim != 1 or xs.size < 2:
+        raise ParameterError("x must contain at least two points")
+    if np.any(np.diff(xs) <= 0):
+        raise ParameterError("x must be strictly increasing")
+    if not series:
+        raise ParameterError("series must be non-empty")
+    if width < 16 or height < 4:
+        raise ParameterError("plot area too small")
+    if len(series) > len(_MARKERS):
+        raise ParameterError(
+            f"at most {len(_MARKERS)} series supported, got {len(series)}"
+        )
+
+    matrix = []
+    for name, values in series.items():
+        ys = np.asarray(list(values), dtype=float)
+        if ys.shape != xs.shape:
+            raise ParameterError(
+                f"series {name!r} has {ys.size} points, expected {xs.size}"
+            )
+        matrix.append(ys)
+    stacked = np.stack(matrix)
+    y_min = float(stacked.min())
+    y_max = float(stacked.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    columns = np.linspace(0, width - 1, xs.size).round().astype(int)
+    for index, ys in enumerate(stacked):
+        marker = _MARKERS[index]
+        rows = (
+            (height - 1)
+            - np.round((ys - y_min) / (y_max - y_min) * (height - 1))
+        ).astype(int)
+        for column, row in zip(columns, rows):
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.4g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.4g} +" + "-" * width)
+    lines.append(
+        " " * 12
+        + f"{xs[0]:<10.4g}"
+        + f"{x_label:^{max(0, width - 20)}}"
+        + f"{xs[-1]:>10.4g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

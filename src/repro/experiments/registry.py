@@ -1,0 +1,152 @@
+"""Experiment registry: one entry per reproduced table/figure/study.
+
+Maps stable experiment ids (the ones DESIGN.md and EXPERIMENTS.md use) to
+their runner callables, so tooling - the benchmarks, the examples, a
+command line - can enumerate and run everything uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from repro.errors import ParameterError
+from repro.experiments import (
+    bestresponse,
+    convergence,
+    figure2,
+    figure3,
+    malicious,
+    mobility_dynamics,
+    multihop_quasi,
+    search_protocol,
+    shortsighted,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = ["EXPERIMENTS", "Experiment", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Stable identifier (matches DESIGN.md's experiment index).
+    paper_artifact:
+        The paper table/figure/section the experiment reproduces.
+    description:
+        One-line summary.
+    runner:
+        Zero-required-argument callable returning a result object with a
+        ``render()`` method.
+    """
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    runner: Callable[..., Any]
+
+    def run(self, **kwargs: Any) -> Any:
+        """Run the experiment, forwarding keyword overrides."""
+        return self.runner(**kwargs)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    experiment.experiment_id: experiment
+    for experiment in (
+        Experiment(
+            "table1",
+            "Table I",
+            "Network parameters and derived slot times",
+            table1.run,
+        ),
+        Experiment(
+            "table2",
+            "Table II",
+            "Efficient NE windows, basic access (analytic vs simulated)",
+            table2.run,
+        ),
+        Experiment(
+            "table3",
+            "Table III",
+            "Efficient NE windows, RTS/CTS access (analytic vs simulated)",
+            table3.run,
+        ),
+        Experiment(
+            "fig2",
+            "Figure 2",
+            "Global payoff versus common CW, basic access",
+            figure2.run,
+        ),
+        Experiment(
+            "fig3",
+            "Figure 3",
+            "Global payoff versus common CW, RTS/CTS access",
+            figure3.run,
+        ),
+        Experiment(
+            "multihop",
+            "Section VII.B",
+            "Multi-hop quasi-optimality on random-waypoint snapshots",
+            multihop_quasi.run,
+        ),
+        Experiment(
+            "shortsighted",
+            "Section V.D",
+            "Short-sighted deviator payoffs and network degradation",
+            shortsighted.run,
+        ),
+        Experiment(
+            "malicious",
+            "Section V.E",
+            "Malicious player dragging the network to collapse",
+            malicious.run,
+        ),
+        Experiment(
+            "search",
+            "Section V.C",
+            "Distributed search protocol for the efficient NE",
+            search_protocol.run,
+        ),
+        Experiment(
+            "convergence",
+            "Sections IV-V",
+            "TFT/GTFT convergence dynamics",
+            convergence.run,
+        ),
+        Experiment(
+            "bestresponse",
+            "Section VIII",
+            "Myopic best-response collapse vs TFT (Cagalj et al. "
+            "reconciliation)",
+            bestresponse.run,
+        ),
+        Experiment(
+            "mobility",
+            "Section VI (extension)",
+            "Sticky vs re-opening TFT across mobility epochs",
+            mobility_dynamics.run,
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up a registered experiment by id."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ParameterError(
+            f"unknown experiment {experiment_id!r}; known ids: {known}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs: Any) -> Any:
+    """Run a registered experiment by id, forwarding overrides."""
+    return get_experiment(experiment_id).run(**kwargs)

@@ -1,0 +1,106 @@
+"""Plain-text rendering of experiment results.
+
+The paper reports tables and line plots; this module renders both as
+fixed-width text so every experiment can print exactly the rows/series
+the paper shows, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["format_series", "format_table"]
+
+Cell = Union[str, int, float]
+
+
+def _render_cell(value: Cell) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        number = float(value)
+        if number == 0:
+            return "0"
+        if abs(number) >= 1e4 or abs(number) < 1e-3:
+            return f"{number:.4g}"
+        return f"{number:.4g}"
+    raise ParameterError(f"unsupported cell type: {type(value).__name__}")
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    *,
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column labels.
+    rows:
+        Row cells; every row must match the header length.
+    title:
+        Optional title line above the table.
+
+    Returns
+    -------
+    str
+        The rendered table, newline-joined.
+    """
+    if not headers:
+        raise ParameterError("headers must be non-empty")
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ParameterError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_label: str = "x",
+    title: str = "",
+) -> str:
+    """Render one or more aligned series as a text table.
+
+    This is the textual equivalent of the paper's line plots: one row per
+    x value, one column per series.
+    """
+    x_arr = list(x)
+    for name, values in series.items():
+        if len(values) != len(x_arr):
+            raise ParameterError(
+                f"series {name!r} has {len(values)} points, expected "
+                f"{len(x_arr)}"
+            )
+    headers = [x_label] + list(series.keys())
+    rows = [
+        [x_arr[i]] + [series[name][i] for name in series]
+        for i in range(len(x_arr))
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,119 @@
+"""Section V.D - impact of short-sighted players.
+
+Reproduces the paper's three findings:
+
+* an extremely short-sighted deviator (``delta_s -> 0``) profits from
+  undercutting ``W_c*``;
+* a long-sighted deviator's optimal window is ``W_c*`` itself;
+* once TFT drags everyone to the deviator's window, every stage payoff
+  (including the deviator's) is below the efficient NE - the network is
+  degraded, and collapses for very aggressive windows.
+
+The experiment sweeps the deviator's discount factor, reporting the
+optimal deviation window, the deviation gain and the induced network
+degradation at each point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ParameterError
+from repro.experiments.reporting import format_table
+from repro.game.definition import MACGame
+from repro.game.deviation import DeviationAnalysis, optimal_deviation_window
+from repro.game.equilibrium import efficient_window
+from repro.phy.parameters import AccessMode, PhyParameters, default_parameters
+
+__all__ = ["ShortSightedResult", "ShortSightedRow", "run"]
+
+
+@dataclass(frozen=True)
+class ShortSightedRow:
+    """One discount-factor point of the study.
+
+    Attributes
+    ----------
+    discount:
+        The deviator's ``delta_s``.
+    best_window:
+        Its payoff-maximising deviation window ``W_s``.
+    gain:
+        Discounted gain over conforming (positive = deviation pays).
+    degradation:
+        Per-stage network degradation after convergence to ``W_s``
+        (0 when the deviator stays at ``W_c*``).
+    """
+
+    discount: float
+    best_window: int
+    gain: float
+    degradation: float
+
+
+@dataclass(frozen=True)
+class ShortSightedResult:
+    """The Section V.D sweep."""
+
+    n_players: int
+    reference_window: int
+    reaction_stages: int
+    rows: List[ShortSightedRow]
+
+    def render(self) -> str:
+        """Render the sweep as a text table."""
+        headers = ["delta_s", "best W_s", "gain", "network degradation"]
+        rows = [
+            [row.discount, row.best_window, row.gain, row.degradation]
+            for row in self.rows
+        ]
+        return format_table(
+            headers,
+            rows,
+            title=(
+                "Section V.D: short-sighted deviation from "
+                f"W_c*={self.reference_window} "
+                f"(n={self.n_players}, reaction={self.reaction_stages})"
+            ),
+        )
+
+
+def run(
+    *,
+    params: Optional[PhyParameters] = None,
+    n_players: int = 10,
+    mode: AccessMode = AccessMode.BASIC,
+    discounts: Sequence[float] = (0.01, 0.3, 0.6, 0.9, 0.99, 0.9999),
+    reaction_stages: int = 1,
+) -> ShortSightedResult:
+    """Run the short-sighted sweep over deviator discount factors."""
+    if params is None:
+        params = default_parameters()
+    if not discounts:
+        raise ParameterError("discounts must be non-empty")
+    game = MACGame(n_players=n_players, params=params, mode=mode)
+    reference = efficient_window(n_players, params, game.times)
+
+    rows: List[ShortSightedRow] = []
+    for discount in discounts:
+        best: DeviationAnalysis = optimal_deviation_window(
+            game,
+            discount=discount,
+            reaction_stages=reaction_stages,
+            reference_window=reference,
+        )
+        rows.append(
+            ShortSightedRow(
+                discount=discount,
+                best_window=best.deviation_window,
+                gain=best.gain,
+                degradation=best.network_degradation,
+            )
+        )
+    return ShortSightedResult(
+        n_players=n_players,
+        reference_window=reference,
+        reaction_stages=reaction_stages,
+        rows=rows,
+    )

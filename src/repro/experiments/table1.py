@@ -1,0 +1,69 @@
+"""Table I - network parameters.
+
+Not a computation, but the anchor of every other experiment: this module
+renders the parameter set all reproductions run with, in the layout of the
+paper's Table I, plus the derived slot times the analysis depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.reporting import format_table
+from repro.phy.parameters import AccessMode, PhyParameters, default_parameters
+from repro.phy.timing import slot_times
+
+__all__ = ["Table1Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The rendered parameter set and derived timings.
+
+    Attributes
+    ----------
+    parameters:
+        Label -> value strings, in the paper's Table I order.
+    derived:
+        Derived slot times (``Ts``/``Tc`` per access mode) in
+        microseconds.
+    """
+
+    parameters: Dict[str, str]
+    derived: Dict[str, float]
+
+    def render(self) -> str:
+        """Render both tables as text."""
+        param_rows = [[k, v] for k, v in self.parameters.items()]
+        derived_rows = [[k, v] for k, v in self.derived.items()]
+        return "\n\n".join(
+            [
+                format_table(
+                    ["Parameter", "Value"],
+                    param_rows,
+                    title="Table I: network parameters",
+                ),
+                format_table(
+                    ["Derived time", "Microseconds"],
+                    derived_rows,
+                    title="Derived slot occupancy times",
+                ),
+            ]
+        )
+
+
+def run(params: PhyParameters = None) -> Table1Result:
+    """Build the Table I report for a parameter set (paper defaults)."""
+    if params is None:
+        params = default_parameters()
+    basic = slot_times(params, AccessMode.BASIC)
+    rts = slot_times(params, AccessMode.RTS_CTS)
+    derived = {
+        "Ts (basic)": basic.success_us,
+        "Tc (basic)": basic.collision_us,
+        "Ts' (RTS/CTS)": rts.success_us,
+        "Tc' (RTS/CTS)": rts.collision_us,
+        "sigma": basic.idle_us,
+    }
+    return Table1Result(parameters=params.as_table(), derived=derived)

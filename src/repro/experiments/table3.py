@@ -1,0 +1,38 @@
+"""Table III - efficient NE, RTS/CTS access.
+
+Same measurement as :mod:`repro.experiments.table2` under the RTS/CTS
+access mechanism.  Paper reference values: 22 / 48 / 116.  Our model
+reproduces ``n = 20`` exactly and ``n = 50`` within a few windows; at
+``n = 5`` the RTS/CTS utility plateau is so flat (the paper itself notes
+the robustness of the NE) that the discrete optimum is weakly pinned -
+see EXPERIMENTS.md for the sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.table2 import NETableResult, run_mode
+from repro.phy.parameters import AccessMode, PhyParameters
+
+__all__ = ["PAPER_RTS", "run"]
+
+PAPER_RTS: dict = {5: 22, 20: 48, 50: 116}
+
+
+def run(
+    *,
+    params: Optional[PhyParameters] = None,
+    sizes: Sequence[int] = (5, 20, 50),
+    slots_per_point: int = 150_000,
+    seed: int = 0,
+) -> NETableResult:
+    """Reproduce Table III (RTS/CTS access)."""
+    return run_mode(
+        AccessMode.RTS_CTS,
+        params=params,
+        sizes=sizes,
+        slots_per_point=slots_per_point,
+        seed=seed,
+        paper_values=PAPER_RTS,
+    )

@@ -1,0 +1,120 @@
+"""Non-cooperative MAC game of the paper (Sections IV-V).
+
+The game ``G = (P, S, U, delta)`` has the network nodes as players, the
+contention-window set as strategy space, and the discounted sum of stage
+utilities as payoff.  This subpackage provides:
+
+* stage and discounted utilities (:mod:`repro.game.utility`),
+* the game definition object (:mod:`repro.game.definition`),
+* the symmetric-equilibrium analysis of Section V: the stationarity
+  function ``Q``, the optimal ``tau_c*`` and ``W_c*``, the break-even
+  ``W_c0`` and the NE interval of Theorem 2
+  (:mod:`repro.game.equilibrium`),
+* NE refinement by fairness / social welfare / Pareto optimality
+  (:mod:`repro.game.refinement`),
+* numeric verifiers of the payoff-ordering Lemmas 1 and 4
+  (:mod:`repro.game.lemmas`),
+* stage-game strategies - TFT, GTFT, constants, deviators
+  (:mod:`repro.game.strategies`),
+* a repeated-game engine (:mod:`repro.game.repeated`),
+* the distributed search protocol of Section V.C (:mod:`repro.game.search`),
+* the short-sighted deviation analysis of Section V.D
+  (:mod:`repro.game.deviation`).
+"""
+
+from repro.game.definition import MACGame
+from repro.game.utility import (
+    StageOutcome,
+    discounted_utility,
+    stage_outcome,
+    stage_utilities,
+    symmetric_stage_utility,
+)
+from repro.game.equilibrium import (
+    EquilibriumAnalysis,
+    analyze_equilibria,
+    breakeven_window,
+    efficient_window,
+    is_symmetric_equilibrium,
+    optimal_tau,
+    q_function,
+    window_for_tau,
+)
+from repro.game.refinement import RefinementReport, refine_equilibria
+from repro.game.strategies import (
+    BestResponseStrategy,
+    ConstantStrategy,
+    GenerousTitForTat,
+    MaliciousStrategy,
+    ShortSightedStrategy,
+    Strategy,
+    TitForTat,
+)
+from repro.game.repeated import RepeatedGameEngine, StageRecord, GameTrace
+from repro.game.search import SearchOutcome, run_search_protocol
+from repro.game.deviation import DeviationAnalysis, analyze_deviation
+from repro.game.delay_aware import (
+    DelayAwareAnalysis,
+    delay_aware_efficient_window,
+    delay_aware_utility,
+    delay_tradeoff_curve,
+)
+from repro.game.rate_control import (
+    RateControlEquilibrium,
+    RateControlGame,
+    RateOption,
+    default_rate_options,
+)
+from repro.game.verification import (
+    Theorem2Report,
+    is_stage_equilibrium,
+    stage_deviation_gain,
+    tft_deviation_gain,
+    verify_theorem2,
+)
+
+__all__ = [
+    "BestResponseStrategy",
+    "ConstantStrategy",
+    "DelayAwareAnalysis",
+    "DeviationAnalysis",
+    "EquilibriumAnalysis",
+    "GameTrace",
+    "GenerousTitForTat",
+    "MACGame",
+    "MaliciousStrategy",
+    "RateControlEquilibrium",
+    "RateControlGame",
+    "RateOption",
+    "RefinementReport",
+    "RepeatedGameEngine",
+    "SearchOutcome",
+    "ShortSightedStrategy",
+    "StageOutcome",
+    "StageRecord",
+    "Strategy",
+    "Theorem2Report",
+    "TitForTat",
+    "analyze_deviation",
+    "analyze_equilibria",
+    "breakeven_window",
+    "default_rate_options",
+    "delay_aware_efficient_window",
+    "delay_aware_utility",
+    "delay_tradeoff_curve",
+    "discounted_utility",
+    "efficient_window",
+    "is_stage_equilibrium",
+    "is_symmetric_equilibrium",
+    "optimal_tau",
+    "q_function",
+    "refine_equilibria",
+    "run_search_protocol",
+    "stage_deviation_gain",
+    "stage_outcome",
+    "stage_utilities",
+    "symmetric_stage_utility",
+    "tft_deviation_gain",
+    "verify_theorem2",
+    "window_for_tau",
+]

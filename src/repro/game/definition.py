@@ -1,0 +1,135 @@
+"""The non-cooperative IEEE 802.11 MAC game ``G`` (Definition 1).
+
+:class:`MACGame` bundles the player set, the strategy space (contention
+windows), the PHY constants and the access mode, and exposes the stage /
+discounted utility machinery with the game's own parameters filled in.
+It is the object the strategies, the repeated-game engine, the equilibrium
+analysis and the experiments all consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GameDefinitionError
+from repro.game.utility import (
+    StageOutcome,
+    stage_outcome,
+    symmetric_stage_utility,
+)
+from repro.phy.parameters import AccessMode, PhyParameters, default_parameters
+from repro.phy.timing import SlotTimes, slot_times
+
+__all__ = ["MACGame"]
+
+
+@dataclass(frozen=True)
+class MACGame:
+    """The repeated MAC game ``G = (P, S, U, delta)`` of Definition 1.
+
+    Attributes
+    ----------
+    n_players:
+        Size of the player set ``P`` (all nodes hear each other; the
+        multi-hop game of Section VI composes local instances of this
+        class).
+    params:
+        PHY/MAC constants, including ``g``, ``e``, the stage duration
+        ``T`` and the discount factor ``delta``.
+    mode:
+        Channel access mechanism (basic or RTS/CTS).
+
+    Examples
+    --------
+    >>> game = MACGame(n_players=5)
+    >>> profile = [128] * 5
+    >>> outcome = game.stage(profile)
+    >>> outcome.utilities.shape
+    (5,)
+    """
+
+    n_players: int
+    params: PhyParameters = field(default_factory=default_parameters)
+    mode: AccessMode = AccessMode.BASIC
+
+    def __post_init__(self) -> None:
+        if self.n_players < 2:
+            raise GameDefinitionError(
+                f"the MAC game needs at least 2 players, got {self.n_players!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived constants
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> SlotTimes:
+        """Slot durations ``(Ts, Tc, sigma)`` for this game's access mode."""
+        return slot_times(self.params, self.mode)
+
+    @property
+    def discount_factor(self) -> float:
+        """The discount ``delta`` of the repeated game."""
+        return self.params.discount_factor
+
+    @property
+    def strategy_space(self) -> range:
+        """The CW strategy set ``W = {cw_min, ..., cw_max}``."""
+        return self.params.strategy_space()
+
+    def validate_profile(self, windows: Sequence[float]) -> np.ndarray:
+        """Check a window profile against the game; return it as an array."""
+        arr = np.asarray(list(windows), dtype=float)
+        if arr.shape != (self.n_players,):
+            raise GameDefinitionError(
+                f"profile must have {self.n_players} entries, got {arr.shape!r}"
+            )
+        lo, hi = self.params.cw_min, self.params.cw_max
+        if np.any(arr < lo) or np.any(arr > hi):
+            raise GameDefinitionError(
+                f"profile {arr!r} leaves the strategy space [{lo}, {hi}]"
+            )
+        return arr
+
+    # ------------------------------------------------------------------
+    # Payoffs
+    # ------------------------------------------------------------------
+    def stage(self, windows: Sequence[float]) -> StageOutcome:
+        """Solve one stage of the game for the given window profile."""
+        profile = self.validate_profile(windows)
+        return stage_outcome(profile, self.params, self.times)
+
+    def stage_payoffs(self, windows: Sequence[float]) -> np.ndarray:
+        """Per-player stage payoffs ``U_i^s = u_i T`` for a profile."""
+        return self.stage(windows).utilities * self.params.stage_duration_us
+
+    def symmetric_utility(
+        self, window: float, *, ignore_cost: bool = False
+    ) -> float:
+        """Per-node utility rate when every player uses ``window``."""
+        return symmetric_stage_utility(
+            window,
+            self.n_players,
+            self.params,
+            self.times,
+            ignore_cost=ignore_cost,
+        )
+
+    def symmetric_stage_payoff(
+        self, window: float, *, ignore_cost: bool = False
+    ) -> float:
+        """Per-node stage payoff at a symmetric profile."""
+        rate = self.symmetric_utility(window, ignore_cost=ignore_cost)
+        return rate * self.params.stage_duration_us
+
+    def global_payoff(self, window: float, *, ignore_cost: bool = False) -> float:
+        """Social welfare ``sum_i U_i = n * U_i`` at a symmetric profile.
+
+        Figures 2 and 3 of the paper plot this quantity (scaled by the
+        constant ``C = g T / (sigma (1 - delta))``) against ``W_c``.
+        """
+        return self.n_players * self.symmetric_utility(
+            window, ignore_cost=ignore_cost
+        )

@@ -1,0 +1,209 @@
+"""Short-sighted deviation analysis (Section V.D).
+
+A deviator ``s`` with discount ``delta_s`` plays ``W_s < W_c*`` while the
+other ``n - 1`` players need ``m_react`` stages to notice and follow (per
+TFT/GTFT).  Its discounted payoff is
+
+``U_s = (1 - delta_s^m) / (1 - delta_s) * U_s^s(W_c*, .., W_s, .., W_c*)
+      + delta_s^m / (1 - delta_s) * U_s^s(W_s, ..., W_s)``
+
+versus ``U_s' = U_s^s(W_c*, ..., W_c*) / (1 - delta_s)`` for conforming.
+
+The paper's conclusions, all checkable through this module:
+
+* an extremely short-sighted player (``delta_s -> 0``) strictly gains by
+  deviating (Lemma 4 gives it the large first-stage payoff);
+* a long-sighted player's optimal ``W_s`` is ``W_c*`` itself - deviation
+  does not pay;
+* after the network converges to ``W_s`` everyone (deviator included)
+  earns less per stage than at ``W_c*``, so short-sighted players degrade
+  the network and, for very small ``W_s``, collapse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.game.definition import MACGame
+from repro.game.equilibrium import efficient_window
+
+__all__ = [
+    "DeviationAnalysis",
+    "analyze_deviation",
+    "optimal_deviation_window",
+]
+
+
+@dataclass(frozen=True)
+class DeviationAnalysis:
+    """Payoffs of one short-sighted deviation scenario.
+
+    Attributes
+    ----------
+    deviation_window:
+        The deviator's window ``W_s``.
+    reference_window:
+        The window everyone else starts on (normally ``W_c*``).
+    discount:
+        The deviator's discount factor ``delta_s``.
+    reaction_stages:
+        ``m_react``: stages before the other players follow to ``W_s``.
+    payoff_deviate:
+        Discounted payoff of deviating, ``U_s``.
+    payoff_conform:
+        Discounted payoff of conforming, ``U_s'``.
+    stage_payoff_before:
+        Deviator's stage payoff while others are still on the reference
+        window.
+    stage_payoff_after:
+        Common stage payoff once everyone has converged to ``W_s``.
+    stage_payoff_reference:
+        Common stage payoff at the reference symmetric profile.
+    """
+
+    deviation_window: int
+    reference_window: int
+    discount: float
+    reaction_stages: int
+    payoff_deviate: float
+    payoff_conform: float
+    stage_payoff_before: float
+    stage_payoff_after: float
+    stage_payoff_reference: float
+
+    @property
+    def gain(self) -> float:
+        """Discounted gain of deviating, ``U_s - U_s'``."""
+        return self.payoff_deviate - self.payoff_conform
+
+    @property
+    def profitable(self) -> bool:
+        """Whether the deviation strictly pays for this deviator."""
+        return self.gain > 0
+
+    @property
+    def network_degradation(self) -> float:
+        """Per-stage social loss after convergence, as a fraction.
+
+        ``1 - U^s(W_s..W_s) / U^s(W*..W*)``: 0 means no degradation and
+        values approaching (or exceeding) 1 mean collapse.
+        """
+        if self.stage_payoff_reference <= 0:
+            raise ParameterError(
+                "reference stage payoff must be positive to measure "
+                "degradation"
+            )
+        return 1.0 - self.stage_payoff_after / self.stage_payoff_reference
+
+
+def analyze_deviation(
+    game: MACGame,
+    deviation_window: int,
+    *,
+    discount: float,
+    reaction_stages: int = 1,
+    reference_window: Optional[int] = None,
+) -> DeviationAnalysis:
+    """Evaluate the Section V.D scenario for one deviator.
+
+    Parameters
+    ----------
+    game:
+        The stage game.
+    deviation_window:
+        ``W_s``, the deviator's window.
+    discount:
+        ``delta_s`` in ``(0, 1)``; small = short-sighted.
+    reaction_stages:
+        ``m_react >= 1``, stages before others react.
+    reference_window:
+        The pre-deviation common window.  Defaults to the efficient NE
+        ``W_c*`` of the game.
+
+    Returns
+    -------
+    DeviationAnalysis
+    """
+    if not 0.0 < discount < 1.0:
+        raise ParameterError(f"discount must lie in (0, 1), got {discount!r}")
+    if reaction_stages < 1:
+        raise ParameterError(
+            f"reaction_stages must be >= 1, got {reaction_stages!r}"
+        )
+    if reference_window is None:
+        reference_window = efficient_window(
+            game.n_players, game.params, game.times
+        )
+
+    n = game.n_players
+    mixed = [deviation_window] + [reference_window] * (n - 1)
+    stage_before = float(game.stage_payoffs(mixed)[0])
+    stage_after = float(
+        game.stage_payoffs([deviation_window] * n)[0]
+    )
+    stage_reference = float(game.stage_payoffs([reference_window] * n)[0])
+
+    geometric_head = (1.0 - discount**reaction_stages) / (1.0 - discount)
+    geometric_tail = discount**reaction_stages / (1.0 - discount)
+    payoff_deviate = geometric_head * stage_before + geometric_tail * stage_after
+    payoff_conform = stage_reference / (1.0 - discount)
+
+    return DeviationAnalysis(
+        deviation_window=int(deviation_window),
+        reference_window=int(reference_window),
+        discount=discount,
+        reaction_stages=reaction_stages,
+        payoff_deviate=payoff_deviate,
+        payoff_conform=payoff_conform,
+        stage_payoff_before=stage_before,
+        stage_payoff_after=stage_after,
+        stage_payoff_reference=stage_reference,
+    )
+
+
+def optimal_deviation_window(
+    game: MACGame,
+    *,
+    discount: float,
+    reaction_stages: int = 1,
+    reference_window: Optional[int] = None,
+    candidates: Optional[Sequence[int]] = None,
+) -> DeviationAnalysis:
+    """The deviator's best ``W_s`` given its far-sightedness.
+
+    Scans candidate windows (a geometric grid over
+    ``[cw_min, reference_window]`` by default) and returns the analysis of
+    the payoff-maximising one.  For ``discount -> 1`` the winner converges
+    to the reference window itself (deviation does not pay); for
+    ``discount -> 0`` it is an aggressive small window.
+    """
+    if reference_window is None:
+        reference_window = efficient_window(
+            game.n_players, game.params, game.times
+        )
+    if candidates is None:
+        lo = game.params.cw_min
+        grid = {reference_window}
+        value = max(lo, 2)
+        while value < reference_window:
+            grid.add(int(value))
+            value = max(value + 1, int(value * 1.25))
+        candidates = sorted(grid)
+    if not candidates:
+        raise ParameterError("candidates must be non-empty")
+
+    analyses = [
+        analyze_deviation(
+            game,
+            window,
+            discount=discount,
+            reaction_stages=reaction_stages,
+            reference_window=reference_window,
+        )
+        for window in candidates
+    ]
+    return max(analyses, key=lambda a: a.payoff_deviate)

@@ -1,0 +1,274 @@
+"""Numeric verifiers for the paper's lemmas.
+
+Lemma 1 (heterogeneous profiles): if ``W_i > W_j`` then ``p_i > p_j``,
+``tau_i < tau_j`` and ``U_i^s < U_j^s`` - a larger window means a more
+polite node, which transmits less, collides more when it does (everyone
+else is more aggressive relative to it) and earns less per stage.
+
+Lemma 2 (concavity): with ``g >> e`` the utility ``U_i(tau_i)``, the
+other players' transmission probabilities held fixed, is concave in
+``tau_i`` - the ingredient Theorem 1 feeds to Rosen's existence theorem
+for concave n-person games.
+
+Lemma 4 (unilateral deviation from a common ``W_k``): a deviator to
+``W_i > W_k`` earns less than the conformists, who in turn earn more than
+at the symmetric profile - and symmetrically for ``W_i < W_k``.
+
+These are theorems of the model, not new computations; the functions here
+evaluate both sides so tests (and users) can confirm the claims hold at
+any concrete operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.game.definition import MACGame
+
+__all__ = [
+    "Lemma1Check",
+    "Lemma2Check",
+    "Lemma4Check",
+    "check_lemma1",
+    "check_lemma2",
+    "check_lemma4",
+]
+
+
+@dataclass(frozen=True)
+class Lemma1Check:
+    """Evaluated quantities for one Lemma 1 instance.
+
+    Attributes
+    ----------
+    window_i, window_j:
+        The two windows compared, with ``window_i > window_j``.
+    tau_i, tau_j, p_i, p_j, utility_i, utility_j:
+        Fixed-point quantities of the two nodes.
+    holds:
+        Whether all three predicted strict orderings hold.
+    """
+
+    window_i: float
+    window_j: float
+    tau_i: float
+    tau_j: float
+    p_i: float
+    p_j: float
+    utility_i: float
+    utility_j: float
+
+    @property
+    def holds(self) -> bool:
+        """All of ``p_i > p_j``, ``tau_i < tau_j``, ``U_i < U_j``."""
+        return (
+            self.p_i > self.p_j
+            and self.tau_i < self.tau_j
+            and self.utility_i < self.utility_j
+        )
+
+
+def check_lemma1(
+    game: MACGame, windows: Sequence[float], i: int, j: int
+) -> Lemma1Check:
+    """Evaluate Lemma 1 for players ``i`` and ``j`` in a profile.
+
+    Parameters
+    ----------
+    game:
+        The game supplying constants.
+    windows:
+        Full window profile (length ``game.n_players``).
+    i, j:
+        Player indices with ``windows[i] > windows[j]``.
+
+    Raises
+    ------
+    ParameterError
+        If the windows are not strictly ordered as required.
+    """
+    profile = game.validate_profile(windows)
+    if not profile[i] > profile[j]:
+        raise ParameterError(
+            f"Lemma 1 needs W_i > W_j; got W_i={profile[i]!r}, "
+            f"W_j={profile[j]!r}"
+        )
+    outcome = game.stage(profile)
+    return Lemma1Check(
+        window_i=float(profile[i]),
+        window_j=float(profile[j]),
+        tau_i=float(outcome.tau[i]),
+        tau_j=float(outcome.tau[j]),
+        p_i=float(outcome.collision[i]),
+        p_j=float(outcome.collision[j]),
+        utility_i=float(outcome.utilities[i]),
+        utility_j=float(outcome.utilities[j]),
+    )
+
+
+@dataclass(frozen=True)
+class Lemma2Check:
+    """Discrete concavity evaluation of ``U_i(tau_i)`` (Lemma 2).
+
+    Attributes
+    ----------
+    tau_grid:
+        The ``tau_i`` grid the utility was evaluated on.
+    utilities:
+        ``U_i`` at each grid point (others' ``tau`` fixed).
+    max_second_difference:
+        The largest (signed) second difference; concavity means it is
+        non-positive up to numerical tolerance.
+    """
+
+    tau_grid: np.ndarray
+    utilities: np.ndarray
+    max_second_difference: float
+
+    @property
+    def holds(self) -> bool:
+        """Whether the sampled utility is concave (to 1e-12 tolerance)."""
+        scale = float(np.max(np.abs(self.utilities))) or 1.0
+        return self.max_second_difference <= 1e-12 * scale
+
+
+def check_lemma2(
+    game: MACGame,
+    others_tau: Sequence[float],
+    *,
+    n_points: int = 200,
+    ignore_cost: bool = True,
+) -> Lemma2Check:
+    """Evaluate Lemma 2: concavity of ``U_i(tau_i)`` with peers fixed.
+
+    Parameters
+    ----------
+    game:
+        Supplies the constants (``g``, ``e``) and slot times.
+    others_tau:
+        The fixed transmission probabilities of the other
+        ``n - 1`` players (each in ``[0, 1)``).
+    n_points:
+        Grid resolution over ``tau_i in (0, 1)``.
+    ignore_cost:
+        Apply the lemma's ``g >> e`` condition (drop ``e``).
+
+    Returns
+    -------
+    Lemma2Check
+    """
+    others = np.asarray(list(others_tau), dtype=float)
+    if others.shape != (game.n_players - 1,):
+        raise ParameterError(
+            f"others_tau needs {game.n_players - 1} entries, got "
+            f"{others.shape!r}"
+        )
+    if np.any(others < 0) or np.any(others >= 1):
+        raise ParameterError("others_tau values must lie in [0, 1)")
+    if n_points < 5:
+        raise ParameterError(f"n_points must be >= 5, got {n_points!r}")
+
+    times = game.times
+    cost = 0.0 if ignore_cost else game.params.cost
+    gain = game.params.gain
+    one_minus_others = 1.0 - others
+    prod_others = float(np.prod(one_minus_others))
+    p_i = 1.0 - prod_others  # collision probability of player i
+
+    # Success mass of the *other* players per slot, split by whether
+    # player i stays silent (their successes need i silent too).
+    others_single = 0.0
+    for j in range(others.shape[0]):
+        others_single += others[j] * float(
+            np.prod(np.delete(one_minus_others, j))
+        )
+
+    tau_grid = np.linspace(1e-6, 1.0 - 1e-6, n_points)
+    utilities = np.empty(n_points)
+    for index, tau_i in enumerate(tau_grid):
+        p_idle = (1.0 - tau_i) * prod_others
+        p_success = tau_i * prod_others + (1.0 - tau_i) * others_single
+        p_tr = 1.0 - p_idle
+        tslot = (
+            p_idle * times.idle_us
+            + p_success * times.success_us
+            + (p_tr - p_success) * times.collision_us
+        )
+        utilities[index] = tau_i * ((1.0 - p_i) * gain - cost) / tslot
+
+    second = np.diff(utilities, n=2)
+    return Lemma2Check(
+        tau_grid=tau_grid,
+        utilities=utilities,
+        max_second_difference=float(second.max()),
+    )
+
+
+@dataclass(frozen=True)
+class Lemma4Check:
+    """Evaluated quantities for one Lemma 4 instance.
+
+    A single player deviates from the common window ``window_common`` to
+    ``window_deviant``; the class records the three stage utilities the
+    lemma orders.
+
+    Attributes
+    ----------
+    utility_deviant:
+        Stage utility of the deviator under the deviated profile.
+    utility_conformist:
+        Stage utility of a non-deviating player under the deviated
+        profile.
+    utility_symmetric:
+        Common stage utility at the original symmetric profile.
+    """
+
+    window_common: float
+    window_deviant: float
+    utility_deviant: float
+    utility_conformist: float
+    utility_symmetric: float
+
+    @property
+    def holds(self) -> bool:
+        """The ordering predicted by Lemma 4 for this deviation direction."""
+        if self.window_deviant > self.window_common:
+            return (
+                self.utility_deviant
+                < self.utility_symmetric
+                < self.utility_conformist
+            )
+        return (
+            self.utility_conformist
+            < self.utility_symmetric
+            < self.utility_deviant
+        )
+
+
+def check_lemma4(
+    game: MACGame, window_common: float, window_deviant: float
+) -> Lemma4Check:
+    """Evaluate Lemma 4 for one unilateral deviation.
+
+    Player 0 deviates to ``window_deviant`` while the other
+    ``n - 1`` players stay on ``window_common``.
+    """
+    if np.isclose(window_common, window_deviant):
+        raise ParameterError(
+            "Lemma 4 needs a strict deviation; both windows are "
+            f"{window_common!r}"
+        )
+    profile = [window_deviant] + [window_common] * (game.n_players - 1)
+    deviated = game.stage(profile)
+    symmetric = game.stage([window_common] * game.n_players)
+    return Lemma4Check(
+        window_common=float(window_common),
+        window_deviant=float(window_deviant),
+        utility_deviant=float(deviated.utilities[0]),
+        utility_conformist=float(deviated.utilities[1]),
+        utility_symmetric=float(symmetric.utilities[0]),
+    )

@@ -1,0 +1,356 @@
+"""Selfish rate control - the extension the paper's conclusion proposes.
+
+The conclusion of the paper states that its framework "can be extended to
+model other selfish behaviors such as rate control by redefining the
+proper utility function".  This module performs that extension for PHY
+bit-rate selection on top of the settled CW game:
+
+* all nodes share the contention window (the CW game of Sections IV-V
+  has already converged, typically to ``W_c*``), so the backoff fixed
+  point ``(tau, p)`` is common;
+* each node ``i`` additionally picks a bit-rate ``r_i`` from a discrete
+  set.  A higher rate shortens its payload airtime but lowers its
+  per-packet delivery probability ``q(r)`` (channel-quality trade-off);
+* the utility redefines the paper's with rate-dependent gain and airtime:
+
+  ``u_i = tau (1 - p) q(r_i) g / T_slot(r_1..r_n)  -  tau e_i / T_slot``
+
+  where ``T_slot`` now depends on *everyone's* airtime: a successful
+  slot by node ``j`` occupies the channel for ``Ts(r_j)``.
+
+The game exposes the famous 802.11 *performance anomaly* as an
+externality: a node lowering its rate inflates every slot it wins, and
+that cost is shared by all ``n`` players while the reliability gain
+``q`` is private.  Selfish best responses therefore sit at rates no
+faster than the social optimum - with reliability curves that decay
+mildly, strictly slower - and the game quantifies the resulting price
+of anarchy.  (This is the mechanism behind [Tan & Guttag 2005]'s
+"inefficient equilibria" cited in the paper's related work.)
+
+Collision pricing: a collision lasts as long as its longest frame; we
+use the standard conservative approximation of pricing collisions at
+the airtime of the *slowest rate currently in use*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GameDefinitionError, ParameterError
+from repro.bianchi.fixedpoint import solve_symmetric
+from repro.phy.parameters import AccessMode, PhyParameters
+from repro.phy.timing import slot_times
+
+__all__ = [
+    "RateControlGame",
+    "RateControlEquilibrium",
+    "RateOption",
+    "default_rate_options",
+]
+
+
+@dataclass(frozen=True)
+class RateOption:
+    """One selectable PHY rate.
+
+    Attributes
+    ----------
+    bit_rate:
+        PHY payload rate in bits per second.
+    delivery_probability:
+        Per-packet delivery probability ``q(r)`` at this rate for the
+        operating channel (monotone decreasing in ``bit_rate`` for a
+        fixed link budget).
+    label:
+        Human-readable name.
+    """
+
+    bit_rate: float
+    delivery_probability: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bit_rate <= 0:
+            raise ParameterError(
+                f"bit_rate must be positive, got {self.bit_rate!r}"
+            )
+        if not 0.0 < self.delivery_probability <= 1.0:
+            raise ParameterError(
+                "delivery_probability must lie in (0, 1], got "
+                f"{self.delivery_probability!r}"
+            )
+
+
+def default_rate_options() -> List[RateOption]:
+    """An 802.11b-flavoured ladder with a mid-range link budget.
+
+    Delivery probabilities follow a smooth SNR-margin decay: the base
+    rate is nearly loss-free, the top rate markedly lossy - the regime
+    where the selfish/social tension is visible.
+    """
+    return [
+        RateOption(1e6, 0.98, "1 Mb/s"),
+        RateOption(2e6, 0.95, "2 Mb/s"),
+        RateOption(5.5e6, 0.87, "5.5 Mb/s"),
+        RateOption(11e6, 0.72, "11 Mb/s"),
+    ]
+
+
+@dataclass(frozen=True)
+class RateControlEquilibrium:
+    """Outcome of the rate-control analysis.
+
+    Attributes
+    ----------
+    nash_profile:
+        Option index per player at the found pure NE.
+    nash_welfare:
+        Social welfare (sum of utilities) at the NE.
+    social_profile:
+        Option indices of the welfare-maximising *symmetric* profile.
+    social_welfare:
+        Welfare at that profile.
+    price_of_anarchy:
+        ``social_welfare / nash_welfare`` (>= 1 when a NE exists and
+        welfare is positive).
+    iterations:
+        Best-response sweeps used to reach the NE.
+    """
+
+    nash_profile: Tuple[int, ...]
+    nash_welfare: float
+    social_profile: Tuple[int, ...]
+    social_welfare: float
+    price_of_anarchy: float
+    iterations: int
+
+
+class RateControlGame:
+    """The selfish rate-selection game at a settled contention window.
+
+    Parameters
+    ----------
+    n_players:
+        Network size (>= 2).
+    params:
+        PHY/MAC constants; per-rate airtimes derive from its frame
+        sizes.  Headers and control frames stay at the base
+        ``params.channel_bit_rate`` (as in real 802.11, where PLCP and
+        control frames use the basic rate).
+    common_window:
+        The CW every node operates on (normally ``W_c*`` from the CW
+        game).
+    options:
+        The selectable rate ladder.
+    mode:
+        Channel access mechanism.
+    energy_per_us:
+        Transmit energy cost per microsecond of airtime, in units of
+        the paper's ``e`` per ``Tc``-equivalent; the paper's flat ``e``
+        is recovered with rate-independent airtime.
+    """
+
+    def __init__(
+        self,
+        n_players: int,
+        params: PhyParameters,
+        common_window: int,
+        *,
+        options: Optional[Sequence[RateOption]] = None,
+        mode: AccessMode = AccessMode.BASIC,
+        energy_per_us: float = 0.0,
+    ) -> None:
+        if n_players < 2:
+            raise GameDefinitionError(
+                f"n_players must be >= 2, got {n_players!r}"
+            )
+        if common_window < 1:
+            raise GameDefinitionError(
+                f"common_window must be >= 1, got {common_window!r}"
+            )
+        if energy_per_us < 0:
+            raise GameDefinitionError(
+                f"energy_per_us must be >= 0, got {energy_per_us!r}"
+            )
+        self.n_players = n_players
+        self.params = params
+        self.common_window = int(common_window)
+        self.options = list(options) if options is not None else default_rate_options()
+        if len(self.options) < 2:
+            raise GameDefinitionError("need at least two rate options")
+        self.mode = mode
+        self.energy_per_us = energy_per_us
+
+        self._times = slot_times(params, mode)
+        solution = solve_symmetric(
+            self.common_window, n_players, params.max_backoff_stage
+        )
+        self.tau = solution.tau
+        self.collision = solution.collision
+
+        # Per-option airtimes: payload scales with the rate; headers,
+        # ACK/RTS/CTS and IFS stay at base-rate timing.
+        base_payload = params.payload_time_us
+        self._payload_us = [
+            base_payload * params.channel_bit_rate / option.bit_rate
+            for option in self.options
+        ]
+        base_rate_payload = params.payload_time_us
+        self._success_us = [
+            self._times.success_us - base_rate_payload + payload
+            for payload in self._payload_us
+        ]
+        self._collision_base_us = (
+            self._times.collision_us - base_rate_payload
+        )
+
+    # ------------------------------------------------------------------
+    def _validate_profile(self, profile: Sequence[int]) -> List[int]:
+        indices = [int(i) for i in profile]
+        if len(indices) != self.n_players:
+            raise GameDefinitionError(
+                f"profile must have {self.n_players} entries, got "
+                f"{len(indices)}"
+            )
+        for index in indices:
+            if not 0 <= index < len(self.options):
+                raise GameDefinitionError(
+                    f"option index {index!r} out of range "
+                    f"[0, {len(self.options)})"
+                )
+        return indices
+
+    def _airtime_profile(self, profile: Sequence[int]) -> Tuple[np.ndarray, float]:
+        indices = self._validate_profile(profile)
+        success = np.array([self._success_us[i] for i in indices])
+        if self.mode is AccessMode.RTS_CTS:
+            # RTS collisions never carry payload: rate-independent.
+            collision = self._times.collision_us
+        else:
+            slowest = max(self._payload_us[i] for i in indices)
+            collision = self._collision_base_us + slowest
+        return success, collision
+
+    def expected_slot_us(self, profile: Sequence[int]) -> float:
+        """``T_slot`` for a rate profile at the common backoff point."""
+        success_us, collision_us = self._airtime_profile(profile)
+        n, tau = self.n_players, self.tau
+        one_minus = 1.0 - tau
+        p_idle = one_minus**n
+        per_node_success = tau * one_minus ** (n - 1)
+        p_any = 1.0 - p_idle
+        p_single_total = n * per_node_success
+        return (
+            p_idle * self._times.idle_us
+            + per_node_success * float(success_us.sum())
+            + (p_any - p_single_total) * collision_us
+        )
+
+    def utilities(self, profile: Sequence[int]) -> np.ndarray:
+        """Per-player utility rates for a rate profile."""
+        indices = self._validate_profile(profile)
+        tslot = self.expected_slot_us(profile)
+        q = np.array(
+            [self.options[i].delivery_probability for i in indices]
+        )
+        airtime = np.array([self._success_us[i] for i in indices])
+        gain = self.tau * (1.0 - self.collision) * q * self.params.gain
+        energy = self.tau * (
+            self.params.cost + self.energy_per_us * airtime
+        )
+        return (gain - energy) / tslot
+
+    def welfare(self, profile: Sequence[int]) -> float:
+        """Social welfare: sum of utilities."""
+        return float(self.utilities(profile).sum())
+
+    # ------------------------------------------------------------------
+    def best_response(self, player: int, profile: Sequence[int]) -> int:
+        """Player's utility-maximising option against a fixed profile."""
+        if not 0 <= player < self.n_players:
+            raise GameDefinitionError(f"player {player!r} out of range")
+        base = self._validate_profile(profile)
+        best_index, best_value = base[player], float("-inf")
+        for candidate in range(len(self.options)):
+            trial = list(base)
+            trial[player] = candidate
+            value = float(self.utilities(trial)[player])
+            if value > best_value + 1e-18:
+                best_index, best_value = candidate, value
+        return best_index
+
+    def is_nash(self, profile: Sequence[int]) -> bool:
+        """Whether no player can gain by switching rate unilaterally."""
+        base = self._validate_profile(profile)
+        for player in range(self.n_players):
+            current = float(self.utilities(base)[player])
+            for candidate in range(len(self.options)):
+                if candidate == base[player]:
+                    continue
+                trial = list(base)
+                trial[player] = candidate
+                if float(self.utilities(trial)[player]) > current + 1e-15:
+                    return False
+        return True
+
+    def solve(
+        self,
+        *,
+        initial_profile: Optional[Sequence[int]] = None,
+        max_sweeps: int = 100,
+    ) -> RateControlEquilibrium:
+        """Find a pure NE by best-response dynamics + the social optimum.
+
+        Best-response sweeps converge here because the symmetric game
+        is a congestion-style game in the shared slot time; a safety
+        bound guards pathological option sets.  The game can have
+        *several* pure NEs (my best rate depends on the slot time set by
+        everyone else's rates), so the returned equilibrium depends on
+        ``initial_profile``; the default starts from the fastest ladder
+        rung, which is the natural initial configuration of greedy
+        stations.
+        """
+        profile = (
+            list(self._validate_profile(initial_profile))
+            if initial_profile is not None
+            else [len(self.options) - 1] * self.n_players
+        )
+        iterations = 0
+        for iterations in range(1, max_sweeps + 1):
+            changed = False
+            for player in range(self.n_players):
+                response = self.best_response(player, profile)
+                if response != profile[player]:
+                    profile[player] = response
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise GameDefinitionError(
+                f"best-response dynamics did not settle in {max_sweeps} "
+                "sweeps"
+            )
+
+        # Symmetric social optimum (the welfare-maximising common rate).
+        best_social, best_welfare = 0, float("-inf")
+        for candidate in range(len(self.options)):
+            value = self.welfare([candidate] * self.n_players)
+            if value > best_welfare:
+                best_social, best_welfare = candidate, value
+        nash_welfare = self.welfare(profile)
+        poa = (
+            best_welfare / nash_welfare
+            if nash_welfare > 0
+            else float("inf")
+        )
+        return RateControlEquilibrium(
+            nash_profile=tuple(profile),
+            nash_welfare=nash_welfare,
+            social_profile=tuple([best_social] * self.n_players),
+            social_welfare=best_welfare,
+            price_of_anarchy=poa,
+            iterations=iterations,
+        )

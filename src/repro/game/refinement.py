@@ -1,0 +1,131 @@
+"""Nash-equilibrium refinement (Section V.B).
+
+Theorem 2 leaves a family of ``W_c* - W_c0 + 1`` symmetric equilibria.
+The paper prunes it with three extra optimality criteria:
+
+* **Fairness** - satisfied by every symmetric NE (all players use the same
+  window, hence earn the same payoff) by construction of TFT.
+* **Social welfare maximisation** - the sum of payoffs ``n U_i`` is
+  maximised only at ``(W_c*, ..., W_c*)``.
+* **Pareto optimality** - for symmetric profiles, every ``W_c != W_c*``
+  is Pareto-dominated by ``W_c*`` (all players strictly gain by moving).
+
+The refinement therefore selects the unique efficient NE ``W_c*``.  This
+module makes each criterion checkable on its own and produces a report
+object used by the tests and the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.game.definition import MACGame
+from repro.game.equilibrium import EquilibriumAnalysis, analyze_equilibria
+
+__all__ = ["RefinementReport", "refine_equilibria"]
+
+
+@dataclass(frozen=True)
+class RefinementReport:
+    """Outcome of the Section V.B refinement for one game.
+
+    Attributes
+    ----------
+    analysis:
+        The underlying equilibrium analysis (``W_c0``, ``W_c*`` ...).
+    utilities:
+        Per-window symmetric utility for every NE window in the family.
+    efficient_window:
+        The unique NE surviving refinement - equals
+        ``analysis.window_star``.
+    social_welfare:
+        Per-window social welfare ``n * U_i`` over the NE family.
+    """
+
+    analysis: EquilibriumAnalysis
+    utilities: Dict[int, float]
+    efficient_window: int
+    social_welfare: Dict[int, float]
+
+    # ------------------------------------------------------------------
+    # Criteria, individually checkable
+    # ------------------------------------------------------------------
+    def is_fair(self, window: int) -> bool:
+        """Fairness holds for every symmetric NE (common window/payoff)."""
+        self._require_member(window)
+        return True
+
+    def maximizes_social_welfare(self, window: int) -> bool:
+        """Whether ``window`` attains the maximum social welfare."""
+        self._require_member(window)
+        best = max(self.social_welfare.values())
+        return np.isclose(self.social_welfare[window], best, rtol=0, atol=0) or (
+            self.social_welfare[window] >= best
+        )
+
+    def is_pareto_optimal(self, window: int) -> bool:
+        """Whether no other NE in the family Pareto-dominates ``window``.
+
+        For symmetric profiles all players share one utility, so Pareto
+        dominance collapses to a strict utility comparison.
+        """
+        self._require_member(window)
+        mine = self.utilities[window]
+        return all(other <= mine for other in self.utilities.values())
+
+    def _require_member(self, window: int) -> None:
+        if window not in self.utilities:
+            raise ParameterError(
+                f"window {window!r} is not in the NE family "
+                f"[{self.analysis.window_breakeven}, {self.analysis.window_star}]"
+            )
+
+
+def refine_equilibria(
+    game: MACGame,
+    *,
+    analysis: Optional[EquilibriumAnalysis] = None,
+    max_family_size: int = 20_000,
+) -> RefinementReport:
+    """Apply the Section V.B refinement to a game's symmetric NE family.
+
+    Parameters
+    ----------
+    game:
+        The MAC game to refine.
+    analysis:
+        Optional pre-computed equilibrium analysis.
+    max_family_size:
+        Safety bound on the number of NE windows enumerated (the family is
+        ``W_c* - W_c0 + 1`` wide, typically a few hundred).
+
+    Returns
+    -------
+    RefinementReport
+        With the efficient NE and per-criterion checkers.
+    """
+    if analysis is None:
+        analysis = analyze_equilibria(game.n_players, game.params, game.times)
+    family = analysis.ne_windows
+    if len(family) > max_family_size:
+        raise ParameterError(
+            f"NE family has {len(family)} members, above the "
+            f"max_family_size={max_family_size} bound"
+        )
+    utilities = {
+        window: game.symmetric_utility(window) for window in family
+    }
+    social = {
+        window: game.n_players * utility for window, utility in utilities.items()
+    }
+    efficient = max(utilities, key=lambda w: (utilities[w], -w))
+    return RefinementReport(
+        analysis=analysis,
+        utilities=utilities,
+        efficient_window=efficient,
+        social_welfare=social,
+    )

@@ -1,0 +1,244 @@
+"""Repeated-game engine (Definition 1, played out stage by stage).
+
+The engine advances the multi-stage game: at stage ``k`` every player's
+strategy maps the observed history of window profiles to its next window,
+the stage is solved through the Bianchi fixed point, and payoffs are
+recorded.  Observation can be perfect (the default, as the paper assumes
+via [Kyasanur & Vaidya 2003]) or perturbed with bounded integer noise to
+exercise the tolerance of GTFT.
+
+The engine caches stage solutions keyed by the (rounded) window profile:
+TFT play spends most stages on a converged profile, so the cache turns a
+long horizon into a handful of fixed-point solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GameDefinitionError
+from repro.game.definition import MACGame
+from repro.game.strategies import Strategy
+from repro.game.utility import StageOutcome
+
+__all__ = ["GameTrace", "RepeatedGameEngine", "StageRecord"]
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One stage of a played-out game.
+
+    Attributes
+    ----------
+    stage:
+        Stage index ``k`` (0-based).
+    windows:
+        The window profile ``W^k`` actually played.
+    observed_windows:
+        Per-player views of the profile, shape ``(n, n)``: row ``i`` is
+        what player ``i`` measured (its own entry is always exact; the
+        others carry the engine's observation noise, if any).
+    utilities:
+        Per-player utility rates ``u_i(W^k)``.
+    stage_payoffs:
+        Per-player stage payoffs ``U_i^s = u_i T``.
+    """
+
+    stage: int
+    windows: np.ndarray
+    observed_windows: np.ndarray
+    utilities: np.ndarray
+    stage_payoffs: np.ndarray
+
+
+@dataclass
+class GameTrace:
+    """Full record of a repeated-game run.
+
+    Attributes
+    ----------
+    records:
+        One :class:`StageRecord` per played stage.
+    converged_at:
+        First stage from which the window profile never changed again, or
+        ``None`` if it kept changing until the horizon.
+    """
+
+    records: List[StageRecord] = field(default_factory=list)
+    converged_at: Optional[int] = None
+
+    @property
+    def n_stages(self) -> int:
+        """Number of stages played."""
+        return len(self.records)
+
+    @property
+    def final_windows(self) -> np.ndarray:
+        """The window profile of the last stage."""
+        if not self.records:
+            raise GameDefinitionError("trace is empty")
+        return self.records[-1].windows
+
+    def window_history(self) -> np.ndarray:
+        """Stacked window profiles, shape ``(n_stages, n_players)``."""
+        return np.stack([record.windows for record in self.records])
+
+    def payoff_history(self) -> np.ndarray:
+        """Stacked stage payoffs, shape ``(n_stages, n_players)``."""
+        return np.stack([record.stage_payoffs for record in self.records])
+
+    def discounted_payoffs(self, discount_factor: float) -> np.ndarray:
+        """Per-player discounted payoff ``sum_k delta^k U_i^s(W^k)``."""
+        payoffs = self.payoff_history()
+        powers = discount_factor ** np.arange(payoffs.shape[0])
+        return powers @ payoffs
+
+    def has_common_window(self) -> bool:
+        """Whether the final stage has every player on one window."""
+        final = self.final_windows
+        return bool(np.all(final == final[0]))
+
+
+class RepeatedGameEngine:
+    """Plays the repeated MAC game under given per-player strategies.
+
+    Parameters
+    ----------
+    game:
+        The stage game.
+    strategies:
+        One :class:`~repro.game.strategies.Strategy` per player.
+    initial_windows:
+        The stage-0 profile ("cooperate first": for TFT players this is
+        their cooperative opening window).
+    observation_noise:
+        Maximum absolute integer perturbation applied independently to
+        every observed window (0 disables noise).  Models imperfect CW
+        measurement.
+    rng:
+        Random generator for the observation noise.
+
+    Examples
+    --------
+    >>> from repro.game import MACGame, TitForTat
+    >>> game = MACGame(n_players=3)
+    >>> engine = RepeatedGameEngine(
+    ...     game, [TitForTat()] * 3, initial_windows=[64, 128, 256])
+    >>> trace = engine.run(6)
+    >>> trace.final_windows.tolist()
+    [64.0, 64.0, 64.0]
+    """
+
+    def __init__(
+        self,
+        game: MACGame,
+        strategies: Sequence[Strategy],
+        initial_windows: Sequence[int],
+        *,
+        observation_noise: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if len(strategies) != game.n_players:
+            raise GameDefinitionError(
+                f"need {game.n_players} strategies, got {len(strategies)}"
+            )
+        self.game = game
+        self.strategies = list(strategies)
+        self.initial_windows = game.validate_profile(initial_windows)
+        if observation_noise < 0:
+            raise GameDefinitionError(
+                f"observation_noise must be >= 0, got {observation_noise!r}"
+            )
+        self.observation_noise = int(observation_noise)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._stage_cache: Dict[Tuple[int, ...], StageOutcome] = {}
+
+    # ------------------------------------------------------------------
+    def _solve_stage(self, windows: np.ndarray) -> StageOutcome:
+        key = tuple(int(round(w)) for w in windows)
+        outcome = self._stage_cache.get(key)
+        if outcome is None:
+            outcome = self.game.stage(windows)
+            self._stage_cache[key] = outcome
+        return outcome
+
+    def _observe(self, windows: np.ndarray) -> np.ndarray:
+        """Per-player noisy observations of one stage's profile.
+
+        Returns an ``(n, n)`` array whose row ``i`` is player ``i``'s view
+        of the profile.  A player always knows its *own* window exactly;
+        noise only perturbs its measurement of the others.
+        """
+        n = self.game.n_players
+        if self.observation_noise == 0:
+            return np.tile(windows, (n, 1))
+        noise = self.rng.integers(
+            -self.observation_noise,
+            self.observation_noise + 1,
+            size=(n, n),
+        )
+        np.fill_diagonal(noise, 0)
+        lo, hi = self.game.params.cw_min, self.game.params.cw_max
+        return np.clip(windows[None, :] + noise, lo, hi)
+
+    def run(self, n_stages: int, *, stop_when_converged: bool = False) -> GameTrace:
+        """Play ``n_stages`` stages and return the trace.
+
+        Parameters
+        ----------
+        n_stages:
+            Horizon; must be >= 1.
+        stop_when_converged:
+            Stop early once the profile has repeated for two consecutive
+            stages (TFT keeps a converged profile forever, so nothing is
+            lost; deviators' dynamics still play out because the profile
+            changes while they act).
+        """
+        if n_stages < 1:
+            raise GameDefinitionError(f"n_stages must be >= 1, got {n_stages!r}")
+        trace = GameTrace()
+        observed_history: List[np.ndarray] = []
+        windows = self.initial_windows.copy()
+        last_change_stage = 0
+
+        for stage in range(n_stages):
+            if stage > 0:
+                windows = np.array(
+                    [
+                        float(
+                            self.strategies[player].next_window(
+                                player,
+                                [view[player] for view in observed_history],
+                                self.game,
+                            )
+                        )
+                        for player in range(self.game.n_players)
+                    ]
+                )
+            outcome = self._solve_stage(windows)
+            observed = self._observe(windows)
+            observed_history.append(observed)
+            trace.records.append(
+                StageRecord(
+                    stage=stage,
+                    windows=windows.copy(),
+                    observed_windows=observed,
+                    utilities=outcome.utilities.copy(),
+                    stage_payoffs=outcome.utilities
+                    * self.game.params.stage_duration_us,
+                )
+            )
+            if stage > 0 and np.array_equal(
+                trace.records[-1].windows, trace.records[-2].windows
+            ):
+                if trace.converged_at is None:
+                    trace.converged_at = last_change_stage
+                if stop_when_converged and stage >= last_change_stage + 2:
+                    break
+            else:
+                last_change_stage = stage
+                trace.converged_at = None
+        return trace

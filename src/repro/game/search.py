@@ -1,0 +1,169 @@
+"""Distributed search for the efficient NE (Section V.C).
+
+When the nodes do not know ``n`` they cannot compute ``W_c*`` directly; the
+paper's protocol lets one initiator find it by joint hill climbing:
+
+1. **Start-Search** - initiator ``l`` broadcasts a starting window ``W_0``;
+   everyone adopts it.
+2. **Right-Search** - ``l`` repeatedly raises the common window by one step
+   (broadcasting ``Ready`` each time), measures its own payoff over a
+   window ``t_m``, and stops at the first decrease.  ``W_m`` is the last
+   window before the decrease.
+3. **Left-Search** - only if right-search stopped immediately
+   (``W_m = W_0``): ``l`` walks downward the same way.
+4. ``l`` broadcasts ``W_m`` as the efficient NE.
+
+Because all players move together, the measured payoff is the symmetric
+utility ``U_i(W, ..., W)`` - unimodal in ``W`` (Lemma 3) - so the climb
+finds its maximum.  The implementation exposes the payoff measurement as a
+callable: the default is the analytic symmetric utility, and the
+simulation layer plugs in a simulator-backed measurement (with sampling
+noise) instead.
+
+Deviating from the paper's literal text in one detail: the paper skips
+left-search unless ``W_m = W_0 + 1``; we trigger it whenever right-search
+fails immediately, which is the same condition expressed on our step
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.game.definition import MACGame
+
+__all__ = ["SearchOutcome", "run_search_protocol"]
+
+PayoffMeasurement = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class SearchMessage:
+    """A broadcast message of the search protocol (for trace inspection).
+
+    ``kind`` is one of ``"start"``, ``"ready"``, ``"result"``; ``window``
+    is the common window the message carries.
+    """
+
+    kind: str
+    window: int
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one protocol run.
+
+    Attributes
+    ----------
+    window:
+        The window the initiator broadcasts as the efficient NE.
+    measurements:
+        ``(window, payoff)`` pairs in measurement order.
+    messages:
+        The broadcast trace (start / ready / result messages).
+    """
+
+    window: int
+    measurements: List[Tuple[int, float]] = field(default_factory=list)
+    messages: List[SearchMessage] = field(default_factory=list)
+
+    @property
+    def n_measurements(self) -> int:
+        """Number of payoff measurements the initiator performed."""
+        return len(self.measurements)
+
+
+def run_search_protocol(
+    game: MACGame,
+    start_window: int,
+    *,
+    measure: Optional[PayoffMeasurement] = None,
+    step: int = 1,
+    max_steps: int = 100_000,
+) -> SearchOutcome:
+    """Run the Section V.C protocol and return the found window.
+
+    Parameters
+    ----------
+    game:
+        The game being played; bounds the search to its strategy space and
+        supplies the default analytic payoff measurement.
+    start_window:
+        ``W_0``, the initiator's starting point.
+    measure:
+        Payoff measurement ``window -> payoff`` for the initiator when all
+        players share ``window``.  Defaults to the analytic symmetric
+        utility; pass a simulator-backed callable for a realistic run.
+    step:
+        Window increment per Ready message (the paper uses 1; larger steps
+        trade accuracy for protocol rounds).
+    max_steps:
+        Safety bound on protocol rounds.
+
+    Returns
+    -------
+    SearchOutcome
+
+    Raises
+    ------
+    ProtocolError
+        If the search leaves the strategy space or exhausts ``max_steps``.
+    """
+    lo, hi = game.params.cw_min, game.params.cw_max
+    if not lo <= start_window <= hi:
+        raise ProtocolError(
+            f"start_window {start_window!r} outside strategy space "
+            f"[{lo}, {hi}]"
+        )
+    if step < 1:
+        raise ProtocolError(f"step must be >= 1, got {step!r}")
+    if measure is None:
+        measure = lambda window: game.symmetric_utility(window)  # noqa: E731
+
+    outcome = SearchOutcome(window=start_window)
+
+    def measured(window: int) -> float:
+        payoff = measure(window)
+        outcome.measurements.append((window, payoff))
+        return payoff
+
+    outcome.messages.append(SearchMessage("start", start_window))
+    current = start_window
+    best_payoff = measured(current)
+
+    # ------------------------------------------------------------ right
+    steps = 0
+    while current + step <= hi:
+        steps += 1
+        if steps > max_steps:
+            raise ProtocolError(f"right-search exceeded {max_steps} rounds")
+        candidate = current + step
+        outcome.messages.append(SearchMessage("ready", candidate))
+        payoff = measured(candidate)
+        if payoff > best_payoff:
+            best_payoff = payoff
+            current = candidate
+        else:
+            break
+
+    # ------------------------------------------------------------- left
+    if current == start_window:
+        steps = 0
+        while current - step >= lo:
+            steps += 1
+            if steps > max_steps:
+                raise ProtocolError(f"left-search exceeded {max_steps} rounds")
+            candidate = current - step
+            outcome.messages.append(SearchMessage("ready", candidate))
+            payoff = measured(candidate)
+            if payoff > best_payoff:
+                best_payoff = payoff
+                current = candidate
+            else:
+                break
+
+    outcome.window = current
+    outcome.messages.append(SearchMessage("result", current))
+    return outcome

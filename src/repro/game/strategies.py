@@ -1,0 +1,244 @@
+"""Stage-game strategies (Section IV and V.D/V.E).
+
+A strategy maps the observed history of contention-window profiles to the
+player's next window.  The paper's protagonists:
+
+* :class:`TitForTat` - cooperate first, then match the *minimum* window any
+  player used in the previous stage.  This is the paper's tailored TFT: a
+  rational player lowers its window whenever somebody else is being more
+  aggressive, and never unilaterally raises it.
+* :class:`GenerousTitForTat` - the tolerant variant: average each player's
+  window over the last ``r0`` stages and only react when some player's
+  average undercuts ``beta`` times one's own.
+* :class:`ConstantStrategy` - plays a fixed window (building block for
+  deviators).
+* :class:`ShortSightedStrategy` - the Section V.D deviator: plays an
+  aggressive window ``W_s < W_c*`` regardless of history.
+* :class:`MaliciousStrategy` - the Section V.E attacker: plays a very small
+  window to drag the network down.
+* :class:`BestResponseStrategy` - myopic best response to the previous
+  profile; included to reproduce the collapse dynamics that short-sighted
+  self-optimisation causes.
+
+Strategies are deliberately stateless between calls: everything they need
+arrives in the observed history, which makes them trivially reusable across
+engines (analytic and simulation-backed).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import StrategyError
+from repro.game.definition import MACGame
+
+__all__ = [
+    "BestResponseStrategy",
+    "ConstantStrategy",
+    "GenerousTitForTat",
+    "MaliciousStrategy",
+    "ShortSightedStrategy",
+    "Strategy",
+    "TitForTat",
+]
+
+
+class Strategy(abc.ABC):
+    """A deterministic stage strategy for one player.
+
+    Subclasses implement :meth:`next_window`.  The engine calls it once per
+    stage with the full observed history of window profiles (stage 0 uses
+    the player's configured initial window instead).
+    """
+
+    @abc.abstractmethod
+    def next_window(
+        self,
+        player: int,
+        history: Sequence[np.ndarray],
+        game: MACGame,
+    ) -> int:
+        """Choose the window for the coming stage.
+
+        Parameters
+        ----------
+        player:
+            Index of the deciding player.
+        history:
+            Observed window profiles of all past stages, oldest first;
+            ``history[-1]`` is the previous stage.  Never empty.
+        game:
+            The game being played (strategy space, constants).
+
+        Returns
+        -------
+        int
+            The window for the next stage, inside the strategy space.
+        """
+
+    def _clamp(self, window: float, game: MACGame) -> int:
+        lo, hi = game.params.cw_min, game.params.cw_max
+        return int(min(max(round(window), lo), hi))
+
+    def _require_history(self, history: Sequence[np.ndarray]) -> None:
+        if not history:
+            raise StrategyError(
+                f"{type(self).__name__}.next_window needs at least one "
+                "observed stage"
+            )
+
+
+class TitForTat(Strategy):
+    """The paper's TFT: match the minimum window of the previous stage.
+
+    Cooperation in stage 0 is expressed through the engine's initial
+    window; from stage 1 on the player sets
+    ``W_i^k = min_j W_j^{k-1}``.
+    """
+
+    def next_window(
+        self,
+        player: int,
+        history: Sequence[np.ndarray],
+        game: MACGame,
+    ) -> int:
+        self._require_history(history)
+        return self._clamp(float(np.min(history[-1])), game)
+
+
+class GenerousTitForTat(Strategy):
+    """Generous TFT with memory ``r0`` and tolerance ``beta`` (Section IV).
+
+    Each stage the player averages every player's window over the last
+    ``r0`` observed stages.  If some player ``l`` has
+    ``mean_W_l < beta * mean_W_i`` the player reacts exactly like TFT
+    (drops to the previous stage's minimum); otherwise it repeats its own
+    previous window.
+
+    Parameters
+    ----------
+    memory:
+        ``r0 >= 1``, the number of past stages averaged.
+    tolerance:
+        ``beta`` in ``(0, 1]``, close to 1; smaller values are more
+        forgiving.
+    """
+
+    def __init__(self, memory: int = 3, tolerance: float = 0.9) -> None:
+        if memory < 1:
+            raise StrategyError(f"memory must be >= 1, got {memory!r}")
+        if not 0.0 < tolerance <= 1.0:
+            raise StrategyError(
+                f"tolerance must lie in (0, 1], got {tolerance!r}"
+            )
+        self.memory = memory
+        self.tolerance = tolerance
+
+    def next_window(
+        self,
+        player: int,
+        history: Sequence[np.ndarray],
+        game: MACGame,
+    ) -> int:
+        self._require_history(history)
+        recent = np.stack(history[-self.memory:])
+        means = recent.mean(axis=0)
+        own_mean = means[player]
+        others = np.delete(means, player)
+        if np.any(others < self.tolerance * own_mean):
+            return self._clamp(float(np.min(history[-1])), game)
+        return self._clamp(float(history[-1][player]), game)
+
+
+class ConstantStrategy(Strategy):
+    """Always play one fixed window, ignoring history."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise StrategyError(f"window must be >= 1, got {window!r}")
+        self.window = int(window)
+
+    def next_window(
+        self,
+        player: int,
+        history: Sequence[np.ndarray],
+        game: MACGame,
+    ) -> int:
+        return self._clamp(self.window, game)
+
+
+class ShortSightedStrategy(ConstantStrategy):
+    """The Section V.D deviator: a constant aggressive window.
+
+    Semantically identical to :class:`ConstantStrategy`; the separate type
+    documents intent (``window`` is meant to undercut ``W_c*``) and lets
+    experiments tell deviators apart from honest constants.
+    """
+
+
+class MaliciousStrategy(ConstantStrategy):
+    """The Section V.E attacker: a very small constant window.
+
+    Unlike the short-sighted player, the attacker does not optimise its own
+    payoff - it accepts a negative payoff to paralyse the network.
+    """
+
+    def __init__(self, window: int = 2) -> None:
+        super().__init__(window)
+
+
+class BestResponseStrategy(Strategy):
+    """Myopic best response to the previous stage's profile.
+
+    Each stage the player assumes the opponents repeat their last windows
+    and picks the window maximising its *own stage payoff* against that
+    profile.  This is the behaviour [Cagalj et al. 2005] show collapses the
+    network, reproduced here for the Section VIII comparison.
+
+    Parameters
+    ----------
+    candidates:
+        Windows to evaluate.  Defaults to a coarse geometric grid over the
+        strategy space (exact best response needs one fixed-point solve
+        per candidate, so a full scan would be wasteful).
+    """
+
+    def __init__(self, candidates: Optional[Sequence[int]] = None) -> None:
+        self.candidates = (
+            None if candidates is None else sorted({int(c) for c in candidates})
+        )
+
+    def _grid(self, game: MACGame) -> Sequence[int]:
+        if self.candidates is not None:
+            return self.candidates
+        lo, hi = game.params.cw_min, game.params.cw_max
+        grid = set()
+        value = max(lo, 1)
+        while value < hi:
+            grid.add(int(value))
+            value = max(value + 1, int(value * 1.3))
+        grid.add(hi)
+        return sorted(grid)
+
+    def next_window(
+        self,
+        player: int,
+        history: Sequence[np.ndarray],
+        game: MACGame,
+    ) -> int:
+        self._require_history(history)
+        last = history[-1].astype(float).copy()
+        best_window = int(last[player])
+        best_payoff = -np.inf
+        for candidate in self._grid(game):
+            profile = last.copy()
+            profile[player] = candidate
+            payoff = float(game.stage(profile).utilities[player])
+            if payoff > best_payoff:
+                best_payoff = payoff
+                best_window = candidate
+        return self._clamp(best_window, game)

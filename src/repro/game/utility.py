@@ -1,0 +1,226 @@
+"""Utility functions of the MAC game (Section IV).
+
+The per-slot utility of node ``i`` is
+
+``u_i = tau_i ((1 - p_i) g - e) / Tslot``
+
+- the expected gain per microsecond: with probability ``tau_i`` the node
+transmits in a slot, succeeds with probability ``1 - p_i`` earning ``g``,
+and pays energy ``e`` per attempt; dividing by the expected slot length
+turns the per-slot expectation into a rate.
+
+The stage utility is ``U_i^s = u_i * T`` for a stage of duration ``T`` and
+the repeated-game payoff is ``U_i = sum_k delta^k U_i^s(W^k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.bianchi.fixedpoint import (
+    FixedPointSolution,
+    solve_heterogeneous,
+    solve_symmetric,
+)
+from repro.bianchi.throughput import slot_statistics
+from repro.phy.parameters import PhyParameters
+from repro.phy.timing import SlotTimes
+
+__all__ = [
+    "StageOutcome",
+    "stage_outcome",
+    "stage_utilities",
+    "symmetric_stage_utility",
+    "discounted_utility",
+]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """Everything the game layer needs about one stage profile.
+
+    Attributes
+    ----------
+    windows:
+        The contention-window profile ``W^k`` the outcome refers to.
+    tau:
+        Per-node transmission probabilities at the fixed point.
+    collision:
+        Per-node conditional collision probabilities.
+    utilities:
+        Per-node per-microsecond utilities ``u_i``.
+    expected_slot_us:
+        Expected slot duration ``Tslot``.
+    throughput:
+        Normalized channel throughput at this profile.
+    """
+
+    windows: np.ndarray
+    tau: np.ndarray
+    collision: np.ndarray
+    utilities: np.ndarray
+    expected_slot_us: float
+    throughput: float
+
+    @property
+    def global_utility(self) -> float:
+        """Social welfare: the sum of per-node utilities."""
+        return float(self.utilities.sum())
+
+
+def _utilities_from_solution(
+    tau: np.ndarray,
+    collision: np.ndarray,
+    times: SlotTimes,
+    gain: float,
+    cost: float,
+) -> tuple[np.ndarray, float]:
+    stats = slot_statistics(tau, times)
+    if stats.expected_slot_us <= 0:
+        raise ParameterError("expected slot duration must be positive")
+    utilities = tau * ((1.0 - collision) * gain - cost) / stats.expected_slot_us
+    return utilities, stats.expected_slot_us
+
+
+def stage_outcome(
+    windows: Sequence[float],
+    params: PhyParameters,
+    times: SlotTimes,
+) -> StageOutcome:
+    """Solve one stage of the game for an arbitrary window profile.
+
+    Parameters
+    ----------
+    windows:
+        Per-node contention windows ``W^k = (W_1, ..., W_n)``.
+    params:
+        PHY/MAC constants (supplies ``g``, ``e``, ``m`` and payload time).
+    times:
+        Slot durations for the access mode in play.
+
+    Returns
+    -------
+    StageOutcome
+        Fixed-point probabilities and utilities for this profile.
+    """
+    solution: FixedPointSolution = solve_heterogeneous(
+        windows, params.max_backoff_stage
+    )
+    utilities, expected_slot = _utilities_from_solution(
+        solution.tau, solution.collision, times, params.gain, params.cost
+    )
+    stats = slot_statistics(solution.tau, times)
+    throughput = (
+        float(stats.per_node_success.sum())
+        * params.payload_time_us
+        / stats.expected_slot_us
+    )
+    return StageOutcome(
+        windows=solution.windows,
+        tau=solution.tau,
+        collision=solution.collision,
+        utilities=utilities,
+        expected_slot_us=expected_slot,
+        throughput=throughput,
+    )
+
+
+def stage_utilities(
+    windows: Sequence[float],
+    params: PhyParameters,
+    times: SlotTimes,
+) -> np.ndarray:
+    """Per-node *stage* utilities ``U_i^s = u_i T`` for a window profile."""
+    outcome = stage_outcome(windows, params, times)
+    return outcome.utilities * params.stage_duration_us
+
+
+def symmetric_stage_utility(
+    window: float,
+    n_nodes: int,
+    params: PhyParameters,
+    times: SlotTimes,
+    *,
+    ignore_cost: bool = False,
+) -> float:
+    """Per-node per-microsecond utility when everyone plays ``window``.
+
+    This is the function the equilibrium analysis of Section V maximises.
+
+    Parameters
+    ----------
+    window:
+        Common contention window ``W_c`` (real values accepted for
+        continuous optimisation).
+    n_nodes:
+        Network size ``n``.
+    params, times:
+        Model constants.
+    ignore_cost:
+        When true, drop the energy term ``e`` (the paper's ``g >> e``
+        approximation of Lemma 3, used for Tables II/III).
+
+    Returns
+    -------
+    float
+        ``u_i`` at the symmetric profile.
+    """
+    solution = solve_symmetric(window, n_nodes, params.max_backoff_stage)
+    return symmetric_utility_from_tau(
+        solution.tau, n_nodes, params, times, ignore_cost=ignore_cost
+    )
+
+
+def symmetric_utility_from_tau(
+    tau: float,
+    n_nodes: int,
+    params: PhyParameters,
+    times: SlotTimes,
+    *,
+    ignore_cost: bool = False,
+) -> float:
+    """Symmetric per-node utility as a function of the common ``tau``.
+
+    Expressing ``U_i`` through ``tau`` rather than ``W`` mirrors the
+    paper's Lemma 2/3 derivation and is what the continuous optimiser in
+    :mod:`repro.game.equilibrium` uses.
+    """
+    if not 0.0 <= tau <= 1.0:
+        raise ParameterError(f"tau must lie in [0, 1], got {tau!r}")
+    if n_nodes < 1:
+        raise ParameterError(f"n_nodes must be >= 1, got {n_nodes!r}")
+    cost = 0.0 if ignore_cost else params.cost
+    one_minus = 1.0 - tau
+    p_idle = one_minus**n_nodes
+    p_single = n_nodes * tau * one_minus ** (n_nodes - 1)
+    p_tr = 1.0 - p_idle
+    expected_slot = (
+        p_idle * times.idle_us
+        + p_single * times.success_us
+        + (p_tr - p_single) * times.collision_us
+    )
+    if expected_slot <= 0:
+        return 0.0
+    collision = 1.0 - one_minus ** (n_nodes - 1)
+    return tau * ((1.0 - collision) * params.gain - cost) / expected_slot
+
+
+def discounted_utility(
+    stage_payoffs: Sequence[float], discount_factor: float
+) -> float:
+    """Discounted sum ``sum_k delta^k x_k`` of a finite payoff stream."""
+    if not 0 < discount_factor < 1:
+        raise ParameterError(
+            f"discount_factor must lie in (0, 1), got {discount_factor!r}"
+        )
+    payoffs = np.asarray(list(stage_payoffs), dtype=float)
+    if payoffs.size == 0:
+        return 0.0
+    powers = discount_factor ** np.arange(payoffs.size)
+    return float(np.dot(powers, payoffs))

@@ -1,0 +1,257 @@
+"""Numerical equilibrium verification (Theorem 2, made checkable).
+
+The paper's Theorem 2 asserts that every symmetric profile in
+``[W_c0, W_c*]`` is a Nash equilibrium *of the repeated game with TFT
+punishment* - explicitly not of the stage game, where Lemma 4 says
+undercutting always pays.  This module turns both halves into
+executable checks:
+
+* :func:`stage_deviation_gain` / :func:`is_stage_equilibrium` - the
+  one-shot game.  Symmetric profiles are *never* stage equilibria
+  (except degenerate corners): the best stage deviation is to undercut.
+  This is the quantitative reason the paper needs the repeated game.
+* :func:`tft_deviation_gain` / :func:`verify_theorem2` - the repeated
+  game under TFT punishment with reaction lag ``m`` and discount
+  ``delta``.  A deviation to ``W' != W_c`` earns the Lemma 4 windfall
+  for ``m`` stages and the degraded converged payoff forever after
+  (downward deviations), or an immediate loss (upward deviations, which
+  TFT pulls back after ``m`` stages).  ``verify_theorem2`` sweeps
+  deviation candidates for every window in the Theorem 2 family and
+  reports the largest discounted gain found - non-positive means the
+  family verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.game.definition import MACGame
+from repro.game.equilibrium import EquilibriumAnalysis, analyze_equilibria
+
+__all__ = [
+    "Theorem2Report",
+    "is_stage_equilibrium",
+    "stage_deviation_gain",
+    "tft_deviation_gain",
+    "verify_theorem2",
+]
+
+
+def stage_deviation_gain(
+    game: MACGame, common_window: int, deviation_window: int
+) -> float:
+    """One-shot gain of a unilateral deviation from a symmetric profile.
+
+    Positive for downward deviations (Lemma 4), negative for upward
+    ones.
+    """
+    n = game.n_players
+    symmetric = float(game.stage_payoffs([common_window] * n)[0])
+    deviated = float(
+        game.stage_payoffs(
+            [deviation_window] + [common_window] * (n - 1)
+        )[0]
+    )
+    return deviated - symmetric
+
+
+def is_stage_equilibrium(
+    game: MACGame,
+    common_window: int,
+    *,
+    candidates: Optional[Sequence[int]] = None,
+) -> bool:
+    """Whether a symmetric profile is a NE of the *stage* game.
+
+    Expected to be false throughout the interior of the strategy space:
+    the stage best response undercuts (Lemma 4), which is exactly why
+    the paper's equilibria live in the repeated game.
+    """
+    for candidate in _candidates(game, common_window, candidates):
+        if candidate == common_window:
+            continue
+        if stage_deviation_gain(game, common_window, candidate) > 1e-15:
+            return False
+    return True
+
+
+def tft_deviation_gain(
+    game: MACGame,
+    common_window: int,
+    deviation_window: int,
+    *,
+    discount: Optional[float] = None,
+    reaction_stages: int = 1,
+) -> float:
+    """Discounted gain of deviating once and facing TFT forever.
+
+    Deviation dynamics under the paper's TFT:
+
+    * ``W' < W_c``: the deviator collects the Lemma 4 windfall for
+      ``reaction_stages`` stages; then everyone sits on ``W'`` forever
+      (TFT never climbs back).
+    * ``W' > W_c``: the deviator loses for ``reaction_stages`` stages
+      (Lemma 4, upward case) and is dragged back to ``W_c`` afterwards
+      by its own TFT rule - so the tail payoff is the symmetric one.
+
+    Parameters
+    ----------
+    game:
+        The stage game.
+    common_window:
+        The symmetric profile deviated from.
+    deviation_window:
+        The deviator's window.
+    discount:
+        ``delta``; defaults to the game's (long-sighted) discount.
+    reaction_stages:
+        TFT reaction lag ``m >= 1``.
+
+    Returns
+    -------
+    float
+        ``U(deviate) - U(conform)`` under the given discounting.
+    """
+    if discount is None:
+        discount = game.discount_factor
+    if not 0.0 < discount < 1.0:
+        raise ParameterError(f"discount must lie in (0, 1), got {discount!r}")
+    if reaction_stages < 1:
+        raise ParameterError(
+            f"reaction_stages must be >= 1, got {reaction_stages!r}"
+        )
+    n = game.n_players
+    symmetric = float(game.stage_payoffs([common_window] * n)[0])
+    mixed = float(
+        game.stage_payoffs(
+            [deviation_window] + [common_window] * (n - 1)
+        )[0]
+    )
+    head = (1.0 - discount**reaction_stages) / (1.0 - discount)
+    tail = discount**reaction_stages / (1.0 - discount)
+    if deviation_window < common_window:
+        converged = float(
+            game.stage_payoffs([deviation_window] * n)[0]
+        )
+    else:
+        converged = symmetric  # dragged back to the common window
+    payoff_deviate = head * mixed + tail * converged
+    payoff_conform = symmetric / (1.0 - discount)
+    return payoff_deviate - payoff_conform
+
+
+@dataclass(frozen=True)
+class Theorem2Report:
+    """Verification sweep over the Theorem 2 NE family.
+
+    Attributes
+    ----------
+    analysis:
+        The underlying equilibrium analysis.
+    checked_windows:
+        The family members verified (subsampled for large families).
+    worst_gain:
+        The largest TFT-punished deviation gain found anywhere in the
+        sweep; the family verifies iff this is <= 0 (to tolerance).
+    worst_case:
+        ``(common_window, deviation_window)`` attaining ``worst_gain``.
+    stage_equilibria:
+        Family members that are also stage-game equilibria (expected
+        empty - the contrast the module exists to show).
+    """
+
+    analysis: EquilibriumAnalysis
+    checked_windows: List[int]
+    worst_gain: float
+    worst_case: tuple
+    stage_equilibria: List[int]
+
+    @property
+    def verified(self) -> bool:
+        """Whether no profitable TFT-punished deviation was found."""
+        scale = abs(self.analysis.utility_at_star) or 1.0
+        return self.worst_gain <= 1e-9 * scale
+
+
+def _candidates(
+    game: MACGame,
+    common_window: int,
+    candidates: Optional[Sequence[int]],
+) -> List[int]:
+    if candidates is not None:
+        return sorted({int(c) for c in candidates})
+    lo, hi = game.params.cw_min, game.params.cw_max
+    geometric = {
+        max(lo, common_window // k) for k in (2, 4, 8, 16)
+    } | {
+        min(hi, common_window * k) for k in (2, 4)
+    } | {
+        max(lo, common_window - 1),
+        min(hi, common_window + 1),
+    }
+    geometric.discard(common_window)
+    return sorted(geometric)
+
+
+def verify_theorem2(
+    game: MACGame,
+    *,
+    analysis: Optional[EquilibriumAnalysis] = None,
+    max_windows: int = 8,
+    reaction_stages: int = 1,
+    discount: Optional[float] = None,
+) -> Theorem2Report:
+    """Sweep the NE family and verify the no-deviation property.
+
+    Parameters
+    ----------
+    game:
+        The MAC game.
+    analysis:
+        Optional pre-computed equilibrium analysis.
+    max_windows:
+        Family members checked (evenly subsampled between ``W_c0`` and
+        ``W_c*``).
+    reaction_stages, discount:
+        TFT punishment parameters (defaults: one stage, the game's
+        long-sighted discount).
+
+    Returns
+    -------
+    Theorem2Report
+    """
+    if analysis is None:
+        analysis = analyze_equilibria(game.n_players, game.params, game.times)
+    family = list(analysis.ne_windows)
+    if len(family) > max_windows:
+        indices = np.linspace(0, len(family) - 1, max_windows).round()
+        family = sorted({family[int(i)] for i in indices})
+
+    worst_gain = float("-inf")
+    worst_case = (family[0], family[0])
+    stage_equilibria: List[int] = []
+    for window in family:
+        if is_stage_equilibrium(game, window):
+            stage_equilibria.append(window)
+        for candidate in _candidates(game, window, None):
+            gain = tft_deviation_gain(
+                game,
+                window,
+                candidate,
+                discount=discount,
+                reaction_stages=reaction_stages,
+            )
+            if gain > worst_gain:
+                worst_gain = gain
+                worst_case = (window, candidate)
+    return Theorem2Report(
+        analysis=analysis,
+        checked_windows=family,
+        worst_gain=worst_gain,
+        worst_case=worst_case,
+        stage_equilibria=stage_equilibria,
+    )

@@ -1,0 +1,54 @@
+"""Multi-hop extension of the MAC game (paper Section VI).
+
+In a multi-hop mobile ad hoc network each node only contends with its
+neighbourhood, hidden nodes degrade delivery by a factor ``p_hn``, and no
+common efficient NE exists.  The paper shows that when every node opens
+with the efficient window of its *local* single-hop game and then follows
+TFT, the network converges to ``W_m = min_i W_i``, which is a Nash
+equilibrium of the multi-hop game ``G'`` (Theorem 3) and is quasi-optimal.
+
+Modules:
+
+* :mod:`repro.multihop.topology` - geometric topologies and neighbourhoods;
+* :mod:`repro.multihop.mobility` - the random waypoint mobility model;
+* :mod:`repro.multihop.hidden` - hidden-node degradation estimation;
+* :mod:`repro.multihop.localgame` - per-node local single-hop games;
+* :mod:`repro.multihop.game` - the multi-hop game ``G'``: TFT convergence,
+  the Theorem 3 equilibrium and the quasi-optimality metrics of
+  Section VII.B.
+"""
+
+from repro.multihop.topology import GeometricTopology, random_topology
+from repro.multihop.mobility import RandomWaypointModel, WaypointState
+from repro.multihop.hidden import (
+    analytic_hidden_degradation,
+    hidden_sets,
+)
+from repro.multihop.localgame import LocalGameResult, local_efficient_windows
+from repro.multihop.game import (
+    MultihopEquilibrium,
+    MultihopGame,
+    QuasiOptimalityReport,
+)
+from repro.multihop.dynamics import (
+    EpochRecord,
+    MobilityDynamics,
+    MobilityTrace,
+)
+
+__all__ = [
+    "EpochRecord",
+    "MobilityDynamics",
+    "MobilityTrace",
+    "GeometricTopology",
+    "LocalGameResult",
+    "MultihopEquilibrium",
+    "MultihopGame",
+    "QuasiOptimalityReport",
+    "RandomWaypointModel",
+    "WaypointState",
+    "analytic_hidden_degradation",
+    "hidden_sets",
+    "local_efficient_windows",
+    "random_topology",
+]

@@ -1,0 +1,107 @@
+"""Per-node local single-hop games (paper Section VI.B).
+
+In the multi-hop game each node cannot reach a network-wide efficient NE,
+so it falls back to local information: node ``i`` plays the single-hop
+game ``G`` whose players are itself and its neighbours, and opens with the
+efficient window ``W_i`` of that local game.  Under the paper's
+approximations (``p_hn`` independent of CW, ``g >> e``) this maximises its
+local utility, and TFT then drags everyone to
+``W_m = min_i W_i`` (Theorem 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.game.equilibrium import efficient_window
+from repro.multihop.topology import GeometricTopology
+from repro.phy.parameters import AccessMode, PhyParameters
+from repro.phy.timing import slot_times
+
+__all__ = ["LocalGameResult", "local_efficient_windows"]
+
+
+@dataclass(frozen=True)
+class LocalGameResult:
+    """Local efficient windows of every node in a snapshot.
+
+    Attributes
+    ----------
+    windows:
+        ``W_i`` per node: the efficient NE window of its local single-hop
+        game (nodes with no neighbour get the largest local window in the
+        snapshot - they do not contend and never drag anyone down).
+    local_sizes:
+        Size ``deg(i) + 1`` of each node's local contention domain.
+    minimum:
+        ``W_m = min_i W_i``, the window TFT converges to (over contending
+        nodes).
+    """
+
+    windows: np.ndarray
+    local_sizes: np.ndarray
+    minimum: int
+
+    @property
+    def argmin(self) -> int:
+        """Index of (one of) the node(s) with the smallest local window."""
+        return int(np.argmin(self.windows))
+
+
+def local_efficient_windows(
+    topology: GeometricTopology,
+    params: PhyParameters,
+    mode: AccessMode = AccessMode.RTS_CTS,
+    *,
+    ignore_cost: bool = True,
+) -> LocalGameResult:
+    """Compute every node's local efficient window ``W_i``.
+
+    The per-size efficient windows are cached, so a 100-node snapshot
+    costs one equilibrium computation per *distinct* neighbourhood size,
+    not per node.
+
+    Parameters
+    ----------
+    topology:
+        The network snapshot.
+    params, mode:
+        Model constants; the paper's Section VI operates under RTS/CTS.
+    ignore_cost:
+        The paper's ``g >> e`` approximation (default on, as in
+        Section VI.B).
+
+    Returns
+    -------
+    LocalGameResult
+    """
+    times = slot_times(params, mode)
+    sizes = topology.degrees() + 1
+    cache: Dict[int, int] = {}
+    windows = np.empty(topology.n_nodes, dtype=int)
+    isolated = []
+    for node in range(topology.n_nodes):
+        size = int(sizes[node])
+        if size < 2:
+            isolated.append(node)
+            continue
+        if size not in cache:
+            cache[size] = efficient_window(
+                size, params, times, ignore_cost=ignore_cost
+            )
+        windows[node] = cache[size]
+    contending = [n for n in range(topology.n_nodes) if n not in isolated]
+    if not contending:
+        raise ValueError("topology has no contending nodes")
+    fill = int(windows[contending].max())
+    for node in isolated:
+        windows[node] = fill
+    minimum = int(windows[contending].min())
+    return LocalGameResult(
+        windows=windows,
+        local_sizes=np.asarray(sizes, dtype=int),
+        minimum=minimum,
+    )

@@ -1,0 +1,25 @@
+"""PHY/MAC layer parameters and slot-overhead timing.
+
+This subpackage is the lowest substrate of the reproduction: it captures the
+network parameters of Table I of the paper and derives from them the channel
+occupancy times ``Ts`` (successful transmission) and ``Tc`` (collision) used
+by both the analytical model (:mod:`repro.bianchi`) and the discrete-event
+simulator (:mod:`repro.sim`).
+"""
+
+from repro.phy.parameters import (
+    AccessMode,
+    PhyParameters,
+    default_parameters,
+    parameters_80211b,
+)
+from repro.phy.timing import SlotTimes, slot_times
+
+__all__ = [
+    "AccessMode",
+    "PhyParameters",
+    "SlotTimes",
+    "default_parameters",
+    "parameters_80211b",
+    "slot_times",
+]

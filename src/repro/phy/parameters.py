@@ -1,0 +1,231 @@
+"""Network parameters of the reproduced paper (Table I).
+
+All durations are expressed in microseconds and all frame sizes in bits.
+The paper's evaluation uses a 1 Mbit/s channel, for which one bit takes
+exactly one microsecond on the air; the conversion is still performed
+explicitly through :attr:`PhyParameters.channel_bit_rate` so that other
+rates work too.
+
+The class is intentionally a frozen dataclass: experiments share parameter
+objects freely and must not mutate them behind each other's back.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "AccessMode",
+    "PhyParameters",
+    "default_parameters",
+    "parameters_80211b",
+]
+
+
+class AccessMode(enum.Enum):
+    """Channel access mechanism of IEEE 802.11 DCF.
+
+    ``BASIC`` sends data frames directly; collisions last for the whole
+    data frame.  ``RTS_CTS`` precedes data with an RTS/CTS handshake, so
+    collisions only waste an RTS frame (Section V.F of the paper).
+    """
+
+    BASIC = "basic"
+    RTS_CTS = "rts_cts"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class PhyParameters:
+    """Immutable bundle of PHY/MAC constants (paper Table I).
+
+    Parameters
+    ----------
+    payload_bits:
+        Packet payload size in bits.  The network is saturated and all
+        packets share this size.
+    mac_header_bits, phy_header_bits:
+        MAC and PHY header sizes in bits.  The paper's ``H`` is their sum.
+    ack_bits, rts_bits, cts_bits:
+        Control frame bodies in bits, *excluding* the PHY header, which is
+        added on transmission (Table I writes e.g. "ACK 112 bits + PHY
+        header").
+    channel_bit_rate:
+        Channel rate in bits per second.
+    slot_time_us, sifs_us, difs_us:
+        Empty slot duration sigma, SIFS and DIFS in microseconds.
+    gain, cost:
+        Utility constants: ``gain`` (``g``) is the reward for one
+        successfully delivered packet and ``cost`` (``e``) the energy cost
+        of one transmission attempt.
+    stage_duration_us:
+        Duration ``T`` of one stage of the repeated game, in microseconds
+        (Table I gives 10 s).
+    discount_factor:
+        Discount ``delta`` of the repeated game; close to 1 for
+        long-sighted players.
+    max_backoff_stage:
+        ``m``, the number of contention-window doublings (the window at
+        stage ``j`` is ``2^j * W`` and stays at ``2^m * W`` beyond).  Not
+        listed in Table I; the 802.11 default ladder (32 -> 1024) gives 5.
+    cw_min, cw_max:
+        Bounds of the strategy space ``W = {cw_min, ..., cw_max}``.  The
+        paper uses ``{1, ..., Wmax}``; we default the lower bound to 1 and
+        expose it because several routines need ``W >= 2`` for the backoff
+        chain to have any randomness.
+    """
+
+    payload_bits: float = 8184.0
+    mac_header_bits: float = 272.0
+    phy_header_bits: float = 128.0
+    ack_bits: float = 112.0
+    rts_bits: float = 160.0
+    cts_bits: float = 112.0
+    channel_bit_rate: float = 1e6
+    slot_time_us: float = 50.0
+    sifs_us: float = 28.0
+    difs_us: float = 128.0
+    gain: float = 1.0
+    cost: float = 0.01
+    stage_duration_us: float = 10e6
+    discount_factor: float = 0.9999
+    max_backoff_stage: int = 5
+    cw_min: int = 1
+    cw_max: int = 4096
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "payload_bits",
+            "mac_header_bits",
+            "phy_header_bits",
+            "ack_bits",
+            "rts_bits",
+            "cts_bits",
+            "channel_bit_rate",
+            "slot_time_us",
+            "sifs_us",
+            "difs_us",
+            "stage_duration_us",
+        )
+        for name in positive_fields:
+            value = getattr(self, name)
+            if not value > 0:
+                raise ParameterError(f"{name} must be positive, got {value!r}")
+        if self.gain <= 0:
+            raise ParameterError(f"gain must be positive, got {self.gain!r}")
+        if self.cost < 0:
+            raise ParameterError(f"cost must be non-negative, got {self.cost!r}")
+        if self.cost >= self.gain:
+            raise ParameterError(
+                "the model assumes g > e (Lemma 2 requires g >> e); "
+                f"got gain={self.gain!r}, cost={self.cost!r}"
+            )
+        if not 0 < self.discount_factor < 1:
+            raise ParameterError(
+                f"discount_factor must lie in (0, 1), got {self.discount_factor!r}"
+            )
+        if self.max_backoff_stage < 0:
+            raise ParameterError(
+                f"max_backoff_stage must be >= 0, got {self.max_backoff_stage!r}"
+            )
+        if self.cw_min < 1:
+            raise ParameterError(f"cw_min must be >= 1, got {self.cw_min!r}")
+        if self.cw_max < self.cw_min:
+            raise ParameterError(
+                f"cw_max ({self.cw_max!r}) must be >= cw_min ({self.cw_min!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived air times (microseconds)
+    # ------------------------------------------------------------------
+    def _bits_to_us(self, bits: float) -> float:
+        """Convert an on-air frame size in bits to microseconds."""
+        return bits / self.channel_bit_rate * 1e6
+
+    @property
+    def header_time_us(self) -> float:
+        """``H``: time to transmit the PHY + MAC header."""
+        return self._bits_to_us(self.mac_header_bits + self.phy_header_bits)
+
+    @property
+    def payload_time_us(self) -> float:
+        """``P``: time to transmit the packet payload."""
+        return self._bits_to_us(self.payload_bits)
+
+    @property
+    def ack_time_us(self) -> float:
+        """Time to transmit an ACK frame (body + PHY header)."""
+        return self._bits_to_us(self.ack_bits + self.phy_header_bits)
+
+    @property
+    def rts_time_us(self) -> float:
+        """Time to transmit an RTS frame (body + PHY header)."""
+        return self._bits_to_us(self.rts_bits + self.phy_header_bits)
+
+    @property
+    def cts_time_us(self) -> float:
+        """Time to transmit a CTS frame (body + PHY header)."""
+        return self._bits_to_us(self.cts_bits + self.phy_header_bits)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def with_updates(self, **changes: object) -> "PhyParameters":
+        """Return a copy with the given fields replaced (validated anew)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def strategy_space(self) -> range:
+        """The CW strategy space ``{cw_min, ..., cw_max}`` as a range."""
+        return range(self.cw_min, self.cw_max + 1)
+
+    def as_table(self) -> Dict[str, str]:
+        """Render the parameters in the layout of the paper's Table I.
+
+        Returns an ordered mapping from parameter label to a human-readable
+        value string; used by the ``table1`` experiment.
+        """
+        return {
+            "Packet size": f"{self.payload_bits:.0f} bits",
+            "MAC header": f"{self.mac_header_bits:.0f} bits",
+            "PHY header": f"{self.phy_header_bits:.0f} bits",
+            "ACK": f"{self.ack_bits:.0f} bits + PHY header",
+            "RTS": f"{self.rts_bits:.0f} bits + PHY header",
+            "CTS": f"{self.cts_bits:.0f} bits + PHY header",
+            "Channel bit rate": f"{self.channel_bit_rate / 1e6:g} Mbits/s",
+            "sigma": f"{self.slot_time_us:g} us",
+            "SIFS": f"{self.sifs_us:g} us",
+            "DIFS": f"{self.difs_us:g} us",
+            "g": f"{self.gain:g}",
+            "e": f"{self.cost:g}",
+            "T": f"{self.stage_duration_us / 1e6:g} s",
+            "delta": f"{self.discount_factor:g}",
+        }
+
+
+def default_parameters() -> PhyParameters:
+    """The exact parameter set of the paper's Table I."""
+    return PhyParameters()
+
+
+def parameters_80211b() -> PhyParameters:
+    """An 802.11b-flavoured preset (11 Mbit/s, short PHY timing).
+
+    Not used by the paper - provided to show the framework is not tied
+    to Table I.  Values follow the 802.11b standard: 11 Mbit/s payload
+    rate, 20 us slots, SIFS 10 us, DIFS 50 us; frame sizes as in
+    Table I.  All equilibrium machinery works unchanged: the optimal
+    ``tau`` only depends on ``sigma/Tc`` (Lemma 3), so the efficient
+    windows shrink with the cheaper slots and faster frames.
+    """
+    return PhyParameters(
+        channel_bit_rate=11e6,
+        slot_time_us=20.0,
+        sifs_us=10.0,
+        difs_us=50.0,
+    )

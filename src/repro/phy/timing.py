@@ -1,0 +1,105 @@
+"""Channel occupancy times ``Ts`` / ``Tc`` per access mode (Section III/V.F).
+
+``Ts`` is the average time the channel is sensed busy by a successful
+transmission and ``Tc`` the time wasted by a collision.  The paper's
+formulas (propagation delay neglected, equal packet sizes) are:
+
+Basic access::
+
+    Ts = H + P + SIFS + ACK + DIFS
+    Tc = H + P + SIFS
+
+RTS/CTS access (collisions can only involve RTS frames)::
+
+    Ts' = RTS + SIFS + CTS + SIFS + H + P + SIFS + ACK + DIFS
+    Tc' = RTS + DIFS
+
+The paper prints ``Ts'`` with one SIFS elided (a typographical slip in the
+proceedings); we use the standard 802.11 exchange with three SIFS gaps.
+``Ts`` only shifts every payoff curve by a common factor near the optimum
+(it cancels from the stationarity condition, see
+:func:`repro.game.equilibrium.q_function`), so this choice does not move
+the equilibria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.phy.parameters import AccessMode, PhyParameters
+
+__all__ = ["SlotTimes", "slot_times"]
+
+
+@dataclass(frozen=True)
+class SlotTimes:
+    """Busy/idle durations of the three slot outcomes, in microseconds.
+
+    Attributes
+    ----------
+    success_us:
+        ``Ts`` - channel busy time for a successful transmission.
+    collision_us:
+        ``Tc`` - channel busy time for a collision.
+    idle_us:
+        ``sigma`` - duration of an empty slot.
+    mode:
+        The access mode these times correspond to.
+    """
+
+    success_us: float
+    collision_us: float
+    idle_us: float
+    mode: AccessMode
+
+    def __post_init__(self) -> None:
+        for name in ("success_us", "collision_us", "idle_us"):
+            value = getattr(self, name)
+            if not value > 0:
+                raise ParameterError(f"{name} must be positive, got {value!r}")
+
+
+def slot_times(params: PhyParameters, mode: AccessMode) -> SlotTimes:
+    """Derive :class:`SlotTimes` from PHY parameters for an access mode.
+
+    Parameters
+    ----------
+    params:
+        The PHY/MAC constants (Table I).
+    mode:
+        :attr:`AccessMode.BASIC` or :attr:`AccessMode.RTS_CTS`.
+
+    Returns
+    -------
+    SlotTimes
+        The ``(Ts, Tc, sigma)`` triple used throughout the model.
+    """
+    header = params.header_time_us
+    payload = params.payload_time_us
+    sifs = params.sifs_us
+    difs = params.difs_us
+    if mode is AccessMode.BASIC:
+        success = header + payload + sifs + params.ack_time_us + difs
+        collision = header + payload + sifs
+    elif mode is AccessMode.RTS_CTS:
+        success = (
+            params.rts_time_us
+            + sifs
+            + params.cts_time_us
+            + sifs
+            + header
+            + payload
+            + sifs
+            + params.ack_time_us
+            + difs
+        )
+        collision = params.rts_time_us + difs
+    else:  # pragma: no cover - enum is closed
+        raise ParameterError(f"unknown access mode: {mode!r}")
+    return SlotTimes(
+        success_us=success,
+        collision_us=collision,
+        idle_us=params.slot_time_us,
+        mode=mode,
+    )

@@ -1,0 +1,36 @@
+"""Slot-accurate saturated-DCF simulator (the paper's NS-2 stand-in).
+
+The paper validates its analytical model against NS-2.  This subpackage
+replaces NS-2 with a from-scratch simulator at exactly the abstraction
+level of the analysis (see DESIGN.md for the substitution argument):
+
+* :mod:`repro.sim.node` - per-node binary-exponential-backoff state
+  machine;
+* :mod:`repro.sim.engine` - single-collision-domain simulator in Bianchi's
+  virtual-slot time base (idle slot / success / collision), event-advanced
+  so long backoffs cost O(1);
+* :mod:`repro.sim.metrics` - per-node and channel counters with
+  estimators for ``tau``, ``p``, throughput and payoff;
+* :mod:`repro.sim.adaptive` - the per-node "best CW" measurement used for
+  the simulated columns of Tables II/III;
+* :mod:`repro.sim.spatial` - spatial slot-synchronous multi-hop simulator
+  with carrier sensing and hidden terminals (Section VI validation).
+"""
+
+from repro.sim.node import BackoffNode
+from repro.sim.engine import DcfSimulator, SimulationResult
+from repro.sim.metrics import ChannelCounters, NodeCounters
+from repro.sim.adaptive import PerNodeOptimum, measure_per_node_optimum
+from repro.sim.spatial import SpatialResult, SpatialSimulator
+
+__all__ = [
+    "BackoffNode",
+    "ChannelCounters",
+    "DcfSimulator",
+    "NodeCounters",
+    "PerNodeOptimum",
+    "SimulationResult",
+    "SpatialResult",
+    "SpatialSimulator",
+    "measure_per_node_optimum",
+]

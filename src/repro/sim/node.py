@@ -1,0 +1,111 @@
+"""Binary-exponential-backoff state machine of one saturated node.
+
+The state is ``(stage, counter)`` exactly as in the paper's Markov chain
+(Figure 1): at stage ``j`` the node draws a uniform counter from
+``{0, ..., 2^min(j, m) W - 1}``, decrements it once per virtual slot, and
+transmits when it reaches zero.  Success resets the stage to 0; a
+collision advances it (capped at ``m``).  The node is saturated: a new
+packet is always waiting, so a new backoff starts immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError, SimulationError
+
+__all__ = ["BackoffNode"]
+
+
+class BackoffNode:
+    """One saturated DCF station.
+
+    Parameters
+    ----------
+    window:
+        Initial (stage-0) contention window ``W >= 1``; integer.
+    max_stage:
+        Maximum number of window doublings ``m >= 0``.
+    rng:
+        Random generator used for counter draws.
+
+    Attributes
+    ----------
+    stage:
+        Current backoff stage ``j``.
+    counter:
+        Remaining backoff slots before the next transmission attempt.
+    """
+
+    __slots__ = ("window", "max_stage", "rng", "stage", "counter")
+
+    def __init__(
+        self, window: int, max_stage: int, rng: np.random.Generator
+    ) -> None:
+        if window < 1:
+            raise ParameterError(f"window must be >= 1, got {window!r}")
+        if max_stage < 0:
+            raise ParameterError(f"max_stage must be >= 0, got {max_stage!r}")
+        self.window = int(window)
+        self.max_stage = int(max_stage)
+        self.rng = rng
+        self.stage = 0
+        self.counter = self._draw()
+
+    # ------------------------------------------------------------------
+    def _stage_window(self) -> int:
+        return self.window * (2 ** min(self.stage, self.max_stage))
+
+    def _draw(self) -> int:
+        return int(self.rng.integers(0, self._stage_window()))
+
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """Whether the node transmits in the current virtual slot."""
+        return self.counter == 0
+
+    def tick(self, slots: int = 1) -> None:
+        """Advance the backoff countdown by ``slots`` virtual slots."""
+        if slots < 0:
+            raise SimulationError(f"cannot tick by {slots!r} slots")
+        if slots > self.counter:
+            raise SimulationError(
+                f"tick of {slots} slots would overshoot counter "
+                f"{self.counter}"
+            )
+        self.counter -= slots
+
+    def on_success(self) -> None:
+        """Packet delivered: reset to stage 0 and start the next backoff."""
+        if not self.ready:
+            raise SimulationError("on_success on a node that did not transmit")
+        self.stage = 0
+        self.counter = self._draw()
+
+    def on_collision(self) -> None:
+        """Collision: double the window (capped) and back off again."""
+        if not self.ready:
+            raise SimulationError(
+                "on_collision on a node that did not transmit"
+            )
+        self.stage = min(self.stage + 1, self.max_stage)
+        self.counter = self._draw()
+
+    def set_window(self, window: int) -> None:
+        """Reconfigure the stage-0 window (a new game stage beginning).
+
+        The backoff restarts at stage 0 with the new window, matching a
+        node that re-tunes its CW between stages of the repeated game.
+        """
+        if window < 1:
+            raise ParameterError(f"window must be >= 1, got {window!r}")
+        self.window = int(window)
+        self.stage = 0
+        self.counter = self._draw()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BackoffNode(window={self.window}, stage={self.stage}, "
+            f"counter={self.counter})"
+        )

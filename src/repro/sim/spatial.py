@@ -1,0 +1,312 @@
+"""Spatial slot-synchronous multi-hop CSMA simulator (Section VI validation).
+
+The multi-hop analysis needs two mechanisms beyond the single collision
+domain: *carrier sensing by range* (a node freezes its backoff while any
+in-range node transmits) and the *hidden-node problem* (a transmission can
+die at the receiver because of an interferer the sender cannot hear).
+This simulator models both directly under an RTS/CTS-style exchange:
+
+* time advances in PHY slots of ``sigma`` microseconds;
+* a node whose medium is idle decrements its backoff counter and, at
+  zero, starts an *RTS phase* of ``Tc'/sigma`` slots towards a neighbour;
+* the RTS succeeds iff no other node within the receiver's range is
+  transmitting during any overlapping slot (simultaneous in-range
+  starters model ordinary collisions; already-active out-of-range
+  transmitters model hidden terminals);
+* a winning RTS is followed by a protected *data phase* - every node in
+  range of sender or receiver holds its NAV until the exchange ends, so
+  the data phase is not corrupted (the standard idealised RTS/CTS
+  behaviour; residual hidden-node loss lives in the RTS vulnerability
+  window, which is exactly the paper's ``1 - p_hn`` degradation);
+* a losing RTS costs ``e`` and doubles the window.
+
+The per-node counters separate in-range (sender-visible) losses from
+hidden losses so the experiments can estimate both ``p_i`` and ``p_hn``
+and check the paper's key approximation that ``p_hn`` is insensitive to
+the CW values.
+
+The topology is a static snapshot; the multi-hop experiments draw
+snapshots from the random-waypoint mobility model
+(:mod:`repro.multihop.mobility`) and re-run the simulator per snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError, SimulationError
+from repro.phy.parameters import AccessMode, PhyParameters
+from repro.phy.timing import slot_times
+
+__all__ = ["SpatialResult", "SpatialSimulator"]
+
+
+@dataclass(frozen=True)
+class SpatialResult:
+    """Outcome of one spatial simulation run.
+
+    Attributes
+    ----------
+    attempts, successes:
+        Per-node RTS attempts and completed exchanges.
+    inrange_losses:
+        Per-node attempts lost to an interferer the *sender* could hear
+        (ordinary contention, the sender-side ``p_i``).
+    hidden_losses:
+        Per-node attempts lost only to interferers the sender could not
+        hear (the hidden-node degradation, ``1 - p_hn``).
+    elapsed_us:
+        Simulated time (slots times ``sigma``).
+    payoff_rates:
+        Per-node measured payoff per microsecond.
+    """
+
+    attempts: np.ndarray
+    successes: np.ndarray
+    inrange_losses: np.ndarray
+    hidden_losses: np.ndarray
+    elapsed_us: float
+    payoff_rates: np.ndarray
+
+    def collision_probability(self) -> np.ndarray:
+        """Per-node sender-side collision estimate ``p_i`` (in-range)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            p = self.inrange_losses / self.attempts
+        return np.nan_to_num(p)
+
+    def hidden_degradation(self) -> np.ndarray:
+        """Per-node ``1 - p_hn`` estimate: hidden losses per attempt that
+        survived in-range contention."""
+        survived = self.attempts - self.inrange_losses
+        with np.errstate(invalid="ignore", divide="ignore"):
+            d = self.hidden_losses / survived
+        return np.nan_to_num(d)
+
+    @property
+    def global_payoff(self) -> float:
+        """Sum of per-node payoff rates (social welfare per microsecond)."""
+        return float(self.payoff_rates.sum())
+
+
+class SpatialSimulator:
+    """Simulate saturated CSMA/CA nodes on a spatial topology.
+
+    Parameters
+    ----------
+    positions:
+        Node coordinates, shape ``(n, 2)`` in metres.
+    tx_range:
+        Transmission (and sensing) range in metres.
+    windows:
+        Per-node stage-0 contention windows.
+    params:
+        PHY/MAC constants.
+    mode:
+        Access mode (Section VI uses RTS/CTS; basic access maps the data
+        frame into the vulnerability window instead).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        tx_range: float,
+        windows: Sequence[int],
+        params: PhyParameters,
+        mode: AccessMode = AccessMode.RTS_CTS,
+        *,
+        seed: Optional[int] = None,
+    ) -> None:
+        pos = np.asarray(positions, dtype=float)
+        if pos.ndim != 2 or pos.shape[1] != 2 or pos.shape[0] < 2:
+            raise ParameterError(
+                f"positions must have shape (n >= 2, 2), got {pos.shape!r}"
+            )
+        if tx_range <= 0:
+            raise ParameterError(f"tx_range must be positive, got {tx_range!r}")
+        window_arr = np.asarray([int(w) for w in windows], dtype=int)
+        if window_arr.shape[0] != pos.shape[0]:
+            raise ParameterError(
+                f"need {pos.shape[0]} windows, got {window_arr.shape[0]}"
+            )
+        if np.any(window_arr < 1):
+            raise ParameterError("all windows must be >= 1")
+
+        self.positions = pos
+        self.tx_range = float(tx_range)
+        self.params = params
+        self.mode = mode
+        self.rng = np.random.default_rng(seed)
+        self.n = pos.shape[0]
+
+        diff = pos[:, None, :] - pos[None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=2))
+        self.adjacency = (dist <= tx_range) & ~np.eye(self.n, dtype=bool)
+
+        times = slot_times(params, mode)
+        sigma = times.idle_us
+        # RTS (vulnerability) phase and protected data phase, in slots.
+        self.rts_slots = max(1, int(round(times.collision_us / sigma)))
+        self.data_slots = max(
+            1, int(round((times.success_us - times.collision_us) / sigma))
+        )
+        self.sigma_us = sigma
+
+        self.windows = window_arr
+        self.stage = np.zeros(self.n, dtype=int)
+        self.counter = self._draw_all()
+        # Nodes without any neighbour have nobody to talk to.
+        self.active = self.adjacency.any(axis=1)
+
+    # ------------------------------------------------------------------
+    def _stage_windows(self) -> np.ndarray:
+        capped = np.minimum(self.stage, self.params.max_backoff_stage)
+        return self.windows * (2**capped)
+
+    def _draw_all(self) -> np.ndarray:
+        return self.rng.integers(0, self._stage_windows())
+
+    def _draw_one(self, index: int) -> int:
+        capped = min(self.stage[index], self.params.max_backoff_stage)
+        return int(self.rng.integers(0, self.windows[index] * (2**capped)))
+
+    def set_windows(self, windows: Sequence[int]) -> None:
+        """Reconfigure the stage-0 windows (new stage of the game)."""
+        window_arr = np.asarray([int(w) for w in windows], dtype=int)
+        if window_arr.shape[0] != self.n:
+            raise ParameterError(f"need {self.n} windows")
+        if np.any(window_arr < 1):
+            raise ParameterError("all windows must be >= 1")
+        self.windows = window_arr
+        self.stage[:] = 0
+        self.counter = self._draw_all()
+
+    def neighbor_counts(self) -> np.ndarray:
+        """Number of neighbours of each node."""
+        return self.adjacency.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    def run(self, n_slots: int) -> SpatialResult:
+        """Simulate ``n_slots`` PHY slots; return per-node statistics."""
+        if n_slots < 1:
+            raise ParameterError(f"n_slots must be >= 1, got {n_slots!r}")
+        n = self.n
+        adjacency = self.adjacency
+        attempts = np.zeros(n, dtype=np.int64)
+        successes = np.zeros(n, dtype=np.int64)
+        inrange_losses = np.zeros(n, dtype=np.int64)
+        hidden_losses = np.zeros(n, dtype=np.int64)
+
+        transmitting = np.zeros(n, dtype=bool)
+        busy_until = np.zeros(n, dtype=np.int64)
+        nav_until = np.zeros(n, dtype=np.int64)
+
+        # Per-node in-flight RTS attempt bookkeeping.
+        rts_end = np.full(n, -1, dtype=np.int64)
+        rts_receiver = np.full(n, -1, dtype=np.int64)
+        rts_hit_inrange = np.zeros(n, dtype=bool)
+        rts_hit_hidden = np.zeros(n, dtype=bool)
+        data_end = np.full(n, -1, dtype=np.int64)
+
+        neighbor_lists = [np.flatnonzero(adjacency[i]) for i in range(n)]
+
+        for t in range(n_slots):
+            # 1. Finish transmissions ending at t.
+            ending = np.flatnonzero(transmitting & (busy_until <= t))
+            for i in ending:
+                transmitting[i] = False
+                if data_end[i] == busy_until[i] and data_end[i] <= t:
+                    successes[i] += 1
+                    self.stage[i] = 0
+                    self.counter[i] = self._draw_one(i)
+                    data_end[i] = -1
+                elif rts_end[i] == busy_until[i] and rts_end[i] <= t:
+                    receiver = int(rts_receiver[i])
+                    interferers = transmitting & adjacency[receiver]
+                    interferers[i] = False
+                    if interferers.any():
+                        hearable = interferers & adjacency[i]
+                        if hearable.any():
+                            rts_hit_inrange[i] = True
+                        else:
+                            rts_hit_hidden[i] = True
+                    if rts_hit_inrange[i]:
+                        inrange_losses[i] += 1
+                    elif rts_hit_hidden[i]:
+                        hidden_losses[i] += 1
+                    if rts_hit_inrange[i] or rts_hit_hidden[i]:
+                        self.stage[i] = min(
+                            self.stage[i] + 1, self.params.max_backoff_stage
+                        )
+                        self.counter[i] = self._draw_one(i)
+                    else:
+                        # Protected data phase; NAV everyone who can hear
+                        # sender or receiver.
+                        transmitting[i] = True
+                        busy_until[i] = t + self.data_slots
+                        data_end[i] = busy_until[i]
+                        protected = adjacency[i] | adjacency[receiver]
+                        nav_until[protected] = np.maximum(
+                            nav_until[protected], t + self.data_slots
+                        )
+                    rts_end[i] = -1
+                    rts_receiver[i] = -1
+
+            # 2. Medium state per node.
+            medium_busy = adjacency @ transmitting  # neighbour transmitting
+            can_count = (
+                self.active
+                & ~transmitting
+                & ~medium_busy
+                & (nav_until <= t)
+            )
+
+            # 3. Starters: counter already zero and medium idle.
+            starters = np.flatnonzero(can_count & (self.counter == 0))
+            for i in starters:
+                neighbors = neighbor_lists[i]
+                receiver = int(neighbors[self.rng.integers(len(neighbors))])
+                attempts[i] += 1
+                transmitting[i] = True
+                busy_until[i] = t + self.rts_slots
+                rts_end[i] = busy_until[i]
+                rts_receiver[i] = receiver
+                rts_hit_inrange[i] = False
+                rts_hit_hidden[i] = False
+
+            # 4. Mid-flight interference checks for ongoing RTS phases.
+            ongoing = np.flatnonzero(transmitting & (rts_end > t))
+            if ongoing.size:
+                for i in ongoing:
+                    receiver = int(rts_receiver[i])
+                    interferers = transmitting & adjacency[receiver]
+                    interferers[i] = False
+                    if interferers.any():
+                        hearable = interferers & adjacency[i]
+                        if hearable.any():
+                            rts_hit_inrange[i] = True
+                        else:
+                            rts_hit_hidden[i] = True
+
+            # 5. Countdown for idle nodes (starters excluded: counter 0).
+            countdown = can_count & (self.counter > 0)
+            self.counter[countdown] -= 1
+
+        elapsed_us = n_slots * self.sigma_us
+        if elapsed_us <= 0:  # pragma: no cover - n_slots >= 1 guarantees > 0
+            raise SimulationError("no simulated time elapsed")
+        payoff = (
+            successes * self.params.gain - attempts * self.params.cost
+        ) / elapsed_us
+        return SpatialResult(
+            attempts=attempts,
+            successes=successes,
+            inrange_losses=inrange_losses,
+            hidden_losses=hidden_losses,
+            elapsed_us=elapsed_us,
+            payoff_rates=payoff,
+        )

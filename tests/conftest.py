@@ -1,0 +1,57 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.game.definition import MACGame
+from repro.phy.parameters import AccessMode, PhyParameters, default_parameters
+from repro.phy.timing import slot_times
+
+# Property tests solve fixed points inside; keep examples moderate and do
+# not time-limit individual examples (CI machines vary).
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def params() -> PhyParameters:
+    """The paper's Table I parameters."""
+    return default_parameters()
+
+
+@pytest.fixture(scope="session")
+def basic_times(params):
+    """Slot times for basic access."""
+    return slot_times(params, AccessMode.BASIC)
+
+
+@pytest.fixture(scope="session")
+def rts_times(params):
+    """Slot times for RTS/CTS access."""
+    return slot_times(params, AccessMode.RTS_CTS)
+
+
+@pytest.fixture(scope="session")
+def small_game(params) -> MACGame:
+    """A 4-player basic-access game (cheap to solve repeatedly)."""
+    return MACGame(n_players=4, params=params, mode=AccessMode.BASIC)
+
+
+@pytest.fixture(scope="session")
+def rts_game(params) -> MACGame:
+    """A 5-player RTS/CTS game."""
+    return MACGame(n_players=5, params=params, mode=AccessMode.RTS_CTS)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic per-test random generator."""
+    return np.random.default_rng(12345)

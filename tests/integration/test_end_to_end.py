@@ -1,0 +1,102 @@
+"""Integration: registry-driven end-to-end runs and the examples.
+
+Runs every registered experiment at a reduced size and executes each
+example script in-process, asserting they complete and produce sane
+output.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+SMALL_KWARGS = {
+    "table1": {},
+    "table2": {"sizes": (3,), "slots_per_point": 15_000},
+    "table3": {"sizes": (3,), "slots_per_point": 15_000},
+    "fig2": {"sizes": (3,), "n_points": 10},
+    "fig3": {"sizes": (3,), "n_points": 10},
+    "multihop": {"n_nodes": 25, "n_snapshots": 1},
+    "shortsighted": {"n_players": 4, "discounts": (0.1, 0.9999)},
+    "malicious": {"n_players": 4},
+    "search": {"n_players": 4, "with_simulation": False},
+    "convergence": {"n_players": 4, "n_stages": 6},
+    "bestresponse": {"n_players": 3, "n_stages": 3},
+    "mobility": {"n_nodes": 20, "n_epochs": 3},
+}
+
+
+class TestRegistryEndToEnd:
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_runs_and_renders(self, experiment_id):
+        result = run_experiment(experiment_id, **SMALL_KWARGS[experiment_id])
+        text = result.render()
+        assert isinstance(text, str)
+        assert len(text.splitlines()) >= 2
+
+    def test_small_kwargs_cover_registry(self):
+        assert set(SMALL_KWARGS) == set(EXPERIMENTS)
+
+
+class TestExamples:
+    def _run(self, name: str, monkeypatch, capsys) -> str:
+        path = EXAMPLES_DIR / name
+        assert path.exists(), f"missing example {name}"
+        monkeypatch.setattr(sys, "argv", [str(path)])
+        runpy.run_path(str(path), run_name="__main__")
+        return capsys.readouterr().out
+
+    def test_quickstart(self, monkeypatch, capsys):
+        out = self._run("quickstart.py", monkeypatch, capsys)
+        assert "Nash equilibrium analysis" in out
+        assert "converged at stage" in out
+
+    def test_shortsighted_attack(self, monkeypatch, capsys):
+        out = self._run("shortsighted_attack.py", monkeypatch, capsys)
+        assert "Deviation gain" in out
+        assert "does not pay" in out
+
+    @pytest.mark.slow
+    def test_delay_aware_tuning(self, monkeypatch, capsys):
+        out = self._run("delay_aware_tuning.py", monkeypatch, capsys)
+        assert "delay landscape" in out
+        assert "Validation" in out
+
+    def test_rate_control_game(self, monkeypatch, capsys):
+        out = self._run("rate_control_game.py", monkeypatch, capsys)
+        assert "price of anarchy" in out
+
+    @pytest.mark.slow
+    def test_measured_tft(self, monkeypatch, capsys):
+        out = self._run("measured_tft.py", monkeypatch, capsys)
+        assert "CW estimation" in out
+        assert "Generous TFT" in out
+
+    @pytest.mark.slow
+    def test_selfish_hotspot(self, monkeypatch, capsys):
+        out = self._run("selfish_hotspot.py", monkeypatch, capsys)
+        assert "Distributed search" in out
+
+    @pytest.mark.slow
+    def test_multihop_field(self, monkeypatch, capsys):
+        out = self._run("multihop_field.py", monkeypatch, capsys)
+        assert "TFT flood converged" in out
+
+    @pytest.mark.slow
+    def test_reproduce_paper_quick_single(self, monkeypatch, capsys):
+        path = EXAMPLES_DIR / "reproduce_paper.py"
+        monkeypatch.setattr(
+            sys, "argv", [str(path), "--quick", "--only", "convergence"]
+        )
+        with pytest.raises(SystemExit) as info:
+            runpy.run_path(str(path), run_name="__main__")
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        assert "convergence" in out

@@ -1,0 +1,113 @@
+"""Integration: the analytical model against the discrete-event simulator.
+
+These tests are the reproduction's backbone: the simulator is an
+independent implementation of the same stochastic process, so agreement
+here validates both the fixed-point solver and the utility pipeline the
+game analysis is built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bianchi.fixedpoint import solve_heterogeneous, solve_symmetric
+from repro.bianchi.throughput import normalized_throughput
+from repro.game.utility import stage_outcome
+from repro.phy.parameters import AccessMode
+from repro.phy.timing import slot_times
+from repro.sim.engine import DcfSimulator
+
+SLOTS = 250_000
+
+
+class TestSymmetricAgreement:
+    @pytest.mark.parametrize(
+        "mode,window,n",
+        [
+            (AccessMode.BASIC, 78, 5),
+            (AccessMode.BASIC, 335, 20),
+            (AccessMode.RTS_CTS, 48, 20),
+        ],
+    )
+    def test_tau_and_p(self, params, mode, window, n):
+        analytic = solve_symmetric(window, n, params.max_backoff_stage)
+        result = DcfSimulator([window] * n, params, mode, seed=21).run(SLOTS)
+        assert result.tau.mean() == pytest.approx(analytic.tau, rel=0.03)
+        assert result.collision.mean() == pytest.approx(
+            analytic.collision, rel=0.08, abs=0.005
+        )
+
+    def test_payoff_rate_agreement(self, params):
+        window, n = 100, 8
+        times = slot_times(params, AccessMode.BASIC)
+        outcome = stage_outcome([window] * n, params, times)
+        result = DcfSimulator([window] * n, params, seed=22).run(SLOTS)
+        assert result.payoff_rates.mean() == pytest.approx(
+            float(outcome.utilities[0]), rel=0.05
+        )
+
+    def test_bianchi_throughput_agreement(self, params):
+        # The classic saturation-throughput validation of Section III.
+        window, n = 128, 10
+        times = slot_times(params, AccessMode.BASIC)
+        analytic = solve_symmetric(window, n, params.max_backoff_stage)
+        expected = normalized_throughput(
+            [analytic.tau] * n, times, params.payload_time_us
+        )
+        result = DcfSimulator([window] * n, params, seed=23).run(SLOTS)
+        assert result.throughput == pytest.approx(expected, rel=0.03)
+
+
+class TestHeterogeneousAgreement:
+    def test_lemma1_visible_in_simulation(self, params):
+        # The payoff ordering of Lemma 1 must hold in the simulator too.
+        windows = [32, 128, 512]
+        result = DcfSimulator(windows, params, seed=24).run(SLOTS)
+        assert (
+            result.payoff_rates[0]
+            > result.payoff_rates[1]
+            > result.payoff_rates[2]
+        )
+        assert result.tau[0] > result.tau[1] > result.tau[2]
+        assert result.collision[0] < result.collision[1] < result.collision[2]
+
+    def test_full_profile_agreement(self, params):
+        windows = [40, 80, 160, 320]
+        analytic = solve_heterogeneous(windows, params.max_backoff_stage)
+        result = DcfSimulator(windows, params, seed=25).run(SLOTS)
+        np.testing.assert_allclose(result.tau, analytic.tau, rtol=0.06)
+        # The conditional-collision decoupling approximation is exact in
+        # the symmetric case but only approximate for strongly
+        # heterogeneous windows; allow a wider band here.
+        np.testing.assert_allclose(
+            result.collision, analytic.collision, rtol=0.2, atol=0.01
+        )
+
+    def test_stage_outcome_utilities_match_simulation(self, params):
+        windows = [64, 64, 256, 256]
+        times = slot_times(params, AccessMode.BASIC)
+        outcome = stage_outcome(windows, params, times)
+        result = DcfSimulator(windows, params, seed=26).run(SLOTS)
+        np.testing.assert_allclose(
+            result.payoff_rates, outcome.utilities, rtol=0.08
+        )
+
+
+class TestEfficientNeIsSimulatedOptimum:
+    def test_ne_window_beats_neighbours_in_simulation(self, params):
+        # Simulated symmetric payoff at W_c* must be at least as good as
+        # at windows well off the plateau.
+        from repro.game.equilibrium import efficient_window
+
+        n = 5
+        times = slot_times(params, AccessMode.BASIC)
+        star = efficient_window(n, params, times)
+
+        def simulated_payoff(window):
+            sim = DcfSimulator([window] * n, params, seed=27)
+            return sim.run(SLOTS).payoff_rates.mean()
+
+        at_star = simulated_payoff(star)
+        assert at_star > simulated_payoff(max(2, star // 4))
+        assert at_star > simulated_payoff(star * 4)

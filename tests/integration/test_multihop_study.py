@@ -1,0 +1,94 @@
+"""Integration: the Section VII.B multi-hop study end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.multihop_quasi import hidden_independence, run
+from repro.multihop.topology import random_topology
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self, params):
+        return run(
+            params=params,
+            n_nodes=50,
+            n_snapshots=2,
+            snapshot_interval_s=60.0,
+            seed=3,
+        )
+
+    def test_snapshot_count(self, study):
+        assert len(study.snapshots) == 2
+
+    def test_quasi_optimality_bands(self, study):
+        # Paper: each node keeps >= ~96% of its max local payoff and the
+        # global payoff is within ~3% of its max.  Random snapshots vary;
+        # demand the conservative shape.
+        assert study.worst_node_fraction > 0.85
+        assert study.worst_global_fraction > 0.9
+
+    def test_converged_windows_positive(self, study):
+        for snapshot in study.snapshots:
+            assert snapshot.converged_window >= 1
+            assert snapshot.convergence_stages >= 0
+
+    def test_render_mentions_paper_bands(self, study):
+        text = study.render()
+        assert "0.96" in text
+        assert "Section VII.B" in text
+
+
+class TestSpatialQuasiOptimality:
+    def test_converged_window_near_simulated_maximum(self, params):
+        from repro.experiments.multihop_quasi import spatial_quasi_optimality
+        from repro.multihop.game import MultihopGame
+
+        topology = random_topology(
+            30, rng=np.random.default_rng(19), require_connected=True
+        )
+        game = MultihopGame(topology, params)
+        equilibrium = game.solve()
+        fraction = spatial_quasi_optimality(
+            topology,
+            equilibrium.converged_window,
+            params=params,
+            n_slots=40_000,
+        )
+        # Simulated payoff at W_m within ~15% of the grid maximum (the
+        # RTS/CTS payoff is nearly CW-independent, per the paper; the
+        # band absorbs simulation noise).
+        assert fraction > 0.85
+
+    def test_grid_must_contain_window(self, params):
+        from repro.errors import ParameterError
+        from repro.experiments.multihop_quasi import spatial_quasi_optimality
+
+        topology = random_topology(10, rng=np.random.default_rng(20))
+        with pytest.raises(ParameterError):
+            spatial_quasi_optimality(
+                topology, 16, params=params, grid=[8, 32]
+            )
+
+
+class TestHiddenIndependence:
+    def test_degradation_insensitive_to_cw(self, params):
+        # The Section VI key approximation: 1 - p_hn varies slowly with
+        # the common window (for windows that are not too small) while
+        # the sender-side collision probability varies sharply.
+        topology = random_topology(
+            30, rng=np.random.default_rng(41), require_connected=True
+        )
+        windows = [32, 128]
+        degradation = hidden_independence(
+            topology, windows, params=params, n_slots=40_000, seed=2
+        )
+        assert degradation.shape == (2,)
+        assert np.all(degradation >= 0)
+        assert np.all(degradation <= 1)
+        # Slow variation: a 4x window change moves the degradation by
+        # far less than proportionally.
+        denominator = max(degradation.max(), 1e-9)
+        assert (degradation.max() - degradation.min()) / denominator < 0.5

@@ -1,0 +1,221 @@
+"""Integration: the paper's headline claims, end to end.
+
+Each test replays one claim of the paper through the library's public
+API - the "does the reproduction actually reproduce" suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MACGame,
+    RepeatedGameEngine,
+    ShortSightedStrategy,
+    TitForTat,
+    analyze_deviation,
+    analyze_equilibria,
+    refine_equilibria,
+    run_search_protocol,
+)
+from repro.game.lemmas import check_lemma1, check_lemma4
+from repro.multihop.game import MultihopGame
+from repro.multihop.topology import random_topology
+from repro.phy.parameters import AccessMode
+
+
+class TestTheorem2Family:
+    """Every symmetric profile in [W_c0, W_c*] is a NE."""
+
+    def test_no_player_gains_by_unilateral_upward_move(self, small_game):
+        analysis = analyze_equilibria(
+            small_game.n_players, small_game.params, small_game.times
+        )
+        # Upward deviation loses immediately (Lemma 4, first case): the
+        # deviator is disfavoured in the very stage it deviates.
+        for window in (
+            analysis.window_breakeven,
+            (analysis.window_breakeven + analysis.window_star) // 2,
+            analysis.window_star,
+        ):
+            check = check_lemma4(small_game, window, window * 2)
+            assert check.utility_deviant < check.utility_symmetric
+
+    def test_downward_move_punished_by_tft(self, small_game):
+        # Downward deviation gains for the reaction lag, then loses
+        # forever: for a long-sighted player the discounted total is
+        # negative anywhere inside the NE family.
+        analysis = analyze_equilibria(
+            small_game.n_players, small_game.params, small_game.times
+        )
+        star = analysis.window_star
+        deviation = analyze_deviation(
+            small_game,
+            max(2, star // 2),
+            discount=small_game.discount_factor,
+            reference_window=star,
+        )
+        assert not deviation.profitable
+
+
+class TestRefinementClaim:
+    """Refinement leaves exactly one NE, maximizing local+global payoff."""
+
+    def test_unique_survivor(self, small_game):
+        report = refine_equilibria(small_game)
+        survivors = [
+            window
+            for window in report.utilities
+            if report.is_pareto_optimal(window)
+            and report.maximizes_social_welfare(window)
+        ]
+        assert survivors == [report.analysis.window_star]
+
+
+class TestTftFairness:
+    """TFT equalises windows, hence payoffs (the fairness property)."""
+
+    def test_payoffs_equal_after_convergence(self, small_game):
+        engine = RepeatedGameEngine(
+            small_game,
+            [TitForTat() for _ in range(4)],
+            [60, 90, 120, 240],
+        )
+        trace = engine.run(5)
+        final = trace.records[-1]
+        np.testing.assert_allclose(
+            final.stage_payoffs, final.stage_payoffs[0], rtol=1e-9
+        )
+
+
+class TestSearchProtocolClaim:
+    """The Section V.C protocol approaches the efficient NE."""
+
+    def test_search_result_payoff_matches_optimum(self, small_game):
+        analysis = analyze_equilibria(
+            small_game.n_players, small_game.params, small_game.times
+        )
+        outcome = run_search_protocol(
+            small_game, max(2, analysis.window_star - 20)
+        )
+        found = small_game.symmetric_utility(outcome.window)
+        best = small_game.symmetric_utility(analysis.window_star)
+        assert found >= 0.999 * best
+
+    def test_underreporting_initiator_hurts_itself(self, small_game):
+        # Remark of Section V.C: broadcasting W_m < W_c* drags everyone
+        # (including the liar) to the lower window and a lower payoff.
+        analysis = analyze_equilibria(
+            small_game.n_players, small_game.params, small_game.times
+        )
+        star = analysis.window_star
+        lie = max(2, star // 2)
+        assert small_game.symmetric_utility(lie) < small_game.symmetric_utility(
+            star
+        )
+
+
+class TestShortSightedClaim:
+    """Section V.D: deviation pays iff the deviator discounts the future."""
+
+    def test_dichotomy(self, small_game):
+        star = analyze_equilibria(
+            small_game.n_players, small_game.params, small_game.times
+        ).window_star
+        aggressive = max(2, star // 8)
+        myopic = analyze_deviation(
+            small_game, aggressive, discount=0.05, reference_window=star
+        )
+        patient = analyze_deviation(
+            small_game, aggressive, discount=0.9999, reference_window=star
+        )
+        assert myopic.profitable
+        assert not patient.profitable
+
+    def test_deviation_played_out_matches_analysis(self, small_game):
+        # The repeated-game engine must produce exactly the stage payoffs
+        # the closed-form analysis integrates.
+        star = analyze_equilibria(
+            small_game.n_players, small_game.params, small_game.times
+        ).window_star
+        w_s = max(2, star // 8)
+        analysis = analyze_deviation(
+            small_game, w_s, discount=0.5, reference_window=star
+        )
+        strategies = [ShortSightedStrategy(w_s)] + [TitForTat()] * 3
+        engine = RepeatedGameEngine(small_game, strategies, [star] * 4)
+        trace = engine.run(4)
+        # Stage 1 = deviator alone on w_s; stage 2+ = converged on w_s.
+        assert trace.records[1].stage_payoffs[0] == pytest.approx(
+            analysis.stage_payoff_before, rel=1e-9
+        )
+        assert trace.records[2].stage_payoffs[0] == pytest.approx(
+            analysis.stage_payoff_after, rel=1e-9
+        )
+
+
+class TestMaliciousClaim:
+    """Section V.E: a malicious minimum drags the whole network down."""
+
+    def test_tft_follows_attacker_and_welfare_drops(self, small_game):
+        from repro.game.strategies import MaliciousStrategy
+
+        star = analyze_equilibria(
+            small_game.n_players, small_game.params, small_game.times
+        ).window_star
+        strategies = [MaliciousStrategy(2)] + [TitForTat()] * 3
+        engine = RepeatedGameEngine(small_game, strategies, [star] * 4)
+        trace = engine.run(4)
+        assert trace.final_windows.tolist() == [2.0] * 4
+        before = trace.records[0].stage_payoffs.sum()
+        after = trace.records[-1].stage_payoffs.sum()
+        # 4 players at W=2 still deliver some traffic; the welfare drop
+        # deepens with population (see the malicious experiment's sweep).
+        assert after < before * 0.8
+
+
+class TestEmpiricalShortSighted:
+    """Section V.D played on the *simulator* with measured windows."""
+
+    def test_deviator_windfall_then_shared_misery(self, params):
+        from repro.detect import EmpiricalRepeatedGame
+
+        game = MACGame(n_players=4, params=params)
+        star = analyze_equilibria(
+            game.n_players, game.params, game.times
+        ).window_star
+        w_s = max(2, star // 8)
+        strategies = [ShortSightedStrategy(w_s)] + [TitForTat()] * 3
+        engine = EmpiricalRepeatedGame(
+            game,
+            strategies,
+            [star] * 4,
+            slots_per_stage=60_000,
+            seed=3,
+        )
+        trace = engine.run(4)
+        # Stage 1: the deviator measured more than the honest players.
+        stage1 = trace.stages[1].payoff_rates
+        assert stage1[0] > stage1[1:].max() * 2
+        # Final stage: everyone (deviator included) below the measured
+        # NE-stage payoff.
+        stage0 = trace.stages[0].payoff_rates
+        final = trace.stages[-1].payoff_rates
+        assert final.mean() < stage0.mean()
+
+
+class TestMultihopClaim:
+    """Section VI: converged minimum is a quasi-optimal NE of G'."""
+
+    def test_full_pipeline_on_paper_scale_topology(self, params):
+        topology = random_topology(
+            60, rng=np.random.default_rng(31), require_connected=True
+        )
+        game = MultihopGame(topology, params, AccessMode.RTS_CTS)
+        equilibrium = game.solve()
+        assert equilibrium.converged_window == equilibrium.local.windows.min()
+        assert game.check_no_profitable_deviation(equilibrium)
+        report = game.quasi_optimality(equilibrium)
+        assert report.worst_node_fraction > 0.85
+        assert report.global_fraction > 0.9

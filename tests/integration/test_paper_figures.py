@@ -1,0 +1,81 @@
+"""Integration: Figures 2 and 3 shape checks.
+
+The paper's figures plot the normalised global payoff ``U/C`` against the
+common contention window for ``n in {5, 20, 50}``.  The reproduction must
+show: unimodal curves peaking on the ``W_c*`` plateau, larger networks
+peaking at larger windows, and the RTS/CTS family much flatter and less
+sensitive than the basic one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure2, figure3
+
+
+@pytest.fixture(scope="module")
+def fig2(params):
+    return figure2.run(params=params, sizes=(5, 20, 50), n_points=30)
+
+
+@pytest.fixture(scope="module")
+def fig3(params):
+    return figure3.run(params=params, sizes=(5, 20, 50), n_points=30)
+
+
+class TestFigure2:
+    def test_unimodal_per_size(self, fig2):
+        for values in fig2.curves.values():
+            peak = int(np.argmax(values))
+            assert np.all(np.diff(values[: peak + 1]) >= -1e-15)
+            assert np.all(np.diff(values[peak:]) <= 1e-15)
+
+    def test_peaks_ordered_by_population(self, fig2):
+        peaks = [fig2.peak_window(n) for n in (5, 20, 50)]
+        assert peaks[0] < peaks[1] < peaks[2]
+
+    def test_peak_payoff_matches_efficient_ne(self, fig2):
+        for n in (5, 20, 50):
+            star = fig2.optima[n]
+            index = int(np.flatnonzero(fig2.windows == star)[0])
+            assert fig2.curves[n][index] >= fig2.curves[n].max() * 0.999
+
+    def test_small_window_penalty_grows_with_population(self, fig2):
+        # Aggressive windows hurt crowded networks much more.
+        def left_fraction(n):
+            values = fig2.curves[n]
+            return values[0] / values.max()
+
+        assert left_fraction(50) < left_fraction(20) < left_fraction(5)
+
+
+class TestFigure3:
+    def test_unimodal_per_size(self, fig3):
+        for values in fig3.curves.values():
+            peak = int(np.argmax(values))
+            assert np.all(np.diff(values[: peak + 1]) >= -1e-15)
+            assert np.all(np.diff(values[peak:]) <= 1e-15)
+
+    def test_rts_peak_windows_smaller(self, fig2, fig3):
+        for n in (5, 20, 50):
+            assert fig3.optima[n] < fig2.optima[n]
+
+    def test_rts_flatter_on_plateau(self, fig2, fig3):
+        # Spread of the top half of the grid relative to the peak.
+        def plateau_spread(curves, n):
+            values = curves.curves[n]
+            top = values[values >= values.max() * 0.95]
+            return len(top) / len(values)
+
+        # Many more grid points stay within 5% of the RTS peak.
+        assert plateau_spread(fig3, 20) > plateau_spread(fig2, 20)
+
+    def test_global_optimum_near_ne_payoff(self, fig3):
+        # "Operating at W_c* also achieves the global social optimality":
+        # payoff at the NE is within a hair of the curve maximum.
+        for n in (5, 20, 50):
+            star = fig3.optima[n]
+            index = int(np.flatnonzero(fig3.windows == star)[0])
+            assert fig3.curves[n][index] >= fig3.curves[n].max() * 0.995

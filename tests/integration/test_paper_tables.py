@@ -1,0 +1,66 @@
+"""Integration: Tables II and III against the paper's bands.
+
+We do not demand the paper's absolute numbers (their NS-2 testbed and an
+unstated max backoff stage differ from our substrate) but the *shape*
+must hold: monotone growth with ``n``, RTS/CTS windows several times
+smaller, simulated per-node optima on the analytic plateau.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table2, table3
+from repro.experiments.table2 import PAPER_BASIC
+from repro.experiments.table3 import PAPER_RTS
+from repro.game.equilibrium import efficient_window
+from repro.phy.parameters import AccessMode
+
+
+class TestAnalyticColumns:
+    def test_basic_matches_paper_within_five_percent(self, params, basic_times):
+        for n, paper in PAPER_BASIC.items():
+            ours = efficient_window(n, params, basic_times)
+            assert ours == pytest.approx(paper, rel=0.05)
+
+    def test_rts_shape(self, params, rts_times):
+        ours = {n: efficient_window(n, params, rts_times) for n in PAPER_RTS}
+        # Monotone in n.
+        assert ours[5] < ours[20] < ours[50]
+        # n=20 exact, n=50 within 5%; n=5 sits on an extremely flat
+        # plateau (see EXPERIMENTS.md) - only demand the right magnitude.
+        assert ours[20] == PAPER_RTS[20]
+        assert ours[50] == pytest.approx(PAPER_RTS[50], rel=0.05)
+        assert 0.4 * PAPER_RTS[5] < ours[5] < 1.6 * PAPER_RTS[5]
+
+    def test_rts_several_times_smaller_than_basic(
+        self, params, basic_times, rts_times
+    ):
+        for n in (5, 20, 50):
+            basic = efficient_window(n, params, basic_times)
+            rts = efficient_window(n, params, rts_times)
+            assert 4 < basic / rts < 12
+
+
+class TestSimulatedColumns:
+    @pytest.mark.parametrize("module,mode", [
+        (table2, AccessMode.BASIC),
+        (table3, AccessMode.RTS_CTS),
+    ])
+    def test_simulated_mean_on_plateau(self, params, module, mode):
+        result = module.run(
+            params=params, sizes=(5,), slots_per_point=100_000
+        )
+        row = result.rows[0]
+        # The plateau is wide; the mean of per-node optima must land
+        # within the +-40% grid around the analytic value and well away
+        # from its edges on average.
+        assert row.simulated_mean == pytest.approx(
+            row.analytic_window, rel=0.35
+        )
+        assert row.simulated_variance >= 0
+
+    def test_render_includes_paper_column(self, params):
+        result = table2.run(params=params, sizes=(5,), slots_per_point=30_000)
+        assert "paper" in result.render()
+        assert str(PAPER_BASIC[5]) in result.render()

@@ -1,0 +1,122 @@
+"""Property-based tests for the delay, detection and rate-control layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bianchi.delay import (
+    access_delay_jitter,
+    expected_access_delay,
+    mean_backoff_slots,
+)
+from repro.bianchi.markov import transmission_probability
+from repro.detect.estimator import estimate_window
+from repro.game.rate_control import RateControlGame, RateOption
+from repro.phy.parameters import AccessMode, default_parameters
+from repro.phy.timing import slot_times
+
+PARAMS = default_parameters()
+TIMES = slot_times(PARAMS, AccessMode.BASIC)
+
+windows = st.integers(min_value=1, max_value=2048)
+populations = st.integers(min_value=1, max_value=40)
+probabilities = st.floats(min_value=0.0, max_value=0.97)
+
+
+class TestDelayProperties:
+    @given(windows, probabilities, st.integers(min_value=0, max_value=7))
+    def test_backoff_slots_nonnegative(self, window, p, m):
+        assert mean_backoff_slots(window, p, m) >= 0
+
+    @given(windows, populations)
+    def test_delay_positive_and_above_success_time(self, window, n):
+        delay = expected_access_delay(window, n, PARAMS, TIMES)
+        assert delay.delay_us >= TIMES.success_us
+        assert delay.mean_attempts >= 1.0
+        assert delay.countdown_slot_us >= TIMES.idle_us
+
+    @given(windows, populations)
+    def test_jitter_nonnegative(self, window, n):
+        assert access_delay_jitter(window, n, PARAMS, TIMES) >= 0
+
+    @given(windows, st.integers(min_value=1, max_value=20))
+    def test_delay_monotone_in_population(self, window, n):
+        smaller = expected_access_delay(window, n, PARAMS, TIMES).delay_us
+        larger = expected_access_delay(
+            window, n + 5, PARAMS, TIMES
+        ).delay_us
+        assert larger > smaller - 1e-9
+
+
+class TestEstimatorProperties:
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        probabilities,
+        st.integers(min_value=0, max_value=7),
+    )
+    def test_roundtrip_through_equation_two(self, window, p, m):
+        tau = transmission_probability(window, p, m)
+        recovered = estimate_window(tau, p, m)
+        assert recovered == pytest.approx(window, rel=1e-9)
+
+    @given(
+        st.floats(min_value=1e-4, max_value=1.0),
+        probabilities,
+        st.integers(min_value=0, max_value=7),
+    )
+    def test_estimate_positive(self, tau, p, m):
+        assert estimate_window(tau, p, m) >= 0
+
+
+def ladders():
+    """Random strictly-faster-but-lossier rate ladders."""
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0.5e6, max_value=54e6),
+            st.floats(min_value=0.3, max_value=1.0),
+        ),
+        min_size=2,
+        max_size=5,
+    ).map(
+        lambda pairs: [
+            RateOption(rate, quality)
+            for rate, quality in sorted(
+                {(round(r, -3), round(q, 3)) for r, q in pairs}
+            )
+        ]
+    ).filter(lambda options: len(options) >= 2)
+
+
+class TestRateControlProperties:
+    @given(ladders(), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=15)
+    def test_best_response_dynamics_terminate_on_nash(self, options, n):
+        game = RateControlGame(n, PARAMS, 128, options=options)
+        equilibrium = game.solve()
+        assert game.is_nash(equilibrium.nash_profile)
+
+    @given(ladders(), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=15)
+    def test_welfare_at_social_profile_is_maximal_symmetric(
+        self, options, n
+    ):
+        game = RateControlGame(n, PARAMS, 128, options=options)
+        equilibrium = game.solve()
+        for candidate in range(len(options)):
+            assert equilibrium.social_welfare >= game.welfare(
+                [candidate] * n
+            ) - 1e-18
+
+    @given(ladders(), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=15)
+    def test_slot_time_monotone_in_any_players_airtime(self, options, n):
+        game = RateControlGame(n, PARAMS, 128, options=options)
+        airtimes = np.array(game._success_us)
+        slowest = int(np.argmax(airtimes))
+        fastest = int(np.argmin(airtimes))
+        base = game.expected_slot_us([fastest] * n)
+        slowed = game.expected_slot_us([slowest] + [fastest] * (n - 1))
+        assert slowed >= base - 1e-9

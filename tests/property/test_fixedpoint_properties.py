@@ -1,0 +1,85 @@
+"""Property-based tests for the coupled fixed point."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bianchi.fixedpoint import solve_heterogeneous, solve_symmetric
+from repro.bianchi.markov import transmission_probability
+
+MAX_STAGE = 5
+
+window_lists = st.lists(
+    st.integers(min_value=1, max_value=1024), min_size=2, max_size=8
+)
+
+
+class TestSymmetricProperties:
+    @given(
+        st.integers(min_value=1, max_value=2048),
+        st.integers(min_value=2, max_value=60),
+    )
+    def test_solution_is_consistent(self, window, n):
+        sol = solve_symmetric(window, n, MAX_STAGE)
+        assert 0 < sol.tau < 1
+        assert 0 <= sol.collision < 1
+        assert sol.collision == pytest.approx(
+            1 - (1 - sol.tau) ** (n - 1), rel=1e-8
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=1024),
+        st.integers(min_value=2, max_value=40),
+    )
+    def test_adding_a_node_increases_pressure(self, window, n):
+        smaller = solve_symmetric(window, n, MAX_STAGE)
+        larger = solve_symmetric(window, n + 1, MAX_STAGE)
+        assert larger.collision > smaller.collision - 1e-12
+        assert larger.tau < smaller.tau + 1e-12
+
+
+class TestHeterogeneousProperties:
+    @given(window_lists)
+    def test_solution_satisfies_both_equation_sets(self, windows):
+        sol = solve_heterogeneous(windows, MAX_STAGE)
+        one_minus = 1 - sol.tau
+        for i, window in enumerate(windows):
+            others = np.delete(one_minus, i)
+            assert sol.collision[i] == pytest.approx(
+                1 - np.prod(others), rel=1e-6, abs=1e-9
+            )
+            assert sol.tau[i] == pytest.approx(
+                transmission_probability(window, sol.collision[i], MAX_STAGE),
+                rel=1e-6,
+            )
+
+    @given(window_lists)
+    def test_lemma1_tau_ordering(self, windows):
+        # Strictly larger window => strictly smaller tau (Lemma 1).
+        sol = solve_heterogeneous(windows, MAX_STAGE)
+        order = np.argsort(windows)
+        sorted_windows = np.asarray(windows, dtype=float)[order]
+        sorted_tau = sol.tau[order]
+        for a, b in zip(range(len(windows) - 1), range(1, len(windows))):
+            if sorted_windows[a] < sorted_windows[b]:
+                assert sorted_tau[a] > sorted_tau[b]
+            else:  # equal windows -> equal tau
+                assert sorted_tau[a] == pytest.approx(
+                    sorted_tau[b], rel=1e-6
+                )
+
+    @given(window_lists, st.integers(min_value=0, max_value=7))
+    @settings(max_examples=15)
+    def test_permutation_equivariance(self, windows, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(len(windows))
+        base = solve_heterogeneous(windows, MAX_STAGE)
+        shuffled = solve_heterogeneous(
+            [windows[i] for i in perm], MAX_STAGE
+        )
+        np.testing.assert_allclose(
+            shuffled.tau, base.tau[perm], rtol=1e-6
+        )

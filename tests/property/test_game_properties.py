@@ -1,0 +1,123 @@
+"""Property-based tests for game utilities, lemmas and equilibria."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.game.definition import MACGame
+from repro.game.equilibrium import optimal_tau, q_function, window_for_tau
+from repro.game.lemmas import check_lemma1, check_lemma4
+from repro.game.utility import discounted_utility, symmetric_utility_from_tau
+from repro.phy.parameters import AccessMode, default_parameters
+from repro.phy.timing import slot_times
+
+PARAMS = default_parameters()
+TIMES = {
+    AccessMode.BASIC: slot_times(PARAMS, AccessMode.BASIC),
+    AccessMode.RTS_CTS: slot_times(PARAMS, AccessMode.RTS_CTS),
+}
+GAME = MACGame(n_players=4, params=PARAMS)
+
+windows = st.integers(min_value=2, max_value=2048)
+modes = st.sampled_from(list(AccessMode))
+
+
+class TestLemma1Property:
+    @given(
+        st.lists(windows, min_size=4, max_size=4, unique=True), modes
+    )
+    @settings(max_examples=20)
+    def test_ordering_for_any_profile(self, profile, mode):
+        game = MACGame(n_players=4, params=PARAMS, mode=mode)
+        ordered = sorted(range(4), key=lambda i: profile[i])
+        i, j = ordered[-1], ordered[0]  # largest vs smallest window
+        check = check_lemma1(game, profile, i, j)
+        assert check.holds
+
+
+class TestLemma4Property:
+    @given(windows, windows)
+    @settings(max_examples=20)
+    def test_ordering_for_any_deviation(self, common, deviant):
+        if common == deviant:
+            deviant += 1
+        check = check_lemma4(GAME, common, deviant)
+        assert check.holds
+
+
+class TestQFunctionProperty:
+    @given(st.integers(min_value=2, max_value=80), modes)
+    def test_root_exists_and_interior(self, n, mode):
+        tau_star = optimal_tau(n, TIMES[mode])
+        assert 0 < tau_star < 1
+        assert q_function(tau_star, n, TIMES[mode]) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    @given(
+        st.integers(min_value=2, max_value=80),
+        st.floats(min_value=1e-4, max_value=0.99),
+        modes,
+    )
+    def test_q_sign_locates_root(self, n, tau, mode):
+        tau_star = optimal_tau(n, TIMES[mode])
+        value = q_function(tau, n, TIMES[mode])
+        if tau < tau_star:
+            assert value > -1e-9
+        else:
+            assert value < 1e-9
+
+
+class TestWindowTauDuality:
+    @given(
+        st.floats(min_value=0.001, max_value=0.6),
+        st.integers(min_value=2, max_value=50),
+    )
+    def test_roundtrip_through_fixed_point(self, tau, n):
+        from repro.bianchi.fixedpoint import solve_symmetric
+
+        window = window_for_tau(tau, n, PARAMS.max_backoff_stage)
+        if window < 1:  # too aggressive to realise with any window
+            return
+        sol = solve_symmetric(window, n, PARAMS.max_backoff_stage)
+        assert sol.tau == pytest.approx(tau, rel=1e-6)
+
+
+class TestUtilityProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=2, max_value=50),
+        modes,
+    )
+    def test_utility_finite_and_bounded(self, tau, n, mode):
+        value = symmetric_utility_from_tau(tau, n, PARAMS, TIMES[mode])
+        # |u| <= tau * g / min-slot.
+        bound = PARAMS.gain / TIMES[mode].idle_us
+        assert -bound <= value <= bound
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100),
+            min_size=0,
+            max_size=30,
+        ),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_discounted_utility_linear(self, payoffs, delta):
+        doubled = [2 * p for p in payoffs]
+        assert discounted_utility(doubled, delta) == pytest.approx(
+            2 * discounted_utility(payoffs, delta), rel=1e-9, abs=1e-9
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=100), min_size=1, max_size=30
+        ),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_discounted_utility_bounded_by_geometric(self, payoffs, delta):
+        peak = max(payoffs)
+        value = discounted_utility(payoffs, delta)
+        assert 0 <= value <= peak / (1 - delta) + 1e-9

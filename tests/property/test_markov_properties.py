@@ -1,0 +1,93 @@
+"""Property-based tests for the backoff Markov chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bianchi.markov import (
+    BackoffChain,
+    stationary_distribution,
+    transmission_probability,
+)
+
+windows = st.integers(min_value=1, max_value=2048)
+probabilities = st.floats(
+    min_value=0.0, max_value=0.999, allow_nan=False, allow_infinity=False
+)
+stages = st.integers(min_value=0, max_value=8)
+
+
+class TestTransmissionProbability:
+    @given(windows, probabilities, stages)
+    def test_always_a_probability(self, window, p, m):
+        tau = transmission_probability(window, p, m)
+        assert 0.0 < tau <= 1.0
+
+    @given(windows, probabilities, stages)
+    def test_monotone_decreasing_in_window(self, window, p, m):
+        smaller = transmission_probability(window, p, m)
+        larger = transmission_probability(window + 1, p, m)
+        assert larger < smaller
+
+    @given(windows, stages, probabilities, probabilities)
+    def test_monotone_decreasing_in_collision(self, window, m, p1, p2):
+        lo, hi = sorted((p1, p2))
+        tau_lo = transmission_probability(window, lo, m)
+        tau_hi = transmission_probability(window, hi, m)
+        assert tau_hi <= tau_lo + 1e-15
+
+    @given(windows, probabilities, stages)
+    def test_deeper_ladder_never_more_aggressive(self, window, p, m):
+        shallow = transmission_probability(window, p, m)
+        deep = transmission_probability(window, p, m + 1)
+        assert deep <= shallow + 1e-15
+
+
+class TestChainInvariants:
+    @given(windows, probabilities, stages)
+    def test_stage_probabilities_sum_to_tau(self, window, p, m):
+        chain = BackoffChain(
+            window=window, collision_probability=p, max_stage=m
+        )
+        total = chain.stage_probabilities().sum()
+        assert total == pytest.approx(
+            chain.transmission_probability(), rel=1e-9
+        )
+
+    @given(windows, probabilities, stages)
+    def test_stage_probabilities_nonnegative(self, window, p, m):
+        chain = BackoffChain(
+            window=window, collision_probability=p, max_stage=m
+        )
+        assert np.all(chain.stage_probabilities() >= 0)
+
+    @given(
+        st.integers(min_value=1, max_value=32),
+        probabilities,
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_stationary_distribution_normalised(self, window, p, m):
+        chain = BackoffChain(
+            window=window, collision_probability=p, max_stage=m
+        )
+        dist = stationary_distribution(chain)
+        assert sum(dist.values()) == pytest.approx(1.0, abs=1e-9)
+        assert all(v >= 0 for v in dist.values())
+
+    @given(
+        st.integers(min_value=2, max_value=32),
+        probabilities,
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_counter_marginal_monotone(self, window, p, m):
+        chain = BackoffChain(
+            window=window, collision_probability=p, max_stage=m
+        )
+        dist = stationary_distribution(chain)
+        for stage in range(m + 1):
+            w_stage = int(chain.stage_window(stage))
+            values = [dist[(stage, k)] for k in range(w_stage)]
+            assert all(a >= b - 1e-15 for a, b in zip(values, values[1:]))

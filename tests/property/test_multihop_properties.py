@@ -1,0 +1,115 @@
+"""Property-based tests for topologies, mobility and the TFT flood."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multihop.game import MultihopGame
+from repro.multihop.mobility import RandomWaypointModel
+from repro.multihop.topology import GeometricTopology, random_topology
+from repro.phy.parameters import default_parameters
+
+PARAMS = default_parameters()
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def sampled_topology(seed: int, n: int = 15) -> GeometricTopology:
+    return random_topology(
+        n, tx_range=400.0, rng=np.random.default_rng(seed)
+    )
+
+
+class TestTopologyProperties:
+    @given(seeds)
+    @settings(max_examples=15)
+    def test_adjacency_symmetric_no_self_loops(self, seed):
+        topo = sampled_topology(seed)
+        adj = topo.adjacency
+        np.testing.assert_array_equal(adj, adj.T)
+        assert not adj.diagonal().any()
+
+    @given(seeds)
+    @settings(max_examples=15)
+    def test_components_partition_nodes(self, seed):
+        topo = sampled_topology(seed)
+        components = topo.components()
+        union = set().union(*components) if components else set()
+        assert union == set(range(topo.n_nodes))
+        total = sum(len(c) for c in components)
+        assert total == topo.n_nodes
+
+    @given(seeds)
+    @settings(max_examples=15)
+    def test_growing_range_only_adds_edges(self, seed):
+        topo = sampled_topology(seed)
+        wider = GeometricTopology(
+            positions=topo.positions,
+            tx_range=topo.tx_range * 1.5,
+            width=topo.width,
+            height=topo.height,
+        )
+        assert np.all(wider.adjacency >= topo.adjacency)
+
+
+class TestMobilityProperties:
+    @given(seeds, st.floats(min_value=0.1, max_value=20.0))
+    @settings(max_examples=15)
+    def test_positions_confined(self, seed, dt):
+        model = RandomWaypointModel(
+            12, rng=np.random.default_rng(seed), max_speed=5.0
+        )
+        for _ in range(30):
+            model.step(dt)
+        assert np.all(model.state.positions >= -1e-9)
+        assert np.all(
+            model.state.positions
+            <= np.array([model.width, model.height]) + 1e-9
+        )
+
+    @given(seeds)
+    @settings(max_examples=15)
+    def test_displacement_bounded_by_speed(self, seed):
+        model = RandomWaypointModel(
+            12,
+            rng=np.random.default_rng(seed),
+            min_speed=1.0,
+            max_speed=5.0,
+        )
+        before = model.state.positions.copy()
+        dt = 3.0
+        model.step(dt)
+        moved = np.linalg.norm(model.state.positions - before, axis=1)
+        assert np.all(moved <= 5.0 * dt + 1e-6)
+
+
+class TestFloodProperties:
+    @given(seeds)
+    @settings(max_examples=8)
+    def test_flood_reaches_componentwise_minima(self, seed):
+        topo = sampled_topology(seed)
+        game = MultihopGame(topo, PARAMS)
+        eq = game.solve()
+        final = eq.window_history[-1]
+        initial = eq.window_history[0]
+        contending = topo.degrees() > 0
+        for component in topo.components():
+            members = [m for m in component if contending[m]]
+            if not members:
+                continue
+            component_min = min(initial[m] for m in members)
+            for member in members:
+                assert final[member] == component_min
+
+    @given(seeds)
+    @settings(max_examples=8)
+    def test_flood_monotone_and_bounded(self, seed):
+        topo = sampled_topology(seed)
+        game = MultihopGame(topo, PARAMS)
+        eq = game.solve()
+        history = eq.window_history
+        assert np.all(history[1:] <= history[:-1])
+        assert np.all(history >= 1)

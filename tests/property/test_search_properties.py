@@ -1,0 +1,69 @@
+"""Property-based tests for the Section V.C search protocol."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.game.definition import MACGame
+from repro.game.search import run_search_protocol
+from repro.phy.parameters import default_parameters
+
+GAME = MACGame(n_players=4, params=default_parameters())
+
+peaks = st.integers(min_value=3, max_value=500)
+starts = st.integers(min_value=2, max_value=600)
+steps = st.integers(min_value=1, max_value=7)
+
+
+class TestSearchOnSyntheticUnimodal:
+    @given(peaks, starts)
+    @settings(max_examples=40)
+    def test_unit_step_finds_exact_peak(self, peak, start):
+        outcome = run_search_protocol(
+            GAME, start, measure=lambda w: -abs(w - peak)
+        )
+        assert outcome.window == peak
+
+    @given(peaks, starts, steps)
+    @settings(max_examples=40)
+    def test_larger_steps_land_within_one_step(self, peak, start, step):
+        outcome = run_search_protocol(
+            GAME,
+            start,
+            measure=lambda w: -((w - peak) ** 2),
+            step=step,
+        )
+        # The climb stops at the grid point nearest the peak along its
+        # lattice (start + k*step), so the error is below one step.
+        assert abs(outcome.window - peak) <= step or (
+            # ...unless the peak lies outside the reachable lattice
+            # range clipped by the strategy space.
+            outcome.window
+            in (GAME.params.cw_min, GAME.params.cw_max)
+        )
+
+    @given(peaks, starts)
+    @settings(max_examples=30)
+    def test_probe_count_bounded_by_walk_length(self, peak, start):
+        outcome = run_search_protocol(
+            GAME, start, measure=lambda w: -abs(w - peak)
+        )
+        # Start probe + the climb + one failed probe per direction
+        # (right-search always tries one step; left-search fires when
+        # right-search fails immediately).
+        assert outcome.n_measurements <= abs(peak - start) + 3
+
+    @given(peaks, starts)
+    @settings(max_examples=30)
+    def test_trace_is_consistent(self, peak, start):
+        outcome = run_search_protocol(
+            GAME, start, measure=lambda w: -abs(w - peak)
+        )
+        assert outcome.messages[0].kind == "start"
+        assert outcome.messages[-1].kind == "result"
+        assert outcome.messages[-1].window == outcome.window
+        probed = [w for w, _ in outcome.measurements]
+        assert probed[0] == start
+        assert len(set(probed)) == len(probed)  # never re-probes

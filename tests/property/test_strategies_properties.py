@@ -1,0 +1,93 @@
+"""Property-based tests for strategies and the repeated-game engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.game.definition import MACGame
+from repro.game.repeated import RepeatedGameEngine
+from repro.game.strategies import GenerousTitForTat, TitForTat
+from repro.phy.parameters import default_parameters
+
+PARAMS = default_parameters()
+
+profiles = st.lists(
+    st.integers(min_value=2, max_value=2000), min_size=3, max_size=6
+)
+
+
+class TestTftProperties:
+    @given(profiles)
+    @settings(max_examples=15)
+    def test_converges_to_initial_minimum(self, initial):
+        game = MACGame(n_players=len(initial), params=PARAMS)
+        engine = RepeatedGameEngine(
+            game, [TitForTat() for _ in initial], initial
+        )
+        trace = engine.run(3)
+        assert trace.final_windows.tolist() == [float(min(initial))] * len(
+            initial
+        )
+
+    @given(profiles)
+    @settings(max_examples=15)
+    def test_windows_never_increase_under_tft(self, initial):
+        game = MACGame(n_players=len(initial), params=PARAMS)
+        engine = RepeatedGameEngine(
+            game, [TitForTat() for _ in initial], initial
+        )
+        trace = engine.run(4)
+        history = trace.window_history()
+        assert np.all(history[1:] <= history[:-1] + 1e-12)
+
+    @given(profiles)
+    @settings(max_examples=10)
+    def test_fairness_at_convergence(self, initial):
+        game = MACGame(n_players=len(initial), params=PARAMS)
+        engine = RepeatedGameEngine(
+            game, [TitForTat() for _ in initial], initial
+        )
+        trace = engine.run(3)
+        final = trace.records[-1].stage_payoffs
+        np.testing.assert_allclose(final, final[0], rtol=1e-9)
+
+
+class TestGtftProperties:
+    @given(
+        st.integers(min_value=50, max_value=500),
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.5, max_value=0.95),
+    )
+    @settings(max_examples=10)
+    def test_common_window_is_fixed_point(self, window, memory, tolerance):
+        # Without noise, a common window never moves under GTFT.
+        game = MACGame(n_players=4, params=PARAMS)
+        engine = RepeatedGameEngine(
+            game,
+            [GenerousTitForTat(memory=memory, tolerance=tolerance)] * 4,
+            [window] * 4,
+        )
+        trace = engine.run(4)
+        assert np.all(trace.window_history() == window)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10)
+    def test_gtft_never_below_observed_minimum(self, seed):
+        # Even with noise, GTFT's reaction is bounded below by the
+        # minimum window anyone was *observed* to play.
+        game = MACGame(n_players=4, params=PARAMS)
+        engine = RepeatedGameEngine(
+            game,
+            [GenerousTitForTat(memory=2, tolerance=0.9)] * 4,
+            [200] * 4,
+            observation_noise=20,
+            rng=np.random.default_rng(seed),
+        )
+        trace = engine.run(6)
+        lowest_observed = min(
+            record.observed_windows.min() for record in trace.records
+        )
+        assert trace.window_history().min() >= lowest_observed

@@ -1,0 +1,93 @@
+"""Property-based tests for slot statistics, throughput and fairness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bianchi.fairness import jain_index, throughput_shares
+from repro.bianchi.throughput import normalized_throughput, slot_statistics
+from repro.phy.parameters import AccessMode, default_parameters
+from repro.phy.timing import slot_times
+
+PARAMS = default_parameters()
+TIMES = {
+    mode: slot_times(PARAMS, mode) for mode in AccessMode
+}
+
+tau_lists = st.lists(
+    st.floats(min_value=0.0, max_value=0.95),
+    min_size=1,
+    max_size=10,
+)
+active_tau_lists = st.lists(
+    st.floats(min_value=1e-3, max_value=0.95),
+    min_size=2,
+    max_size=10,
+)
+modes = st.sampled_from(list(AccessMode))
+
+
+class TestSlotStatisticsProperties:
+    @given(tau_lists, modes)
+    def test_probabilities_are_probabilities(self, taus, mode):
+        stats = slot_statistics(taus, TIMES[mode])
+        assert 0.0 <= stats.p_transmission <= 1.0
+        assert 0.0 <= stats.p_success <= 1.0
+        assert stats.p_idle == pytest.approx(1.0 - stats.p_transmission)
+        assert np.all(stats.per_node_success >= 0)
+        assert stats.per_node_success.sum() <= stats.p_transmission + 1e-12
+
+    @given(tau_lists, modes)
+    def test_slot_duration_bracketed(self, taus, mode):
+        times = TIMES[mode]
+        stats = slot_statistics(taus, times)
+        lo = min(times.idle_us, times.collision_us, times.success_us)
+        hi = max(times.idle_us, times.collision_us, times.success_us)
+        assert lo - 1e-9 <= stats.expected_slot_us <= hi + 1e-9
+
+    @given(active_tau_lists, modes)
+    def test_throughput_in_unit_interval(self, taus, mode):
+        s = normalized_throughput(
+            taus, TIMES[mode], PARAMS.payload_time_us
+        )
+        assert 0.0 <= s < 1.0
+
+
+class TestFairnessProperties:
+    @given(active_tau_lists, modes)
+    def test_shares_form_a_distribution(self, taus, mode):
+        shares = throughput_shares(taus, TIMES[mode])
+        assert shares.shape == (len(taus),)
+        assert np.all(shares >= 0)
+        assert shares.sum() == pytest.approx(1.0)
+
+    @given(active_tau_lists, modes)
+    def test_jain_bounds(self, taus, mode):
+        shares = throughput_shares(taus, TIMES[mode])
+        value = jain_index(shares)
+        assert 1.0 / len(taus) - 1e-12 <= value <= 1.0 + 1e-12
+
+    @given(
+        st.floats(min_value=1e-3, max_value=0.95),
+        st.integers(min_value=2, max_value=10),
+        modes,
+    )
+    def test_symmetric_taus_perfectly_fair(self, tau, n, mode):
+        shares = throughput_shares([tau] * n, TIMES[mode])
+        assert jain_index(shares) == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+            max_size=12,
+        ).filter(lambda xs: sum(xs) > 0)
+    )
+    def test_jain_permutation_invariant(self, allocation):
+        shuffled = list(reversed(allocation))
+        assert jain_index(allocation) == pytest.approx(
+            jain_index(shuffled)
+        )

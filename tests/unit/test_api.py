@@ -1,0 +1,78 @@
+"""Public API surface checks.
+
+Guard rails for downstream users: everything advertised in ``__all__``
+must resolve, and the documented entry points must stay importable from
+the package root.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.bianchi",
+    "repro.detect",
+    "repro.experiments",
+    "repro.game",
+    "repro.multihop",
+    "repro.phy",
+    "repro.sim",
+]
+
+
+class TestAllResolves:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_dunder_all_resolves(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "__all__")
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_dunder_all_sorted_and_unique(self, name):
+        module = importlib.import_module(name)
+        exported = list(module.__all__)
+        assert len(exported) == len(set(exported))
+
+
+class TestRootApi:
+    def test_headline_symbols_at_root(self):
+        import repro
+
+        for symbol in (
+            "MACGame",
+            "TitForTat",
+            "GenerousTitForTat",
+            "analyze_equilibria",
+            "efficient_window",
+            "refine_equilibria",
+            "run_search_protocol",
+            "analyze_deviation",
+            "solve_symmetric",
+            "solve_heterogeneous",
+            "default_parameters",
+        ):
+            assert hasattr(repro, symbol)
+
+    def test_version_is_semver_like(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_errors_form_one_hierarchy(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_game_layer_exports_verification(self):
+        from repro.game import verify_theorem2, tft_deviation_gain
+
+        assert callable(verify_theorem2)
+        assert callable(tft_deviation_gain)

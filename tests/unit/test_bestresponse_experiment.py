@@ -1,0 +1,37 @@
+"""Unit tests for the myopic best-response collapse experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import bestresponse
+
+
+@pytest.fixture(scope="module")
+def result(params):
+    return bestresponse.run(params=params, n_players=4, n_stages=4)
+
+
+class TestCollapse:
+    def test_starts_at_efficient_ne(self, result):
+        assert result.myopic_windows[0] == result.initial_window
+
+    def test_myopic_population_undercuts(self, result):
+        assert result.myopic_windows[1] < result.initial_window
+
+    def test_race_to_the_bottom_is_absorbing(self, result):
+        # Once at the bottom, best responses stay there.
+        assert result.myopic_windows[-1] == result.myopic_windows[-2]
+
+    def test_welfare_strictly_below_tft(self, result):
+        assert result.myopic_welfare[-1] < result.tft_welfare[-1]
+        assert result.welfare_loss > 0
+
+    def test_tft_population_is_stable(self, result):
+        assert len(set(round(w, 9) for w in result.tft_welfare)) == 1
+
+    def test_render_mentions_both_dynamics(self, result):
+        text = result.render()
+        assert "myopic" in text
+        assert "TFT" in text
+        assert "welfare loss" in text

@@ -1,0 +1,49 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import QUICK_OVERRIDES, build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_known_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bogus"])
+
+    def test_run_accepts_quick(self):
+        args = build_parser().parse_args(["run", "table1", "--quick"])
+        assert args.experiment_id == "table1"
+        assert args.quick
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Packet size" in out
+
+    def test_run_convergence(self, capsys):
+        assert main(["run", "convergence"]) == 0
+        out = capsys.readouterr().out
+        assert "TFT" in out
+
+    def test_quick_overrides_are_known_ids(self):
+        assert set(QUICK_OVERRIDES) <= set(EXPERIMENTS)

@@ -1,0 +1,74 @@
+"""Unit tests for :class:`repro.game.definition.MACGame`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameDefinitionError
+from repro.game.definition import MACGame
+from repro.phy.parameters import AccessMode
+
+
+class TestConstruction:
+    def test_needs_two_players(self, params):
+        with pytest.raises(GameDefinitionError):
+            MACGame(n_players=1, params=params)
+
+    def test_default_mode_is_basic(self, params):
+        game = MACGame(n_players=3, params=params)
+        assert game.mode is AccessMode.BASIC
+
+    def test_discount_comes_from_params(self, small_game, params):
+        assert small_game.discount_factor == params.discount_factor
+
+    def test_strategy_space_from_params(self, params):
+        game = MACGame(
+            n_players=3, params=params.with_updates(cw_min=2, cw_max=9)
+        )
+        assert list(game.strategy_space) == list(range(2, 10))
+
+    def test_times_match_mode(self, params, basic_times, rts_times):
+        basic = MACGame(n_players=3, params=params, mode=AccessMode.BASIC)
+        rts = MACGame(n_players=3, params=params, mode=AccessMode.RTS_CTS)
+        assert basic.times.success_us == basic_times.success_us
+        assert rts.times.collision_us == rts_times.collision_us
+
+
+class TestProfileValidation:
+    def test_accepts_valid_profile(self, small_game):
+        arr = small_game.validate_profile([10, 20, 30, 40])
+        assert arr.shape == (4,)
+
+    def test_rejects_wrong_length(self, small_game):
+        with pytest.raises(GameDefinitionError):
+            small_game.validate_profile([10, 20])
+
+    def test_rejects_out_of_space(self, small_game):
+        hi = small_game.params.cw_max
+        with pytest.raises(GameDefinitionError):
+            small_game.validate_profile([10, 20, 30, hi + 1])
+        with pytest.raises(GameDefinitionError):
+            small_game.validate_profile([0, 20, 30, 40])
+
+
+class TestPayoffs:
+    def test_stage_payoffs_shape(self, small_game):
+        payoffs = small_game.stage_payoffs([64] * 4)
+        assert payoffs.shape == (4,)
+
+    def test_symmetric_payoff_matches_stage(self, small_game):
+        window = 80
+        via_stage = small_game.stage_payoffs([window] * 4)[0]
+        via_symmetric = small_game.symmetric_stage_payoff(window)
+        assert via_symmetric == pytest.approx(float(via_stage), rel=1e-6)
+
+    def test_global_payoff_is_n_times_individual(self, small_game):
+        window = 100
+        assert small_game.global_payoff(window) == pytest.approx(
+            4 * small_game.symmetric_utility(window)
+        )
+
+    def test_unequal_windows_unequal_payoffs(self, small_game):
+        payoffs = small_game.stage_payoffs([16, 64, 256, 1024])
+        assert len(np.unique(np.round(payoffs, 12))) == 4

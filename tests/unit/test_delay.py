@@ -1,0 +1,126 @@
+"""Unit tests for the access-delay analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bianchi.delay import (
+    access_delay_jitter,
+    expected_access_delay,
+    mean_backoff_slots,
+)
+from repro.errors import ParameterError
+
+
+class TestMeanBackoffSlots:
+    def test_no_collisions_is_half_window(self):
+        # Single attempt, stage 0: E[countdown] = (W - 1)/2.
+        assert mean_backoff_slots(33, 0.0, 5) == pytest.approx(16.0)
+
+    def test_matches_series_definition(self):
+        window, p, m = 16, 0.3, 3
+        expected = sum(
+            p**j * (window * 2 ** min(j, m) - 1) / 2 for j in range(200)
+        )
+        assert mean_backoff_slots(window, p, m) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_increasing_in_collision_probability(self):
+        values = [mean_backoff_slots(32, p, 5) for p in (0.0, 0.2, 0.5, 0.8)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_increasing_in_window(self):
+        values = [mean_backoff_slots(w, 0.2, 5) for w in (8, 32, 128)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            mean_backoff_slots(0, 0.1, 5)
+        with pytest.raises(ParameterError):
+            mean_backoff_slots(8, 1.0, 5)
+        with pytest.raises(ParameterError):
+            mean_backoff_slots(8, 0.1, -1)
+
+
+class TestExpectedAccessDelay:
+    def test_single_node_pure_countdown(self, params, basic_times):
+        delay = expected_access_delay(33, 1, params, basic_times)
+        # No peers: countdown slots are idle slots, one attempt, no
+        # collisions.
+        assert delay.mean_attempts == pytest.approx(1.0)
+        assert delay.countdown_slot_us == pytest.approx(
+            basic_times.idle_us
+        )
+        assert delay.delay_us == pytest.approx(
+            16.0 * basic_times.idle_us + basic_times.success_us
+        )
+
+    def test_delay_unimodal_with_minimum_near_ne(self, params, basic_times):
+        # The key saturated-regime fact: mean access delay bottoms out on
+        # the same plateau as W_c* (=166 for n=10).
+        from repro.game.equilibrium import efficient_window
+
+        star = efficient_window(10, params, basic_times)
+        windows = [8, 32, star, 8 * star, 24 * star]
+        delays = [
+            expected_access_delay(w, 10, params, basic_times).delay_us
+            for w in windows
+        ]
+        star_delay = delays[2]
+        assert star_delay < delays[0]  # better than aggressive
+        assert star_delay < delays[-1]  # better than hyper-polite
+        assert star_delay <= min(delays) * 1.02  # on the bottom plateau
+
+    def test_more_nodes_more_delay(self, params, basic_times):
+        delays = [
+            expected_access_delay(128, n, params, basic_times).delay_us
+            for n in (2, 5, 10, 20)
+        ]
+        assert all(a < b for a, b in zip(delays, delays[1:]))
+
+    def test_validation(self, params, basic_times):
+        with pytest.raises(ParameterError):
+            expected_access_delay(64, 0, params, basic_times)
+
+    def test_matches_simulator(self, params, basic_times):
+        # Cross-check against measured per-packet service time: total
+        # elapsed time over delivered packets ~ E[access delay] per
+        # node times n (each node's packets are served sequentially).
+        from repro.sim import DcfSimulator
+
+        window, n = 100, 5
+        result = DcfSimulator([window] * n, params, seed=8).run(200_000)
+        delivered = result.counters.per_node[0].successes
+        measured_per_packet = result.counters.elapsed_us / delivered
+        predicted = expected_access_delay(
+            window, n, params, basic_times
+        ).delay_us
+        assert predicted == pytest.approx(measured_per_packet, rel=0.1)
+
+
+class TestJitter:
+    def test_positive_everywhere(self, params, basic_times):
+        for window in (4, 64, 512, 4096):
+            assert access_delay_jitter(window, 10, params, basic_times) > 0
+
+    def test_grows_linearly_for_huge_windows(self, params, basic_times):
+        small = access_delay_jitter(1024, 5, params, basic_times)
+        large = access_delay_jitter(4096, 5, params, basic_times)
+        # Far above the plateau the uniform countdown dominates:
+        # quadrupling W multiplies the spread several-fold (slightly
+        # under 4x because the per-slot busy price also falls with W).
+        assert 2.0 < large / small < 5.5
+
+    def test_single_node_matches_uniform_std(self, params, basic_times):
+        # One node, no collisions: jitter = sigma * std of U{0..W-1}.
+        window = 65
+        expected = basic_times.idle_us * np.sqrt((window**2 - 1) / 12.0)
+        assert access_delay_jitter(
+            window, 1, params, basic_times
+        ) == pytest.approx(expected, rel=1e-9)
+
+    def test_validation(self, params, basic_times):
+        with pytest.raises(ParameterError):
+            access_delay_jitter(64, 0, params, basic_times)

@@ -1,0 +1,92 @@
+"""Unit tests for the delay-aware (Section VIII) game extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.game.delay_aware import (
+    delay_aware_efficient_window,
+    delay_aware_utility,
+    delay_tradeoff_curve,
+)
+from repro.game.definition import MACGame
+from repro.game.equilibrium import efficient_window
+from repro.phy.parameters import default_parameters
+
+
+@pytest.fixture(scope="module")
+def game():
+    return MACGame(n_players=10, params=default_parameters())
+
+
+@pytest.fixture(scope="module")
+def star(game):
+    return efficient_window(game.n_players, game.params, game.times)
+
+
+class TestUtility:
+    def test_lambda_zero_recovers_paper_utility(self, game):
+        for window in (32, 100, 200):
+            assert delay_aware_utility(
+                game, window, delay_weight=0.0
+            ) == pytest.approx(game.symmetric_utility(window))
+
+    def test_penalty_vanishes_at_reference(self, game, star):
+        # At the reference window the penalty term is zero by
+        # construction, for any lambda.
+        base = game.symmetric_utility(star)
+        for weight in (0.5, 2.0, 10.0):
+            assert delay_aware_utility(
+                game, star, delay_weight=weight, reference_window=star
+            ) == pytest.approx(base)
+
+    def test_high_jitter_windows_penalised(self, game, star):
+        window = star * 8  # deep in the linear-jitter regime
+        plain = delay_aware_utility(game, window, delay_weight=0.0)
+        priced = delay_aware_utility(
+            game, window, delay_weight=2.0, reference_window=star
+        )
+        assert priced < plain
+
+    def test_negative_weight_rejected(self, game):
+        with pytest.raises(ParameterError):
+            delay_aware_utility(game, 64, delay_weight=-0.1)
+
+
+class TestEquilibrium:
+    def test_lambda_zero_matches_plain_optimum(self, game, star):
+        analysis = delay_aware_efficient_window(game, delay_weight=0.0)
+        # Integer scan vs plateau: payoffs must agree to < 0.1%.
+        assert game.symmetric_utility(
+            analysis.window_star
+        ) == pytest.approx(game.symmetric_utility(star), rel=1e-3)
+
+    def test_optimum_stays_in_plateau_band(self, game, star):
+        # The jitter minimum sits between W_c* and ~2 W_c*; any lambda
+        # lands in that band.
+        for weight in (0.5, 2.0, 8.0):
+            analysis = delay_aware_efficient_window(
+                game, delay_weight=weight
+            )
+            assert star - 5 <= analysis.window_star <= 2 * star + 5
+
+    def test_throughput_cost_is_small(self, game, star):
+        # The robustness finding: pricing jitter costs < 1% throughput.
+        analysis = delay_aware_efficient_window(game, delay_weight=2.0)
+        assert analysis.throughput_utility >= game.symmetric_utility(
+            star
+        ) * 0.99
+
+
+class TestTradeoffCurve:
+    def test_monotone_in_lambda(self, game):
+        curve = delay_tradeoff_curve(game, [0.0, 0.5, 2.0])
+        windows = [curve[w].window_star for w in (0.0, 0.5, 2.0)]
+        assert windows[0] <= windows[1] <= windows[2]
+        jitters = [curve[w].jitter_us for w in (0.0, 0.5, 2.0)]
+        assert jitters[0] >= jitters[1] >= jitters[2] - 1e-9
+
+    def test_rejects_empty_weights(self, game):
+        with pytest.raises(ParameterError):
+            delay_tradeoff_curve(game, [])

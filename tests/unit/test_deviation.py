@@ -1,0 +1,114 @@
+"""Unit tests for the Section V.D deviation analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.game.deviation import analyze_deviation, optimal_deviation_window
+from repro.game.equilibrium import efficient_window
+
+
+@pytest.fixture(scope="module")
+def w_star(small_game):
+    return efficient_window(
+        small_game.n_players, small_game.params, small_game.times
+    )
+
+
+class TestAnalyzeDeviation:
+    def test_payoff_decomposition(self, small_game, w_star):
+        analysis = analyze_deviation(
+            small_game, w_star // 4, discount=0.5, reaction_stages=2
+        )
+        head = (1 - 0.5**2) / (1 - 0.5)
+        tail = 0.5**2 / (1 - 0.5)
+        assert analysis.payoff_deviate == pytest.approx(
+            head * analysis.stage_payoff_before
+            + tail * analysis.stage_payoff_after
+        )
+        assert analysis.payoff_conform == pytest.approx(
+            analysis.stage_payoff_reference / (1 - 0.5)
+        )
+
+    def test_lemma4_relations_embedded(self, small_game, w_star):
+        analysis = analyze_deviation(small_game, w_star // 4, discount=0.5)
+        # Before the reaction the deviator beats the reference...
+        assert analysis.stage_payoff_before > analysis.stage_payoff_reference
+        # ...and after convergence everyone is below the reference.
+        assert analysis.stage_payoff_after < analysis.stage_payoff_reference
+
+    def test_short_sighted_deviation_pays(self, small_game, w_star):
+        analysis = analyze_deviation(small_game, w_star // 4, discount=0.05)
+        assert analysis.profitable
+        assert analysis.gain > 0
+
+    def test_long_sighted_deviation_does_not_pay(self, small_game, w_star):
+        analysis = analyze_deviation(
+            small_game, w_star // 4, discount=0.9999
+        )
+        assert not analysis.profitable
+
+    def test_longer_reaction_makes_deviation_sweeter(self, small_game, w_star):
+        quick = analyze_deviation(
+            small_game, w_star // 4, discount=0.9, reaction_stages=1
+        )
+        slow = analyze_deviation(
+            small_game, w_star // 4, discount=0.9, reaction_stages=5
+        )
+        assert slow.gain > quick.gain
+
+    def test_degradation_in_unit_interval(self, small_game, w_star):
+        analysis = analyze_deviation(small_game, w_star // 8, discount=0.5)
+        assert 0 < analysis.network_degradation < 1
+
+    def test_validation(self, small_game, w_star):
+        with pytest.raises(ParameterError):
+            analyze_deviation(small_game, 10, discount=1.0)
+        with pytest.raises(ParameterError):
+            analyze_deviation(small_game, 10, discount=0.5, reaction_stages=0)
+
+
+class TestOptimalDeviation:
+    def test_extremely_short_sighted_picks_aggressive_window(
+        self, small_game, w_star
+    ):
+        best = optimal_deviation_window(
+            small_game, discount=0.01, reference_window=w_star
+        )
+        assert best.deviation_window < w_star // 4
+        assert best.profitable
+
+    def test_long_sighted_picks_reference(self, small_game, w_star):
+        best = optimal_deviation_window(
+            small_game, discount=0.9999, reference_window=w_star
+        )
+        assert best.deviation_window == w_star
+        assert best.gain == pytest.approx(0.0, abs=1e-6)
+
+    def test_monotone_in_discount(self, small_game, w_star):
+        windows = [
+            optimal_deviation_window(
+                small_game, discount=d, reference_window=w_star
+            ).deviation_window
+            for d in (0.05, 0.5, 0.9, 0.9999)
+        ]
+        assert all(a <= b for a, b in zip(windows, windows[1:]))
+
+    def test_explicit_candidates_respected(self, small_game, w_star):
+        best = optimal_deviation_window(
+            small_game,
+            discount=0.05,
+            reference_window=w_star,
+            candidates=[w_star // 2, w_star],
+        )
+        assert best.deviation_window in (w_star // 2, w_star)
+
+    def test_empty_candidates_rejected(self, small_game, w_star):
+        with pytest.raises(ParameterError):
+            optimal_deviation_window(
+                small_game,
+                discount=0.5,
+                reference_window=w_star,
+                candidates=[],
+            )

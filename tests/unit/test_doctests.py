@@ -1,0 +1,36 @@
+"""Execute the runnable doctests embedded in public docstrings.
+
+The examples in the API documentation must keep working; this module
+runs them through :mod:`doctest` so a drifting API breaks the suite.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.detect.estimator
+import repro.game.definition
+import repro.game.repeated
+import repro.multihop.mobility
+import repro.sim.engine
+
+MODULES = [
+    repro,
+    repro.detect.estimator,
+    repro.game.definition,
+    repro.game.repeated,
+    repro.multihop.mobility,
+    repro.sim.engine,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

@@ -1,0 +1,190 @@
+"""Unit tests for individual experiment modules (small configurations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments import (
+    convergence,
+    figure2,
+    figure3,
+    malicious,
+    shortsighted,
+    table1,
+    table2,
+)
+from repro.experiments.malicious import collapse_demo
+from repro.phy.parameters import AccessMode
+
+
+class TestTable1:
+    def test_derived_times_present(self):
+        result = table1.run()
+        assert result.derived["Ts (basic)"] == pytest.approx(8980.0)
+        assert result.derived["Tc' (RTS/CTS)"] == pytest.approx(416.0)
+
+    def test_render_contains_both_tables(self):
+        text = table1.run().render()
+        assert "Table I" in text
+        assert "Derived slot occupancy times" in text
+
+
+class TestNETables:
+    def test_small_run_row_structure(self, params):
+        result = table2.run_mode(
+            AccessMode.BASIC,
+            params=params,
+            sizes=(3,),
+            slots_per_point=20_000,
+        )
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.n_nodes == 3
+        assert row.analytic_window > 1
+        assert row.simulated_mean > 0
+        assert row.simulated_variance >= 0
+
+    def test_simulated_mean_on_plateau(self, params):
+        result = table2.run_mode(
+            AccessMode.BASIC,
+            params=params,
+            sizes=(5,),
+            slots_per_point=80_000,
+        )
+        row = result.rows[0]
+        assert row.simulated_mean == pytest.approx(
+            row.analytic_window, rel=0.4
+        )
+
+    def test_render_layout(self, params):
+        result = table2.run_mode(
+            AccessMode.BASIC,
+            params=params,
+            sizes=(3,),
+            slots_per_point=10_000,
+        )
+        text = result.render()
+        assert "Table II" in text
+        assert "Wc*" in text
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def curves(self, params):
+        return figure2.run_mode(
+            AccessMode.BASIC, params=params, sizes=(3, 6), n_points=18
+        )
+
+    def test_curves_unimodal(self, curves):
+        for n, values in curves.curves.items():
+            peak = int(np.argmax(values))
+            rising = values[: peak + 1]
+            falling = values[peak:]
+            assert np.all(np.diff(rising) >= -1e-15)
+            assert np.all(np.diff(falling) <= 1e-15)
+
+    def test_peak_near_analytic_optimum(self, curves):
+        for n in curves.curves:
+            peak = curves.peak_window(n)
+            star = curves.optima[n]
+            # The plateau is flat; payoff at the peak and at W* must be
+            # nearly identical even if the argmaxes differ.
+            peak_value = curves.curves[n].max()
+            star_index = int(np.flatnonzero(curves.windows == star)[0])
+            assert curves.curves[n][star_index] >= peak_value * 0.999
+
+    def test_grid_contains_each_optimum(self, curves):
+        for star in curves.optima.values():
+            assert star in curves.windows
+
+    def test_normalisation_dimensionless(self, curves):
+        # U/C = n u sigma / g stays within (0, 1) for sane profiles.
+        for values in curves.curves.values():
+            assert np.all(values > 0)
+            assert np.all(values < 1)
+
+    def test_figure3_flatter_than_figure2(self, params):
+        basic = figure2.run_mode(
+            AccessMode.BASIC, params=params, sizes=(5,), n_points=15
+        )
+        rts = figure3.run(params=params, sizes=(5,), n_points=15)
+        # Relative drop from the peak to the smallest window probed is
+        # much gentler under RTS/CTS (cheap collisions).
+        def drop(curves):
+            values = curves.curves[5]
+            return (values.max() - values[0]) / values.max()
+
+        assert drop(rts) < drop(basic) / 2
+
+    def test_rejects_bad_grid(self, params):
+        with pytest.raises(ParameterError):
+            figure2.run_mode(
+                AccessMode.BASIC, params=params, sizes=(3,), grid=[0, 5]
+            )
+
+
+class TestShortsighted:
+    @pytest.fixture(scope="class")
+    def result(self, params):
+        return shortsighted.run(
+            params=params,
+            n_players=5,
+            discounts=(0.05, 0.9, 0.9999),
+        )
+
+    def test_short_sighted_rows_aggressive(self, result):
+        by_discount = {row.discount: row for row in result.rows}
+        assert by_discount[0.05].best_window < result.reference_window // 4
+        assert by_discount[0.05].gain > 0
+
+    def test_long_sighted_row_conforms(self, result):
+        row = {r.discount: r for r in result.rows}[0.9999]
+        assert row.best_window == result.reference_window
+        assert row.degradation == pytest.approx(0.0, abs=1e-9)
+
+    def test_render(self, result):
+        assert "Section V.D" in result.render()
+
+    def test_rejects_empty_discounts(self, params):
+        with pytest.raises(ParameterError):
+            shortsighted.run(params=params, discounts=())
+
+
+class TestMalicious:
+    def test_degradation_monotone_in_window(self, params):
+        result = malicious.run(params=params, n_players=5)
+        payoffs = [row.global_payoff for row in result.rows]
+        assert all(a < b for a, b in zip(payoffs, payoffs[1:]))
+
+    def test_all_attacks_below_optimum(self, params):
+        result = malicious.run(params=params, n_players=5)
+        for row in result.rows:
+            assert row.global_payoff < result.reference_payoff
+
+    def test_collapse_demo_paralyses_at_w1(self):
+        result = collapse_demo()
+        by_window = {row.attack_window: row for row in result.rows}
+        assert by_window[1].collapsed
+        assert not result.rows[-1].collapsed
+
+    def test_rejects_empty_attacks(self, params):
+        with pytest.raises(ParameterError):
+            malicious.run(params=params, attack_windows=[])
+
+
+class TestConvergenceExperiment:
+    def test_three_scenarios(self, params):
+        result = convergence.run(params=params, n_players=4, n_stages=8)
+        labels = [run.label for run in result.runs]
+        assert len(labels) == 3
+        tft, gtft, deviator = result.runs
+        assert tft.common and tft.converged_at == 1
+        assert gtft.common  # tolerance holds the line under noise
+        assert deviator.common
+        assert min(deviator.final_windows) < min(deviator.initial_windows)
+
+    def test_render(self, params):
+        text = convergence.run(params=params, n_players=4).render()
+        assert "TFT" in text

@@ -1,0 +1,84 @@
+"""Unit tests for the JSON export of experiment results."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.export import result_to_dict, to_json, write_json
+from repro.experiments import run_experiment
+from repro.phy.parameters import AccessMode
+
+
+class TestResultToDict:
+    def test_scalars_pass_through(self):
+        assert result_to_dict(3) == 3
+        assert result_to_dict(2.5) == 2.5
+        assert result_to_dict("x") == "x"
+        assert result_to_dict(True) is True
+        assert result_to_dict(None) is None
+
+    def test_numpy_types_converted(self):
+        assert result_to_dict(np.int64(3)) == 3
+        assert result_to_dict(np.float64(2.5)) == 2.5
+        assert result_to_dict(np.bool_(True)) is True
+        assert result_to_dict(np.array([1, 2])) == [1, 2]
+        assert result_to_dict(np.array([[1.5]])) == [[1.5]]
+
+    def test_nonfinite_floats_become_null(self):
+        assert result_to_dict(float("nan")) is None
+        assert result_to_dict(float("inf")) is None
+
+    def test_enum_converted(self):
+        assert result_to_dict(AccessMode.BASIC) == "basic"
+
+    def test_mapping_keys_stringified(self):
+        assert result_to_dict({5: [1, 2]}) == {"5": [1, 2]}
+
+    def test_range_converted(self):
+        assert result_to_dict(range(3)) == [0, 1, 2]
+
+    def test_dataclass_recursion(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Inner:
+            values: np.ndarray
+
+        @dataclass(frozen=True)
+        class Outer:
+            name: str
+            inner: Inner
+
+        outer = Outer(name="x", inner=Inner(values=np.array([1.0])))
+        assert result_to_dict(outer) == {
+            "name": "x",
+            "inner": {"values": [1.0]},
+        }
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParameterError):
+            result_to_dict(object())
+
+
+class TestEndToEnd:
+    def test_experiment_results_serialise(self):
+        for experiment_id, kwargs in [
+            ("table1", {}),
+            ("convergence", {"n_players": 4, "n_stages": 4}),
+            ("malicious", {"n_players": 4}),
+            ("bestresponse", {"n_players": 3, "n_stages": 3}),
+        ]:
+            result = run_experiment(experiment_id, **kwargs)
+            payload = json.loads(to_json(result))
+            assert isinstance(payload, dict)
+            assert payload  # non-empty object
+
+    def test_write_json_roundtrip(self, tmp_path):
+        result = run_experiment("table1")
+        path = write_json(result, tmp_path / "table1.json")
+        payload = json.loads(path.read_text())
+        assert payload["parameters"]["Packet size"] == "8184 bits"

@@ -1,0 +1,71 @@
+"""Unit tests for the fairness metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bianchi.fairness import jain_index, throughput_shares
+from repro.bianchi.fixedpoint import solve_heterogeneous
+from repro.errors import ParameterError
+
+
+class TestJainIndex:
+    def test_perfect_equality(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_monopoly_floor(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_scale_invariance(self):
+        x = [1.0, 2.0, 5.0]
+        assert jain_index(x) == pytest.approx(
+            jain_index([10 * v for v in x])
+        )
+
+    def test_known_value(self):
+        # J([1, 3]) = 16 / (2 * 10) = 0.8.
+        assert jain_index([1.0, 3.0]) == pytest.approx(0.8)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = rng.uniform(0.01, 10.0, size=rng.integers(2, 8))
+            value = jain_index(x)
+            assert 1.0 / x.size <= value <= 1.0 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            jain_index([])
+        with pytest.raises(ParameterError):
+            jain_index([1.0, -0.1])
+        with pytest.raises(ParameterError):
+            jain_index([0.0, 0.0])
+
+
+class TestThroughputShares:
+    def test_symmetric_taus_equal_shares(self, basic_times):
+        shares = throughput_shares([0.05] * 4, basic_times)
+        np.testing.assert_allclose(shares, 0.25)
+
+    def test_shares_sum_to_one(self, basic_times):
+        shares = throughput_shares([0.01, 0.05, 0.2], basic_times)
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_aggressive_node_takes_more(self, basic_times):
+        shares = throughput_shares([0.2, 0.05], basic_times)
+        assert shares[0] > shares[1]
+
+    def test_silent_network_rejected(self, basic_times):
+        with pytest.raises(ParameterError):
+            throughput_shares([0.0, 0.0], basic_times)
+
+    def test_tft_convergence_restores_fairness(self, params, basic_times):
+        # Heterogeneous windows are unfair; the TFT-converged common
+        # window is perfectly fair.
+        hetero = solve_heterogeneous([16, 64, 256, 1024], params.max_backoff_stage)
+        unfair = jain_index(throughput_shares(hetero.tau, basic_times))
+        common = solve_heterogeneous([16] * 4, params.max_backoff_stage)
+        fair = jain_index(throughput_shares(common.tau, basic_times))
+        assert unfair < 0.8
+        assert fair == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Additional unit tests for the figure experiment modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments import figure2, figure3
+from repro.experiments.figure2 import _log_grid
+from repro.phy.parameters import AccessMode
+
+
+class TestLogGrid:
+    def test_endpoints_included(self):
+        grid = _log_grid(2, 1000, 20)
+        assert grid[0] == 2
+        assert grid[-1] == 1000
+
+    def test_strictly_increasing_integers(self):
+        grid = _log_grid(2, 500, 30)
+        assert grid.dtype.kind == "i"
+        assert np.all(np.diff(grid) > 0)
+
+    def test_geometric_spacing(self):
+        grid = _log_grid(2, 2048, 12)
+        ratios = grid[1:] / grid[:-1]
+        # Roughly constant multiplicative steps (coarse check).
+        assert ratios.max() / ratios.min() < 4
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            _log_grid(0, 10, 5)
+        with pytest.raises(ParameterError):
+            _log_grid(10, 10, 5)
+
+
+class TestCustomGrid:
+    def test_explicit_grid_respected(self, params):
+        result = figure2.run_mode(
+            AccessMode.BASIC,
+            params=params,
+            sizes=(3,),
+            grid=[10, 50, 100, 78],
+        )
+        np.testing.assert_array_equal(result.windows, [10, 50, 78, 100])
+
+    def test_duplicate_grid_points_deduplicated(self, params):
+        result = figure2.run_mode(
+            AccessMode.BASIC,
+            params=params,
+            sizes=(3,),
+            grid=[50, 50, 100],
+        )
+        np.testing.assert_array_equal(result.windows, [50, 100])
+
+
+class TestRenderedFigure:
+    @pytest.fixture(scope="class")
+    def curves(self, params):
+        return figure3.run(params=params, sizes=(3, 6), n_points=12)
+
+    def test_render_has_chart_and_table(self, curves):
+        text = curves.render()
+        assert "Global payoff versus CW value" in text
+        assert "o = U/C (n=3)" in text
+        assert "x = U/C (n=6)" in text
+        # The aligned numeric table follows the chart.
+        assert "U/C (n=3)" in text.splitlines()[-len(curves.windows) - 2]
+
+    def test_optima_recorded_per_size(self, curves):
+        assert set(curves.optima) == {3, 6}
+        assert curves.optima[3] < curves.optima[6]
+
+    def test_peak_window_in_grid(self, curves):
+        for n in (3, 6):
+            assert curves.peak_window(n) in curves.windows

@@ -1,0 +1,114 @@
+"""Unit tests for hidden-node sets and degradation estimates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, TopologyError
+from repro.multihop.hidden import analytic_hidden_degradation, hidden_sets
+from repro.multihop.topology import GeometricTopology
+
+
+def line(n, spacing=100.0, tx_range=150.0):
+    positions = np.column_stack(
+        [np.arange(n) * spacing, np.zeros(n)]
+    )
+    return GeometricTopology(
+        positions=positions, tx_range=tx_range, width=5000.0, height=100.0
+    )
+
+
+class TestHiddenSets:
+    def test_classic_three_node_chain(self):
+        # 0 -- 1 -- 2: for sender 0 with receiver 1, node 2 is hidden.
+        topo = line(3)
+        sets = hidden_sets(topo, 0)
+        np.testing.assert_array_equal(sets[1], [2])
+
+    def test_clique_has_empty_hidden_sets(self):
+        topo = line(3, spacing=10.0, tx_range=500.0)
+        for sender in range(3):
+            sets = hidden_sets(topo, sender)
+            for hidden in sets.values():
+                assert hidden.size == 0
+
+    def test_middle_sender_sees_no_hidden_nodes_in_chain_of_three(self):
+        topo = line(3)
+        sets = hidden_sets(topo, 1)
+        # Receivers 0 and 2: their other neighbour is the sender itself.
+        assert sets[0].size == 0
+        assert sets[2].size == 0
+
+    def test_longer_chain_hidden_depth(self):
+        topo = line(5)
+        sets = hidden_sets(topo, 2)
+        # Receiver 1's neighbours are {0, 2}; 0 is hidden from sender 2.
+        np.testing.assert_array_equal(sets[1], [0])
+        np.testing.assert_array_equal(sets[3], [4])
+
+    def test_isolated_sender_rejected(self):
+        positions = np.array([[0.0, 0.0], [10.0, 0.0], [2000.0, 0.0]])
+        topo = GeometricTopology(
+            positions=positions, tx_range=50.0, width=5000.0, height=100.0
+        )
+        with pytest.raises(TopologyError):
+            hidden_sets(topo, 2)
+
+
+class TestAnalyticDegradation:
+    def test_no_hidden_nodes_means_no_degradation(self):
+        topo = line(3, spacing=10.0, tx_range=500.0)
+        p_hn = analytic_hidden_degradation(topo, 0, [0.1, 0.1, 0.1])
+        assert p_hn == pytest.approx(1.0)
+
+    def test_formula_for_single_hidden_node(self):
+        topo = line(3)
+        tau = [0.1, 0.1, 0.2]
+        # Sender 0, receiver 1, hidden {2}: p_hn = (1 - 0.2)^V.
+        p_hn = analytic_hidden_degradation(
+            topo, 0, tau, vulnerability_slots=2.0, receiver=1
+        )
+        assert p_hn == pytest.approx(0.8**2)
+
+    def test_averages_over_receivers(self):
+        topo = line(4)
+        tau = [0.1, 0.1, 0.3, 0.2]
+        # Sender 1: receivers 0 (hidden set empty... 0's neighbours are
+        # {1}) and 2 (hidden {3}).
+        expected = np.mean([1.0, (1 - 0.2) ** 2])
+        assert analytic_hidden_degradation(topo, 1, tau) == pytest.approx(
+            expected
+        )
+
+    def test_more_aggressive_hidden_nodes_degrade_more(self):
+        topo = line(3)
+        mild = analytic_hidden_degradation(topo, 0, [0.1, 0.1, 0.05])
+        harsh = analytic_hidden_degradation(topo, 0, [0.1, 0.1, 0.5])
+        assert harsh < mild
+
+    def test_longer_vulnerability_degrades_more(self):
+        topo = line(3)
+        tau = [0.1, 0.1, 0.2]
+        short = analytic_hidden_degradation(
+            topo, 0, tau, vulnerability_slots=1.0
+        )
+        long = analytic_hidden_degradation(
+            topo, 0, tau, vulnerability_slots=8.0
+        )
+        assert long < short
+
+    def test_validation(self):
+        topo = line(3)
+        with pytest.raises(ParameterError):
+            analytic_hidden_degradation(topo, 0, [0.1, 0.1])  # wrong length
+        with pytest.raises(ParameterError):
+            analytic_hidden_degradation(topo, 0, [0.1, 0.1, 1.0])
+        with pytest.raises(ParameterError):
+            analytic_hidden_degradation(
+                topo, 0, [0.1, 0.1, 0.1], vulnerability_slots=0.0
+            )
+        with pytest.raises(TopologyError):
+            analytic_hidden_degradation(
+                topo, 0, [0.1, 0.1, 0.1], receiver=2
+            )

@@ -1,0 +1,111 @@
+"""Unit tests for the Lemma 1 / Lemma 4 verifiers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.game.lemmas import check_lemma1, check_lemma2, check_lemma4
+
+
+class TestLemma1:
+    @pytest.mark.parametrize(
+        "profile,i,j",
+        [
+            ([200, 50, 100, 100], 0, 1),
+            ([300, 20, 64, 64], 0, 1),
+            ([64, 32, 500, 80], 2, 1),
+        ],
+    )
+    def test_ordering_holds(self, small_game, profile, i, j):
+        check = check_lemma1(small_game, profile, i, j)
+        assert check.holds
+        assert check.p_i > check.p_j
+        assert check.tau_i < check.tau_j
+        assert check.utility_i < check.utility_j
+
+    def test_holds_in_rts_mode(self, rts_game):
+        check = check_lemma1(rts_game, [100, 10, 40, 40, 40], 0, 1)
+        assert check.holds
+
+    def test_requires_strict_order(self, small_game):
+        with pytest.raises(ParameterError):
+            check_lemma1(small_game, [64, 64, 64, 64], 0, 1)
+
+    def test_requires_correct_direction(self, small_game):
+        with pytest.raises(ParameterError):
+            check_lemma1(small_game, [32, 64, 64, 64], 0, 1)
+
+
+class TestLemma2:
+    @pytest.mark.parametrize(
+        "others",
+        [
+            [0.02, 0.02, 0.02],
+            [0.1, 0.1, 0.1],
+            [0.01, 0.05, 0.3],
+            [0.0, 0.0, 0.0],
+        ],
+    )
+    def test_concavity_holds(self, small_game, others):
+        check = check_lemma2(small_game, others)
+        assert check.holds
+
+    def test_concavity_holds_in_rts_mode(self, rts_game):
+        check = check_lemma2(rts_game, [0.05] * 4)
+        assert check.holds
+
+    def test_concavity_with_cost_term_too(self, small_game):
+        # The lemma is stated under g >> e; with the paper's tiny e the
+        # sampled function remains concave as well.
+        check = check_lemma2(small_game, [0.05] * 3, ignore_cost=False)
+        assert check.holds
+
+    def test_utility_grid_shape(self, small_game):
+        check = check_lemma2(small_game, [0.02] * 3, n_points=50)
+        assert check.tau_grid.shape == (50,)
+        assert check.utilities.shape == (50,)
+
+    def test_validation(self, small_game):
+        with pytest.raises(ParameterError):
+            check_lemma2(small_game, [0.1, 0.1])  # wrong length
+        with pytest.raises(ParameterError):
+            check_lemma2(small_game, [0.1, 0.1, 1.0])
+        with pytest.raises(ParameterError):
+            check_lemma2(small_game, [0.1] * 3, n_points=3)
+
+
+class TestLemma4:
+    def test_upward_deviation_ordering(self, small_game):
+        # Deviator raises its window: it earns least, conformists most.
+        check = check_lemma4(small_game, window_common=64, window_deviant=256)
+        assert check.holds
+        assert (
+            check.utility_deviant
+            < check.utility_symmetric
+            < check.utility_conformist
+        )
+
+    def test_downward_deviation_ordering(self, small_game):
+        # Deviator lowers its window: it earns most, conformists least.
+        check = check_lemma4(small_game, window_common=64, window_deviant=8)
+        assert check.holds
+        assert (
+            check.utility_conformist
+            < check.utility_symmetric
+            < check.utility_deviant
+        )
+
+    def test_small_deviation_still_ordered(self, small_game):
+        check = check_lemma4(small_game, window_common=64, window_deviant=63)
+        assert check.holds
+
+    def test_holds_in_rts_mode(self, rts_game):
+        up = check_lemma4(rts_game, window_common=48, window_deviant=96)
+        down = check_lemma4(rts_game, window_common=48, window_deviant=12)
+        assert up.holds
+        assert down.holds
+
+    def test_rejects_no_deviation(self, small_game):
+        with pytest.raises(ParameterError):
+            check_lemma4(small_game, window_common=64, window_deviant=64)

@@ -1,0 +1,85 @@
+"""Unit tests for per-node local single-hop games."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.game.equilibrium import efficient_window
+from repro.multihop.localgame import local_efficient_windows
+from repro.multihop.topology import GeometricTopology
+from repro.phy.parameters import AccessMode
+from repro.phy.timing import slot_times
+
+
+def topology_from(positions, tx_range=150.0):
+    return GeometricTopology(
+        positions=np.asarray(positions, dtype=float),
+        tx_range=tx_range,
+        width=5000.0,
+        height=5000.0,
+    )
+
+
+class TestLocalWindows:
+    def test_windows_match_local_sizes(self, params):
+        # Line of 4: degrees 1,2,2,1 -> local sizes 2,3,3,2.
+        topo = topology_from([[0, 0], [100, 0], [200, 0], [300, 0]])
+        result = local_efficient_windows(topo, params)
+        times = slot_times(params, AccessMode.RTS_CTS)
+        expected_2 = efficient_window(2, params, times)
+        expected_3 = efficient_window(3, params, times)
+        np.testing.assert_array_equal(
+            result.windows, [expected_2, expected_3, expected_3, expected_2]
+        )
+        np.testing.assert_array_equal(result.local_sizes, [2, 3, 3, 2])
+
+    def test_minimum_over_contending_nodes(self, params):
+        topo = topology_from([[0, 0], [100, 0], [200, 0], [300, 0]])
+        result = local_efficient_windows(topo, params)
+        assert result.minimum == result.windows.min()
+        assert result.windows[result.argmin] == result.minimum
+
+    def test_denser_neighbourhood_larger_window(self, params):
+        # A star: the hub contends with everyone, the leaves only with
+        # the hub.
+        star = topology_from(
+            [[500, 500], [600, 500], [400, 500], [500, 600], [500, 400]]
+        )
+        result = local_efficient_windows(star, params)
+        hub, leaf = result.windows[0], result.windows[1]
+        assert hub > leaf
+
+    def test_isolated_node_gets_largest_window(self, params):
+        positions = [[0, 0], [100, 0], [4000, 4000]]
+        topo = topology_from(positions)
+        result = local_efficient_windows(topo, params)
+        # Node 2 is isolated: filled with the max so it never drags the
+        # TFT minimum down.
+        assert result.windows[2] == result.windows[:2].max()
+        assert result.minimum == result.windows[:2].min()
+
+    def test_basic_mode_gives_bigger_windows(self, params):
+        topo = topology_from([[0, 0], [100, 0], [200, 0]])
+        rts = local_efficient_windows(topo, params, AccessMode.RTS_CTS)
+        basic = local_efficient_windows(topo, params, AccessMode.BASIC)
+        assert np.all(basic.windows > rts.windows)
+
+    def test_cache_consistency_across_equal_degrees(self, params):
+        # All nodes of equal degree must share a window (cache or not).
+        ring = topology_from(
+            [
+                [0, 0],
+                [100, 0],
+                [200, 0],
+                [200, 100],
+                [100, 100],
+                [0, 100],
+            ],
+            tx_range=120.0,
+        )
+        result = local_efficient_windows(ring, params)
+        degrees = ring.degrees()
+        for degree in np.unique(degrees):
+            values = result.windows[degrees == degree]
+            assert len(set(values.tolist())) == 1

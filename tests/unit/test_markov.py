@@ -1,0 +1,164 @@
+"""Unit tests for the per-node backoff Markov chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bianchi.markov import (
+    BackoffChain,
+    stationary_distribution,
+    transmission_probability,
+)
+from repro.errors import ParameterError
+
+
+class TestTransmissionProbability:
+    def test_matches_bianchi_closed_form(self):
+        # tau = 2(1-2p) / ((1-2p)(W+1) + pW(1-(2p)^m)) away from p=1/2.
+        for window, p, m in [(32, 0.1, 5), (64, 0.3, 3), (128, 0.45, 6)]:
+            expected = (
+                2 * (1 - 2 * p)
+                / ((1 - 2 * p) * (window + 1) + p * window * (1 - (2 * p) ** m))
+            )
+            assert transmission_probability(window, p, m) == pytest.approx(
+                expected, rel=1e-12
+            )
+
+    def test_no_collisions_gives_two_over_w_plus_one(self):
+        assert transmission_probability(32, 0.0, 5) == pytest.approx(2 / 33)
+
+    def test_continuous_at_one_half(self):
+        # The closed form has a removable singularity at p = 1/2.
+        below = transmission_probability(32, 0.5 - 1e-9, 5)
+        at = transmission_probability(32, 0.5, 5)
+        above = transmission_probability(32, 0.5 + 1e-9, 5)
+        assert below == pytest.approx(at, rel=1e-6)
+        assert above == pytest.approx(at, rel=1e-6)
+
+    def test_decreasing_in_window(self):
+        taus = [transmission_probability(w, 0.2, 5) for w in (8, 16, 64, 256)]
+        assert all(a > b for a, b in zip(taus, taus[1:]))
+
+    def test_decreasing_in_collision_probability(self):
+        taus = [
+            transmission_probability(32, p, 5) for p in (0.0, 0.2, 0.5, 0.8)
+        ]
+        assert all(a > b for a, b in zip(taus, taus[1:]))
+
+    def test_window_one_no_backoff_stage_transmits_always(self):
+        assert transmission_probability(1, 0.0, 0) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        assert 0 < transmission_probability(1024, 0.99, 6) < 1
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ParameterError):
+            transmission_probability(0, 0.1, 5)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ParameterError):
+            transmission_probability(32, 1.0, 5)
+        with pytest.raises(ParameterError):
+            transmission_probability(32, -0.1, 5)
+
+    def test_rejects_negative_stage(self):
+        with pytest.raises(ParameterError):
+            transmission_probability(32, 0.1, -1)
+
+
+class TestBackoffChain:
+    def test_stage_window_doubles_then_caps(self):
+        chain = BackoffChain(window=16, collision_probability=0.2, max_stage=3)
+        assert [chain.stage_window(j) for j in range(6)] == [
+            16,
+            32,
+            64,
+            128,
+            128,
+            128,
+        ]
+
+    def test_stage_window_rejects_negative(self):
+        chain = BackoffChain(window=16, collision_probability=0.2, max_stage=3)
+        with pytest.raises(ParameterError):
+            chain.stage_window(-1)
+
+    def test_stage_probabilities_sum_to_tau(self):
+        chain = BackoffChain(window=32, collision_probability=0.25, max_stage=5)
+        assert chain.stage_probabilities().sum() == pytest.approx(
+            chain.transmission_probability(), rel=1e-10
+        )
+
+    def test_stage_probabilities_geometric(self):
+        p = 0.3
+        chain = BackoffChain(window=32, collision_probability=p, max_stage=4)
+        probs = chain.stage_probabilities()
+        for j in range(3):
+            assert probs[j + 1] / probs[j] == pytest.approx(p)
+        # Final stage absorbs the tail: q(m,0) = p^m/(1-p) q00.
+        assert probs[4] / probs[3] == pytest.approx(p / (1 - p))
+
+    def test_no_collisions_all_mass_on_stage_zero(self):
+        chain = BackoffChain(window=32, collision_probability=0.0, max_stage=5)
+        probs = chain.stage_probabilities()
+        assert probs[0] > 0
+        assert np.all(probs[1:] == 0)
+
+    def test_mean_attempts_per_packet(self):
+        chain = BackoffChain(window=32, collision_probability=0.5, max_stage=5)
+        assert chain.mean_attempts_per_packet() == pytest.approx(2.0)
+
+
+class TestStationaryDistribution:
+    def test_sums_to_one(self):
+        chain = BackoffChain(window=8, collision_probability=0.3, max_stage=3)
+        dist = stationary_distribution(chain)
+        assert sum(dist.values()) == pytest.approx(1.0, abs=1e-10)
+
+    def test_state_space_size(self):
+        chain = BackoffChain(window=4, collision_probability=0.2, max_stage=2)
+        dist = stationary_distribution(chain)
+        # 4 + 8 + 16 states.
+        assert len(dist) == 28
+
+    def test_counter_marginal_decreases_linearly(self):
+        chain = BackoffChain(window=8, collision_probability=0.3, max_stage=2)
+        dist = stationary_distribution(chain)
+        # Within a stage, q(j, k) = q(j, 0)(Wj - k)/Wj.
+        q0 = dist[(0, 0)]
+        for k in range(8):
+            assert dist[(0, k)] == pytest.approx(q0 * (8 - k) / 8)
+
+    def test_transmission_states_sum_to_tau(self):
+        chain = BackoffChain(window=8, collision_probability=0.3, max_stage=3)
+        dist = stationary_distribution(chain)
+        tau = sum(v for (j, k), v in dist.items() if k == 0)
+        assert tau == pytest.approx(chain.transmission_probability(), rel=1e-10)
+
+    def test_requires_integer_window(self):
+        chain = BackoffChain(window=8.5, collision_probability=0.3, max_stage=3)
+        with pytest.raises(ParameterError):
+            stationary_distribution(chain)
+
+    def test_verified_against_explicit_chain_simulation(self, rng):
+        # Monte-Carlo check of the closed forms: simulate the chain's
+        # transitions directly and compare attempt-stage frequencies.
+        window, p, m = 4, 0.35, 2
+        chain = BackoffChain(window=window, collision_probability=p, max_stage=m)
+        stage, counter = 0, int(rng.integers(0, window))
+        attempts_per_stage = np.zeros(m + 1)
+        n_slots = 400_000
+        for _ in range(n_slots):
+            if counter == 0:
+                attempts_per_stage[stage] += 1
+                if rng.random() < p:
+                    stage = min(stage + 1, m)
+                else:
+                    stage = 0
+                counter = int(rng.integers(0, window * 2**stage))
+            else:
+                counter -= 1
+        empirical = attempts_per_stage / n_slots
+        expected = chain.stage_probabilities()
+        np.testing.assert_allclose(empirical, expected, rtol=0.05, atol=5e-4)

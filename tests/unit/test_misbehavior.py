@@ -1,0 +1,73 @@
+"""Unit tests for misbehaviour flagging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detect import detect_misbehavior, estimate_windows
+from repro.errors import ParameterError
+from repro.sim.engine import DcfSimulator
+
+
+class TestDetectMisbehavior:
+    def test_honest_population_clean(self):
+        report = detect_misbehavior([64.0, 66.0, 63.0, 65.0])
+        assert not report.any_flagged
+
+    def test_undercutter_flagged(self):
+        report = detect_misbehavior([8.0, 64.0, 66.0, 63.0])
+        np.testing.assert_array_equal(report.flagged_nodes, [0])
+
+    def test_tolerance_controls_strictness(self):
+        estimates = [50.0, 64.0, 64.0, 64.0]
+        lenient = detect_misbehavior(estimates, tolerance=0.7)
+        strict = detect_misbehavior(estimates, tolerance=0.99)
+        assert not lenient.any_flagged
+        assert strict.flagged_nodes.tolist() == [0]
+
+    def test_silent_nodes_never_flagged(self):
+        report = detect_misbehavior([np.nan, 8.0, 64.0, 64.0])
+        assert 0 not in report.flagged_nodes
+        assert 1 in report.flagged_nodes
+
+    def test_median_robust_to_one_outlier(self):
+        # The deviator itself barely moves the median reference.
+        report = detect_misbehavior([4.0] + [64.0] * 6)
+        assert report.reference == 64.0
+        assert report.flagged_nodes.tolist() == [0]
+
+    def test_explicit_reference(self):
+        report = detect_misbehavior(
+            [30.0, 32.0], reference=100.0, tolerance=0.8
+        )
+        assert report.flagged_nodes.tolist() == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            detect_misbehavior([64.0])
+        with pytest.raises(ParameterError):
+            detect_misbehavior([64.0, 64.0], tolerance=0.0)
+        with pytest.raises(ParameterError):
+            detect_misbehavior([np.nan, np.nan])
+        with pytest.raises(ParameterError):
+            detect_misbehavior([0.0, 64.0])
+        with pytest.raises(ParameterError):
+            detect_misbehavior([64.0, 64.0], reference=0.0)
+
+
+class TestEndToEndDetection:
+    def test_deviator_caught_from_simulation(self, params):
+        # Station 0 runs at W/8 while everyone else behaves: one sim
+        # segment of overheard traffic is enough to convict it.
+        windows = [16, 128, 128, 128, 128]
+        result = DcfSimulator(windows, params, seed=9).run(100_000)
+        estimates = estimate_windows(result, params.max_backoff_stage)
+        report = detect_misbehavior(estimates)
+        assert report.flagged_nodes.tolist() == [0]
+
+    def test_honest_simulation_clean(self, params):
+        result = DcfSimulator([128] * 5, params, seed=9).run(100_000)
+        estimates = estimate_windows(result, params.max_backoff_stage)
+        report = detect_misbehavior(estimates)
+        assert not report.any_flagged

@@ -1,0 +1,101 @@
+"""Miscellaneous edge-case tests across experiment modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameDefinitionError, ParameterError
+from repro.experiments import mobility_dynamics, multihop_quasi, table2
+from repro.experiments.search_protocol import simulator_measurement
+from repro.experiments.table2 import NERow, NETableResult
+from repro.game.definition import MACGame
+from repro.phy.parameters import AccessMode
+
+
+class TestNETableRendering:
+    def test_missing_paper_value_renders_dash(self):
+        result = NETableResult(
+            mode=AccessMode.BASIC,
+            rows=[
+                NERow(
+                    n_nodes=3,
+                    analytic_window=40,
+                    simulated_mean=41.0,
+                    simulated_variance=2.0,
+                    paper_window=None,
+                )
+            ],
+        )
+        text = result.render()
+        assert "-" in text.splitlines()[-1]
+
+    def test_rts_title(self):
+        result = NETableResult(mode=AccessMode.RTS_CTS, rows=[])
+        assert "Table III" in result.render()
+
+
+class TestMultihopStudyValidation:
+    def test_rejects_zero_snapshots(self, params):
+        with pytest.raises(ParameterError):
+            multihop_quasi.run(params=params, n_snapshots=0)
+
+    def test_spatial_quasi_rejects_bad_window(self, params):
+        from repro.multihop.topology import random_topology
+
+        topology = random_topology(5, rng=np.random.default_rng(1))
+        with pytest.raises(ParameterError):
+            multihop_quasi.spatial_quasi_optimality(
+                topology, 0, params=params
+            )
+
+
+class TestSimulatorMeasurement:
+    def test_rejects_zero_slots(self, params):
+        game = MACGame(n_players=3, params=params)
+        with pytest.raises(ParameterError):
+            simulator_measurement(game, slots_per_probe=0)
+
+    def test_measurement_is_noisy_but_unbiased_scale(self, params):
+        game = MACGame(n_players=3, params=params)
+        measure = simulator_measurement(
+            game, slots_per_probe=50_000, seed=5
+        )
+        analytic = game.symmetric_utility(64)
+        measured = measure(64)
+        assert measured == pytest.approx(analytic, rel=0.2)
+
+    def test_consecutive_probes_use_fresh_streams(self, params):
+        game = MACGame(n_players=3, params=params)
+        measure = simulator_measurement(
+            game, slots_per_probe=20_000, seed=5
+        )
+        assert measure(64) != measure(64)
+
+
+class TestMobilityExperiment:
+    def test_ratchet_gap_nonnegative(self, params):
+        result = mobility_dynamics.run(
+            params=params, n_nodes=20, n_epochs=3, seed=2
+        )
+        assert result.ratchet_gap >= 0
+        text = result.render()
+        assert "ratchet gap" in text
+        assert "sticky" in text
+
+
+class TestEmpiricalTraceEdges:
+    def test_empty_trace_raises(self):
+        from repro.detect.empirical import EmpiricalTrace
+
+        with pytest.raises(GameDefinitionError):
+            EmpiricalTrace().final_windows
+
+
+class TestTable2SmallConfigs:
+    def test_custom_sizes_flow_through(self, params):
+        result = table2.run(
+            params=params, sizes=(3, 4), slots_per_point=10_000
+        )
+        assert [row.n_nodes for row in result.rows] == [3, 4]
+        assert result.rows[0].paper_window is None  # not in the paper

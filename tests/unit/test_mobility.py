@@ -1,0 +1,106 @@
+"""Unit tests for the random waypoint mobility model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.multihop.mobility import RandomWaypointModel
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        model = RandomWaypointModel(rng=np.random.default_rng(0))
+        assert model.n_nodes == 100
+        assert model.width == model.height == 1000.0
+        assert model.max_speed == 5.0
+
+    def test_initial_positions_inside_area(self):
+        model = RandomWaypointModel(20, rng=np.random.default_rng(1))
+        assert np.all(model.state.positions >= 0)
+        assert np.all(model.state.positions <= 1000)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RandomWaypointModel(0)
+        with pytest.raises(ParameterError):
+            RandomWaypointModel(5, min_speed=3.0, max_speed=1.0)
+        with pytest.raises(ParameterError):
+            RandomWaypointModel(5, pause_time=-1.0)
+        with pytest.raises(ParameterError):
+            RandomWaypointModel(5, width=-1.0)
+
+
+class TestStepping:
+    def test_positions_stay_inside_area(self):
+        model = RandomWaypointModel(30, rng=np.random.default_rng(2))
+        for _ in range(200):
+            model.step(5.0)
+        assert np.all(model.state.positions >= -1e-9)
+        assert np.all(model.state.positions <= 1000 + 1e-9)
+
+    def test_step_moves_at_most_speed_times_dt(self):
+        model = RandomWaypointModel(
+            30, min_speed=1.0, max_speed=5.0, rng=np.random.default_rng(3)
+        )
+        before = model.state.positions.copy()
+        model.step(2.0)
+        moved = np.linalg.norm(model.state.positions - before, axis=1)
+        assert np.all(moved <= 5.0 * 2.0 + 1e-9)
+
+    def test_nodes_eventually_reach_waypoints(self):
+        model = RandomWaypointModel(
+            10, min_speed=4.0, max_speed=5.0, rng=np.random.default_rng(4)
+        )
+        initial_destinations = model.state.destinations.copy()
+        # Longest possible leg is the diagonal ~1414 m at >= 4 m/s.
+        for _ in range(400):
+            model.step(1.0)
+        changed = np.any(
+            model.state.destinations != initial_destinations, axis=1
+        )
+        assert changed.all()
+
+    def test_pause_holds_position(self):
+        model = RandomWaypointModel(
+            5,
+            min_speed=4.0,
+            max_speed=5.0,
+            pause_time=1000.0,
+            rng=np.random.default_rng(5),
+        )
+        for _ in range(400):
+            model.step(1.0)
+        # Everyone has arrived somewhere and is pausing.
+        assert np.all(model.state.pause_left > 0)
+        frozen = model.state.positions.copy()
+        model.step(1.0)
+        np.testing.assert_array_equal(model.state.positions, frozen)
+
+    def test_rejects_nonpositive_dt(self):
+        model = RandomWaypointModel(5, rng=np.random.default_rng(6))
+        with pytest.raises(ParameterError):
+            model.step(0.0)
+
+
+class TestSnapshots:
+    def test_snapshot_is_frozen_copy(self):
+        model = RandomWaypointModel(10, rng=np.random.default_rng(7))
+        snap = model.snapshot(250.0)
+        before = snap.positions.copy()
+        model.step(10.0)
+        np.testing.assert_array_equal(snap.positions, before)
+
+    def test_snapshots_iterator_advances_time(self):
+        model = RandomWaypointModel(
+            10, min_speed=4.0, max_speed=5.0, rng=np.random.default_rng(8)
+        )
+        snaps = list(model.snapshots(250.0, interval=50.0, count=3))
+        assert len(snaps) == 3
+        assert not np.array_equal(snaps[0].positions, snaps[2].positions)
+
+    def test_snapshots_count_validated(self):
+        model = RandomWaypointModel(10, rng=np.random.default_rng(9))
+        with pytest.raises(ParameterError):
+            list(model.snapshots(250.0, interval=1.0, count=0))

@@ -1,0 +1,72 @@
+"""Unit tests for the simulator's promiscuous-observer hook."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detect.estimator import WindowObserver
+from repro.sim.engine import DcfSimulator
+
+
+class TestObserverHook:
+    def test_observer_counts_match_simulator_counters(self, params):
+        windows = [32, 64, 128]
+        observer = WindowObserver(
+            n_nodes=3, max_stage=params.max_backoff_stage
+        )
+        simulator = DcfSimulator(windows, params, seed=6)
+        result = simulator.run(60_000, observer=observer)
+
+        counters = result.counters
+        assert observer.total_slots == counters.total_slots
+        np.testing.assert_array_equal(
+            observer.attempts,
+            [node.attempts for node in counters.per_node],
+        )
+        np.testing.assert_array_equal(
+            observer.collisions,
+            [node.collisions for node in counters.per_node],
+        )
+
+    def test_streamed_estimates_recover_windows(self, params):
+        windows = [32, 64, 128]
+        observer = WindowObserver(
+            n_nodes=3, max_stage=params.max_backoff_stage
+        )
+        DcfSimulator(windows, params, seed=6).run(
+            150_000, observer=observer
+        )
+        np.testing.assert_allclose(
+            observer.estimates(), windows, rtol=0.12
+        )
+
+    def test_streamed_and_batch_estimates_agree(self, params):
+        windows = [40, 80]
+        observer = WindowObserver(
+            n_nodes=2, max_stage=params.max_backoff_stage
+        )
+        result = DcfSimulator(windows, params, seed=7).run(
+            80_000, observer=observer
+        )
+        from repro.detect.estimator import estimate_windows
+
+        np.testing.assert_allclose(
+            observer.estimates(),
+            estimate_windows(result, params.max_backoff_stage),
+            rtol=1e-9,
+        )
+
+    def test_run_without_observer_unchanged(self, params):
+        # The hook must not perturb the simulation itself.
+        plain = DcfSimulator([32, 64], params, seed=8).run(30_000)
+        observer = WindowObserver(
+            n_nodes=2, max_stage=params.max_backoff_stage
+        )
+        observed = DcfSimulator([32, 64], params, seed=8).run(
+            30_000, observer=observer
+        )
+        np.testing.assert_array_equal(plain.tau, observed.tau)
+        np.testing.assert_array_equal(
+            plain.payoff_rates, observed.payoff_rates
+        )

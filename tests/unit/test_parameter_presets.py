@@ -1,0 +1,54 @@
+"""Unit tests for the alternative PHY parameter presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.game.equilibrium import efficient_window
+from repro.phy.parameters import (
+    AccessMode,
+    default_parameters,
+    parameters_80211b,
+)
+from repro.phy.timing import slot_times
+
+
+class TestPreset80211b:
+    def test_standard_phy_constants(self):
+        preset = parameters_80211b()
+        assert preset.channel_bit_rate == 11e6
+        assert preset.slot_time_us == 20.0
+        assert preset.sifs_us == 10.0
+        assert preset.difs_us == 50.0
+
+    def test_frame_airtimes_shrink_with_rate(self):
+        fast = parameters_80211b()
+        slow = default_parameters()
+        assert fast.payload_time_us == pytest.approx(
+            slow.payload_time_us / 11
+        )
+        assert fast.header_time_us < slow.header_time_us
+
+    def test_equilibrium_machinery_generalises(self):
+        # The whole Section V pipeline runs unchanged on the preset and
+        # keeps the structural properties (monotone in n, RTS smaller).
+        preset = parameters_80211b()
+        basic = slot_times(preset, AccessMode.BASIC)
+        rts = slot_times(preset, AccessMode.RTS_CTS)
+        w5 = efficient_window(5, preset, basic)
+        w20 = efficient_window(20, preset, basic)
+        assert 1 < w5 < w20
+        assert efficient_window(20, preset, rts) < w20
+
+    def test_cheaper_collisions_mean_smaller_windows(self):
+        # Tc shrinks 11x (payload at 11 Mb/s) while sigma shrinks 2.5x,
+        # so W* ~ n sqrt(2 Tc / sigma) drops relative to Table I.
+        table1 = default_parameters()
+        preset = parameters_80211b()
+        w_table1 = efficient_window(
+            20, table1, slot_times(table1, AccessMode.BASIC)
+        )
+        w_preset = efficient_window(
+            20, preset, slot_times(preset, AccessMode.BASIC)
+        )
+        assert w_preset < w_table1 / 1.5

@@ -1,0 +1,160 @@
+"""Unit tests for :mod:`repro.phy.parameters`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.phy.parameters import AccessMode, PhyParameters, default_parameters
+
+
+class TestDefaults:
+    def test_default_matches_paper_table1(self):
+        params = default_parameters()
+        assert params.payload_bits == 8184.0
+        assert params.mac_header_bits == 272.0
+        assert params.phy_header_bits == 128.0
+        assert params.ack_bits == 112.0
+        assert params.rts_bits == 160.0
+        assert params.cts_bits == 112.0
+        assert params.channel_bit_rate == 1e6
+        assert params.slot_time_us == 50.0
+        assert params.sifs_us == 28.0
+        assert params.difs_us == 128.0
+        assert params.gain == 1.0
+        assert params.cost == 0.01
+        assert params.stage_duration_us == 10e6
+        assert params.discount_factor == 0.9999
+
+    def test_defaults_are_frozen(self):
+        params = default_parameters()
+        with pytest.raises(AttributeError):
+            params.gain = 2.0  # type: ignore[misc]
+
+    def test_two_defaults_are_equal(self):
+        assert default_parameters() == default_parameters()
+
+
+class TestDerivedTimes:
+    def test_header_time_at_1mbps_is_bits(self):
+        params = default_parameters()
+        assert params.header_time_us == pytest.approx(400.0)
+
+    def test_payload_time_at_1mbps(self):
+        params = default_parameters()
+        assert params.payload_time_us == pytest.approx(8184.0)
+
+    def test_control_frames_include_phy_header(self):
+        params = default_parameters()
+        assert params.ack_time_us == pytest.approx(240.0)
+        assert params.rts_time_us == pytest.approx(288.0)
+        assert params.cts_time_us == pytest.approx(240.0)
+
+    def test_faster_channel_shrinks_airtime(self):
+        fast = default_parameters().with_updates(channel_bit_rate=2e6)
+        assert fast.payload_time_us == pytest.approx(8184.0 / 2)
+        # Slot/SIFS/DIFS are PHY constants, not bit times.
+        assert fast.slot_time_us == 50.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "payload_bits",
+            "mac_header_bits",
+            "phy_header_bits",
+            "ack_bits",
+            "channel_bit_rate",
+            "slot_time_us",
+            "sifs_us",
+            "difs_us",
+            "stage_duration_us",
+        ],
+    )
+    def test_positive_fields_reject_zero(self, field):
+        with pytest.raises(ParameterError):
+            default_parameters().with_updates(**{field: 0.0})
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ParameterError):
+            default_parameters().with_updates(cost=-0.1)
+
+    def test_zero_cost_allowed(self):
+        params = default_parameters().with_updates(cost=0.0)
+        assert params.cost == 0.0
+
+    def test_cost_must_stay_below_gain(self):
+        with pytest.raises(ParameterError):
+            default_parameters().with_updates(gain=1.0, cost=1.0)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.5, 1.5])
+    def test_discount_factor_must_be_interior(self, delta):
+        with pytest.raises(ParameterError):
+            default_parameters().with_updates(discount_factor=delta)
+
+    def test_negative_max_stage_rejected(self):
+        with pytest.raises(ParameterError):
+            default_parameters().with_updates(max_backoff_stage=-1)
+
+    def test_zero_max_stage_allowed(self):
+        params = default_parameters().with_updates(max_backoff_stage=0)
+        assert params.max_backoff_stage == 0
+
+    def test_cw_bounds_must_be_ordered(self):
+        with pytest.raises(ParameterError):
+            default_parameters().with_updates(cw_min=100, cw_max=10)
+
+    def test_cw_min_at_least_one(self):
+        with pytest.raises(ParameterError):
+            default_parameters().with_updates(cw_min=0)
+
+
+class TestStrategySpace:
+    def test_strategy_space_is_inclusive_range(self):
+        params = default_parameters().with_updates(cw_min=3, cw_max=7)
+        assert list(params.strategy_space()) == [3, 4, 5, 6, 7]
+
+    def test_with_updates_returns_new_object(self):
+        base = default_parameters()
+        other = base.with_updates(gain=2.0)
+        assert other.gain == 2.0
+        assert base.gain == 1.0
+        assert other is not base
+
+
+class TestTableRendering:
+    def test_as_table_has_all_paper_rows(self):
+        table = default_parameters().as_table()
+        for label in (
+            "Packet size",
+            "MAC header",
+            "PHY header",
+            "ACK",
+            "RTS",
+            "CTS",
+            "Channel bit rate",
+            "sigma",
+            "SIFS",
+            "DIFS",
+            "g",
+            "e",
+            "T",
+            "delta",
+        ):
+            assert label in table
+
+    def test_as_table_values_render_numbers(self):
+        table = default_parameters().as_table()
+        assert table["Packet size"] == "8184 bits"
+        assert table["Channel bit rate"] == "1 Mbits/s"
+        assert table["delta"] == "0.9999"
+
+
+class TestAccessMode:
+    def test_modes_are_distinct(self):
+        assert AccessMode.BASIC is not AccessMode.RTS_CTS
+
+    def test_str_value(self):
+        assert str(AccessMode.BASIC) == "basic"
+        assert str(AccessMode.RTS_CTS) == "rts_cts"

@@ -1,0 +1,76 @@
+"""Unit tests for :mod:`repro.phy.timing`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.phy.parameters import AccessMode, default_parameters
+from repro.phy.timing import SlotTimes, slot_times
+
+
+class TestBasicAccess:
+    def test_paper_formulas(self, params, basic_times):
+        # Ts = H + P + SIFS + ACK + DIFS; Tc = H + P + SIFS.
+        assert basic_times.success_us == pytest.approx(
+            400 + 8184 + 28 + 240 + 128
+        )
+        assert basic_times.collision_us == pytest.approx(400 + 8184 + 28)
+
+    def test_collision_close_to_success(self, basic_times):
+        # The paper's Tc ~= Ts approximation for the basic case.
+        ratio = basic_times.collision_us / basic_times.success_us
+        assert 0.9 < ratio < 1.0
+
+    def test_idle_is_sigma(self, params, basic_times):
+        assert basic_times.idle_us == params.slot_time_us
+
+    def test_mode_recorded(self, basic_times):
+        assert basic_times.mode is AccessMode.BASIC
+
+
+class TestRtsCtsAccess:
+    def test_paper_formulas(self, rts_times):
+        # Ts' = RTS+SIFS+CTS+SIFS+H+P+SIFS+ACK+DIFS; Tc' = RTS+DIFS.
+        assert rts_times.success_us == pytest.approx(
+            288 + 28 + 240 + 28 + 400 + 8184 + 28 + 240 + 128
+        )
+        assert rts_times.collision_us == pytest.approx(288 + 128)
+
+    def test_collision_much_cheaper_than_success(self, rts_times):
+        # Tc' << Ts' is what makes the RTS/CTS curves flat (Section V.F).
+        assert rts_times.collision_us < rts_times.success_us / 20
+
+    def test_rts_collision_cheaper_than_basic(self, basic_times, rts_times):
+        assert rts_times.collision_us < basic_times.collision_us / 10
+
+    def test_rts_success_costlier_than_basic(self, basic_times, rts_times):
+        # The handshake adds overhead to every success.
+        assert rts_times.success_us > basic_times.success_us
+
+
+class TestValidation:
+    def test_slot_times_requires_positive_durations(self):
+        with pytest.raises(ParameterError):
+            SlotTimes(
+                success_us=0.0,
+                collision_us=1.0,
+                idle_us=1.0,
+                mode=AccessMode.BASIC,
+            )
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(ParameterError):
+            SlotTimes(
+                success_us=1.0,
+                collision_us=1.0,
+                idle_us=-1.0,
+                mode=AccessMode.BASIC,
+            )
+
+    def test_scaled_bit_rate_scales_frame_parts_only(self):
+        params = default_parameters().with_updates(channel_bit_rate=2e6)
+        times = slot_times(params, AccessMode.BASIC)
+        # H + P + ACK shrink by 2; SIFS + DIFS do not.
+        expected = (400 + 8184 + 240) / 2 + 28 + 128
+        assert times.success_us == pytest.approx(expected)

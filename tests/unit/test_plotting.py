@@ -1,0 +1,65 @@
+"""Unit tests for the ASCII figure renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.plotting import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_structure(self):
+        x = [1, 2, 4, 8, 16]
+        text = ascii_plot(
+            x, {"u": [0.0, 1.0, 2.0, 1.0, 0.0]}, title="Shape"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Shape"
+        assert lines[1].endswith("-" * 72)
+        assert "o = u" in lines[-1]
+
+    def test_peak_row_holds_the_maximum(self):
+        x = list(range(10))
+        values = [0, 1, 2, 3, 9, 3, 2, 1, 0, 0]
+        text = ascii_plot(x, {"s": values}, height=8)
+        lines = text.splitlines()
+        plot_rows = [line for line in lines if line.startswith(" " * 11 + "|")]
+        # The first plot row (maximum y) contains exactly one marker.
+        assert plot_rows[0].count("o") == 1
+
+    def test_two_series_get_distinct_markers(self):
+        x = [1, 2, 3]
+        text = ascii_plot(x, {"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "o = a" in text
+        assert "x = b" in text
+        body = "\n".join(
+            line for line in text.splitlines() if line.startswith(" " * 11)
+        )
+        assert "o" in body and "x" in body
+
+    def test_axis_labels_show_range(self):
+        text = ascii_plot([5, 50], {"s": [1.0, 2.0]}, x_label="W")
+        assert "5" in text
+        assert "50" in text
+        assert "W" in text
+
+    def test_flat_series_rendered(self):
+        text = ascii_plot([1, 2, 3], {"s": [4.0, 4.0, 4.0]})
+        assert text  # no division-by-zero on a flat series
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ascii_plot([1], {"s": [1.0]})
+        with pytest.raises(ParameterError):
+            ascii_plot([2, 1], {"s": [1.0, 2.0]})
+        with pytest.raises(ParameterError):
+            ascii_plot([1, 2], {})
+        with pytest.raises(ParameterError):
+            ascii_plot([1, 2], {"s": [1.0]})
+        with pytest.raises(ParameterError):
+            ascii_plot([1, 2], {"s": [1.0, 2.0]}, width=5)
+        many = {f"s{i}": [1.0, 2.0] for i in range(9)}
+        with pytest.raises(ParameterError):
+            ascii_plot([1, 2], many)

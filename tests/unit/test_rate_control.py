@@ -1,0 +1,168 @@
+"""Unit tests for the selfish rate-control game."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameDefinitionError, ParameterError
+from repro.game.equilibrium import efficient_window
+from repro.game.rate_control import (
+    RateControlGame,
+    RateOption,
+    default_rate_options,
+)
+from repro.phy.parameters import AccessMode
+from repro.phy.timing import slot_times
+
+
+@pytest.fixture(scope="module")
+def game(params):
+    star = efficient_window(
+        10, params, slot_times(params, AccessMode.BASIC)
+    )
+    return RateControlGame(10, params, star)
+
+
+class TestRateOption:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RateOption(0.0, 0.9)
+        with pytest.raises(ParameterError):
+            RateOption(1e6, 0.0)
+        with pytest.raises(ParameterError):
+            RateOption(1e6, 1.5)
+
+    def test_default_ladder_monotone(self):
+        options = default_rate_options()
+        rates = [o.bit_rate for o in options]
+        qualities = [o.delivery_probability for o in options]
+        assert rates == sorted(rates)
+        assert qualities == sorted(qualities, reverse=True)
+
+
+class TestSlotPricing:
+    def test_faster_rates_shorten_slots(self, game):
+        n_options = len(game.options)
+        slowest = game.expected_slot_us([0] * 10)
+        fastest = game.expected_slot_us([n_options - 1] * 10)
+        assert fastest < slowest
+
+    def test_one_slow_node_inflates_everyones_slots(self, game):
+        fast = len(game.options) - 1
+        all_fast = game.expected_slot_us([fast] * 10)
+        one_slow = game.expected_slot_us([0] + [fast] * 9)
+        assert one_slow > all_fast
+
+    def test_performance_anomaly_in_utilities(self, game):
+        # The slow node drags *other* players' utilities down - the
+        # classic 802.11 anomaly, emerging from the shared slot time.
+        fast = len(game.options) - 1
+        baseline = game.utilities([fast] * 10)
+        degraded = game.utilities([0] + [fast] * 9)
+        assert degraded[1] < baseline[1]
+
+
+class TestBestResponse:
+    def test_returns_valid_index(self, game):
+        profile = [1] * 10
+        response = game.best_response(0, profile)
+        assert 0 <= response < len(game.options)
+
+    def test_best_response_is_maximal(self, game):
+        profile = [2] * 10
+        response = game.best_response(0, profile)
+        chosen = game.utilities(
+            [response] + profile[1:]
+        )[0]
+        for candidate in range(len(game.options)):
+            trial = [candidate] + profile[1:]
+            assert chosen >= game.utilities(trial)[0] - 1e-18
+
+    def test_player_bounds_checked(self, game):
+        with pytest.raises(GameDefinitionError):
+            game.best_response(10, [0] * 10)
+
+
+class TestEquilibrium:
+    def test_solve_finds_pure_nash(self, game):
+        equilibrium = game.solve()
+        assert game.is_nash(equilibrium.nash_profile)
+
+    def test_nash_is_symmetric_here(self, game):
+        equilibrium = game.solve()
+        assert len(set(equilibrium.nash_profile)) == 1
+
+    def test_selfish_rate_no_faster_than_social(self, game):
+        # The reliability gain is private, the airtime cost shared:
+        # selfish choices sit at or below the social rate.
+        equilibrium = game.solve()
+        assert equilibrium.nash_profile[0] <= equilibrium.social_profile[0]
+
+    def test_inefficient_equilibrium_with_default_ladder(self, game):
+        # With the default link budget the NE is strictly slower than
+        # the social optimum: price of anarchy > 1 (the paper's related
+        # work [Tan & Guttag 2005] in our framework).
+        equilibrium = game.solve()
+        assert equilibrium.price_of_anarchy > 1.001
+
+    def test_multiple_equilibria_ordered_by_start(self, game):
+        # The game is a coordination game in the shared slot time, so
+        # best-response dynamics can settle on different pure NEs from
+        # different corners - both must be genuine equilibria, with the
+        # bottom start never overtaking the top one.
+        from_top = game.solve(
+            initial_profile=[len(game.options) - 1] * 10
+        )
+        from_bottom = game.solve(initial_profile=[0] * 10)
+        assert game.is_nash(from_top.nash_profile)
+        assert game.is_nash(from_bottom.nash_profile)
+        assert from_bottom.nash_profile[0] <= from_top.nash_profile[0]
+
+    def test_degenerate_tension_free_ladder_is_efficient(self, params):
+        # If rate does not cost reliability, everyone picks the fastest
+        # rate and the NE is socially optimal.
+        options = [
+            RateOption(1e6, 0.99, "slow"),
+            RateOption(11e6, 0.99, "fast"),
+        ]
+        game = RateControlGame(5, params, 128, options=options)
+        equilibrium = game.solve()
+        assert set(equilibrium.nash_profile) == {1}
+        assert equilibrium.price_of_anarchy == pytest.approx(1.0)
+
+
+class TestConstruction:
+    def test_validation(self, params):
+        with pytest.raises(GameDefinitionError):
+            RateControlGame(1, params, 128)
+        with pytest.raises(GameDefinitionError):
+            RateControlGame(5, params, 0)
+        with pytest.raises(GameDefinitionError):
+            RateControlGame(
+                5, params, 128, options=[RateOption(1e6, 0.9)]
+            )
+        with pytest.raises(GameDefinitionError):
+            RateControlGame(5, params, 128, energy_per_us=-1.0)
+
+    def test_profile_validation(self, game):
+        with pytest.raises(GameDefinitionError):
+            game.utilities([0] * 9)
+        with pytest.raises(GameDefinitionError):
+            game.utilities([0] * 9 + [99])
+
+    def test_rts_mode_prices_collisions_flat(self, params):
+        game = RateControlGame(
+            5, params, 48, mode=AccessMode.RTS_CTS
+        )
+        fast = len(game.options) - 1
+        # Collision airtime is rate-independent under RTS/CTS, so the
+        # slow-node externality is smaller than in basic mode.
+        basic = RateControlGame(5, params, 48, mode=AccessMode.BASIC)
+
+        def externality(g):
+            all_fast = g.expected_slot_us([fast] * 5)
+            one_slow = g.expected_slot_us([0] + [fast] * 4)
+            return one_slow - all_fast
+
+        assert externality(game) <= externality(basic)

@@ -1,0 +1,67 @@
+"""Unit tests for the Section V.B NE refinement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.game.equilibrium import analyze_equilibria
+from repro.game.refinement import refine_equilibria
+
+
+@pytest.fixture(scope="module")
+def report(small_game):
+    analysis = analyze_equilibria(
+        small_game.n_players, small_game.params, small_game.times
+    )
+    return refine_equilibria(small_game, analysis=analysis)
+
+
+class TestRefinement:
+    def test_efficient_window_matches_analysis(self, report):
+        assert report.efficient_window == report.analysis.window_star
+
+    def test_family_covers_theorem2_range(self, report):
+        analysis = report.analysis
+        assert set(report.utilities) == set(
+            range(analysis.window_breakeven, analysis.window_star + 1)
+        )
+
+    def test_every_ne_is_fair(self, report):
+        for window in report.utilities:
+            assert report.is_fair(window)
+
+    def test_only_efficient_ne_maximizes_social_welfare(self, report):
+        efficient = report.efficient_window
+        assert report.maximizes_social_welfare(efficient)
+        for window in report.utilities:
+            if window != efficient:
+                assert not report.maximizes_social_welfare(window)
+
+    def test_only_efficient_ne_is_pareto_optimal(self, report):
+        efficient = report.efficient_window
+        assert report.is_pareto_optimal(efficient)
+        for window in report.utilities:
+            if window != efficient:
+                assert not report.is_pareto_optimal(window)
+
+    def test_social_welfare_is_n_times_utility(self, report, small_game):
+        for window, utility in report.utilities.items():
+            assert report.social_welfare[window] == pytest.approx(
+                small_game.n_players * utility
+            )
+
+    def test_utility_monotone_up_to_star(self, report):
+        windows = sorted(report.utilities)
+        values = [report.utilities[w] for w in windows]
+        assert all(a <= b + 1e-18 for a, b in zip(values, values[1:]))
+
+    def test_nonmember_window_rejected(self, report):
+        with pytest.raises(ParameterError):
+            report.is_pareto_optimal(report.analysis.window_star + 1)
+        with pytest.raises(ParameterError):
+            report.is_fair(0)
+
+    def test_family_size_guard(self, small_game):
+        with pytest.raises(ParameterError):
+            refine_equilibria(small_game, max_family_size=2)

@@ -1,0 +1,58 @@
+"""Unit tests for the experiment registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_design_md_ids_registered(self):
+        expected = {
+            "table1",
+            "table2",
+            "table3",
+            "fig2",
+            "fig3",
+            "multihop",
+            "shortsighted",
+            "malicious",
+            "search",
+            "convergence",
+            "bestresponse",
+            "mobility",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_entries_carry_metadata(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.paper_artifact
+            assert experiment.description
+            assert callable(experiment.runner)
+
+    def test_get_experiment_roundtrip(self):
+        assert get_experiment("table1").experiment_id == "table1"
+
+    def test_unknown_id_raises_with_hint(self):
+        with pytest.raises(ParameterError) as info:
+            get_experiment("table9")
+        assert "table9" in str(info.value)
+        assert "table1" in str(info.value)  # hint lists known ids
+
+    def test_run_experiment_forwards_kwargs(self):
+        result = run_experiment("table1")
+        assert "Packet size" in result.parameters
+
+    def test_every_result_renders(self):
+        # Only the cheap analytic experiments here; the heavy ones are
+        # exercised in the integration suite.
+        for experiment_id in ("table1", "convergence", "malicious"):
+            result = run_experiment(experiment_id)
+            text = result.render()
+            assert isinstance(text, str) and text

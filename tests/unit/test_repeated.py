@@ -1,0 +1,177 @@
+"""Unit tests for the repeated-game engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameDefinitionError
+from repro.game.repeated import RepeatedGameEngine
+from repro.game.strategies import (
+    ConstantStrategy,
+    GenerousTitForTat,
+    ShortSightedStrategy,
+    TitForTat,
+)
+
+
+class TestConstruction:
+    def test_strategy_count_must_match(self, small_game):
+        with pytest.raises(GameDefinitionError):
+            RepeatedGameEngine(small_game, [TitForTat()] * 3, [64] * 4)
+
+    def test_initial_profile_validated(self, small_game):
+        with pytest.raises(GameDefinitionError):
+            RepeatedGameEngine(small_game, [TitForTat()] * 4, [64] * 3)
+
+    def test_negative_noise_rejected(self, small_game):
+        with pytest.raises(GameDefinitionError):
+            RepeatedGameEngine(
+                small_game,
+                [TitForTat()] * 4,
+                [64] * 4,
+                observation_noise=-1,
+            )
+
+
+class TestTftDynamics:
+    def test_converges_to_minimum_in_one_reaction(self, small_game):
+        engine = RepeatedGameEngine(
+            small_game, [TitForTat()] * 4, [64, 100, 200, 80]
+        )
+        trace = engine.run(4)
+        assert trace.final_windows.tolist() == [64.0] * 4
+        assert trace.converged_at == 1
+        assert trace.has_common_window()
+
+    def test_converged_profile_is_absorbing(self, small_game):
+        engine = RepeatedGameEngine(
+            small_game, [TitForTat()] * 4, [50] * 4
+        )
+        trace = engine.run(5)
+        history = trace.window_history()
+        assert np.all(history == 50)
+        assert trace.converged_at == 0
+
+    def test_deviator_floods_network(self, small_game):
+        strategies = [ShortSightedStrategy(10)] + [TitForTat()] * 3
+        engine = RepeatedGameEngine(small_game, strategies, [64] * 4)
+        trace = engine.run(4)
+        # Stage 1: deviator moves; stage 2: TFT follows.
+        assert trace.records[1].windows.tolist() == [10.0, 64.0, 64.0, 64.0]
+        assert trace.records[2].windows.tolist() == [10.0] * 4
+
+    def test_stop_when_converged_truncates(self, small_game):
+        engine = RepeatedGameEngine(
+            small_game, [TitForTat()] * 4, [64, 100, 200, 80]
+        )
+        trace = engine.run(50, stop_when_converged=True)
+        assert trace.n_stages < 50
+        assert trace.has_common_window()
+
+
+class TestPayoffAccounting:
+    def test_stage_payoffs_match_game(self, small_game):
+        engine = RepeatedGameEngine(
+            small_game, [ConstantStrategy(64)] * 4, [64] * 4
+        )
+        trace = engine.run(2)
+        expected = small_game.stage_payoffs([64] * 4)
+        np.testing.assert_allclose(
+            trace.records[0].stage_payoffs, expected, rtol=1e-12
+        )
+
+    def test_discounted_payoffs_geometric(self, small_game):
+        engine = RepeatedGameEngine(
+            small_game, [ConstantStrategy(64)] * 4, [64] * 4
+        )
+        horizon = 6
+        trace = engine.run(horizon)
+        delta = 0.5
+        per_stage = trace.records[0].stage_payoffs[0]
+        expected = per_stage * (1 - delta**horizon) / (1 - delta)
+        assert trace.discounted_payoffs(delta)[0] == pytest.approx(expected)
+
+    def test_cache_reuses_stage_solutions(self, small_game):
+        engine = RepeatedGameEngine(
+            small_game, [ConstantStrategy(64)] * 4, [64] * 4
+        )
+        engine.run(10)
+        assert len(engine._stage_cache) == 1
+
+
+class TestObservationNoise:
+    def test_own_window_always_exact(self, small_game, rng):
+        engine = RepeatedGameEngine(
+            small_game,
+            [TitForTat()] * 4,
+            [64] * 4,
+            observation_noise=10,
+            rng=rng,
+        )
+        trace = engine.run(3)
+        for record in trace.records:
+            views = record.observed_windows
+            assert views.shape == (4, 4)
+            np.testing.assert_array_equal(
+                np.diagonal(views), record.windows
+            )
+
+    def test_noise_bounded(self, small_game, rng):
+        engine = RepeatedGameEngine(
+            small_game,
+            [ConstantStrategy(64)] * 4,
+            [64] * 4,
+            observation_noise=5,
+            rng=rng,
+        )
+        trace = engine.run(4)
+        for record in trace.records:
+            assert np.all(np.abs(record.observed_windows - 64) <= 5)
+
+    def test_gtft_stable_under_noise_where_tft_drifts(self, small_game):
+        # The tolerant strategy should hold the common window; plain TFT
+        # chases the noisy minimum downward.
+        start = [64] * 4
+        gtft = RepeatedGameEngine(
+            small_game,
+            [GenerousTitForTat(memory=3, tolerance=0.75)] * 4,
+            start,
+            observation_noise=5,
+            rng=np.random.default_rng(3),
+        )
+        gtft_trace = gtft.run(10)
+        assert gtft_trace.final_windows.tolist() == [64.0] * 4
+
+        tft = RepeatedGameEngine(
+            small_game,
+            [TitForTat()] * 4,
+            start,
+            observation_noise=5,
+            rng=np.random.default_rng(3),
+        )
+        tft_trace = tft.run(10)
+        assert tft_trace.final_windows.min() < 64
+
+
+class TestTraceApi:
+    def test_empty_trace_final_windows_raises(self, small_game):
+        from repro.game.repeated import GameTrace
+
+        with pytest.raises(GameDefinitionError):
+            GameTrace().final_windows
+
+    def test_run_rejects_zero_stages(self, small_game):
+        engine = RepeatedGameEngine(
+            small_game, [TitForTat()] * 4, [64] * 4
+        )
+        with pytest.raises(GameDefinitionError):
+            engine.run(0)
+
+    def test_histories_have_consistent_shapes(self, small_game):
+        engine = RepeatedGameEngine(
+            small_game, [TitForTat()] * 4, [64, 70, 80, 90]
+        )
+        trace = engine.run(5)
+        assert trace.window_history().shape == (5, 4)
+        assert trace.payoff_history().shape == (5, 4)

@@ -1,0 +1,73 @@
+"""Unit tests for the text-report renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(
+            ["n", "W"], [[5, 78], [20, 335]], title="NE points"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "NE points"
+        assert "n" in lines[1] and "W" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "78" in lines[3]
+        assert "335" in lines[4]
+
+    def test_columns_aligned(self):
+        text = format_table(["a", "bbbb"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every row padded to the same width
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [12345.678], [0.00001]])
+        assert "0.1235" in text
+        assert "1.235e+04" in text
+        assert "1e-05" in text
+
+    def test_zero_renders_plainly(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+    def test_no_rows_still_renders_header(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ParameterError):
+            format_table([], [[1]])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ParameterError):
+            format_table(["a", "b"], [[1]])
+
+    def test_rejects_unsupported_cells(self):
+        with pytest.raises(ParameterError):
+            format_table(["a"], [[object()]])
+
+
+class TestFormatSeries:
+    def test_aligned_series(self):
+        text = format_series(
+            [1, 2, 3],
+            {"u": [0.1, 0.2, 0.3], "v": [9, 8, 7]},
+            x_label="W",
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("W")
+        assert "u" in lines[0] and "v" in lines[0]
+        assert len(lines) == 2 + 3
+
+    def test_title_included(self):
+        text = format_series([1], {"s": [2]}, title="Figure")
+        assert text.splitlines()[0] == "Figure"
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            format_series([1, 2], {"s": [1]})

@@ -1,0 +1,129 @@
+"""Unit tests for the Section V.C search protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.game.equilibrium import efficient_window
+from repro.game.search import run_search_protocol
+
+
+@pytest.fixture(scope="module")
+def optimum(small_game):
+    return efficient_window(
+        small_game.n_players, small_game.params, small_game.times
+    )
+
+
+class TestAnalyticSearch:
+    def test_finds_optimum_from_below(self, small_game, optimum):
+        outcome = run_search_protocol(small_game, optimum - 15)
+        # The symmetric utility includes the cost term while W_c* is the
+        # cost-free optimum; on the flat plateau they differ by at most a
+        # couple of windows.
+        found_u = small_game.symmetric_utility(outcome.window)
+        best_u = small_game.symmetric_utility(optimum)
+        assert found_u >= best_u * 0.999
+
+    def test_finds_optimum_from_above(self, small_game, optimum):
+        outcome = run_search_protocol(small_game, optimum + 15)
+        assert outcome.window <= optimum + 15
+        found_u = small_game.symmetric_utility(outcome.window)
+        assert found_u >= small_game.symmetric_utility(optimum) * 0.999
+
+    def test_left_search_triggers_when_start_is_past_peak(
+        self, small_game, optimum
+    ):
+        outcome = run_search_protocol(small_game, optimum + 30)
+        kinds = [m.kind for m in outcome.messages]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "result"
+        # The found window lies below the start: left-search walked down.
+        assert outcome.window < optimum + 30
+
+    def test_exact_peak_start_stays(self, small_game):
+        # With a concave measurement peaked at some window, starting
+        # there must return it.
+        peak = 100
+
+        def measure(window: int) -> float:
+            return -abs(window - peak)
+
+        outcome = run_search_protocol(small_game, peak, measure=measure)
+        assert outcome.window == peak
+
+    def test_synthetic_unimodal_found_from_both_sides(self, small_game):
+        peak = 57
+
+        def measure(window: int) -> float:
+            return -((window - peak) ** 2)
+
+        for start in (30, 57, 90):
+            outcome = run_search_protocol(small_game, start, measure=measure)
+            assert outcome.window == peak
+
+    def test_larger_step_quantizes_answer(self, small_game):
+        peak = 57
+
+        def measure(window: int) -> float:
+            return -((window - peak) ** 2)
+
+        outcome = run_search_protocol(
+            small_game, 37, measure=measure, step=10
+        )
+        assert outcome.window == 57  # 37 -> 47 -> 57 -> (67 worse)
+        assert all(
+            (w - 37) % 10 == 0 for w, _ in outcome.measurements
+        )
+
+
+class TestProtocolTrace:
+    def test_messages_bracket_measurements(self, small_game):
+        outcome = run_search_protocol(
+            small_game, 60, measure=lambda w: -abs(w - 63)
+        )
+        assert outcome.messages[0].kind == "start"
+        assert outcome.messages[0].window == 60
+        assert outcome.messages[-1].kind == "result"
+        assert outcome.messages[-1].window == outcome.window
+        ready = [m for m in outcome.messages if m.kind == "ready"]
+        # One Ready per probe after the initial measurement.
+        assert len(ready) == outcome.n_measurements - 1
+
+    def test_measurement_log_in_order(self, small_game):
+        outcome = run_search_protocol(
+            small_game, 60, measure=lambda w: -abs(w - 63)
+        )
+        probed = [w for w, _ in outcome.measurements]
+        assert probed[0] == 60
+        assert probed[1:] == [61, 62, 63, 64]
+
+
+class TestValidation:
+    def test_start_outside_space_rejected(self, small_game):
+        with pytest.raises(ProtocolError):
+            run_search_protocol(
+                small_game, small_game.params.cw_max + 1
+            )
+
+    def test_bad_step_rejected(self, small_game):
+        with pytest.raises(ProtocolError):
+            run_search_protocol(small_game, 50, step=0)
+
+    def test_max_steps_guard(self, small_game):
+        # A monotone increasing measurement walks right forever.
+        with pytest.raises(ProtocolError):
+            run_search_protocol(
+                small_game, 2, measure=lambda w: float(w), max_steps=5
+            )
+
+    def test_search_stops_at_space_edge(self, small_game):
+        # Monotone measurement with a generous step budget: the search
+        # stops at cw_max instead of overrunning.
+        outcome = run_search_protocol(
+            small_game,
+            small_game.params.cw_max - 3,
+            measure=lambda w: float(w),
+        )
+        assert outcome.window == small_game.params.cw_max

@@ -1,0 +1,81 @@
+"""Unit tests for the per-node optimum measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.game.equilibrium import efficient_window
+from repro.phy.parameters import AccessMode
+from repro.sim.adaptive import default_window_grid, measure_per_node_optimum
+
+
+class TestDefaultGrid:
+    def test_centred_on_optimum(self):
+        grid = default_window_grid(100)
+        assert grid.min() >= 60
+        assert grid.max() <= 140
+        assert 100 - 10 <= np.median(grid) <= 100 + 10
+
+    def test_unique_sorted_integers(self):
+        grid = default_window_grid(37, n_points=20)
+        assert np.all(grid[:-1] < grid[1:])
+        assert grid.dtype.kind == "i"
+
+    def test_small_optimum_stays_positive(self):
+        grid = default_window_grid(2)
+        assert grid.min() >= 1
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            default_window_grid(0)
+        with pytest.raises(ParameterError):
+            default_window_grid(100, half_width=1.5)
+        with pytest.raises(ParameterError):
+            default_window_grid(100, n_points=2)
+
+
+class TestMeasurement:
+    def test_result_shapes(self, params):
+        result = measure_per_node_optimum(
+            3,
+            params,
+            grid=[20, 40, 80],
+            slots_per_point=20_000,
+            seed=5,
+        )
+        assert result.payoffs.shape == (3, 3)
+        assert result.per_node_windows.shape == (3,)
+        assert set(result.per_node_windows) <= {20.0, 40.0, 80.0}
+
+    def test_mean_and_variance_consistent(self, params):
+        result = measure_per_node_optimum(
+            3,
+            params,
+            grid=[20, 40, 80],
+            slots_per_point=20_000,
+            seed=5,
+        )
+        assert result.mean == pytest.approx(result.per_node_windows.mean())
+        assert result.variance == pytest.approx(
+            result.per_node_windows.var()
+        )
+
+    def test_recovers_analytic_optimum_region(self, params, basic_times):
+        # With enough slots, per-node optima concentrate on the plateau
+        # around W_c*.
+        n = 5
+        star = efficient_window(n, params, basic_times)
+        result = measure_per_node_optimum(
+            n, params, AccessMode.BASIC, slots_per_point=120_000, seed=1
+        )
+        assert result.mean == pytest.approx(star, rel=0.35)
+
+    def test_validation(self, params):
+        with pytest.raises(ParameterError):
+            measure_per_node_optimum(1, params)
+        with pytest.raises(ParameterError):
+            measure_per_node_optimum(3, params, grid=[50])
+        with pytest.raises(ParameterError):
+            measure_per_node_optimum(3, params, grid=[0, 50])

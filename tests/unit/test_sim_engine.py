@@ -1,0 +1,140 @@
+"""Unit tests for the single-collision-domain DCF simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bianchi.fixedpoint import solve_heterogeneous, solve_symmetric
+from repro.errors import ParameterError
+from repro.phy.parameters import AccessMode
+from repro.sim.engine import DcfSimulator
+
+
+class TestConstruction:
+    def test_rejects_empty_windows(self, params):
+        with pytest.raises(ParameterError):
+            DcfSimulator([], params)
+
+    def test_rejects_sub_one_window(self, params):
+        with pytest.raises(ParameterError):
+            DcfSimulator([32, 0], params)
+
+    def test_run_rejects_zero_slots(self, params):
+        with pytest.raises(ParameterError):
+            DcfSimulator([32, 32], params).run(0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, params):
+        a = DcfSimulator([32, 64, 128], params, seed=9).run(20_000)
+        b = DcfSimulator([32, 64, 128], params, seed=9).run(20_000)
+        np.testing.assert_array_equal(a.tau, b.tau)
+        np.testing.assert_array_equal(a.payoff_rates, b.payoff_rates)
+
+    def test_different_seeds_differ(self, params):
+        a = DcfSimulator([32, 64, 128], params, seed=1).run(20_000)
+        b = DcfSimulator([32, 64, 128], params, seed=2).run(20_000)
+        assert not np.array_equal(a.tau, b.tau)
+
+
+class TestCounterConsistency:
+    def test_counters_cross_check(self, params):
+        result = DcfSimulator([16, 64], params, seed=4).run(30_000)
+        counters = result.counters
+        counters.check()  # raises on inconsistency
+        assert counters.total_slots >= 30_000
+        assert counters.elapsed_us > 0
+
+    def test_collision_slots_counted_once_per_event(self, params):
+        # Two always-aggressive nodes: every slot is a collision between
+        # exactly the two of them.
+        aggressive = params.with_updates(max_backoff_stage=0)
+        result = DcfSimulator([1, 1], aggressive, seed=4).run(1_000)
+        counters = result.counters
+        assert counters.collision_slots == counters.total_slots
+        assert counters.per_node[0].attempts == counters.total_slots
+
+    def test_single_node_always_succeeds(self, params):
+        result = DcfSimulator([8], params, seed=4).run(5_000)
+        assert result.collision[0] == 0.0
+        assert result.counters.per_node[0].successes > 0
+
+
+class TestModelAgreement:
+    @pytest.mark.parametrize("window,n", [(32, 3), (78, 5), (128, 8)])
+    def test_tau_matches_fixed_point(self, params, window, n):
+        result = DcfSimulator([window] * n, params, seed=11).run(150_000)
+        analytic = solve_symmetric(window, n, params.max_backoff_stage)
+        assert result.tau.mean() == pytest.approx(analytic.tau, rel=0.05)
+        assert result.collision.mean() == pytest.approx(
+            analytic.collision, rel=0.1, abs=0.01
+        )
+
+    def test_heterogeneous_profile_matches_fixed_point(self, params):
+        windows = [16, 64, 256]
+        result = DcfSimulator(windows, params, seed=11).run(200_000)
+        analytic = solve_heterogeneous(windows, params.max_backoff_stage)
+        np.testing.assert_allclose(result.tau, analytic.tau, rtol=0.07)
+
+    def test_elapsed_time_decomposes_by_slot_type(self, params):
+        from repro.phy.timing import slot_times
+
+        for mode in (AccessMode.BASIC, AccessMode.RTS_CTS):
+            result = DcfSimulator([8] * 6, params, mode, seed=5).run(40_000)
+            counters = result.counters
+            times = slot_times(params, mode)
+            expected = (
+                counters.idle_slots * times.idle_us
+                + counters.success_slots * times.success_us
+                + counters.collision_slots * times.collision_us
+            )
+            assert counters.elapsed_us == pytest.approx(expected)
+
+    def test_rts_mode_wastes_less_time_on_collisions(self, params):
+        # Same seed -> same event sequence; only durations differ.  The
+        # collision airtime share must drop sharply under RTS/CTS.
+        basic = DcfSimulator(
+            [8] * 6, params, AccessMode.BASIC, seed=5
+        ).run(40_000)
+        rts = DcfSimulator(
+            [8] * 6, params, AccessMode.RTS_CTS, seed=5
+        ).run(40_000)
+        from repro.phy.timing import slot_times
+
+        basic_waste = (
+            basic.counters.collision_slots
+            * slot_times(params, AccessMode.BASIC).collision_us
+            / basic.counters.elapsed_us
+        )
+        rts_waste = (
+            rts.counters.collision_slots
+            * slot_times(params, AccessMode.RTS_CTS).collision_us
+            / rts.counters.elapsed_us
+        )
+        assert rts_waste < basic_waste / 10
+
+    def test_throughput_matches_analytic(self, params, basic_times):
+        from repro.bianchi.throughput import normalized_throughput
+
+        window, n = 64, 5
+        result = DcfSimulator([window] * n, params, seed=13).run(150_000)
+        analytic = solve_symmetric(window, n, params.max_backoff_stage)
+        expected = normalized_throughput(
+            [analytic.tau] * n, basic_times, params.payload_time_us
+        )
+        assert result.throughput == pytest.approx(expected, rel=0.03)
+
+
+class TestReconfiguration:
+    def test_set_windows_changes_behaviour(self, params):
+        sim = DcfSimulator([16] * 4, params, seed=3)
+        before = sim.run(40_000)
+        sim.set_windows([256] * 4)
+        after = sim.run(40_000)
+        assert after.tau.mean() < before.tau.mean() / 3
+
+    def test_set_windows_validates_length(self, params):
+        sim = DcfSimulator([16] * 4, params, seed=3)
+        with pytest.raises(ParameterError):
+            sim.set_windows([16] * 3)

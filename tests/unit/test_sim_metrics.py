@@ -1,0 +1,94 @@
+"""Unit tests for the simulator counters and estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import ChannelCounters, NodeCounters
+
+
+class TestNodeCounters:
+    def test_check_passes_when_consistent(self):
+        node = NodeCounters(attempts=10, successes=7, collisions=3)
+        node.check()
+
+    def test_check_fails_when_inconsistent(self):
+        node = NodeCounters(attempts=10, successes=7, collisions=2)
+        with pytest.raises(SimulationError):
+            node.check()
+
+    def test_collision_probability(self):
+        node = NodeCounters(attempts=10, successes=7, collisions=3)
+        assert node.collision_probability() == pytest.approx(0.3)
+
+    def test_collision_probability_no_attempts(self):
+        assert NodeCounters().collision_probability() == 0.0
+
+    def test_payoff_rate_formula(self):
+        node = NodeCounters(attempts=10, successes=7, collisions=3)
+        # (n_s g - n_e e) / t_m
+        assert node.payoff_rate(2.0, 0.5, 100.0) == pytest.approx(
+            (7 * 2.0 - 10 * 0.5) / 100.0
+        )
+
+    def test_payoff_rate_needs_positive_time(self):
+        with pytest.raises(SimulationError):
+            NodeCounters().payoff_rate(1.0, 0.1, 0.0)
+
+
+class TestChannelCounters:
+    def _counters(self):
+        return ChannelCounters(
+            idle_slots=70,
+            success_slots=20,
+            collision_slots=10,
+            elapsed_us=1000.0,
+            per_node=[
+                NodeCounters(attempts=15, successes=12, collisions=3),
+                NodeCounters(attempts=12, successes=8, collisions=4),
+            ],
+        )
+
+    def test_total_slots(self):
+        assert self._counters().total_slots == 100
+
+    def test_tau_estimates(self):
+        np.testing.assert_allclose(
+            self._counters().tau_estimates(), [0.15, 0.12]
+        )
+
+    def test_collision_estimates(self):
+        np.testing.assert_allclose(
+            self._counters().collision_estimates(), [0.2, 1 / 3]
+        )
+
+    def test_payoff_rates(self):
+        rates = self._counters().payoff_rates(1.0, 0.01)
+        np.testing.assert_allclose(
+            rates,
+            [(12 - 0.15) / 1000.0, (8 - 0.12) / 1000.0],
+        )
+
+    def test_throughput(self):
+        assert self._counters().throughput(10.0) == pytest.approx(
+            20 * 10.0 / 1000.0
+        )
+
+    def test_check_cross_validates_successes(self):
+        counters = self._counters()
+        counters.check()
+        counters.success_slots = 19
+        with pytest.raises(SimulationError):
+            counters.check()
+
+    def test_tau_requires_slots(self):
+        empty = ChannelCounters(per_node=[NodeCounters()])
+        with pytest.raises(SimulationError):
+            empty.tau_estimates()
+
+    def test_throughput_requires_time(self):
+        empty = ChannelCounters(per_node=[NodeCounters()])
+        with pytest.raises(SimulationError):
+            empty.throughput(10.0)

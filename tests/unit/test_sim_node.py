@@ -1,0 +1,117 @@
+"""Unit tests for the backoff state machine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.sim.node import BackoffNode
+
+
+class TestConstruction:
+    def test_initial_counter_in_stage_zero_window(self, rng):
+        for _ in range(50):
+            node = BackoffNode(window=8, max_stage=3, rng=rng)
+            assert 0 <= node.counter < 8
+            assert node.stage == 0
+
+    def test_rejects_bad_window(self, rng):
+        with pytest.raises(ParameterError):
+            BackoffNode(window=0, max_stage=3, rng=rng)
+
+    def test_rejects_bad_stage(self, rng):
+        with pytest.raises(ParameterError):
+            BackoffNode(window=8, max_stage=-1, rng=rng)
+
+
+class TestTicking:
+    def test_tick_decrements(self, rng):
+        node = BackoffNode(window=64, max_stage=3, rng=rng)
+        start = node.counter
+        if start > 0:
+            node.tick()
+            assert node.counter == start - 1
+
+    def test_multi_slot_tick(self, rng):
+        node = BackoffNode(window=64, max_stage=3, rng=rng)
+        node.counter = 10
+        node.tick(7)
+        assert node.counter == 3
+
+    def test_overshoot_rejected(self, rng):
+        node = BackoffNode(window=64, max_stage=3, rng=rng)
+        node.counter = 3
+        with pytest.raises(SimulationError):
+            node.tick(4)
+
+    def test_negative_tick_rejected(self, rng):
+        node = BackoffNode(window=64, max_stage=3, rng=rng)
+        with pytest.raises(SimulationError):
+            node.tick(-1)
+
+    def test_ready_at_zero(self, rng):
+        node = BackoffNode(window=4, max_stage=3, rng=rng)
+        node.counter = 0
+        assert node.ready
+
+
+class TestOutcomes:
+    def test_success_resets_stage(self, rng):
+        node = BackoffNode(window=8, max_stage=3, rng=rng)
+        node.stage = 2
+        node.counter = 0
+        node.on_success()
+        assert node.stage == 0
+        assert 0 <= node.counter < 8
+
+    def test_collision_doubles_window(self, rng):
+        node = BackoffNode(window=8, max_stage=3, rng=rng)
+        node.counter = 0
+        node.on_collision()
+        assert node.stage == 1
+        assert 0 <= node.counter < 16
+
+    def test_collision_caps_at_max_stage(self, rng):
+        node = BackoffNode(window=8, max_stage=2, rng=rng)
+        for _ in range(5):
+            node.counter = 0
+            node.on_collision()
+        assert node.stage == 2
+        node.counter = 0
+        node.on_collision()
+        assert node.stage == 2
+
+    def test_outcomes_require_ready(self, rng):
+        node = BackoffNode(window=8, max_stage=3, rng=rng)
+        node.counter = 5
+        with pytest.raises(SimulationError):
+            node.on_success()
+        with pytest.raises(SimulationError):
+            node.on_collision()
+
+    def test_draws_are_uniform(self):
+        rng = np.random.default_rng(0)
+        node = BackoffNode(window=4, max_stage=0, rng=rng)
+        draws = []
+        for _ in range(4000):
+            node.counter = 0
+            node.on_success()
+            draws.append(node.counter)
+        counts = np.bincount(draws, minlength=4)
+        assert counts.min() > 800  # each of 4 values near 1000
+
+
+class TestReconfiguration:
+    def test_set_window_restarts_backoff(self, rng):
+        node = BackoffNode(window=8, max_stage=3, rng=rng)
+        node.stage = 3
+        node.set_window(32)
+        assert node.window == 32
+        assert node.stage == 0
+        assert 0 <= node.counter < 32
+
+    def test_set_window_validates(self, rng):
+        node = BackoffNode(window=8, max_stage=3, rng=rng)
+        with pytest.raises(ParameterError):
+            node.set_window(0)

@@ -1,0 +1,177 @@
+"""Unit tests for the spatial multi-hop simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.phy.parameters import AccessMode
+from repro.sim.spatial import SpatialSimulator
+
+
+def line_positions(n: int, spacing: float) -> np.ndarray:
+    return np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+
+
+class TestConstruction:
+    def test_adjacency_from_range(self, params):
+        positions = line_positions(3, 100.0)
+        sim = SpatialSimulator(positions, 150.0, [32] * 3, params)
+        expected = np.array(
+            [
+                [False, True, False],
+                [True, False, True],
+                [False, True, False],
+            ]
+        )
+        np.testing.assert_array_equal(sim.adjacency, expected)
+        np.testing.assert_array_equal(sim.neighbor_counts(), [1, 2, 1])
+
+    def test_rejects_bad_shapes(self, params):
+        with pytest.raises(ParameterError):
+            SpatialSimulator(np.zeros((1, 2)), 100.0, [32], params)
+        with pytest.raises(ParameterError):
+            SpatialSimulator(np.zeros((3, 3)), 100.0, [32] * 3, params)
+
+    def test_rejects_bad_range(self, params):
+        with pytest.raises(ParameterError):
+            SpatialSimulator(line_positions(2, 10), 0.0, [32, 32], params)
+
+    def test_rejects_window_mismatch(self, params):
+        with pytest.raises(ParameterError):
+            SpatialSimulator(line_positions(3, 10), 50.0, [32, 32], params)
+
+    def test_phase_lengths_positive(self, params):
+        sim = SpatialSimulator(
+            line_positions(2, 10), 50.0, [32, 32], params
+        )
+        assert sim.rts_slots >= 1
+        assert sim.data_slots >= 1
+
+
+class TestIsolatedPair:
+    def test_two_connected_nodes_exchange_traffic(self, params):
+        sim = SpatialSimulator(
+            line_positions(2, 10), 50.0, [16, 16], params, seed=1
+        )
+        result = sim.run(20_000)
+        assert result.attempts.sum() > 0
+        assert result.successes.sum() > 0
+        # No hidden nodes exist in a 2-clique.
+        assert result.hidden_losses.sum() == 0
+
+    def test_isolated_node_never_transmits(self, params):
+        positions = np.array([[0.0, 0.0], [10.0, 0.0], [1000.0, 0.0]])
+        sim = SpatialSimulator(positions, 50.0, [16] * 3, params, seed=1)
+        result = sim.run(10_000)
+        assert result.attempts[2] == 0
+        assert result.payoff_rates[2] == 0.0
+
+
+class TestHiddenTerminals:
+    def test_classic_hidden_pair_loses_at_receiver(self, params):
+        # 0 -- 1 -- 2: nodes 0 and 2 cannot hear each other but both talk
+        # to 1, the textbook hidden-terminal layout.
+        positions = line_positions(3, 100.0)
+        sim = SpatialSimulator(
+            positions, 150.0, [4, 4, 4], params, seed=7
+        )
+        result = sim.run(60_000)
+        hidden = result.hidden_losses[0] + result.hidden_losses[2]
+        assert hidden > 0
+
+    def test_clique_has_no_hidden_losses(self, params):
+        # Everyone hears everyone: losses must be in-range only.
+        positions = line_positions(4, 10.0)
+        sim = SpatialSimulator(positions, 500.0, [4] * 4, params, seed=7)
+        result = sim.run(40_000)
+        assert result.hidden_losses.sum() == 0
+        assert result.inrange_losses.sum() > 0
+
+    def test_degradation_estimates_bounded(self, params):
+        positions = line_positions(5, 100.0)
+        sim = SpatialSimulator(positions, 150.0, [16] * 5, params, seed=3)
+        result = sim.run(40_000)
+        d = result.hidden_degradation()
+        p = result.collision_probability()
+        assert np.all(d >= 0) and np.all(d <= 1)
+        assert np.all(p >= 0) and np.all(p <= 1)
+
+
+class TestAccounting:
+    def test_attempts_partition_into_outcomes(self, params):
+        positions = line_positions(4, 100.0)
+        sim = SpatialSimulator(positions, 150.0, [8] * 4, params, seed=5)
+        result = sim.run(30_000)
+        # Attempts still in flight at the horizon may not be resolved;
+        # allow a tiny slack.
+        resolved = (
+            result.successes + result.inrange_losses + result.hidden_losses
+        )
+        assert np.all(result.attempts - resolved <= 1)
+        assert np.all(resolved <= result.attempts)
+
+    def test_elapsed_time_is_slots_times_sigma(self, params):
+        sim = SpatialSimulator(
+            line_positions(2, 10), 50.0, [16, 16], params, seed=1
+        )
+        result = sim.run(12_345)
+        assert result.elapsed_us == pytest.approx(
+            12_345 * params.slot_time_us
+        )
+
+    def test_payoff_rates_formula(self, params):
+        sim = SpatialSimulator(
+            line_positions(2, 10), 50.0, [16, 16], params, seed=1
+        )
+        result = sim.run(20_000)
+        expected = (
+            result.successes * params.gain - result.attempts * params.cost
+        ) / result.elapsed_us
+        np.testing.assert_allclose(result.payoff_rates, expected)
+
+    def test_determinism(self, params):
+        positions = line_positions(4, 100.0)
+        a = SpatialSimulator(
+            positions, 150.0, [8] * 4, params, seed=5
+        ).run(15_000)
+        b = SpatialSimulator(
+            positions, 150.0, [8] * 4, params, seed=5
+        ).run(15_000)
+        np.testing.assert_array_equal(a.successes, b.successes)
+        np.testing.assert_array_equal(a.attempts, b.attempts)
+
+
+class TestReconfiguration:
+    def test_set_windows_slows_network(self, params):
+        # The data exchange occupies ~190 slots, so attempt counts are
+        # airtime-limited until the window dwarfs the exchange length;
+        # contrast a tiny window with a very large one.
+        positions = line_positions(4, 100.0)
+        sim = SpatialSimulator(positions, 150.0, [8] * 4, params, seed=5)
+        busy = sim.run(20_000).attempts.sum()
+        sim.set_windows([4096] * 4)
+        calm = sim.run(20_000).attempts.sum()
+        assert calm < busy / 2
+
+    def test_set_windows_validates(self, params):
+        sim = SpatialSimulator(
+            line_positions(2, 10), 50.0, [16, 16], params, seed=1
+        )
+        with pytest.raises(ParameterError):
+            sim.set_windows([16])
+        with pytest.raises(ParameterError):
+            sim.set_windows([16, 0])
+
+    def test_basic_mode_supported(self, params):
+        sim = SpatialSimulator(
+            line_positions(3, 100.0),
+            150.0,
+            [16] * 3,
+            params,
+            AccessMode.BASIC,
+            seed=2,
+        )
+        result = sim.run(20_000)
+        assert result.attempts.sum() > 0

@@ -1,0 +1,138 @@
+"""Unit tests for the stage-game strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StrategyError
+from repro.game.strategies import (
+    BestResponseStrategy,
+    ConstantStrategy,
+    GenerousTitForTat,
+    MaliciousStrategy,
+    ShortSightedStrategy,
+    TitForTat,
+)
+
+
+def history(*profiles):
+    return [np.asarray(p, dtype=float) for p in profiles]
+
+
+class TestTitForTat:
+    def test_matches_previous_minimum(self, small_game):
+        tft = TitForTat()
+        assert tft.next_window(0, history([64, 32, 128, 90]), small_game) == 32
+
+    def test_uses_only_last_stage(self, small_game):
+        tft = TitForTat()
+        h = history([10, 10, 10, 10], [64, 32, 128, 90])
+        assert tft.next_window(0, h, small_game) == 32
+
+    def test_requires_history(self, small_game):
+        with pytest.raises(StrategyError):
+            TitForTat().next_window(0, [], small_game)
+
+    def test_clamps_to_strategy_space(self, params):
+        from repro.game.definition import MACGame
+
+        game = MACGame(
+            n_players=4, params=params.with_updates(cw_min=16, cw_max=64)
+        )
+        tft = TitForTat()
+        # Observed minimum below cw_min (e.g. noisy observation).
+        assert tft.next_window(0, history([16, 16, 16, 16]), game) == 16
+
+
+class TestGenerousTitForTat:
+    def test_tolerates_small_undercut(self, small_game):
+        gtft = GenerousTitForTat(memory=2, tolerance=0.8)
+        # Other players at 60 vs own 64: 60 >= 0.8*64, no reaction.
+        h = history([64, 60, 64, 64], [64, 60, 64, 64])
+        assert gtft.next_window(0, h, small_game) == 64
+
+    def test_reacts_to_large_undercut(self, small_game):
+        gtft = GenerousTitForTat(memory=2, tolerance=0.8)
+        h = history([64, 30, 64, 64], [64, 30, 64, 64])
+        assert gtft.next_window(0, h, small_game) == 30
+
+    def test_memory_averages_out_transients(self, small_game):
+        gtft = GenerousTitForTat(memory=3, tolerance=0.8)
+        # One noisy low reading among three high ones: mean stays above
+        # the tolerance threshold.
+        h = history(
+            [64, 64, 64, 64], [64, 40, 64, 64], [64, 64, 64, 64]
+        )
+        assert gtft.next_window(0, h, small_game) == 64
+
+    def test_uses_available_history_when_short(self, small_game):
+        gtft = GenerousTitForTat(memory=5, tolerance=0.9)
+        assert (
+            gtft.next_window(0, history([64, 20, 64, 64]), small_game) == 20
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(StrategyError):
+            GenerousTitForTat(memory=0)
+        with pytest.raises(StrategyError):
+            GenerousTitForTat(tolerance=0.0)
+        with pytest.raises(StrategyError):
+            GenerousTitForTat(tolerance=1.5)
+
+
+class TestConstantFamily:
+    def test_constant_ignores_history(self, small_game):
+        const = ConstantStrategy(77)
+        assert const.next_window(2, history([1, 2, 3, 4]), small_game) == 77
+        assert const.next_window(2, [], small_game) == 77
+
+    def test_short_sighted_is_constant(self, small_game):
+        assert (
+            ShortSightedStrategy(9).next_window(0, [], small_game) == 9
+        )
+
+    def test_malicious_default_is_tiny(self, small_game):
+        assert MaliciousStrategy().next_window(0, [], small_game) == 2
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(StrategyError):
+            ConstantStrategy(0)
+
+
+class TestBestResponse:
+    def test_explicit_candidates_pick_stage_optimum(self, small_game):
+        # Against polite opponents, undercutting maximises stage payoff
+        # (Lemma 4), so the smallest candidate wins.
+        strategy = BestResponseStrategy(candidates=[8, 64, 256])
+        choice = strategy.next_window(
+            0, history([200, 200, 200, 200]), small_game
+        )
+        assert choice == 8
+
+    def test_choice_is_best_among_candidates(self, small_game):
+        candidates = [16, 64, 200, 800]
+        strategy = BestResponseStrategy(candidates=candidates)
+        last = [100, 150, 150, 150]
+        choice = strategy.next_window(0, history(last), small_game)
+        payoffs = {}
+        for candidate in candidates:
+            profile = list(last)
+            profile[0] = candidate
+            payoffs[candidate] = float(
+                small_game.stage(profile).utilities[0]
+            )
+        assert payoffs[choice] == max(payoffs.values())
+
+    def test_default_grid_is_geometric_and_bounded(self, small_game):
+        strategy = BestResponseStrategy()
+        grid = strategy._grid(small_game)
+        assert grid[0] >= small_game.params.cw_min
+        assert grid[-1] == small_game.params.cw_max
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    def test_requires_history(self, small_game):
+        with pytest.raises(StrategyError):
+            BestResponseStrategy(candidates=[8]).next_window(
+                0, [], small_game
+            )

@@ -1,0 +1,105 @@
+"""Unit tests for slot statistics and normalized throughput."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bianchi.throughput import normalized_throughput, slot_statistics
+from repro.errors import ParameterError
+
+
+class TestSlotStatistics:
+    def test_single_node(self, basic_times):
+        stats = slot_statistics([0.2], basic_times)
+        assert stats.p_transmission == pytest.approx(0.2)
+        assert stats.p_success == pytest.approx(1.0)
+        assert stats.per_node_success[0] == pytest.approx(0.2)
+
+    def test_two_symmetric_nodes(self, basic_times):
+        tau = 0.25
+        stats = slot_statistics([tau, tau], basic_times)
+        assert stats.p_transmission == pytest.approx(1 - 0.75**2)
+        single = 2 * tau * (1 - tau)
+        assert stats.p_success == pytest.approx(
+            single / stats.p_transmission
+        )
+
+    def test_probabilities_partition(self, basic_times):
+        stats = slot_statistics([0.1, 0.2, 0.3], basic_times)
+        assert stats.p_idle + stats.p_transmission == pytest.approx(1.0)
+        assert 0 <= stats.p_success <= 1
+
+    def test_expected_slot_is_convex_combination(self, basic_times):
+        stats = slot_statistics([0.1, 0.2], basic_times)
+        single = stats.per_node_success.sum()
+        expected = (
+            stats.p_idle * basic_times.idle_us
+            + single * basic_times.success_us
+            + (stats.p_transmission - single) * basic_times.collision_us
+        )
+        assert stats.expected_slot_us == pytest.approx(expected)
+
+    def test_all_zero_tau(self, basic_times):
+        stats = slot_statistics([0.0, 0.0], basic_times)
+        assert stats.p_transmission == 0.0
+        assert stats.p_success == 0.0
+        assert stats.expected_slot_us == pytest.approx(basic_times.idle_us)
+
+    def test_certain_collision(self, basic_times):
+        stats = slot_statistics([1.0, 1.0], basic_times)
+        assert stats.p_transmission == pytest.approx(1.0)
+        assert stats.p_success == pytest.approx(0.0)
+        assert stats.expected_slot_us == pytest.approx(
+            basic_times.collision_us
+        )
+
+    def test_rejects_out_of_range(self, basic_times):
+        with pytest.raises(ParameterError):
+            slot_statistics([0.5, 1.2], basic_times)
+        with pytest.raises(ParameterError):
+            slot_statistics([-0.1], basic_times)
+
+    def test_rejects_empty(self, basic_times):
+        with pytest.raises(ParameterError):
+            slot_statistics([], basic_times)
+
+
+class TestNormalizedThroughput:
+    def test_zero_when_silent(self, basic_times):
+        assert normalized_throughput([0.0, 0.0], basic_times, 8184.0) == 0.0
+
+    def test_zero_when_all_collide(self, basic_times):
+        assert normalized_throughput([1.0, 1.0], basic_times, 8184.0) == 0.0
+
+    def test_bounded_by_payload_fraction(self, basic_times, params):
+        # Throughput can never exceed payload / Ts.
+        bound = params.payload_time_us / basic_times.success_us
+        for tau in (0.01, 0.05, 0.2, 0.5):
+            s = normalized_throughput(
+                [tau] * 5, basic_times, params.payload_time_us
+            )
+            assert 0 <= s <= bound + 1e-12
+
+    def test_matches_bianchi_shape(self, basic_times, params):
+        # Throughput as a function of common tau is unimodal.
+        taus = np.linspace(0.001, 0.3, 40)
+        values = [
+            normalized_throughput(
+                [t] * 10, basic_times, params.payload_time_us
+            )
+            for t in taus
+        ]
+        peak = int(np.argmax(values))
+        assert 0 < peak < len(values) - 1
+        assert all(
+            values[i] <= values[i + 1] + 1e-12 for i in range(peak)
+        )
+        assert all(
+            values[i] >= values[i + 1] - 1e-12
+            for i in range(peak, len(values) - 1)
+        )
+
+    def test_rejects_nonpositive_payload(self, basic_times):
+        with pytest.raises(ParameterError):
+            normalized_throughput([0.1], basic_times, 0.0)

@@ -1,0 +1,119 @@
+"""Unit tests for the game's utility layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.game.utility import (
+    discounted_utility,
+    stage_outcome,
+    stage_utilities,
+    symmetric_stage_utility,
+    symmetric_utility_from_tau,
+)
+
+
+class TestStageOutcome:
+    def test_symmetric_profile_symmetric_utilities(self, params, basic_times):
+        outcome = stage_outcome([64] * 4, params, basic_times)
+        np.testing.assert_allclose(
+            outcome.utilities, outcome.utilities[0], rtol=1e-9
+        )
+
+    def test_matches_formula(self, params, basic_times):
+        outcome = stage_outcome([32, 64, 128], params, basic_times)
+        expected = (
+            outcome.tau
+            * ((1 - outcome.collision) * params.gain - params.cost)
+            / outcome.expected_slot_us
+        )
+        np.testing.assert_allclose(outcome.utilities, expected, rtol=1e-12)
+
+    def test_global_utility_is_sum(self, params, basic_times):
+        outcome = stage_outcome([32, 64], params, basic_times)
+        assert outcome.global_utility == pytest.approx(
+            outcome.utilities.sum()
+        )
+
+    def test_throughput_positive_and_below_one(self, params, basic_times):
+        outcome = stage_outcome([100] * 5, params, basic_times)
+        assert 0 < outcome.throughput < 1
+
+    def test_aggressive_profile_hurts_everyone(self, params, basic_times):
+        polite = stage_outcome([100] * 5, params, basic_times)
+        aggressive = stage_outcome([2] * 5, params, basic_times)
+        assert aggressive.global_utility < polite.global_utility
+
+
+class TestStageUtilities:
+    def test_scales_rate_by_stage_duration(self, params, basic_times):
+        profile = [64] * 3
+        rates = stage_outcome(profile, params, basic_times).utilities
+        payoffs = stage_utilities(profile, params, basic_times)
+        np.testing.assert_allclose(
+            payoffs, rates * params.stage_duration_us, rtol=1e-12
+        )
+
+
+class TestSymmetricUtility:
+    def test_consistent_with_stage_outcome(self, params, basic_times):
+        window, n = 78, 5
+        via_outcome = stage_outcome([window] * n, params, basic_times)
+        via_symmetric = symmetric_stage_utility(
+            window, n, params, basic_times
+        )
+        assert via_symmetric == pytest.approx(
+            float(via_outcome.utilities[0]), rel=1e-6
+        )
+
+    def test_ignore_cost_increases_utility(self, params, basic_times):
+        with_cost = symmetric_stage_utility(50, 5, params, basic_times)
+        without = symmetric_stage_utility(
+            50, 5, params, basic_times, ignore_cost=True
+        )
+        assert without > with_cost
+
+    def test_from_tau_rejects_bad_tau(self, params, basic_times):
+        with pytest.raises(ParameterError):
+            symmetric_utility_from_tau(1.5, 5, params, basic_times)
+        with pytest.raises(ParameterError):
+            symmetric_utility_from_tau(-0.1, 5, params, basic_times)
+
+    def test_from_tau_zero_is_zero(self, params, basic_times):
+        assert (
+            symmetric_utility_from_tau(0.0, 5, params, basic_times) == 0.0
+        )
+
+    def test_negative_utility_when_cost_dominates(self, params, basic_times):
+        # At tau where everyone collides, (1-p)g < e.
+        crowded = params.with_updates(cost=0.5)
+        value = symmetric_utility_from_tau(
+            0.5, 20, crowded, basic_times
+        )
+        assert value < 0
+
+
+class TestDiscountedUtility:
+    def test_empty_stream_is_zero(self):
+        assert discounted_utility([], 0.9) == 0.0
+
+    def test_single_payoff_undis_counted(self):
+        assert discounted_utility([10.0], 0.9) == pytest.approx(10.0)
+
+    def test_geometric_sum(self):
+        delta = 0.5
+        value = discounted_utility([1.0] * 20, delta)
+        assert value == pytest.approx((1 - delta**20) / (1 - delta))
+
+    def test_matches_manual_sum(self):
+        payoffs = [3.0, -1.0, 2.5, 0.0, 7.0]
+        delta = 0.8
+        manual = sum(p * delta**k for k, p in enumerate(payoffs))
+        assert discounted_utility(payoffs, delta) == pytest.approx(manual)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_bad_discount(self, delta):
+        with pytest.raises(ParameterError):
+            discounted_utility([1.0], delta)

@@ -1,0 +1,114 @@
+"""Unit tests for the Theorem 2 numerical verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.game.equilibrium import analyze_equilibria
+from repro.game.verification import (
+    is_stage_equilibrium,
+    stage_deviation_gain,
+    tft_deviation_gain,
+    verify_theorem2,
+)
+
+
+@pytest.fixture(scope="module")
+def analysis(small_game):
+    return analyze_equilibria(
+        small_game.n_players, small_game.params, small_game.times
+    )
+
+
+class TestStageGame:
+    def test_undercutting_pays_in_the_stage_game(self, small_game, analysis):
+        star = analysis.window_star
+        assert stage_deviation_gain(small_game, star, star // 2) > 0
+
+    def test_overshooting_loses_in_the_stage_game(self, small_game, analysis):
+        star = analysis.window_star
+        assert stage_deviation_gain(small_game, star, star * 2) < 0
+
+    def test_interior_profiles_are_not_stage_equilibria(
+        self, small_game, analysis
+    ):
+        # The reason the paper needs the repeated game: no interior
+        # symmetric profile survives one-shot scrutiny.
+        star = analysis.window_star
+        for window in (star, max(4, star // 2)):
+            assert not is_stage_equilibrium(small_game, window)
+
+    def test_bottom_corner_is_a_degenerate_stage_equilibrium(
+        self, small_game
+    ):
+        # At W = cw_min there is nothing to undercut with and raising
+        # loses (Lemma 4), so the corner is a (bad) stage NE.
+        assert is_stage_equilibrium(
+            small_game, small_game.params.cw_min
+        )
+
+
+class TestTftPunishedGame:
+    def test_long_sighted_deviations_never_pay(self, small_game, analysis):
+        star = analysis.window_star
+        for deviation in (star // 4, star // 2, star - 1, star + 1, star * 2):
+            if deviation == star:
+                continue
+            gain = tft_deviation_gain(small_game, star, deviation)
+            assert gain < 0
+
+    def test_short_sighted_deviations_do_pay(self, small_game, analysis):
+        star = analysis.window_star
+        gain = tft_deviation_gain(
+            small_game, star, max(2, star // 8), discount=0.05
+        )
+        assert gain > 0
+
+    def test_slower_reaction_helps_the_deviator(self, small_game, analysis):
+        star = analysis.window_star
+        quick = tft_deviation_gain(
+            small_game, star, star // 4, discount=0.999, reaction_stages=1
+        )
+        slow = tft_deviation_gain(
+            small_game, star, star // 4, discount=0.999, reaction_stages=10
+        )
+        assert slow > quick
+
+    def test_validation(self, small_game, analysis):
+        with pytest.raises(ParameterError):
+            tft_deviation_gain(small_game, 64, 32, discount=1.0)
+        with pytest.raises(ParameterError):
+            tft_deviation_gain(small_game, 64, 32, reaction_stages=0)
+
+
+class TestVerifyTheorem2:
+    def test_family_verifies_for_long_sighted_players(
+        self, small_game, analysis
+    ):
+        report = verify_theorem2(small_game, analysis=analysis)
+        assert report.verified
+        assert report.worst_gain <= 0
+
+    def test_family_subsampling_respects_bounds(self, small_game, analysis):
+        report = verify_theorem2(
+            small_game, analysis=analysis, max_windows=4
+        )
+        assert len(report.checked_windows) <= 4
+        assert report.checked_windows[0] == analysis.window_breakeven
+        assert report.checked_windows[-1] == analysis.window_star
+
+    def test_fails_for_short_sighted_players(self, small_game, analysis):
+        # With delta small the family is NOT an equilibrium set - the
+        # Cagalj regime again.
+        report = verify_theorem2(
+            small_game, analysis=analysis, discount=0.05
+        )
+        assert not report.verified
+        assert report.worst_gain > 0
+
+    def test_stage_equilibria_only_at_the_corner(self, small_game, analysis):
+        report = verify_theorem2(small_game, analysis=analysis)
+        assert set(report.stage_equilibria) <= {
+            small_game.params.cw_min
+        }
