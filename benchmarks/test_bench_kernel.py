@@ -1,0 +1,100 @@
+"""Reference-vs-vectorized kernel throughput on the Table III workload.
+
+Times both engines on the paper's hardest sweep point - ``n = 50`` nodes
+at the RTS/CTS efficient window - and writes the measurements to
+``BENCH_kernel.json`` at the repository root so CI and regression tooling
+can track the speedup without parsing pytest output.
+
+The vectorized engine is measured at the batch shape the Tables II/III
+sweep actually uses (17 grid points x 4 replicas = 68 rows); its
+advantage comes from amortising each virtual-slot event over the batch,
+so single-row comparisons understate production speed.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the slot budget; the JSON is
+still produced and a relaxed speedup floor is asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.phy.parameters import AccessMode
+from repro.sim.engine import DcfSimulator
+from repro.sim.vectorized import run_batch
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_kernel.json"
+
+N_NODES = 50
+WINDOW = 116  # Table III RTS/CTS efficient window at n = 50
+MODE = AccessMode.RTS_CTS
+BATCH = 68  # 17 grid points x 4 replicas, the adaptive sweep's shape
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N_SLOTS = 6_000 if SMOKE else 50_000
+MIN_SPEEDUP = 3.0 if SMOKE else 10.0
+
+
+def _time_reference(params) -> dict:
+    simulator = DcfSimulator([WINDOW] * N_NODES, params, MODE, seed=1)
+    simulator.run(1_000)  # warm-up
+    started = time.perf_counter()
+    DcfSimulator([WINDOW] * N_NODES, params, MODE, seed=2).run(N_SLOTS)
+    elapsed = time.perf_counter() - started
+    return {
+        "engine": "reference",
+        "batch": 1,
+        "n_slots": N_SLOTS,
+        "elapsed_s": elapsed,
+        "slots_per_sec": N_SLOTS / elapsed,
+    }
+
+
+def _time_vectorized(params) -> dict:
+    windows = [[WINDOW] * N_NODES] * BATCH
+    run_batch(windows, params, MODE, n_slots=500, seed=1)  # warm-up
+    started = time.perf_counter()
+    run_batch(windows, params, MODE, n_slots=N_SLOTS, seed=2)
+    elapsed = time.perf_counter() - started
+    return {
+        "engine": "vectorized",
+        "batch": BATCH,
+        "n_slots": N_SLOTS,
+        "elapsed_s": elapsed,
+        "slots_per_sec": BATCH * N_SLOTS / elapsed,
+    }
+
+
+def test_bench_kernel_speedup(params):
+    reference = _time_reference(params)
+    vectorized = _time_vectorized(params)
+    speedup = (
+        vectorized["slots_per_sec"] / reference["slots_per_sec"]
+    )
+    payload = {
+        "workload": {
+            "n_nodes": N_NODES,
+            "window": WINDOW,
+            "mode": MODE.name,
+            "n_slots": N_SLOTS,
+            "smoke": SMOKE,
+        },
+        "reference": reference,
+        "vectorized": vectorized,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nreference  {reference['slots_per_sec']:>12,.0f} slots/s"
+        f"\nvectorized {vectorized['slots_per_sec']:>12,.0f} slots/s"
+        f" (batch {BATCH})"
+        f"\nspeedup    {speedup:.1f}x  [written to {RESULT_PATH}]"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized kernel only {speedup:.1f}x the reference engine "
+        f"(floor {MIN_SPEEDUP}x) on n={N_NODES} {MODE.name}"
+    )

@@ -17,6 +17,7 @@ from repro.bianchi.fixedpoint import (
     SymmetricSolution,
     solve_heterogeneous,
     solve_symmetric,
+    symmetric_cache_info,
 )
 from repro.bianchi.throughput import (
     SlotStatistics,
@@ -47,5 +48,6 @@ __all__ = [
     "solve_heterogeneous",
     "solve_symmetric",
     "stationary_distribution",
+    "symmetric_cache_info",
     "transmission_probability",
 ]

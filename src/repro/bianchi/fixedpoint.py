@@ -17,6 +17,7 @@ a scalar fixed point ``tau = tau(W, 1 - (1 - tau)^{n-1})``; the paper notes
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Sequence
 
 import numpy as np
@@ -30,6 +31,7 @@ __all__ = [
     "SymmetricSolution",
     "solve_heterogeneous",
     "solve_symmetric",
+    "symmetric_cache_info",
 ]
 
 _DEFAULT_TOL = 1e-12
@@ -240,6 +242,11 @@ def solve_symmetric(
 ) -> SymmetricSolution:
     """Solve the scalar symmetric fixed point for a common window.
 
+    Results are memoized: the window sweeps of Figures 2/3, the
+    equilibrium searches and the multi-hop local games all re-solve the
+    same ``(W, n)`` pairs many times, and the solution object is frozen,
+    so identical arguments return the cached instance.
+
     Parameters
     ----------
     window:
@@ -259,6 +266,25 @@ def solve_symmetric(
         If the damped iteration does not reach ``tol``; in practice the map
         is a contraction after damping and this does not trigger.
     """
+    return _solve_symmetric_cached(
+        float(window), int(n_nodes), int(max_stage), float(tol),
+        int(max_iterations),
+    )
+
+
+def symmetric_cache_info():
+    """Hit/miss statistics of the symmetric fixed-point memo cache."""
+    return _solve_symmetric_cached.cache_info()
+
+
+@lru_cache(maxsize=65536)
+def _solve_symmetric_cached(
+    window: float,
+    n_nodes: int,
+    max_stage: int,
+    tol: float,
+    max_iterations: int,
+) -> SymmetricSolution:
     if n_nodes < 1:
         raise ParameterError(f"n_nodes must be >= 1, got {n_nodes!r}")
     if window < 1:

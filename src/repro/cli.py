@@ -5,9 +5,14 @@ Installed as ``repro-experiments``::
     repro-experiments list                 # every registered experiment
     repro-experiments run table2           # regenerate one artefact
     repro-experiments run table2 --quick   # reduced simulation size
+    repro-experiments run table3 --jobs 4  # sweep on 4 worker processes
     repro-experiments run-all --quick      # the whole evaluation
 
-The quick overrides mirror ``examples/reproduce_paper.py``.
+The quick overrides mirror ``examples/reproduce_paper.py``.  ``--jobs``
+fans the sweep experiments out over a process pool
+(:mod:`repro.experiments.parallel`); per-task seeds are spawned from the
+experiment's root seed before dispatch, so the artefacts are bit-identical
+whatever the worker count (``--jobs 0`` means one worker per CPU).
 """
 
 from __future__ import annotations
@@ -30,6 +35,20 @@ QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
     "search": {"slots_per_probe": 20_000},
 }
 
+#: Experiments whose runners accept the parallel runner's ``jobs`` knob.
+PARALLEL_EXPERIMENTS = frozenset(
+    {"table2", "table3", "fig2", "fig3", "multihop"}
+)
+
+
+def _jobs_type(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 0 (0 = one per CPU), got {jobs}"
+        )
+    return jobs
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
@@ -49,17 +68,35 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quick", action="store_true", help="reduced simulation size"
     )
+    run.add_argument(
+        "--jobs",
+        type=_jobs_type,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep experiments (0 = one per CPU)",
+    )
 
     run_all = commands.add_parser("run-all", help="run every experiment")
     run_all.add_argument(
         "--quick", action="store_true", help="reduced simulation size"
     )
+    run_all.add_argument(
+        "--jobs",
+        type=_jobs_type,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep experiments (0 = one per CPU)",
+    )
     return parser
 
 
-def _run_one(experiment_id: str, quick: bool) -> None:
+def _run_one(
+    experiment_id: str, quick: bool, jobs: Optional[int] = None
+) -> None:
     experiment = EXPERIMENTS[experiment_id]
-    kwargs = QUICK_OVERRIDES.get(experiment_id, {}) if quick else {}
+    kwargs = dict(QUICK_OVERRIDES.get(experiment_id, {})) if quick else {}
+    if jobs is not None and experiment_id in PARALLEL_EXPERIMENTS:
+        kwargs["jobs"] = jobs
     started = time.perf_counter()
     result = run_experiment(experiment_id, **kwargs)
     elapsed = time.perf_counter() - started
@@ -86,11 +123,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return 0
     if args.command == "run":
-        _run_one(args.experiment_id, args.quick)
+        _run_one(args.experiment_id, args.quick, args.jobs)
         return 0
     if args.command == "run-all":
         for eid in EXPERIMENTS:
-            _run_one(eid, args.quick)
+            _run_one(eid, args.quick, args.jobs)
         return 0
     raise AssertionError("unreachable")  # pragma: no cover
 
@@ -98,3 +135,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 def entry() -> None:  # pragma: no cover - thin wrapper
     """Console-script entry point."""
     sys.exit(main())
+
+
+if __name__ == "__main__":  # pragma: no cover - python -m repro.cli
+    entry()

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import format_series
 from repro.game.definition import MACGame
 from repro.game.equilibrium import efficient_window
@@ -87,6 +88,16 @@ def _log_grid(lo: int, hi: int, n_points: int) -> np.ndarray:
     return grid
 
 
+_CHUNK_WINDOWS = 16
+
+
+def _curve_chunk_task(task) -> np.ndarray:
+    """Worker: global payoffs of one window chunk for one size (picklable)."""
+    n_nodes, params, mode, chunk = task
+    game = MACGame(n_players=n_nodes, params=params, mode=mode)
+    return np.array([game.global_payoff(int(w)) for w in chunk])
+
+
 def run_mode(
     mode: AccessMode,
     *,
@@ -94,12 +105,15 @@ def run_mode(
     sizes: Sequence[int] = (5, 20, 50),
     n_points: int = 40,
     grid: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = None,
 ) -> GlobalPayoffCurves:
     """Sweep the normalised global payoff for one access mode.
 
     The default grid is geometric from 2 to ~4x the largest ``W_c*`` so
     every curve's rise, peak and decay are visible, with each curve's own
-    ``W_c*`` spliced in.
+    ``W_c*`` spliced in.  The sweep is a pure function of its arguments,
+    so parallel evaluation (``jobs``) cannot change the curves; tasks are
+    fixed-size window chunks per network size.
     """
     if params is None:
         params = default_parameters()
@@ -118,11 +132,18 @@ def run_mode(
         if np.any(grid_arr < 1):
             raise ParameterError("grid windows must be >= 1")
 
+    tasks = [
+        (n_nodes, params, mode, grid_arr[start : start + _CHUNK_WINDOWS])
+        for n_nodes in sizes
+        for start in range(0, grid_arr.size, _CHUNK_WINDOWS)
+    ]
+    chunk_values = parallel_map(_curve_chunk_task, tasks, jobs=jobs)
+    chunks_per_size = -(-grid_arr.size // _CHUNK_WINDOWS)
+
     curves: Dict[int, np.ndarray] = {}
-    for n_nodes in sizes:
-        game = MACGame(n_players=n_nodes, params=params, mode=mode)
-        values = np.array(
-            [game.global_payoff(int(w)) for w in grid_arr]
+    for index, n_nodes in enumerate(sizes):
+        values = np.concatenate(
+            chunk_values[index * chunks_per_size : (index + 1) * chunks_per_size]
         )
         # Normalise: U/C = n u_i sigma / g  (u summed over players already).
         curves[n_nodes] = values * times.idle_us / params.gain
@@ -137,8 +158,13 @@ def run(
     params: Optional[PhyParameters] = None,
     sizes: Sequence[int] = (5, 20, 50),
     n_points: int = 40,
+    jobs: Optional[int] = None,
 ) -> GlobalPayoffCurves:
     """Reproduce Figure 2 (basic access)."""
     return run_mode(
-        AccessMode.BASIC, params=params, sizes=sizes, n_points=n_points
+        AccessMode.BASIC,
+        params=params,
+        sizes=sizes,
+        n_points=n_points,
+        jobs=jobs,
     )

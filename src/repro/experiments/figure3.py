@@ -22,8 +22,13 @@ def run(
     params: Optional[PhyParameters] = None,
     sizes: Sequence[int] = (5, 20, 50),
     n_points: int = 40,
+    jobs: Optional[int] = None,
 ) -> GlobalPayoffCurves:
     """Reproduce Figure 3 (RTS/CTS access)."""
     return run_mode(
-        AccessMode.RTS_CTS, params=params, sizes=sizes, n_points=n_points
+        AccessMode.RTS_CTS,
+        params=params,
+        sizes=sizes,
+        n_points=n_points,
+        jobs=jobs,
     )

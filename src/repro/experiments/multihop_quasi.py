@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import format_table
 from repro.multihop.game import MultihopGame, QuasiOptimalityReport
 from repro.multihop.mobility import RandomWaypointModel
@@ -114,6 +115,21 @@ class MultihopStudyResult:
         return table + summary
 
 
+def _snapshot_task(task) -> SnapshotReport:
+    """Worker: solve one mobility snapshot's multi-hop game (picklable)."""
+    topology, params = task
+    game = MultihopGame(topology, params, AccessMode.RTS_CTS)
+    equilibrium = game.solve()
+    quasi: QuasiOptimalityReport = game.quasi_optimality(equilibrium)
+    return SnapshotReport(
+        converged_window=equilibrium.converged_window,
+        convergence_stages=equilibrium.convergence_stages,
+        worst_node_fraction=quasi.worst_node_fraction,
+        global_fraction=quasi.global_fraction,
+        mean_degree=float(topology.degrees().mean()),
+    )
+
+
 def run(
     *,
     params: Optional[PhyParameters] = None,
@@ -125,6 +141,7 @@ def run(
     n_snapshots: int = 3,
     snapshot_interval_s: float = 100.0,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> MultihopStudyResult:
     """Run the Section VII.B study.
 
@@ -132,6 +149,11 @@ def run(
     static multi-hop game (local openings, TFT flood, quasi-optimality
     sweep).  Disconnected snapshots are fine: TFT floods per component
     and the analysis is per-node anyway.
+
+    The mobility trace is generated serially (its RNG state advances
+    between snapshots), then the per-snapshot games - the expensive part
+    - are solved through the parallel runner; game solving is
+    deterministic, so ``jobs`` cannot change the result.
     """
     if params is None:
         params = default_parameters()
@@ -144,22 +166,16 @@ def run(
         max_speed=max_speed,
         rng=np.random.default_rng(seed),
     )
-    reports: List[SnapshotReport] = []
-    for topology in model.snapshots(
-        tx_range, interval=snapshot_interval_s, count=n_snapshots
-    ):
-        game = MultihopGame(topology, params, AccessMode.RTS_CTS)
-        equilibrium = game.solve()
-        quasi: QuasiOptimalityReport = game.quasi_optimality(equilibrium)
-        reports.append(
-            SnapshotReport(
-                converged_window=equilibrium.converged_window,
-                convergence_stages=equilibrium.convergence_stages,
-                worst_node_fraction=quasi.worst_node_fraction,
-                global_fraction=quasi.global_fraction,
-                mean_degree=float(topology.degrees().mean()),
-            )
+    topologies = list(
+        model.snapshots(
+            tx_range, interval=snapshot_interval_s, count=n_snapshots
         )
+    )
+    reports: List[SnapshotReport] = parallel_map(
+        _snapshot_task,
+        [(topology, params) for topology in topologies],
+        jobs=jobs,
+    )
     return MultihopStudyResult(snapshots=reports)
 
 

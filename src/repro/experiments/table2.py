@@ -18,11 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.experiments.parallel import parallel_map, spawn_seeds
 from repro.experiments.reporting import format_table
 from repro.game.equilibrium import efficient_window
 from repro.phy.parameters import AccessMode, PhyParameters, default_parameters
 from repro.phy.timing import slot_times
-from repro.sim.adaptive import measure_per_node_optimum
+from repro.sim.adaptive import PerNodeOptimum, measure_per_node_optimum
 
 __all__ = ["NERow", "NETableResult", "run"]
 
@@ -83,6 +84,19 @@ class NETableResult:
         return format_table(headers, rows, title=title)
 
 
+def _measure_task(task) -> PerNodeOptimum:
+    """Worker: one network size's per-node-optimum sweep (picklable)."""
+    n_nodes, params, mode, slots_per_point, child_seed, engine = task
+    return measure_per_node_optimum(
+        n_nodes,
+        params,
+        mode,
+        slots_per_point=slots_per_point,
+        seed=child_seed,
+        engine=engine,
+    )
+
+
 def run_mode(
     mode: AccessMode,
     *,
@@ -91,21 +105,27 @@ def run_mode(
     slots_per_point: int = 150_000,
     seed: int = 0,
     paper_values: Optional[dict] = None,
+    jobs: Optional[int] = None,
+    engine: str = "vectorized",
 ) -> NETableResult:
-    """Reproduce a Table II/III-style NE table for one access mode."""
+    """Reproduce a Table II/III-style NE table for one access mode.
+
+    Each network size is one task of the parallel runner; per-size child
+    seeds are spawned from ``seed`` before dispatch, so the table is
+    bit-identical for a fixed seed regardless of ``jobs``.
+    """
     if params is None:
         params = default_parameters()
     times = slot_times(params, mode)
+    children = spawn_seeds(seed, len(sizes))
+    tasks = [
+        (n_nodes, params, mode, slots_per_point, child, engine)
+        for n_nodes, child in zip(sizes, children)
+    ]
+    measurements = parallel_map(_measure_task, tasks, jobs=jobs)
     rows = []
-    for n_nodes in sizes:
+    for n_nodes, measured in zip(sizes, measurements):
         analytic = efficient_window(n_nodes, params, times)
-        measured = measure_per_node_optimum(
-            n_nodes,
-            params,
-            mode,
-            slots_per_point=slots_per_point,
-            seed=seed,
-        )
         paper = None if paper_values is None else paper_values.get(n_nodes)
         rows.append(
             NERow(
@@ -125,6 +145,8 @@ def run(
     sizes: Sequence[int] = (5, 20, 50),
     slots_per_point: int = 150_000,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    engine: str = "vectorized",
 ) -> NETableResult:
     """Reproduce Table II (basic access)."""
     return run_mode(
@@ -134,4 +156,6 @@ def run(
         slots_per_point=slots_per_point,
         seed=seed,
         paper_values=PAPER_BASIC,
+        jobs=jobs,
+        engine=engine,
     )

@@ -26,6 +26,8 @@ def run(
     sizes: Sequence[int] = (5, 20, 50),
     slots_per_point: int = 150_000,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    engine: str = "vectorized",
 ) -> NETableResult:
     """Reproduce Table III (RTS/CTS access)."""
     return run_mode(
@@ -35,4 +37,6 @@ def run(
         slots_per_point=slots_per_point,
         seed=seed,
         paper_values=PAPER_RTS,
+        jobs=jobs,
+        engine=engine,
     )

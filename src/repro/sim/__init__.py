@@ -11,10 +11,18 @@ level of the analysis (see DESIGN.md for the substitution argument):
   so long backoffs cost O(1);
 * :mod:`repro.sim.metrics` - per-node and channel counters with
   estimators for ``tau``, ``p``, throughput and payoff;
+* :mod:`repro.sim.vectorized` - struct-of-arrays NumPy kernel with a
+  batch axis: statistically equivalent to the reference engine but runs
+  many replicas / grid points per call at 10-40x the slot throughput
+  (``run_batch``), plus the ``simulate`` engine dispatch;
 * :mod:`repro.sim.adaptive` - the per-node "best CW" measurement used for
   the simulated columns of Tables II/III;
 * :mod:`repro.sim.spatial` - spatial slot-synchronous multi-hop simulator
   with carrier sensing and hidden terminals (Section VI validation).
+
+The object-per-node :class:`DcfSimulator` stays the *reference*
+implementation: it is the literal transcription of the paper's state
+machine and the ground truth the vectorized kernel is tested against.
 """
 
 from repro.sim.node import BackoffNode
@@ -22,9 +30,11 @@ from repro.sim.engine import DcfSimulator, SimulationResult
 from repro.sim.metrics import ChannelCounters, NodeCounters
 from repro.sim.adaptive import PerNodeOptimum, measure_per_node_optimum
 from repro.sim.spatial import SpatialResult, SpatialSimulator
+from repro.sim.vectorized import BatchResult, run_batch, simulate
 
 __all__ = [
     "BackoffNode",
+    "BatchResult",
     "ChannelCounters",
     "DcfSimulator",
     "NodeCounters",
@@ -33,4 +43,6 @@ __all__ = [
     "SpatialResult",
     "SpatialSimulator",
     "measure_per_node_optimum",
+    "run_batch",
+    "simulate",
 ]

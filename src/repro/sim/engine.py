@@ -17,7 +17,7 @@ with the number of *transmissions*, not slots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -71,7 +71,12 @@ class DcfSimulator:
     mode:
         Channel access mode (decides ``Ts``/``Tc``).
     seed:
-        Seed for the simulation's random generator.
+        Seed for the simulation's random generator: ``None``, an int, a
+        :class:`numpy.random.SeedSequence` or a ready-made
+        :class:`numpy.random.Generator`.  Callers that replicate runs
+        should spawn children from one root ``SeedSequence`` (see
+        :mod:`repro.experiments.parallel`) so replicas use provably
+        independent streams.
 
     Examples
     --------
@@ -88,7 +93,9 @@ class DcfSimulator:
         params: PhyParameters,
         mode: AccessMode = AccessMode.BASIC,
         *,
-        seed: Optional[int] = None,
+        seed: Union[
+            None, int, np.random.SeedSequence, np.random.Generator
+        ] = None,
     ) -> None:
         window_list = [int(w) for w in windows]
         if not window_list:
@@ -162,15 +169,15 @@ class DcfSimulator:
                     break
                 continue
 
-            transmitters = [node for node in nodes if node.ready]
+            transmitters = [
+                index for index, node in enumerate(nodes) if node.ready
+            ]
             success = len(transmitters) == 1
             if observer is not None:
-                observer.record_transmission(
-                    [i for i, node in enumerate(nodes) if node.ready],
-                    success,
-                )
+                observer.record_transmission(transmitters, success)
+            transmitter_set = frozenset(transmitters)
             for index, node in enumerate(nodes):
-                if node.ready:
+                if index in transmitter_set:
                     counters.per_node[index].attempts += 1
                     if success:
                         counters.per_node[index].successes += 1

@@ -1,0 +1,375 @@
+"""Vectorized struct-of-arrays DCF kernel with a batch axis.
+
+:class:`repro.sim.engine.DcfSimulator` advances a Python list of
+:class:`repro.sim.node.BackoffNode` objects one virtual slot at a time -
+exact, readable, and the reference implementation - but every experiment
+that sweeps windows or replicates runs pays the Python interpreter once
+per node per busy slot.  This module holds the whole simulation state as
+NumPy integer arrays of shape ``(batch, n_nodes)``:
+
+* ``windows`` - per-node stage-0 contention windows;
+* ``stage``   - current backoff stage ``j`` (capped at ``m``);
+* ``counter`` - remaining backoff slots.
+
+One kernel iteration advances **every replica in the batch** by its idle
+stretch (a ``min`` over the node axis, exactly the event jump of the
+reference engine) plus one busy slot (masked success/collision updates and
+a single vectorized uniform redraw for all transmitters in the batch).
+Cost therefore scales with the busy-event count of the *slowest* replica,
+not with ``batch x slots``, which is what makes the Tables II/III grid
+sweep one call instead of ``len(grid)`` serial runs.
+
+The kernel is statistically equivalent to the reference engine - same
+``(stage, counter)`` machine, same virtual-slot time base, same estimators
+- but consumes its random stream in a different order, so matched seeds
+give *distributionally* identical, not bit-identical, runs
+(``tests/unit/test_sim_vectorized.py`` pins the equivalence against both
+the reference engine and the :mod:`repro.bianchi` fixed point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ParameterError, SimulationError
+from repro.phy.parameters import AccessMode, PhyParameters
+from repro.phy.timing import SlotTimes, slot_times
+from repro.sim.metrics import ChannelCounters, NodeCounters
+
+__all__ = ["BatchResult", "run_batch", "simulate"]
+
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Per-replica counters and estimates of one batched kernel run.
+
+    All arrays carry the batch axis first; a single-replica run has
+    ``batch = 1``.
+
+    Attributes
+    ----------
+    windows:
+        Simulated contention windows, shape ``(batch, n_nodes)``.
+    attempts, successes, collisions:
+        Per-node event counts, shape ``(batch, n_nodes)``.
+    idle_slots, success_slots, collision_slots:
+        Per-replica virtual-slot outcome counts, shape ``(batch,)``.
+    elapsed_us:
+        Per-replica simulated wall time in microseconds, shape
+        ``(batch,)``.
+    tau:
+        Per-node ``tau`` estimates (attempts per virtual slot).
+    collision:
+        Per-node conditional collision probability estimates.
+    payoff_rates:
+        Per-node measured payoff per microsecond.
+    throughput:
+        Per-replica normalized channel throughput, shape ``(batch,)``.
+    """
+
+    windows: np.ndarray
+    attempts: np.ndarray
+    successes: np.ndarray
+    collisions: np.ndarray
+    idle_slots: np.ndarray
+    success_slots: np.ndarray
+    collision_slots: np.ndarray
+    elapsed_us: np.ndarray
+    tau: np.ndarray
+    collision: np.ndarray
+    payoff_rates: np.ndarray
+    throughput: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of independent replicas simulated."""
+        return int(self.windows.shape[0])
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of stations per replica."""
+        return int(self.windows.shape[1])
+
+    @property
+    def total_slots(self) -> np.ndarray:
+        """Per-replica total virtual slots simulated, shape ``(batch,)``."""
+        return self.idle_slots + self.success_slots + self.collision_slots
+
+    def replica_counters(self, index: int) -> ChannelCounters:
+        """Materialise one replica's counters as :class:`ChannelCounters`.
+
+        The returned object passes the same consistency checks as the
+        reference engine's, so downstream consumers cannot tell the two
+        implementations apart.
+        """
+        per_node = [
+            NodeCounters(
+                attempts=int(self.attempts[index, i]),
+                successes=int(self.successes[index, i]),
+                collisions=int(self.collisions[index, i]),
+            )
+            for i in range(self.n_nodes)
+        ]
+        counters = ChannelCounters(
+            idle_slots=int(self.idle_slots[index]),
+            success_slots=int(self.success_slots[index]),
+            collision_slots=int(self.collision_slots[index]),
+            elapsed_us=float(self.elapsed_us[index]),
+            per_node=per_node,
+        )
+        counters.check()
+        return counters
+
+
+def _as_window_matrix(windows: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Coerce ``windows`` to an int64 ``(batch, n_nodes)`` matrix."""
+    arr = np.asarray(windows)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2 or arr.size == 0:
+        raise ParameterError(
+            "windows must be a non-empty 1-D profile or 2-D batch of "
+            f"profiles, got shape {arr.shape!r}"
+        )
+    if not np.issubdtype(arr.dtype, np.number):
+        raise ParameterError(f"windows must be numeric, got {arr.dtype!r}")
+    matrix = arr.astype(np.int64)
+    if np.any(matrix != arr):
+        raise ParameterError("windows must be integers")
+    if np.any(matrix < 1):
+        raise ParameterError("all windows must be >= 1")
+    return matrix
+
+
+def run_batch(
+    windows: Sequence[int] | np.ndarray,
+    params: PhyParameters,
+    mode: AccessMode = AccessMode.BASIC,
+    *,
+    n_slots: int,
+    seed: SeedLike = None,
+) -> BatchResult:
+    """Simulate a batch of independent replicas with the vectorized kernel.
+
+    Parameters
+    ----------
+    windows:
+        Either one per-node window profile (shape ``(n_nodes,)``) or a
+        batch of profiles (shape ``(batch, n_nodes)``); each row is one
+        independent replica (e.g. one grid point of a window sweep).
+    params:
+        PHY/MAC constants; supplies ``m``, ``g``, ``e`` and payload time.
+    mode:
+        Channel access mode (decides ``Ts``/``Tc``).
+    n_slots:
+        Virtual slots (channel events) to simulate per replica.
+    seed:
+        ``None``, an int, a :class:`numpy.random.SeedSequence` or a
+        :class:`numpy.random.Generator`.  One stream drives the whole
+        batch; replicas are independent because their state arrays are.
+
+    Returns
+    -------
+    BatchResult
+    """
+    if n_slots < 1:
+        raise ParameterError(f"n_slots must be >= 1, got {n_slots!r}")
+    window_matrix = np.ascontiguousarray(_as_window_matrix(windows))
+    batch, n_nodes = window_matrix.shape
+    max_stage = params.max_backoff_stage
+    times: SlotTimes = slot_times(params, mode)
+    rng = np.random.default_rng(seed)
+
+    stage = np.zeros((batch, n_nodes), dtype=np.int64)
+    counter = np.ascontiguousarray(
+        rng.integers(0, window_matrix, dtype=np.int64)
+    )
+    attempts = np.zeros((batch, n_nodes), dtype=np.int64)
+    successes = np.zeros((batch, n_nodes), dtype=np.int64)
+    busy_count = np.zeros(batch, dtype=np.int64)
+    slots_done = np.zeros(batch, dtype=np.int64)
+
+    # Flat views share memory with the 2-D state; scatter updates for the
+    # (few) transmitters per slot avoid full-array np.where temporaries.
+    counter_flat = counter.ravel()
+    stage_flat = stage.ravel()
+    window_flat = window_matrix.ravel()
+    attempts_flat = attempts.ravel()
+    successes_flat = successes.ravel()
+
+    # Backoff redraws consume one pre-drawn block of uniforms at a time;
+    # ``floor(u * bound)`` on float64 uniforms is uniform on
+    # ``{0, ..., bound-1}`` up to O(bound / 2^53) bias - immaterial next
+    # to the Monte-Carlo noise of any finite run.
+    block_size = max(1 << 16, 4 * batch * n_nodes)
+    uniform_block = rng.random(block_size)
+    block_pos = 0
+
+    # ------------------------------------------------------------------
+    # Fast path: every replica is mid-run, so no per-replica masking is
+    # needed - each iteration advances the whole batch by one idle jump
+    # plus one busy slot with ~20 full-vector ops.
+    # ------------------------------------------------------------------
+    fast_iterations = 0
+    while True:
+        jump = counter.min(axis=1)
+        if np.any(jump >= n_slots - slots_done):
+            break  # some replica exhausts its budget: go to the tail path
+        ready_idx = np.flatnonzero(counter == jump[:, np.newaxis])
+        rows = ready_idx // n_nodes
+        success_flags = np.bincount(rows, minlength=batch)[rows] == 1
+
+        # A node index appears at most once per slot, so plain fancy
+        # increments are safe (no np.add.at needed).
+        attempts_flat[ready_idx] += 1
+        successes_flat[ready_idx[success_flags]] += 1
+
+        new_stage = np.minimum(stage_flat[ready_idx] + 1, max_stage)
+        new_stage[success_flags] = 0
+        stage_flat[ready_idx] = new_stage
+        bounds = window_flat[ready_idx] << new_stage
+
+        k = ready_idx.size
+        if block_pos + k > block_size:
+            uniform_block = rng.random(block_size)
+            block_pos = 0
+        draws = (
+            uniform_block[block_pos : block_pos + k] * bounds
+        ).astype(np.int64)
+        block_pos += k
+
+        jump_plus = jump + 1
+        counter -= jump_plus[:, np.newaxis]
+        counter_flat[ready_idx] = draws
+        slots_done += jump_plus
+        fast_iterations += 1
+    busy_count += fast_iterations
+
+    # ------------------------------------------------------------------
+    # Tail path: replicas finish at different events; mask the stragglers.
+    # At most a handful of iterations for homogeneous slot budgets.
+    # ------------------------------------------------------------------
+    active = slots_done < n_slots
+    while active.any():
+        jump = counter[active].min(axis=1)
+        idle = np.minimum(jump, n_slots - slots_done[active])
+        counter[active] -= idle[:, np.newaxis]
+        slots_done[active] += idle
+
+        # Replicas that still owe slots now have some counter at zero.
+        busy = np.flatnonzero(slots_done < n_slots)
+        if busy.size == 0:
+            break
+        sub_counter = counter[busy]
+        ready = sub_counter == 0
+        success = ready.sum(axis=1) == 1
+        success_col = success[:, np.newaxis]
+        attempts[busy] += ready
+        successes[busy] += ready & success_col
+
+        sub_stage = stage[busy]
+        sub_stage = np.where(
+            ready,
+            np.where(success_col, 0, np.minimum(sub_stage + 1, max_stage)),
+            sub_stage,
+        )
+        stage[busy] = sub_stage
+
+        stage_window = window_matrix[busy] << sub_stage
+        draws = rng.integers(0, stage_window[ready], dtype=np.int64)
+        new_counter = sub_counter - 1
+        new_counter[ready] = draws
+        counter[busy] = new_counter
+
+        busy_count[busy] += 1
+        slots_done[busy] += 1
+        active = slots_done < n_slots
+
+    if np.any(slots_done <= 0):
+        raise SimulationError("no slots simulated")  # pragma: no cover
+
+    # Every busy slot with exactly one transmitter was a success; all
+    # slot-type totals and the elapsed time follow from the counters.
+    collisions = attempts - successes
+    success_slots = successes.sum(axis=1)
+    collision_slots = busy_count - success_slots
+    idle_slots = slots_done - busy_count
+    elapsed_us = (
+        idle_slots * times.idle_us
+        + success_slots * times.success_us
+        + collision_slots * times.collision_us
+    )
+
+    total = slots_done.astype(np.float64)
+    tau = attempts / total[:, np.newaxis]
+    collision_prob = np.where(
+        attempts > 0, collisions / np.maximum(attempts, 1), 0.0
+    )
+    payoff_rates = (
+        successes * params.gain - attempts * params.cost
+    ) / elapsed_us[:, np.newaxis]
+    throughput = (
+        successes.sum(axis=1) * params.payload_time_us / elapsed_us
+    )
+    return BatchResult(
+        windows=window_matrix.astype(float),
+        attempts=attempts,
+        successes=successes,
+        collisions=collisions,
+        idle_slots=idle_slots,
+        success_slots=success_slots,
+        collision_slots=collision_slots,
+        elapsed_us=elapsed_us,
+        tau=tau,
+        collision=collision_prob,
+        payoff_rates=payoff_rates,
+        throughput=throughput,
+    )
+
+
+def simulate(
+    windows: Sequence[int],
+    params: PhyParameters,
+    mode: AccessMode = AccessMode.BASIC,
+    *,
+    n_slots: int,
+    seed: SeedLike = None,
+    engine: str = "vectorized",
+    observer=None,
+):
+    """Run one single-collision-domain simulation on a selected engine.
+
+    Dispatches between the reference object-per-node engine
+    (:class:`repro.sim.engine.DcfSimulator`, ``engine="reference"``) and
+    the vectorized kernel (``engine="vectorized"``); both return the same
+    :class:`repro.sim.engine.SimulationResult` type, so call sites choose
+    purely on speed.  An ``observer`` forces the reference engine - the
+    vectorized kernel does not replay per-slot events.
+    """
+    if engine not in ("vectorized", "reference"):
+        raise ParameterError(
+            f"engine must be 'vectorized' or 'reference', got {engine!r}"
+        )
+    from repro.sim.engine import DcfSimulator, SimulationResult
+
+    if engine == "reference" or observer is not None:
+        simulator = DcfSimulator(windows, params, mode, seed=seed)
+        return simulator.run(n_slots, observer=observer)
+
+    batch = run_batch(
+        np.asarray(list(windows)), params, mode, n_slots=n_slots, seed=seed
+    )
+    counters = batch.replica_counters(0)
+    return SimulationResult(
+        counters=counters,
+        windows=batch.windows[0],
+        tau=counters.tau_estimates(),
+        collision=counters.collision_estimates(),
+        payoff_rates=counters.payoff_rates(params.gain, params.cost),
+        throughput=counters.throughput(params.payload_time_us),
+    )

@@ -1,0 +1,137 @@
+"""Tests for the parallel experiment runner and its determinism contract.
+
+The headline property (pinned here, claimed in the module docstrings and
+the CLI help) is that ``jobs`` is a pure speed knob: for a fixed root
+seed the sweep artefacts are bit-identical whatever the worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import PARALLEL_EXPERIMENTS, build_parser
+from repro.errors import ParameterError
+from repro.experiments import figure2, table2
+from repro.experiments.parallel import parallel_map, resolve_jobs, spawn_seeds
+from repro.phy.parameters import AccessMode
+
+
+def _square(x):
+    """Module-level worker so the pool can pickle it."""
+    return x * x
+
+
+class TestResolveJobs:
+    def test_none_means_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            resolve_jobs(-1)
+
+
+class TestSpawnSeeds:
+    def test_count_and_type(self):
+        children = spawn_seeds(42, 3)
+        assert len(children) == 3
+        assert all(
+            isinstance(c, np.random.SeedSequence) for c in children
+        )
+
+    def test_deterministic_streams(self):
+        first = [
+            np.random.default_rng(c).integers(0, 1 << 30, 4)
+            for c in spawn_seeds(42, 3)
+        ]
+        second = [
+            np.random.default_rng(c).integers(0, 1 << 30, 4)
+            for c in spawn_seeds(42, 3)
+        ]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_children_are_distinct(self):
+        a, b = spawn_seeds(7, 2)
+        draws_a = np.random.default_rng(a).integers(0, 1 << 30, 8)
+        draws_b = np.random.default_rng(b).integers(0, 1 << 30, 8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_seed_sequence_root_accepted(self):
+        root = np.random.SeedSequence(5)
+        assert len(spawn_seeds(root, 2)) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParameterError):
+            spawn_seeds(0, -1)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty_tasks(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_pool_preserves_order(self):
+        tasks = list(range(10))
+        assert parallel_map(_square, tasks, jobs=2) == [
+            t * t for t in tasks
+        ]
+
+    def test_pool_equals_serial(self):
+        tasks = list(range(7))
+        assert parallel_map(_square, tasks, jobs=3) == parallel_map(
+            _square, tasks
+        )
+
+
+class TestJobsInvariance:
+    """Bit-identical artefacts for a fixed seed, any worker count."""
+
+    def test_table2_rows_identical_across_jobs(self, params):
+        kwargs = dict(
+            params=params,
+            sizes=(3, 4),
+            slots_per_point=6_000,
+            seed=0,
+        )
+        serial = table2.run_mode(AccessMode.BASIC, **kwargs)
+        pooled = table2.run_mode(AccessMode.BASIC, jobs=2, **kwargs)
+        assert serial.rows == pooled.rows
+
+    def test_figure2_curves_identical_across_jobs(self, params):
+        kwargs = dict(params=params, sizes=(3, 5), n_points=6)
+        serial = figure2.run_mode(AccessMode.BASIC, **kwargs)
+        pooled = figure2.run_mode(AccessMode.BASIC, jobs=2, **kwargs)
+        np.testing.assert_array_equal(serial.windows, pooled.windows)
+        for n in serial.curves:
+            np.testing.assert_array_equal(
+                serial.curves[n], pooled.curves[n]
+            )
+
+
+class TestCliJobsFlag:
+    def test_run_accepts_jobs(self):
+        args = build_parser().parse_args(["run", "table2", "--jobs", "3"])
+        assert args.jobs == 3
+
+    def test_run_all_accepts_jobs(self):
+        args = build_parser().parse_args(["run-all", "--jobs", "0"])
+        assert args.jobs == 0
+
+    def test_jobs_defaults_to_none(self):
+        args = build_parser().parse_args(["run", "table2"])
+        assert args.jobs is None
+
+    def test_parallel_experiment_set_matches_registry(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert PARALLEL_EXPERIMENTS <= set(EXPERIMENTS)

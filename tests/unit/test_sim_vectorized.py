@@ -1,0 +1,266 @@
+"""Equivalence and contract tests for the vectorized DCF kernel.
+
+The kernel (:mod:`repro.sim.vectorized`) must be statistically
+indistinguishable from both the reference object-per-node engine
+(:class:`repro.sim.engine.DcfSimulator`) and the :mod:`repro.bianchi`
+fixed-point predictions.  Tolerances are sized for CI stability: with the
+slot budgets used here the Monte-Carlo standard error on ``tau`` is a few
+percent, so the bounds below sit at 3-5 sigma.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bianchi import solve_heterogeneous, solve_symmetric
+from repro.errors import ParameterError
+from repro.phy.parameters import AccessMode
+from repro.phy.timing import slot_times
+from repro.sim.adaptive import measure_per_node_optimum
+from repro.sim.engine import DcfSimulator, SimulationResult
+from repro.sim.vectorized import BatchResult, run_batch, simulate
+
+MODES = [AccessMode.BASIC, AccessMode.RTS_CTS]
+# (n, W) pairs spanning small to dense networks; windows sit near each
+# size's contention sweet spot so payoffs are solidly non-zero.
+SYMMETRIC_CASES = [(2, 32), (5, 64), (20, 128)]
+
+
+def _pooled_estimates(result: BatchResult):
+    """Pool a batch of identical replicas into scalar estimators."""
+    total_slots = float(result.total_slots.sum())
+    attempts = result.attempts.sum(dtype=float)
+    successes = result.successes.sum(dtype=float)
+    tau = attempts / (total_slots * result.n_nodes)
+    collision = 1.0 - successes / attempts
+    return tau, collision
+
+
+def _analytic_payoff_rate(window, n_nodes, params, mode):
+    """Fixed-point prediction of the per-node payoff rate (per us)."""
+    solution = solve_symmetric(window, n_nodes, params.max_backoff_stage)
+    tau, p = solution.tau, solution.collision
+    times = slot_times(params, mode)
+    p_idle = (1.0 - tau) ** n_nodes
+    p_succ = n_nodes * tau * (1.0 - tau) ** (n_nodes - 1)
+    p_coll = 1.0 - p_idle - p_succ
+    mean_slot_us = (
+        p_idle * times.idle_us
+        + p_succ * times.success_us
+        + p_coll * times.collision_us
+    )
+    per_slot = tau * ((1.0 - p) * params.gain - params.cost)
+    return per_slot / mean_slot_us
+
+
+class TestValidation:
+    def test_rejects_empty_windows(self, params):
+        with pytest.raises(ParameterError):
+            run_batch(np.empty((0,)), params, n_slots=100)
+
+    def test_rejects_3d_windows(self, params):
+        with pytest.raises(ParameterError):
+            run_batch(np.ones((2, 2, 2)), params, n_slots=100)
+
+    def test_rejects_fractional_windows(self, params):
+        with pytest.raises(ParameterError):
+            run_batch([16.5, 32.0], params, n_slots=100)
+
+    def test_rejects_nonpositive_windows(self, params):
+        with pytest.raises(ParameterError):
+            run_batch([16, 0], params, n_slots=100)
+
+    def test_rejects_nonpositive_slots(self, params):
+        with pytest.raises(ParameterError):
+            run_batch([16, 16], params, n_slots=0)
+
+    def test_simulate_rejects_unknown_engine(self, params):
+        with pytest.raises(ParameterError):
+            simulate([16, 16], params, n_slots=100, engine="magic")
+
+
+class TestBatchContract:
+    def test_shapes_and_counter_identities(self, params):
+        windows = np.array([[16, 32, 64], [8, 8, 8]])
+        result = run_batch(
+            windows, params, AccessMode.BASIC, n_slots=5_000, seed=3
+        )
+        assert result.batch_size == 2
+        assert result.n_nodes == 3
+        assert result.attempts.shape == (2, 3)
+        assert result.tau.shape == (2, 3)
+        assert result.elapsed_us.shape == (2,)
+        # Every replica simulated exactly the requested virtual slots.
+        np.testing.assert_array_equal(result.total_slots, 5_000)
+        np.testing.assert_array_equal(
+            result.collisions, result.attempts - result.successes
+        )
+        # Slot-type counts decompose the elapsed time exactly.
+        times = slot_times(params, AccessMode.BASIC)
+        np.testing.assert_allclose(
+            result.elapsed_us,
+            result.idle_slots * times.idle_us
+            + result.success_slots * times.success_us
+            + result.collision_slots * times.collision_us,
+        )
+
+    def test_replica_counters_pass_reference_checks(self, params):
+        result = run_batch(
+            [[16, 16], [64, 64]], params, n_slots=2_000, seed=9
+        )
+        for index in range(result.batch_size):
+            counters = result.replica_counters(index)
+            assert counters.idle_slots >= 0
+            assert counters.elapsed_us > 0
+
+    def test_single_profile_promoted_to_batch_of_one(self, params):
+        result = run_batch([32, 32, 32], params, n_slots=1_000, seed=0)
+        assert result.batch_size == 1
+        assert result.n_nodes == 3
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self, params):
+        a = run_batch([[32] * 5] * 3, params, n_slots=4_000, seed=77)
+        b = run_batch([[32] * 5] * 3, params, n_slots=4_000, seed=77)
+        np.testing.assert_array_equal(a.attempts, b.attempts)
+        np.testing.assert_array_equal(a.successes, b.successes)
+        np.testing.assert_array_equal(a.idle_slots, b.idle_slots)
+
+    def test_seed_sequence_matches_equivalent_entropy(self, params):
+        seq = np.random.SeedSequence(123)
+        a = run_batch([32, 32], params, n_slots=2_000, seed=seq)
+        b = run_batch(
+            [32, 32], params, n_slots=2_000, seed=np.random.SeedSequence(123)
+        )
+        np.testing.assert_array_equal(a.attempts, b.attempts)
+
+    def test_different_seeds_differ(self, params):
+        a = run_batch([[32] * 5], params, n_slots=4_000, seed=1)
+        b = run_batch([[32] * 5], params, n_slots=4_000, seed=2)
+        assert not np.array_equal(a.attempts, b.attempts)
+
+
+class TestFixedPointEquivalence:
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.name.lower())
+    @pytest.mark.parametrize(("n_nodes", "window"), SYMMETRIC_CASES)
+    def test_tau_and_collision_match_bianchi(
+        self, params, n_nodes, window, mode
+    ):
+        solution = solve_symmetric(
+            window, n_nodes, params.max_backoff_stage
+        )
+        batch = np.full((4, n_nodes), window)
+        result = run_batch(batch, params, mode, n_slots=30_000, seed=42)
+        tau, collision = _pooled_estimates(result)
+        assert tau == pytest.approx(solution.tau, rel=0.08)
+        assert collision == pytest.approx(solution.collision, abs=0.03)
+
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.name.lower())
+    @pytest.mark.parametrize(("n_nodes", "window"), SYMMETRIC_CASES)
+    def test_payoff_rate_matches_bianchi(
+        self, params, n_nodes, window, mode
+    ):
+        predicted = _analytic_payoff_rate(window, n_nodes, params, mode)
+        batch = np.full((4, n_nodes), window)
+        result = run_batch(batch, params, mode, n_slots=30_000, seed=7)
+        measured = float(result.payoff_rates.mean())
+        scale = max(abs(predicted), 1e-6)
+        assert abs(measured - predicted) / scale < 0.15
+
+    def test_heterogeneous_tau_matches_fixed_point(self, params):
+        windows = [16, 32, 64, 128, 256]
+        solution = solve_heterogeneous(windows, params.max_backoff_stage)
+        batch = np.tile(windows, (6, 1))
+        result = run_batch(
+            batch, params, AccessMode.BASIC, n_slots=40_000, seed=11
+        )
+        total = float(result.total_slots.sum()) / result.batch_size
+        pooled_tau = result.attempts.mean(axis=0) / total
+        np.testing.assert_allclose(pooled_tau, solution.tau, rtol=0.12)
+
+
+class TestReferenceEquivalence:
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.name.lower())
+    def test_estimates_match_reference_engine(self, params, mode):
+        n_nodes, window, n_slots = 5, 64, 40_000
+        reference = DcfSimulator(
+            [window] * n_nodes, params, mode, seed=101
+        ).run(n_slots)
+        result = run_batch(
+            [[window] * n_nodes], params, mode, n_slots=n_slots, seed=202
+        )
+        assert float(result.tau.mean()) == pytest.approx(
+            float(np.mean(reference.tau)), rel=0.1
+        )
+        assert float(result.collision.mean()) == pytest.approx(
+            float(np.mean(reference.collision)), abs=0.03
+        )
+        assert float(result.payoff_rates.mean()) == pytest.approx(
+            float(np.mean(reference.payoff_rates)), rel=0.15
+        )
+        assert float(result.throughput[0]) == pytest.approx(
+            float(reference.throughput), rel=0.1
+        )
+
+
+class TestSimulateDispatch:
+    def test_reference_engine_is_bit_identical_to_simulator(self, params):
+        direct = DcfSimulator([32] * 4, params, seed=5).run(3_000)
+        via = simulate(
+            [32] * 4, params, n_slots=3_000, seed=5, engine="reference"
+        )
+        np.testing.assert_array_equal(via.tau, direct.tau)
+        assert via.counters.elapsed_us == direct.counters.elapsed_us
+
+    def test_vectorized_returns_simulation_result(self, params):
+        result = simulate([32] * 4, params, n_slots=3_000, seed=5)
+        assert isinstance(result, SimulationResult)
+        assert result.windows.shape == (4,)
+        assert result.counters.idle_slots >= 0
+        assert np.all(result.tau > 0)
+
+    def test_observer_forces_reference_engine(self, params):
+        class Recorder:
+            def __init__(self):
+                self.busy = 0
+                self.idle = 0
+
+            def record_idle(self, slots):
+                self.idle += slots
+
+            def record_transmission(self, transmitters, success):
+                self.busy += 1
+
+        recorder = Recorder()
+        simulate(
+            [16, 16], params, n_slots=2_000, seed=1, observer=recorder
+        )
+        assert recorder.busy > 0
+        assert recorder.idle + recorder.busy == 2_000
+
+
+class TestAdaptiveEngines:
+    def test_vectorized_and_reference_land_on_same_plateau(self, params):
+        grid = [48, 56, 64, 72, 80, 88]
+        kwargs = dict(grid=grid, slots_per_point=30_000, seed=0)
+        fast = measure_per_node_optimum(
+            5, params, AccessMode.BASIC, engine="vectorized", **kwargs
+        )
+        slow = measure_per_node_optimum(
+            5, params, AccessMode.BASIC, engine="reference", **kwargs
+        )
+        assert fast.payoffs.shape == slow.payoffs.shape
+        # Plateau flatness means argmaxes scatter; the means must agree
+        # to within the grid span.
+        span = max(grid) - min(grid)
+        assert abs(fast.mean - slow.mean) <= span
+
+    def test_rejects_unknown_engine(self, params):
+        with pytest.raises(ParameterError):
+            measure_per_node_optimum(5, params, engine="magic")
+
+    def test_rejects_nonpositive_replicas(self, params):
+        with pytest.raises(ParameterError):
+            measure_per_node_optimum(5, params, replicas_per_point=0)
