@@ -20,13 +20,14 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from repro.typealiases import FloatArray
 from repro.errors import ParameterError
 from repro.bianchi.throughput import slot_statistics
 from repro.phy.timing import SlotTimes
 
 __all__ = ["jain_index", "throughput_shares"]
 
-ArrayLike = Union[Sequence[float], np.ndarray]
+ArrayLike = Union[Sequence[float], FloatArray]
 
 
 def jain_index(allocation: ArrayLike) -> float:
@@ -57,7 +58,7 @@ def jain_index(allocation: ArrayLike) -> float:
     return float(scaled.sum()) ** 2 / (x.size * float((scaled**2).sum()))
 
 
-def throughput_shares(tau: ArrayLike, times: SlotTimes) -> np.ndarray:
+def throughput_shares(tau: ArrayLike, times: SlotTimes) -> FloatArray:
     """Per-node shares of the successful airtime.
 
     Each node's share is its probability of owning a success slot,

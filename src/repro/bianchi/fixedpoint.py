@@ -16,6 +16,7 @@ a scalar fixed point ``tau = tau(W, 1 - (1 - tau)^{n-1})``; the paper notes
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Optional, Sequence
@@ -23,6 +24,8 @@ from typing import Optional, Sequence
 import numpy as np
 from scipy import optimize
 
+from repro.typealiases import FloatArray
+from repro.contracts import check_probability, check_window, checks_enabled
 from repro.errors import ConvergenceError, ParameterError
 from repro.bianchi.markov import transmission_probability
 
@@ -57,9 +60,9 @@ class FixedPointSolution:
         Number of damped iterations used (0 if the root fallback solved it).
     """
 
-    windows: np.ndarray
-    tau: np.ndarray
-    collision: np.ndarray
+    windows: FloatArray
+    tau: FloatArray
+    collision: FloatArray
     residual: float
     iterations: int
 
@@ -97,7 +100,7 @@ class SymmetricSolution:
     iterations: int
 
 
-def _collision_probabilities(tau: np.ndarray) -> np.ndarray:
+def _collision_probabilities(tau: FloatArray) -> FloatArray:
     """``p_i = 1 - prod_{j != i}(1 - tau_j)``, computed stably.
 
     Uses log-space products; exact leave-one-out division would lose
@@ -154,8 +157,7 @@ def solve_heterogeneous(
     w = np.asarray(list(windows), dtype=float)
     if w.ndim != 1 or w.shape[0] < 1:
         raise ParameterError("windows must be a non-empty 1-D sequence")
-    if np.any(w < 1):
-        raise ParameterError(f"all windows must be >= 1, got {w!r}")
+    check_window(w, "windows")
     n = w.shape[0]
 
     if n == 1:
@@ -176,7 +178,7 @@ def solve_heterogeneous(
     else:
         tau = np.full(n, 0.1)
 
-    def step(current: np.ndarray) -> np.ndarray:
+    def step(current: FloatArray) -> FloatArray:
         p = _collision_probabilities(current)
         return np.array(
             [
@@ -203,16 +205,22 @@ def solve_heterogeneous(
             f"fixed point residual {residual:.3e} exceeds tolerance for "
             f"windows={w!r}"
         )
+    if checks_enabled():
+        # Theorem 2 rests on tau_i, p_i being probabilities; catch a
+        # numerically corrupted solution before it contaminates the
+        # utility/equilibrium layers.
+        check_probability(tau, "tau")
+        check_probability(p, "collision")
     return FixedPointSolution(
         windows=w, tau=tau, collision=p, residual=residual, iterations=iterations
     )
 
 
-def _root_fallback(w: np.ndarray, max_stage: int, tau0: np.ndarray) -> np.ndarray:
+def _root_fallback(w: FloatArray, max_stage: int, tau0: FloatArray) -> FloatArray:
     """Solve the system with ``scipy.optimize.root`` as a last resort."""
     n = w.shape[0]
 
-    def residual(tau: np.ndarray) -> np.ndarray:
+    def residual(tau: FloatArray) -> FloatArray:
         clipped = np.clip(tau, 1e-12, 1.0 - 1e-12)
         p = _collision_probabilities(clipped)
         target = np.array(
@@ -272,7 +280,7 @@ def solve_symmetric(
     )
 
 
-def symmetric_cache_info():
+def symmetric_cache_info() -> "functools._CacheInfo":
     """Hit/miss statistics of the symmetric fixed-point memo cache."""
     return _solve_symmetric_cached.cache_info()
 
@@ -287,8 +295,7 @@ def _solve_symmetric_cached(
 ) -> SymmetricSolution:
     if n_nodes < 1:
         raise ParameterError(f"n_nodes must be >= 1, got {n_nodes!r}")
-    if window < 1:
-        raise ParameterError(f"window must be >= 1, got {window!r}")
+    check_window(window, "window")
 
     if n_nodes == 1:
         tau = transmission_probability(window, 0.0, max_stage)
@@ -320,6 +327,9 @@ def _solve_symmetric_cached(
     residual = abs(
         tau - transmission_probability(window, min(p, 1.0 - 1e-15), max_stage)
     )
+    if checks_enabled():
+        check_probability(tau, "tau")
+        check_probability(p, "collision")
     return SymmetricSolution(
         window=float(window),
         n_nodes=n_nodes,

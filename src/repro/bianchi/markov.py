@@ -28,6 +28,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.typealiases import FloatArray
 from repro.errors import ParameterError
 
 __all__ = [
@@ -139,7 +140,7 @@ class BackoffChain:
             self.window, self.collision_probability, self.max_stage
         )
 
-    def stage_probabilities(self) -> np.ndarray:
+    def stage_probabilities(self) -> FloatArray:
         """Probability ``q(j, 0)`` of attempting at each stage ``j``.
 
         Returns an array of length ``max_stage + 1``; its sum equals

@@ -19,12 +19,13 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from repro.typealiases import FloatArray
 from repro.errors import ParameterError
 from repro.phy.timing import SlotTimes
 
 __all__ = ["SlotStatistics", "slot_statistics", "normalized_throughput"]
 
-ArrayLike = Union[Sequence[float], np.ndarray]
+ArrayLike = Union[Sequence[float], FloatArray]
 
 
 @dataclass(frozen=True)
@@ -51,10 +52,10 @@ class SlotStatistics:
     p_success: float
     p_idle: float
     expected_slot_us: float
-    per_node_success: np.ndarray
+    per_node_success: FloatArray
 
 
-def _as_tau_array(tau: ArrayLike) -> np.ndarray:
+def _as_tau_array(tau: ArrayLike) -> FloatArray:
     arr = np.asarray(tau, dtype=float)
     if arr.ndim != 1 or arr.shape[0] < 1:
         raise ParameterError("tau must be a non-empty 1-D sequence")

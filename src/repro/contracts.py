@@ -1,0 +1,206 @@
+"""Cheap runtime contracts for the model's numerical invariants.
+
+The fixed-point, utility and equilibrium layers rest on invariants the
+paper states but code only holds implicitly: transmission and collision
+probabilities live in ``[0, 1]``, contention windows satisfy ``W >= 1``,
+and the Theorem 2 NE family is the interval ``W_c0 <= W_c <= W_c*``.
+This module makes those invariants machine-checked at the few points
+where a numerical bug would silently corrupt every downstream artefact.
+
+Two usage tiers:
+
+* **Always-on boundary checks.**  Call :func:`check_probability`,
+  :func:`check_window` or :func:`check_interval` directly where a public
+  function validates its inputs; they raise
+  :class:`repro.errors.ContractError` (a :class:`ParameterError`) on
+  violation.
+* **Gated hot-path checks.**  Wrap the same helpers in
+  :func:`checks_enabled` or apply the :func:`contract` decorator; both
+  honour the ``REPRO_CHECKS`` environment variable, so production sweeps
+  can run with ``REPRO_CHECKS=0`` and pay nothing beyond one dict lookup
+  per call.
+
+Checks are enabled by default: correctness first, opt out explicitly.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+from typing import Any, Callable, Optional, TypeVar, Union
+
+import numpy as np
+
+from repro.errors import ContractError
+
+__all__ = [
+    "ENV_FLAG",
+    "checks_enabled",
+    "check_interval",
+    "check_probability",
+    "check_window",
+    "contract",
+    "in_interval",
+    "probability",
+    "window",
+]
+
+ENV_FLAG = "REPRO_CHECKS"
+
+ScalarOrArray = Union[float, int, np.ndarray]
+Validator = Callable[[Any, str], Any]
+F = TypeVar("F", bound=Callable[..., Any])
+
+_DEFAULT_TOL = 1e-9
+
+
+def checks_enabled() -> bool:
+    """Whether runtime contracts are active (``REPRO_CHECKS != "0"``)."""
+    return os.environ.get(ENV_FLAG, "1") != "0"
+
+
+def _fail(name: str, value: Any, requirement: str) -> None:
+    raise ContractError(
+        f"contract violated: {name} must {requirement}, got {value!r}"
+    )
+
+
+def check_probability(
+    value: ScalarOrArray,
+    name: str = "probability",
+    *,
+    tol: float = _DEFAULT_TOL,
+) -> ScalarOrArray:
+    """Require ``value`` (scalar or array) to lie in ``[0, 1]``.
+
+    A tolerance absorbs honest floating-point overshoot (e.g. a fixed
+    point returning ``1 + 1e-16``); anything beyond it is a genuine
+    invariant violation.  Returns ``value`` unchanged so the helper can
+    be used inline: ``tau = check_probability(solve(...), "tau")``.
+    """
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        _fail(name, value, "be finite")
+    if np.any(arr < -tol) or np.any(arr > 1.0 + tol):
+        _fail(name, value, "lie in [0, 1]")
+    return value
+
+
+def check_window(
+    value: ScalarOrArray,
+    name: str = "window",
+    *,
+    minimum: float = 1.0,
+) -> ScalarOrArray:
+    """Require a contention window (scalar or array) to satisfy ``W >= 1``.
+
+    ``minimum`` generalises to other lower bounds (e.g. ``cw_min``).
+    Returns ``value`` unchanged.
+    """
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        _fail(name, value, "be finite")
+    if np.any(arr < minimum):
+        _fail(name, value, f"be >= {minimum!r}")
+    return value
+
+
+def check_interval(
+    value: ScalarOrArray,
+    lower: float,
+    upper: float,
+    name: str = "value",
+    *,
+    tol: float = 0.0,
+) -> ScalarOrArray:
+    """Require ``lower - tol <= value <= upper + tol`` (scalar or array).
+
+    This is the Theorem 2 shape: the efficient window must fall inside
+    ``[W_c0, W_c*]``, a converged ``tau`` inside its bracket, and so on.
+    Returns ``value`` unchanged.
+    """
+    if upper < lower:
+        _fail(name, (lower, upper), "have a non-empty interval")
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        _fail(name, value, "be finite")
+    if np.any(arr < lower - tol) or np.any(arr > upper + tol):
+        _fail(name, value, f"lie in [{lower!r}, {upper!r}]")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Validator factories for the decorator form
+# ----------------------------------------------------------------------
+def probability(*, tol: float = _DEFAULT_TOL) -> Validator:
+    """Validator factory: argument/result must be a probability."""
+
+    def validate(value: Any, name: str) -> Any:
+        return check_probability(value, name, tol=tol)
+
+    return validate
+
+
+def window(*, minimum: float = 1.0) -> Validator:
+    """Validator factory: argument/result must be a window ``>= minimum``."""
+
+    def validate(value: Any, name: str) -> Any:
+        return check_window(value, name, minimum=minimum)
+
+    return validate
+
+
+def in_interval(lower: float, upper: float, *, tol: float = 0.0) -> Validator:
+    """Validator factory: argument/result must lie in ``[lower, upper]``."""
+
+    def validate(value: Any, name: str) -> Any:
+        return check_interval(value, lower, upper, name, tol=tol)
+
+    return validate
+
+
+def contract(
+    *, result: Optional[Validator] = None, **param_validators: Validator
+) -> Callable[[F], F]:
+    """Attach gated invariant checks to a function's arguments and result.
+
+    Each keyword names a parameter of the decorated function and maps it
+    to a validator ``callable(value, name)``; ``result=`` validates the
+    return value.  When ``REPRO_CHECKS=0`` the wrapper short-circuits to
+    the undecorated call, so hot paths pay only an environment lookup.
+
+    Examples
+    --------
+    >>> @contract(tau=probability())
+    ... def success_rate(tau: float) -> float:
+    ...     return 1.0 - tau
+    >>> success_rate(0.25)
+    0.75
+    """
+
+    def decorate(func: F) -> F:
+        signature = inspect.signature(func)
+        unknown = set(param_validators) - set(signature.parameters)
+        if unknown:
+            raise ContractError(
+                f"contract on {func.__qualname__!r} names unknown "
+                f"parameters: {sorted(unknown)!r}"
+            )
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not checks_enabled():
+                return func(*args, **kwargs)
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            for param_name, validate in param_validators.items():
+                validate(bound.arguments[param_name], param_name)
+            value = func(*args, **kwargs)
+            if result is not None:
+                result(value, f"{func.__qualname__}() result")
+            return value
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

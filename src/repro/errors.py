@@ -9,6 +9,7 @@ simulation, or the distributed search protocol.
 from __future__ import annotations
 
 __all__ = [
+    "ContractError",
     "ConvergenceError",
     "GameDefinitionError",
     "ParameterError",
@@ -26,6 +27,15 @@ class ReproError(Exception):
 
 class ParameterError(ReproError, ValueError):
     """A PHY/MAC or model parameter is out of its valid domain."""
+
+
+class ContractError(ParameterError):
+    """A validated invariant of :mod:`repro.contracts` was violated.
+
+    Subclasses :class:`ParameterError` so boundary callers that catch the
+    generic domain error keep working when a check is expressed as a
+    contract instead of an inline ``if``/``raise``.
+    """
 
 
 class ConvergenceError(ReproError, RuntimeError):

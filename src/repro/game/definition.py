@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.typealiases import FloatArray
 from repro.errors import GameDefinitionError
 from repro.game.utility import (
     StageOutcome,
@@ -79,7 +80,7 @@ class MACGame:
         """The CW strategy set ``W = {cw_min, ..., cw_max}``."""
         return self.params.strategy_space()
 
-    def validate_profile(self, windows: Sequence[float]) -> np.ndarray:
+    def validate_profile(self, windows: Sequence[float]) -> FloatArray:
         """Check a window profile against the game; return it as an array."""
         arr = np.asarray(list(windows), dtype=float)
         if arr.shape != (self.n_players,):
@@ -101,7 +102,7 @@ class MACGame:
         profile = self.validate_profile(windows)
         return stage_outcome(profile, self.params, self.times)
 
-    def stage_payoffs(self, windows: Sequence[float]) -> np.ndarray:
+    def stage_payoffs(self, windows: Sequence[float]) -> FloatArray:
         """Per-player stage payoffs ``U_i^s = u_i T`` for a profile."""
         return self.stage(windows).utilities * self.params.stage_duration_us
 

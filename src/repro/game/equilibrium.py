@@ -32,6 +32,7 @@ from typing import Callable, Optional
 import numpy as np
 from scipy import optimize
 
+from repro.contracts import check_interval, check_probability, checks_enabled
 from repro.errors import ConvergenceError, ParameterError
 from repro.bianchi.fixedpoint import solve_symmetric
 from repro.bianchi.markov import _geometric_sum
@@ -67,8 +68,7 @@ def q_function(tau: float, n_nodes: int, times: SlotTimes) -> float:
     times:
         Slot durations (only ``idle_us`` and ``collision_us`` are used).
     """
-    if not 0.0 <= tau <= 1.0:
-        raise ParameterError(f"tau must lie in [0, 1], got {tau!r}")
+    check_probability(tau, "tau", tol=0.0)
     if n_nodes < 2:
         raise ParameterError(f"n_nodes must be >= 2, got {n_nodes!r}")
     n = n_nodes
@@ -365,6 +365,16 @@ def analyze_equilibria(
     utility = symmetric_utility_from_tau(
         solution.tau, n_nodes, params, times, ignore_cost=False
     )
+    if checks_enabled():
+        # Theorem 2: the NE family is the window interval
+        # W_c0 <= W_c <= W_c*, bounded by the strategy space.
+        check_probability(tau_star, "tau_star", tol=0.0)
+        check_interval(
+            w_star, params.cw_min, params.cw_max, "efficient window"
+        )
+        check_interval(
+            w_zero, params.cw_min, w_star, "break-even window"
+        )
     return EquilibriumAnalysis(
         n_nodes=n_nodes,
         tau_star=tau_star,

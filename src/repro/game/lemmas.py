@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.typealiases import FloatArray
 from repro.errors import ParameterError
 from repro.game.definition import MACGame
 
@@ -125,8 +126,8 @@ class Lemma2Check:
         non-positive up to numerical tolerance.
     """
 
-    tau_grid: np.ndarray
-    utilities: np.ndarray
+    tau_grid: FloatArray
+    utilities: FloatArray
     max_second_difference: float
 
     @property

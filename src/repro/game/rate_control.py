@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.typealiases import FloatArray
 from repro.errors import GameDefinitionError, ParameterError
 from repro.bianchi.fixedpoint import solve_symmetric
 from repro.phy.parameters import AccessMode, PhyParameters
@@ -223,7 +224,7 @@ class RateControlGame:
                 )
         return indices
 
-    def _airtime_profile(self, profile: Sequence[int]) -> Tuple[np.ndarray, float]:
+    def _airtime_profile(self, profile: Sequence[int]) -> Tuple[FloatArray, float]:
         indices = self._validate_profile(profile)
         success = np.array([self._success_us[i] for i in indices])
         if self.mode is AccessMode.RTS_CTS:
@@ -249,7 +250,7 @@ class RateControlGame:
             + (p_any - p_single_total) * collision_us
         )
 
-    def utilities(self, profile: Sequence[int]) -> np.ndarray:
+    def utilities(self, profile: Sequence[int]) -> FloatArray:
         """Per-player utility rates for a rate profile."""
         indices = self._validate_profile(profile)
         tslot = self.expected_slot_us(profile)

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.typealiases import FloatArray
 from repro.errors import GameDefinitionError
 from repro.game.definition import MACGame
 from repro.game.strategies import Strategy
@@ -48,10 +49,10 @@ class StageRecord:
     """
 
     stage: int
-    windows: np.ndarray
-    observed_windows: np.ndarray
-    utilities: np.ndarray
-    stage_payoffs: np.ndarray
+    windows: FloatArray
+    observed_windows: FloatArray
+    utilities: FloatArray
+    stage_payoffs: FloatArray
 
 
 @dataclass
@@ -76,21 +77,21 @@ class GameTrace:
         return len(self.records)
 
     @property
-    def final_windows(self) -> np.ndarray:
+    def final_windows(self) -> FloatArray:
         """The window profile of the last stage."""
         if not self.records:
             raise GameDefinitionError("trace is empty")
         return self.records[-1].windows
 
-    def window_history(self) -> np.ndarray:
+    def window_history(self) -> FloatArray:
         """Stacked window profiles, shape ``(n_stages, n_players)``."""
         return np.stack([record.windows for record in self.records])
 
-    def payoff_history(self) -> np.ndarray:
+    def payoff_history(self) -> FloatArray:
         """Stacked stage payoffs, shape ``(n_stages, n_players)``."""
         return np.stack([record.stage_payoffs for record in self.records])
 
-    def discounted_payoffs(self, discount_factor: float) -> np.ndarray:
+    def discounted_payoffs(self, discount_factor: float) -> FloatArray:
         """Per-player discounted payoff ``sum_k delta^k U_i^s(W^k)``."""
         payoffs = self.payoff_history()
         powers = discount_factor ** np.arange(payoffs.shape[0])
@@ -157,7 +158,7 @@ class RepeatedGameEngine:
         self._stage_cache: Dict[Tuple[int, ...], StageOutcome] = {}
 
     # ------------------------------------------------------------------
-    def _solve_stage(self, windows: np.ndarray) -> StageOutcome:
+    def _solve_stage(self, windows: FloatArray) -> StageOutcome:
         key = tuple(int(round(w)) for w in windows)
         outcome = self._stage_cache.get(key)
         if outcome is None:
@@ -165,7 +166,7 @@ class RepeatedGameEngine:
             self._stage_cache[key] = outcome
         return outcome
 
-    def _observe(self, windows: np.ndarray) -> np.ndarray:
+    def _observe(self, windows: FloatArray) -> FloatArray:
         """Per-player noisy observations of one stage's profile.
 
         Returns an ``(n, n)`` array whose row ``i`` is player ``i``'s view
@@ -200,7 +201,7 @@ class RepeatedGameEngine:
         if n_stages < 1:
             raise GameDefinitionError(f"n_stages must be >= 1, got {n_stages!r}")
         trace = GameTrace()
-        observed_history: List[np.ndarray] = []
+        observed_history: List[FloatArray] = []
         windows = self.initial_windows.copy()
         last_change_stage = 0
 

@@ -33,6 +33,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.typealiases import FloatArray
 from repro.errors import StrategyError
 from repro.game.definition import MACGame
 
@@ -59,7 +60,7 @@ class Strategy(abc.ABC):
     def next_window(
         self,
         player: int,
-        history: Sequence[np.ndarray],
+        history: Sequence[FloatArray],
         game: MACGame,
     ) -> int:
         """Choose the window for the coming stage.
@@ -84,7 +85,7 @@ class Strategy(abc.ABC):
         lo, hi = game.params.cw_min, game.params.cw_max
         return int(min(max(round(window), lo), hi))
 
-    def _require_history(self, history: Sequence[np.ndarray]) -> None:
+    def _require_history(self, history: Sequence[FloatArray]) -> None:
         if not history:
             raise StrategyError(
                 f"{type(self).__name__}.next_window needs at least one "
@@ -103,7 +104,7 @@ class TitForTat(Strategy):
     def next_window(
         self,
         player: int,
-        history: Sequence[np.ndarray],
+        history: Sequence[FloatArray],
         game: MACGame,
     ) -> int:
         self._require_history(history)
@@ -141,7 +142,7 @@ class GenerousTitForTat(Strategy):
     def next_window(
         self,
         player: int,
-        history: Sequence[np.ndarray],
+        history: Sequence[FloatArray],
         game: MACGame,
     ) -> int:
         self._require_history(history)
@@ -165,7 +166,7 @@ class ConstantStrategy(Strategy):
     def next_window(
         self,
         player: int,
-        history: Sequence[np.ndarray],
+        history: Sequence[FloatArray],
         game: MACGame,
     ) -> int:
         return self._clamp(self.window, game)
@@ -227,7 +228,7 @@ class BestResponseStrategy(Strategy):
     def next_window(
         self,
         player: int,
-        history: Sequence[np.ndarray],
+        history: Sequence[FloatArray],
         game: MACGame,
     ) -> int:
         self._require_history(history)

@@ -20,6 +20,8 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from repro.typealiases import FloatArray
+from repro.contracts import check_probability, checks_enabled, contract, probability
 from repro.errors import ParameterError
 from repro.bianchi.fixedpoint import (
     FixedPointSolution,
@@ -38,7 +40,7 @@ __all__ = [
     "discounted_utility",
 ]
 
-ArrayLike = Union[Sequence[float], np.ndarray]
+ArrayLike = Union[Sequence[float], FloatArray]
 
 
 @dataclass(frozen=True)
@@ -61,10 +63,10 @@ class StageOutcome:
         Normalized channel throughput at this profile.
     """
 
-    windows: np.ndarray
-    tau: np.ndarray
-    collision: np.ndarray
-    utilities: np.ndarray
+    windows: FloatArray
+    tau: FloatArray
+    collision: FloatArray
+    utilities: FloatArray
     expected_slot_us: float
     throughput: float
 
@@ -75,12 +77,12 @@ class StageOutcome:
 
 
 def _utilities_from_solution(
-    tau: np.ndarray,
-    collision: np.ndarray,
+    tau: FloatArray,
+    collision: FloatArray,
     times: SlotTimes,
     gain: float,
     cost: float,
-) -> tuple[np.ndarray, float]:
+) -> tuple[FloatArray, float]:
     stats = slot_statistics(tau, times)
     if stats.expected_slot_us <= 0:
         raise ParameterError("expected slot duration must be positive")
@@ -121,6 +123,10 @@ def stage_outcome(
         * params.payload_time_us
         / stats.expected_slot_us
     )
+    if checks_enabled():
+        # Normalized throughput is a channel fraction: a value outside
+        # [0, 1] means the slot statistics and utilities are corrupt.
+        check_probability(throughput, "throughput", tol=1e-6)
     return StageOutcome(
         windows=solution.windows,
         tau=solution.tau,
@@ -135,7 +141,7 @@ def stage_utilities(
     windows: Sequence[float],
     params: PhyParameters,
     times: SlotTimes,
-) -> np.ndarray:
+) -> FloatArray:
     """Per-node *stage* utilities ``U_i^s = u_i T`` for a window profile."""
     outcome = stage_outcome(windows, params, times)
     return outcome.utilities * params.stage_duration_us
@@ -177,6 +183,7 @@ def symmetric_stage_utility(
     )
 
 
+@contract(tau=probability(tol=0.0))
 def symmetric_utility_from_tau(
     tau: float,
     n_nodes: int,
@@ -189,10 +196,10 @@ def symmetric_utility_from_tau(
 
     Expressing ``U_i`` through ``tau`` rather than ``W`` mirrors the
     paper's Lemma 2/3 derivation and is what the continuous optimiser in
-    :mod:`repro.game.equilibrium` uses.
+    :mod:`repro.game.equilibrium` uses.  ``tau`` is contract-checked (a
+    probability); the check - like every hot-path contract - is skipped
+    under ``REPRO_CHECKS=0``.
     """
-    if not 0.0 <= tau <= 1.0:
-        raise ParameterError(f"tau must lie in [0, 1], got {tau!r}")
     if n_nodes < 1:
         raise ParameterError(f"n_nodes must be >= 1, got {n_nodes!r}")
     cost = 0.0 if ignore_cost else params.cost

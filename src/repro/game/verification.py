@@ -24,7 +24,7 @@ executable checks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -167,7 +167,7 @@ class Theorem2Report:
     analysis: EquilibriumAnalysis
     checked_windows: List[int]
     worst_gain: float
-    worst_case: tuple
+    worst_case: Tuple[int, int]
     stage_equilibria: List[int]
 
     @property

@@ -1,0 +1,137 @@
+"""Command line for the project linter (``python -m repro.lint``)."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.analyzer import DEFAULT_EXCLUDED_DIRS, check_paths
+from repro.lint.rules import RULE_REGISTRY, all_rule_codes
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Determinism/invariant static analysis for the repro "
+            "codebase (rules REPRO001-REPRO005)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--exclude",
+        metavar="DIRS",
+        help=(
+            "comma-separated directory names to skip in addition to "
+            f"the defaults ({', '.join(sorted(DEFAULT_EXCLUDED_DIRS))})"
+        ),
+    )
+    parser.add_argument(
+        "--no-noqa",
+        action="store_true",
+        help="report violations even on '# repro: noqa' lines",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code.
+
+    ``0`` - clean; ``1`` - violations found; ``2`` - usage error
+    (unknown rule code, missing path).
+    """
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for code in all_rule_codes():
+            print(f"{code}  {RULE_REGISTRY[code].summary}")
+        return 0
+
+    roots = [Path(p) for p in options.paths]
+    missing = [str(p) for p in roots if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    excluded = set(DEFAULT_EXCLUDED_DIRS)
+    extra = _split_codes(options.exclude)
+    if extra:
+        excluded.update(extra)
+
+    try:
+        violations, files_checked = check_paths(
+            roots,
+            select=_split_codes(options.select),
+            ignore=_split_codes(options.ignore),
+            excluded_dirs=frozenset(excluded),
+            respect_noqa=not options.no_noqa,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if options.format == "json":
+        counts: Dict[str, int] = {}
+        for violation in violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        print(
+            json.dumps(
+                {
+                    "files_checked": files_checked,
+                    "violations": [v.to_dict() for v in violations],
+                    "counts": counts,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.render())
+        noun = "file" if files_checked == 1 else "files"
+        if violations:
+            print(
+                f"{len(violations)} violation(s) in {files_checked} "
+                f"{noun} checked"
+            )
+        else:
+            print(f"clean: {files_checked} {noun} checked")
+    return 1 if violations else 0

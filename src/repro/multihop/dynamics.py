@@ -32,8 +32,13 @@ from repro.multihop.game import MultihopGame
 from repro.multihop.localgame import local_efficient_windows
 from repro.multihop.mobility import RandomWaypointModel
 from repro.phy.parameters import AccessMode, PhyParameters
+from repro.rng import RngLike, resolve_rng
 
 __all__ = ["EpochRecord", "MobilityDynamics", "MobilityTrace"]
+
+#: Fixed fallback seed when no generator is supplied (determinism
+#: guarantee; see docs/static_analysis.md).
+DEFAULT_DYNAMICS_SEED = 20070603
 
 
 @dataclass(frozen=True)
@@ -94,7 +99,9 @@ class MobilityDynamics:
     mode:
         Access mode (Section VI uses RTS/CTS).
     rng:
-        Random generator for the mobility model.
+        Random generator, seed or ``SeedSequence`` for the mobility
+        model; omitted means a deterministic fallback seeded with
+        :data:`DEFAULT_DYNAMICS_SEED`.
     """
 
     def __init__(
@@ -107,7 +114,7 @@ class MobilityDynamics:
         tx_range: float = 250.0,
         max_speed: float = 5.0,
         mode: AccessMode = AccessMode.RTS_CTS,
-        rng: Optional[np.random.Generator] = None,
+        rng: RngLike = None,
     ) -> None:
         self.params = params
         self.tx_range = tx_range
@@ -117,7 +124,7 @@ class MobilityDynamics:
             width=width,
             height=height,
             max_speed=max_speed,
-            rng=rng if rng is not None else np.random.default_rng(),
+            rng=resolve_rng(rng, default_seed=DEFAULT_DYNAMICS_SEED),
         )
         self._sticky: Optional[np.ndarray] = None
 

@@ -29,6 +29,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.contracts import check_probability, checks_enabled
 from repro.errors import ParameterError, TopologyError
 from repro.bianchi.fixedpoint import solve_symmetric
 from repro.multihop.hidden import analytic_hidden_degradation
@@ -221,6 +222,12 @@ class MultihopGame:
             int(window), size, self.params.max_backoff_stage
         )
         tau, collision = solution.tau, solution.collision
+        if checks_enabled():
+            # The Theorem 3 argument needs per-neighbourhood fixed
+            # points that are genuine probabilities.
+            check_probability(tau, "tau")
+            check_probability(collision, "collision")
+            check_probability(self._hidden(node), "hidden-node factor")
         one_minus = 1.0 - tau
         p_idle = one_minus**size
         p_single = size * tau * one_minus ** (size - 1)
@@ -325,6 +332,12 @@ class MultihopGame:
         global_max = float(global_curve.max())
         global_at_ne = float(global_curve[ne_index])
         global_fraction = global_at_ne / global_max if global_max > 0 else 1.0
+
+        if checks_enabled():
+            # Retention fractions are utility ratios against the grid
+            # maximum; outside [0, 1] the report is self-contradictory.
+            check_probability(fraction[contending], "per-node retention")
+            check_probability(global_fraction, "global retention")
 
         return QuasiOptimalityReport(
             grid=grid_arr,

@@ -12,16 +12,21 @@ emit topology snapshots for the game/simulation layers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator
 
 import numpy as np
 
 from repro.errors import ParameterError
 from repro.multihop.topology import GeometricTopology
+from repro.rng import RngLike, resolve_rng
 
 __all__ = ["RandomWaypointModel", "WaypointState"]
 
 _MIN_POSITIVE_SPEED = 1e-9
+
+#: Fixed fallback seed when no generator is supplied (determinism
+#: guarantee; see docs/static_analysis.md).
+DEFAULT_MOBILITY_SEED = 20070602
 
 
 @dataclass
@@ -62,7 +67,9 @@ class RandomWaypointModel:
     pause_time:
         Pause at each waypoint, in seconds.
     rng:
-        Random generator.
+        Random generator, seed or ``SeedSequence``; omitted means a
+        deterministic fallback seeded with
+        :data:`DEFAULT_MOBILITY_SEED`.
 
     Examples
     --------
@@ -82,7 +89,7 @@ class RandomWaypointModel:
         min_speed: float = 0.0,
         max_speed: float = 5.0,
         pause_time: float = 0.0,
-        rng: Optional[np.random.Generator] = None,
+        rng: RngLike = None,
     ) -> None:
         if n_nodes < 1:
             raise ParameterError(f"n_nodes must be >= 1, got {n_nodes!r}")
@@ -102,7 +109,7 @@ class RandomWaypointModel:
         self.min_speed = max(min_speed, _MIN_POSITIVE_SPEED)
         self.max_speed = max_speed
         self.pause_time = pause_time
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = resolve_rng(rng, default_seed=DEFAULT_MOBILITY_SEED)
 
         positions = self._uniform_points(n_nodes)
         self.state = WaypointState(

@@ -10,14 +10,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import List, Optional
+from typing import List
 
 import networkx as nx
 import numpy as np
 
 from repro.errors import TopologyError
+from repro.rng import RngLike, resolve_rng
 
 __all__ = ["GeometricTopology", "random_topology"]
+
+#: Fixed fallback seed for :func:`random_topology` when no generator is
+#: supplied (determinism guarantee; see docs/static_analysis.md).
+DEFAULT_TOPOLOGY_SEED = 20070601
 
 
 @dataclass(frozen=True)
@@ -126,7 +131,7 @@ def random_topology(
     width: float = 1000.0,
     height: float = 1000.0,
     tx_range: float = 250.0,
-    rng: Optional[np.random.Generator] = None,
+    rng: RngLike = None,
     require_connected: bool = False,
     max_retries: int = 100,
 ) -> GeometricTopology:
@@ -138,7 +143,9 @@ def random_topology(
         Scenario constants; defaults match the paper (100 nodes,
         1000 m x 1000 m, 250 m range).
     rng:
-        Random generator (fresh default generator when omitted).
+        Random generator, seed or ``SeedSequence``.  When omitted the
+        sample is still deterministic: it derives from the module's
+        fixed :data:`DEFAULT_TOPOLOGY_SEED`.
     require_connected:
         Resample until the snapshot is connected (the paper assumes a
         connected network).
@@ -151,7 +158,7 @@ def random_topology(
     """
     if n_nodes < 2:
         raise TopologyError(f"n_nodes must be >= 2, got {n_nodes!r}")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = resolve_rng(rng, default_seed=DEFAULT_TOPOLOGY_SEED)
     for _ in range(max_retries):
         positions = generator.uniform(
             low=[0.0, 0.0], high=[width, height], size=(n_nodes, 2)

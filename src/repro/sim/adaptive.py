@@ -30,6 +30,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.typealiases import FloatArray, IntArray
 from repro.errors import ParameterError
 from repro.game.equilibrium import efficient_window
 from repro.phy.parameters import AccessMode, PhyParameters
@@ -58,16 +59,16 @@ class PerNodeOptimum:
         Population variance of the per-node optima (``Var(W_c*)``).
     """
 
-    grid: np.ndarray
-    payoffs: np.ndarray
-    per_node_windows: np.ndarray
+    grid: IntArray
+    payoffs: FloatArray
+    per_node_windows: FloatArray
     mean: float
     variance: float
 
 
 def default_window_grid(
     analytic_optimum: int, *, half_width: float = 0.4, n_points: int = 17
-) -> np.ndarray:
+) -> IntArray:
     """A window grid centred on the analytical optimum.
 
     Spans ``[(1 - half_width) W*, (1 + half_width) W*]`` with
@@ -91,7 +92,7 @@ def default_window_grid(
 
 
 def _vectorized_payoffs(
-    grid: np.ndarray,
+    grid: IntArray,
     n_nodes: int,
     params: PhyParameters,
     mode: AccessMode,
@@ -99,7 +100,7 @@ def _vectorized_payoffs(
     slots_per_point: int,
     replicas_per_point: int,
     seed: np.random.SeedSequence,
-) -> np.ndarray:
+) -> FloatArray:
     """Measured per-node payoffs for every grid window, one kernel call.
 
     Each grid point becomes ``replicas_per_point`` rows of the batch;

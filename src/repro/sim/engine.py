@@ -17,17 +17,34 @@ with the number of *transmissions*, not slots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Optional, Protocol, Sequence, Union
 
 import numpy as np
 
+from repro.typealiases import FloatArray
 from repro.errors import ParameterError
 from repro.phy.parameters import AccessMode, PhyParameters
 from repro.phy.timing import SlotTimes, slot_times
 from repro.sim.metrics import ChannelCounters, NodeCounters
 from repro.sim.node import BackoffNode
 
-__all__ = ["DcfSimulator", "SimulationResult"]
+__all__ = ["DcfSimulator", "SimulationResult", "SlotObserver"]
+
+
+class SlotObserver(Protocol):
+    """Structural type of a promiscuous per-slot observer.
+
+    :class:`repro.detect.estimator.WindowObserver` is the canonical
+    implementation; anything with these two methods can watch a run.
+    """
+
+    def record_idle(self, slots: int = 1) -> None:
+        """Log ``slots`` idle virtual slots."""
+
+    def record_transmission(
+        self, transmitters: Sequence[int], success: bool
+    ) -> None:
+        """Log one busy virtual slot with its attempting nodes."""
 
 
 @dataclass(frozen=True)
@@ -52,10 +69,10 @@ class SimulationResult:
     """
 
     counters: ChannelCounters
-    windows: np.ndarray
-    tau: np.ndarray
-    collision: np.ndarray
-    payoff_rates: np.ndarray
+    windows: FloatArray
+    tau: FloatArray
+    collision: FloatArray
+    payoff_rates: FloatArray
     throughput: float
 
 
@@ -127,7 +144,9 @@ class DcfSimulator:
             node.set_window(window)
 
     # ------------------------------------------------------------------
-    def run(self, n_slots: int, *, observer=None) -> SimulationResult:
+    def run(
+        self, n_slots: int, *, observer: Optional[SlotObserver] = None
+    ) -> SimulationResult:
         """Simulate ``n_slots`` virtual slots and return the estimates.
 
         Parameters

@@ -14,6 +14,7 @@ from typing import List
 
 import numpy as np
 
+from repro.typealiases import FloatArray
 from repro.errors import SimulationError
 
 __all__ = ["ChannelCounters", "NodeCounters"]
@@ -86,20 +87,20 @@ class ChannelCounters:
         """Total number of virtual slots simulated."""
         return self.idle_slots + self.success_slots + self.collision_slots
 
-    def tau_estimates(self) -> np.ndarray:
+    def tau_estimates(self) -> FloatArray:
         """Per-node ``tau`` estimate: attempts per virtual slot."""
         total = self.total_slots
         if total == 0:
             raise SimulationError("no slots simulated")
         return np.array([node.attempts / total for node in self.per_node])
 
-    def collision_estimates(self) -> np.ndarray:
+    def collision_estimates(self) -> FloatArray:
         """Per-node ``p`` estimate: collisions per attempt."""
         return np.array(
             [node.collision_probability() for node in self.per_node]
         )
 
-    def payoff_rates(self, gain: float, cost: float) -> np.ndarray:
+    def payoff_rates(self, gain: float, cost: float) -> FloatArray:
         """Per-node measured payoff per microsecond."""
         return np.array(
             [

@@ -37,6 +37,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.typealiases import FloatArray, IntArray
 from repro.errors import ParameterError, SimulationError
 from repro.phy.parameters import AccessMode, PhyParameters
 from repro.phy.timing import slot_times
@@ -64,20 +65,20 @@ class SpatialResult:
         Per-node measured payoff per microsecond.
     """
 
-    attempts: np.ndarray
-    successes: np.ndarray
-    inrange_losses: np.ndarray
-    hidden_losses: np.ndarray
+    attempts: IntArray
+    successes: IntArray
+    inrange_losses: IntArray
+    hidden_losses: IntArray
     elapsed_us: float
-    payoff_rates: np.ndarray
+    payoff_rates: FloatArray
 
-    def collision_probability(self) -> np.ndarray:
+    def collision_probability(self) -> FloatArray:
         """Per-node sender-side collision estimate ``p_i`` (in-range)."""
         with np.errstate(invalid="ignore", divide="ignore"):
             p = self.inrange_losses / self.attempts
         return np.nan_to_num(p)
 
-    def hidden_degradation(self) -> np.ndarray:
+    def hidden_degradation(self) -> FloatArray:
         """Per-node ``1 - p_hn`` estimate: hidden losses per attempt that
         survived in-range contention."""
         survived = self.attempts - self.inrange_losses
@@ -113,7 +114,7 @@ class SpatialSimulator:
 
     def __init__(
         self,
-        positions: np.ndarray,
+        positions: FloatArray,
         tx_range: float,
         windows: Sequence[int],
         params: PhyParameters,
@@ -163,11 +164,11 @@ class SpatialSimulator:
         self.active = self.adjacency.any(axis=1)
 
     # ------------------------------------------------------------------
-    def _stage_windows(self) -> np.ndarray:
+    def _stage_windows(self) -> IntArray:
         capped = np.minimum(self.stage, self.params.max_backoff_stage)
         return self.windows * (2**capped)
 
-    def _draw_all(self) -> np.ndarray:
+    def _draw_all(self) -> IntArray:
         return self.rng.integers(0, self._stage_windows())
 
     def _draw_one(self, index: int) -> int:
@@ -185,7 +186,7 @@ class SpatialSimulator:
         self.stage[:] = 0
         self.counter = self._draw_all()
 
-    def neighbor_counts(self) -> np.ndarray:
+    def neighbor_counts(self) -> IntArray:
         """Number of neighbours of each node."""
         return self.adjacency.sum(axis=1)
 

@@ -30,10 +30,15 @@ the reference engine and the :mod:`repro.bianchi` fixed point).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime only
+    from repro.sim.engine import SimulationResult, SlotObserver
 
 import numpy as np
 
+from repro.typealiases import FloatArray, IntArray
+from repro.contracts import check_probability, check_window, checks_enabled
 from repro.errors import ParameterError, SimulationError
 from repro.phy.parameters import AccessMode, PhyParameters
 from repro.phy.timing import SlotTimes, slot_times
@@ -72,18 +77,18 @@ class BatchResult:
         Per-replica normalized channel throughput, shape ``(batch,)``.
     """
 
-    windows: np.ndarray
-    attempts: np.ndarray
-    successes: np.ndarray
-    collisions: np.ndarray
-    idle_slots: np.ndarray
-    success_slots: np.ndarray
-    collision_slots: np.ndarray
-    elapsed_us: np.ndarray
-    tau: np.ndarray
-    collision: np.ndarray
-    payoff_rates: np.ndarray
-    throughput: np.ndarray
+    windows: FloatArray
+    attempts: IntArray
+    successes: IntArray
+    collisions: IntArray
+    idle_slots: IntArray
+    success_slots: IntArray
+    collision_slots: IntArray
+    elapsed_us: FloatArray
+    tau: FloatArray
+    collision: FloatArray
+    payoff_rates: FloatArray
+    throughput: FloatArray
 
     @property
     def batch_size(self) -> int:
@@ -96,7 +101,7 @@ class BatchResult:
         return int(self.windows.shape[1])
 
     @property
-    def total_slots(self) -> np.ndarray:
+    def total_slots(self) -> IntArray:
         """Per-replica total virtual slots simulated, shape ``(batch,)``."""
         return self.idle_slots + self.success_slots + self.collision_slots
 
@@ -126,7 +131,7 @@ class BatchResult:
         return counters
 
 
-def _as_window_matrix(windows: Sequence[int] | np.ndarray) -> np.ndarray:
+def _as_window_matrix(windows: Sequence[int] | IntArray) -> IntArray:
     """Coerce ``windows`` to an int64 ``(batch, n_nodes)`` matrix."""
     arr = np.asarray(windows)
     if arr.ndim == 1:
@@ -141,13 +146,12 @@ def _as_window_matrix(windows: Sequence[int] | np.ndarray) -> np.ndarray:
     matrix = arr.astype(np.int64)
     if np.any(matrix != arr):
         raise ParameterError("windows must be integers")
-    if np.any(matrix < 1):
-        raise ParameterError("all windows must be >= 1")
+    check_window(matrix, "windows")
     return matrix
 
 
 def run_batch(
-    windows: Sequence[int] | np.ndarray,
+    windows: Sequence[int] | IntArray,
     params: PhyParameters,
     mode: AccessMode = AccessMode.BASIC,
     *,
@@ -316,6 +320,14 @@ def run_batch(
     throughput = (
         successes.sum(axis=1) * params.payload_time_us / elapsed_us
     )
+    if checks_enabled():
+        # One vectorized sweep over the estimators after the kernel
+        # loops: O(batch * n) next to the O(events * n) simulation, so
+        # the hot path is unaffected (and REPRO_CHECKS=0 removes even
+        # this).
+        check_probability(tau, "tau estimate")
+        check_probability(collision_prob, "collision estimate")
+        check_probability(throughput, "throughput", tol=1e-6)
     return BatchResult(
         windows=window_matrix.astype(float),
         attempts=attempts,
@@ -340,8 +352,8 @@ def simulate(
     n_slots: int,
     seed: SeedLike = None,
     engine: str = "vectorized",
-    observer=None,
-):
+    observer: Optional[SlotObserver] = None,
+) -> SimulationResult:
     """Run one single-collision-domain simulation on a selected engine.
 
     Dispatches between the reference object-per-node engine

@@ -1,0 +1,27 @@
+"""Shared static-typing aliases for the numerically typed packages.
+
+``mypy --strict`` (see the ``lint`` CI job) requires parameterized
+generics; these aliases name the only array flavours the model layers
+exchange, so annotations stay short and the dtype intent is explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["BoolArray", "FloatArray", "IntArray", "ScalarOrArray"]
+
+#: Float64 ndarray - probabilities, utilities, timings.
+FloatArray = npt.NDArray[np.float64]
+
+#: Int64 ndarray - windows, counters, slot counts.
+IntArray = npt.NDArray[np.int64]
+
+#: Boolean ndarray - adjacency and masks.
+BoolArray = npt.NDArray[np.bool_]
+
+#: Accepted by the contract helpers: one value or a whole array.
+ScalarOrArray = Union[float, int, FloatArray, IntArray]

@@ -1,0 +1,16 @@
+"""REPRO002 positives: seed-taking functions with non-deterministic fallbacks."""
+
+import numpy as np
+
+
+def sample(n: int, rng=None):
+    generator = rng or np.random.default_rng()
+    return generator.uniform(size=n)
+
+
+def simulate(n: int, *, seed=None):
+    if seed is None:
+        generator = np.random.default_rng()
+    else:
+        generator = np.random.default_rng(seed)
+    return generator.integers(0, n)

@@ -1,0 +1,11 @@
+"""REPRO003 positives: exact float comparison on probability-like values."""
+
+
+def classify(tau: float, utility: float) -> bool:
+    if tau == 0.3:
+        return True
+    return utility != -1.5
+
+
+def compare(tau_a: float, tau_b: float) -> bool:
+    return tau_a == tau_b

@@ -1,0 +1,16 @@
+"""REPRO004 positives: mutable default arguments."""
+
+import numpy as np
+
+
+def append_item(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tabulate(rows, *, index={}):
+    return {**index, "rows": rows}
+
+
+def weights(values, base=np.zeros(3)):
+    return base + values

@@ -1,0 +1,15 @@
+"""REPRO001 positives: unseeded generators and legacy global state."""
+
+import numpy as np
+from numpy.random import default_rng
+
+UNSEEDED_MODULE_RNG = np.random.default_rng()
+EXPLICIT_NONE = np.random.default_rng(None)
+KEYWORD_NONE = np.random.default_rng(seed=None)
+BARE_IMPORT = default_rng()
+LEGACY_STATE = np.random.RandomState()
+
+
+def legacy_draw(n: int) -> float:
+    np.random.seed(42)
+    return float(np.random.uniform(size=n).sum())

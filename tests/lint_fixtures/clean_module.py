@@ -1,0 +1,30 @@
+"""Negative fixture: determinism-respecting code the linter must not flag."""
+
+import math
+
+import numpy as np
+
+SEEDED = np.random.default_rng(2007)
+
+
+def sample(n: int, rng=None):
+    generator = rng if rng is not None else np.random.default_rng(2007)
+    return generator.uniform(size=n)
+
+
+def close_enough(tau: float, target: float) -> bool:
+    return math.isclose(tau, target, rel_tol=1e-9)
+
+
+def array_close(tau_estimates, reference) -> bool:
+    return bool(np.allclose(tau_estimates, reference))
+
+
+def collect(items, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.extend(items)
+    return bucket
+
+
+def count_matches(total: int, hits: int) -> bool:
+    return total == hits

@@ -1,0 +1,5 @@
+"""Registered experiment fixture: listed in registry.py, so no REPRO005."""
+
+
+def run(seed: int = 0) -> dict:
+    return {"seed": seed}

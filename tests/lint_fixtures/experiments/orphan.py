@@ -1,0 +1,5 @@
+"""REPRO005 positive: defines run() but is absent from registry.py."""
+
+
+def run(seed: int = 0) -> dict:
+    return {"seed": seed}

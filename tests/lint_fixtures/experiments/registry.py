@@ -1,0 +1,18 @@
+"""Fixture registry mirroring the shape of repro.experiments.registry."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Experiment:
+    id: str
+    title: str
+    figure: str
+    runner: object
+
+
+import good_exp  # noqa: E402  (fixture: never imported, only parsed)
+
+EXPERIMENTS = {
+    "good": Experiment("good", "registered fixture", "none", good_exp.run),
+}

@@ -1,0 +1,14 @@
+"""Noqa fixture: each violation is deliberately suppressed in place."""
+
+import numpy as np
+
+SCRATCH_RNG = np.random.default_rng()  # repro: noqa=REPRO001
+
+
+def exact_probe(tau: float) -> bool:
+    return tau == 0.5  # repro: noqa=REPRO003
+
+
+def scratch(items, bucket=[]):  # repro: noqa
+    bucket.extend(items)
+    return bucket

@@ -1,0 +1,214 @@
+"""Tests for the runtime contract layer (``repro.contracts``).
+
+Covers the three check helpers on scalars and arrays, the ``@contract``
+decorator, the ``REPRO_CHECKS=0`` kill switch, the ``ContractError``
+hierarchy, and the wiring into the model layers (fixed point, utility,
+equilibrium, vectorized kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    ENV_FLAG,
+    check_interval,
+    check_probability,
+    check_window,
+    checks_enabled,
+    contract,
+    in_interval,
+    probability,
+    window,
+)
+from repro.errors import ContractError, ParameterError, ReproError
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 1.0, 0.37, 1.0 + 1e-12])
+    def test_accepts_valid_scalars(self, value):
+        assert check_probability(value, "tau") is value
+
+    def test_accepts_arrays_and_returns_them_unchanged(self):
+        tau = np.array([0.0, 0.5, 1.0])
+        assert check_probability(tau, "tau") is tau
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, np.nan, np.inf, -np.inf])
+    def test_rejects_invalid_scalars(self, value):
+        with pytest.raises(ContractError):
+            check_probability(value, "tau")
+
+    def test_rejects_array_with_one_bad_entry(self):
+        with pytest.raises(ContractError, match="collision"):
+            check_probability(np.array([0.2, 1.2, 0.4]), "collision")
+
+    def test_tolerance_is_configurable(self):
+        check_probability(1.0 + 1e-7, "tau", tol=1e-6)
+        with pytest.raises(ContractError):
+            check_probability(1.0 + 1e-7, "tau", tol=0.0)
+
+
+class TestCheckWindow:
+    def test_accepts_scalars_and_arrays(self):
+        assert check_window(32, "W") == 32
+        w = np.array([1.0, 78.0, 1024.0])
+        assert check_window(w, "W") is w
+
+    @pytest.mark.parametrize("value", [0.5, 0, -3, np.nan, np.inf])
+    def test_rejects_sub_minimum_and_non_finite(self, value):
+        with pytest.raises(ContractError):
+            check_window(value, "W")
+
+    def test_custom_minimum(self):
+        check_window(16, "W", minimum=16)
+        with pytest.raises(ContractError):
+            check_window(15, "W", minimum=16)
+
+
+class TestCheckInterval:
+    def test_accepts_inside_and_tolerance(self):
+        assert check_interval(5.0, 1.0, 10.0, "W") == 5.0  # repro: noqa=REPRO003
+        check_interval(10.5, 1.0, 10.0, "W", tol=0.5)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ContractError, match="efficient window"):
+            check_interval(11.0, 1.0, 10.0, "efficient window")
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ContractError):
+            check_interval(5.0, 10.0, 1.0, "W")
+
+
+@pytest.fixture(autouse=True)
+def _checks_on(monkeypatch):
+    """Run every test with contracts enabled, whatever the ambient env.
+
+    TestKillSwitch tests override this per-test via their own
+    monkeypatch.setenv calls.
+    """
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+
+
+class TestContractDecorator:
+    def test_validates_named_argument(self):
+        @contract(tau=probability(tol=0.0))
+        def success(tau: float) -> float:
+            return 1.0 - tau
+
+        assert success(0.25) == 0.75  # repro: noqa=REPRO003
+        with pytest.raises(ContractError):
+            success(1.5)
+
+    def test_validates_defaults_and_keywords(self):
+        @contract(w=window(minimum=2.0))
+        def f(x: int, w: float = 1.0) -> float:
+            return x * w
+
+        with pytest.raises(ContractError):
+            f(3)  # the default itself violates the contract
+        assert f(3, w=2.0) == 6.0  # repro: noqa=REPRO003
+
+    def test_validates_result(self):
+        @contract(result=in_interval(0.0, 1.0))
+        def bad() -> float:
+            return 2.0
+
+        with pytest.raises(ContractError, match="result"):
+            bad()
+
+    def test_unknown_parameter_rejected_at_decoration_time(self):
+        with pytest.raises(ContractError, match="unknown"):
+
+            @contract(nope=probability())
+            def f(x: float) -> float:
+                return x
+
+    def test_metadata_preserved(self):
+        @contract(tau=probability())
+        def documented(tau: float) -> float:
+            """Docstring survives wrapping."""
+            return tau
+
+        assert documented.__name__ == "documented"
+        assert "survives" in documented.__doc__
+
+
+class TestKillSwitch:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert checks_enabled()
+        monkeypatch.setenv(ENV_FLAG, "1")
+        assert checks_enabled()
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "0")
+        assert not checks_enabled()
+
+    def test_decorator_short_circuits_when_disabled(self, monkeypatch):
+        @contract(tau=probability(tol=0.0))
+        def success(tau: float) -> float:
+            return 1.0 - tau
+
+        monkeypatch.setenv(ENV_FLAG, "0")
+        # The violating argument passes straight through to the body.
+        assert success(1.5) == -0.5  # repro: noqa=REPRO003
+
+    def test_direct_helpers_stay_on_when_disabled(self, monkeypatch):
+        # Boundary validation is not gated: only decorator/hot-path
+        # call sites consult checks_enabled().
+        monkeypatch.setenv(ENV_FLAG, "0")
+        with pytest.raises(ContractError):
+            check_probability(1.5, "tau")
+
+
+class TestErrorHierarchy:
+    def test_contract_error_is_parameter_error(self):
+        # Existing boundary tests catch ParameterError; swapping manual
+        # raises for contract helpers must not break them.
+        assert issubclass(ContractError, ParameterError)
+        assert issubclass(ContractError, ReproError)
+
+    def test_message_names_the_quantity(self):
+        with pytest.raises(ContractError, match="tau.*lie in"):
+            check_probability(-1.0, "tau")
+
+
+class TestModelWiring:
+    """The contracts actually guard the layers ISSUE.md names."""
+
+    def test_fixedpoint_rejects_bad_window_via_contract(self):
+        from repro.bianchi.fixedpoint import solve_heterogeneous, solve_symmetric
+
+        with pytest.raises(ContractError):
+            solve_heterogeneous([0.0, 32.0], 5)
+        with pytest.raises(ContractError):
+            solve_symmetric(0.5, 5, 5)
+
+    def test_utility_rejects_bad_tau_via_contract(self):
+        from repro.game.utility import symmetric_utility_from_tau
+        from repro.phy import AccessMode, default_parameters
+        from repro.phy.timing import slot_times
+
+        params = default_parameters()
+        times = slot_times(params, AccessMode.BASIC)
+        with pytest.raises(ContractError):
+            symmetric_utility_from_tau(1.5, 5, params, times)
+
+    def test_vectorized_kernel_rejects_bad_window(self):
+        from repro.phy import default_parameters
+        from repro.sim.vectorized import run_batch
+
+        with pytest.raises(ContractError):
+            run_batch([[0, 32]], default_parameters(), n_slots=100, seed=1)
+
+    def test_vectorized_kernel_passes_contracts_on_honest_run(self):
+        from repro.phy import default_parameters
+        from repro.sim.vectorized import run_batch
+
+        result = run_batch(
+            [[32, 32, 32]], default_parameters(), n_slots=2_000, seed=7
+        )
+        # The gated post-run block validated these before returning.
+        assert np.all((result.tau >= 0.0) & (result.tau <= 1.0))
+        assert np.all((result.collision >= 0.0) & (result.collision <= 1.0))

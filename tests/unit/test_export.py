@@ -16,14 +16,14 @@ from repro.phy.parameters import AccessMode
 class TestResultToDict:
     def test_scalars_pass_through(self):
         assert result_to_dict(3) == 3
-        assert result_to_dict(2.5) == 2.5
+        assert result_to_dict(2.5) == 2.5  # repro: noqa=REPRO003
         assert result_to_dict("x") == "x"
         assert result_to_dict(True) is True
         assert result_to_dict(None) is None
 
     def test_numpy_types_converted(self):
         assert result_to_dict(np.int64(3)) == 3
-        assert result_to_dict(np.float64(2.5)) == 2.5
+        assert result_to_dict(np.float64(2.5)) == 2.5  # repro: noqa=REPRO003
         assert result_to_dict(np.bool_(True)) is True
         assert result_to_dict(np.array([1, 2])) == [1, 2]
         assert result_to_dict(np.array([[1.5]])) == [[1.5]]

@@ -51,7 +51,7 @@ class TestSymmetric:
 
     def test_single_node_never_collides(self, params):
         sol = solve_symmetric(32, 1, params.max_backoff_stage)
-        assert sol.collision == 0.0
+        assert sol.collision == 0.0  # repro: noqa=REPRO003
         assert sol.tau == pytest.approx(2 / 33)
 
     def test_tau_decreasing_in_window(self, params):
@@ -111,7 +111,7 @@ class TestHeterogeneous:
 
     def test_single_node(self, params):
         sol = solve_heterogeneous([32], params.max_backoff_stage)
-        assert sol.collision[0] == 0.0
+        assert sol.collision[0] == 0.0  # repro: noqa=REPRO003
         assert sol.n_nodes == 1
 
     def test_warm_start_converges_to_same_point(self, params):

@@ -34,7 +34,7 @@ class TestDetectMisbehavior:
     def test_median_robust_to_one_outlier(self):
         # The deviator itself barely moves the median reference.
         report = detect_misbehavior([4.0] + [64.0] * 6)
-        assert report.reference == 64.0
+        assert report.reference == 64.0  # repro: noqa=REPRO003
         assert report.flagged_nodes.tolist() == [0]
 
     def test_explicit_reference(self):

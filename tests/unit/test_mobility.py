@@ -13,8 +13,8 @@ class TestConstruction:
     def test_defaults_match_paper(self):
         model = RandomWaypointModel(rng=np.random.default_rng(0))
         assert model.n_nodes == 100
-        assert model.width == model.height == 1000.0
-        assert model.max_speed == 5.0
+        assert model.width == model.height == 1000.0  # repro: noqa=REPRO003
+        assert model.max_speed == 5.0  # repro: noqa=REPRO003
 
     def test_initial_positions_inside_area(self):
         model = RandomWaypointModel(20, rng=np.random.default_rng(1))

@@ -66,7 +66,7 @@ class TestLocalUtility:
             positions=positions, tx_range=150.0, width=10_000.0, height=100.0
         )
         game = MultihopGame(topo, params)
-        assert game.local_utility(2, 32) == 0.0
+        assert game.local_utility(2, 32) == 0.0  # repro: noqa=REPRO003
         assert game.local_utility(0, 32) > 0.0
 
     def test_peaks_at_local_efficient_window(self, params):

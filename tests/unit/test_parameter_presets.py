@@ -16,10 +16,10 @@ from repro.phy.timing import slot_times
 class TestPreset80211b:
     def test_standard_phy_constants(self):
         preset = parameters_80211b()
-        assert preset.channel_bit_rate == 11e6
-        assert preset.slot_time_us == 20.0
-        assert preset.sifs_us == 10.0
-        assert preset.difs_us == 50.0
+        assert preset.channel_bit_rate == 11e6  # repro: noqa=REPRO003
+        assert preset.slot_time_us == 20.0  # repro: noqa=REPRO003
+        assert preset.sifs_us == 10.0  # repro: noqa=REPRO003
+        assert preset.difs_us == 50.0  # repro: noqa=REPRO003
 
     def test_frame_airtimes_shrink_with_rate(self):
         fast = parameters_80211b()

@@ -11,20 +11,20 @@ from repro.phy.parameters import AccessMode, PhyParameters, default_parameters
 class TestDefaults:
     def test_default_matches_paper_table1(self):
         params = default_parameters()
-        assert params.payload_bits == 8184.0
-        assert params.mac_header_bits == 272.0
-        assert params.phy_header_bits == 128.0
-        assert params.ack_bits == 112.0
-        assert params.rts_bits == 160.0
-        assert params.cts_bits == 112.0
-        assert params.channel_bit_rate == 1e6
-        assert params.slot_time_us == 50.0
-        assert params.sifs_us == 28.0
-        assert params.difs_us == 128.0
-        assert params.gain == 1.0
-        assert params.cost == 0.01
-        assert params.stage_duration_us == 10e6
-        assert params.discount_factor == 0.9999
+        assert params.payload_bits == 8184.0  # repro: noqa=REPRO003
+        assert params.mac_header_bits == 272.0  # repro: noqa=REPRO003
+        assert params.phy_header_bits == 128.0  # repro: noqa=REPRO003
+        assert params.ack_bits == 112.0  # repro: noqa=REPRO003
+        assert params.rts_bits == 160.0  # repro: noqa=REPRO003
+        assert params.cts_bits == 112.0  # repro: noqa=REPRO003
+        assert params.channel_bit_rate == 1e6  # repro: noqa=REPRO003
+        assert params.slot_time_us == 50.0  # repro: noqa=REPRO003
+        assert params.sifs_us == 28.0  # repro: noqa=REPRO003
+        assert params.difs_us == 128.0  # repro: noqa=REPRO003
+        assert params.gain == 1.0  # repro: noqa=REPRO003
+        assert params.cost == 0.01  # repro: noqa=REPRO003
+        assert params.stage_duration_us == 10e6  # repro: noqa=REPRO003
+        assert params.discount_factor == 0.9999  # repro: noqa=REPRO003
 
     def test_defaults_are_frozen(self):
         params = default_parameters()
@@ -54,7 +54,7 @@ class TestDerivedTimes:
         fast = default_parameters().with_updates(channel_bit_rate=2e6)
         assert fast.payload_time_us == pytest.approx(8184.0 / 2)
         # Slot/SIFS/DIFS are PHY constants, not bit times.
-        assert fast.slot_time_us == 50.0
+        assert fast.slot_time_us == 50.0  # repro: noqa=REPRO003
 
 
 class TestValidation:
@@ -82,7 +82,7 @@ class TestValidation:
 
     def test_zero_cost_allowed(self):
         params = default_parameters().with_updates(cost=0.0)
-        assert params.cost == 0.0
+        assert params.cost == 0.0  # repro: noqa=REPRO003
 
     def test_cost_must_stay_below_gain(self):
         with pytest.raises(ParameterError):
@@ -118,8 +118,8 @@ class TestStrategySpace:
     def test_with_updates_returns_new_object(self):
         base = default_parameters()
         other = base.with_updates(gain=2.0)
-        assert other.gain == 2.0
-        assert base.gain == 1.0
+        assert other.gain == 2.0  # repro: noqa=REPRO003
+        assert base.gain == 1.0  # repro: noqa=REPRO003
         assert other is not base
 
 

@@ -24,7 +24,7 @@ class TestNodeCounters:
         assert node.collision_probability() == pytest.approx(0.3)
 
     def test_collision_probability_no_attempts(self):
-        assert NodeCounters().collision_probability() == 0.0
+        assert NodeCounters().collision_probability() == 0.0  # repro: noqa=REPRO003
 
     def test_payoff_rate_formula(self):
         node = NodeCounters(attempts=10, successes=7, collisions=3)

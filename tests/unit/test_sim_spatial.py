@@ -66,7 +66,7 @@ class TestIsolatedPair:
         sim = SpatialSimulator(positions, 50.0, [16] * 3, params, seed=1)
         result = sim.run(10_000)
         assert result.attempts[2] == 0
-        assert result.payoff_rates[2] == 0.0
+        assert result.payoff_rates[2] == 0.0  # repro: noqa=REPRO003
 
 
 class TestHiddenTerminals:

@@ -42,8 +42,8 @@ class TestSlotStatistics:
 
     def test_all_zero_tau(self, basic_times):
         stats = slot_statistics([0.0, 0.0], basic_times)
-        assert stats.p_transmission == 0.0
-        assert stats.p_success == 0.0
+        assert stats.p_transmission == 0.0  # repro: noqa=REPRO003
+        assert stats.p_success == 0.0  # repro: noqa=REPRO003
         assert stats.expected_slot_us == pytest.approx(basic_times.idle_us)
 
     def test_certain_collision(self, basic_times):
@@ -67,10 +67,10 @@ class TestSlotStatistics:
 
 class TestNormalizedThroughput:
     def test_zero_when_silent(self, basic_times):
-        assert normalized_throughput([0.0, 0.0], basic_times, 8184.0) == 0.0
+        assert normalized_throughput([0.0, 0.0], basic_times, 8184.0) == 0.0  # repro: noqa=REPRO003
 
     def test_zero_when_all_collide(self, basic_times):
-        assert normalized_throughput([1.0, 1.0], basic_times, 8184.0) == 0.0
+        assert normalized_throughput([1.0, 1.0], basic_times, 8184.0) == 0.0  # repro: noqa=REPRO003
 
     def test_bounded_by_payload_fraction(self, basic_times, params):
         # Throughput can never exceed payload / Ts.

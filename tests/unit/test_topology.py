@@ -93,8 +93,8 @@ class TestRandomTopology:
     def test_paper_defaults(self):
         topo = random_topology(rng=np.random.default_rng(0))
         assert topo.n_nodes == 100
-        assert topo.tx_range == 250.0
-        assert topo.width == topo.height == 1000.0
+        assert topo.tx_range == 250.0  # repro: noqa=REPRO003
+        assert topo.width == topo.height == 1000.0  # repro: noqa=REPRO003
 
     def test_positions_inside_area(self):
         topo = random_topology(30, rng=np.random.default_rng(3))
