@@ -1,0 +1,56 @@
+"""CI guard: the campaign store must actually serve cache hits.
+
+Runs a tiny two-point campaign twice into a fresh store and asserts the
+second pass executes zero tasks (every digest is a store hit), then
+re-executes into a second store and asserts the payload hashes are
+bit-identical - the end-to-end property the store + campaign subsystem
+promises (see docs/store_and_campaigns.md).
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.campaign import expand_tasks, run_campaign, spec_from_dict
+from repro.store import ResultStore
+
+SPEC = {
+    "name": "ci-cache-check",
+    "experiment": "convergence",
+    "params": {"n_players": 3, "n_stages": 2},
+    "grid": {"seed": [1, 2]},
+    "jobs": 1,
+}
+
+
+def main() -> int:
+    spec = spec_from_dict(SPEC)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "store")
+        first = run_campaign(spec, store=store)
+        assert first.executed == 2 and first.complete, first.render()
+
+        second = run_campaign(spec, store=store)
+        assert second.executed == 0, second.render()
+        assert second.cached == 2, second.render()
+
+        digests = [task.digest for task in expand_tasks(spec)]
+        hashes = [store.verify(digest).result_sha256 for digest in digests]
+
+        rerun_store = ResultStore(Path(tmp) / "rerun")
+        rerun = run_campaign(spec, store=rerun_store)
+        assert rerun.executed == 2, rerun.render()
+        rerun_hashes = [
+            rerun_store.verify(digest).result_sha256 for digest in digests
+        ]
+        assert rerun_hashes == hashes, (hashes, rerun_hashes)
+
+    print("campaign cache check OK: second run served entirely from the "
+          "store, payloads bit-identical across independent runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Declarative sweep campaigns over the experiment registry.
+
+* :mod:`repro.campaign.spec` - TOML/JSON campaign documents, validation
+  and deterministic expansion into digest-addressed tasks.
+* :mod:`repro.campaign.engine` - cache-aware execution through
+  :mod:`repro.experiments.parallel` with per-task commits to
+  :mod:`repro.store`, giving exact SIGINT-resume semantics.
+
+See ``docs/store_and_campaigns.md`` for the spec schema and examples.
+"""
+
+from repro.campaign.engine import (
+    CampaignReport,
+    TaskOutcome,
+    campaign_status,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    SEED_POLICIES,
+    CampaignSpec,
+    CampaignTask,
+    expand_tasks,
+    load_spec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "SEED_POLICIES",
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignTask",
+    "TaskOutcome",
+    "campaign_status",
+    "expand_tasks",
+    "load_spec",
+    "run_campaign",
+    "spec_from_dict",
+]

@@ -1,0 +1,228 @@
+"""Campaign execution: cache-aware dispatch with exact resume.
+
+``run_campaign`` expands a spec (:func:`repro.campaign.spec.expand_tasks`),
+checks every task digest against the results store, and dispatches only
+the misses through :func:`repro.experiments.parallel.parallel_map` - the
+same runner, with the same SeedSequence-spawn determinism, the sweep
+experiments use internally.  Each finished task is committed to the
+store from the parent process *as it completes* (the runner's
+``on_result`` hook), so an interrupted campaign (SIGINT, OOM kill,
+power loss mid-JSON thanks to atomic writes) leaves a store whose
+membership is exactly the completed prefix; rerunning the same spec
+resumes from there without recomputing anything.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.export import result_to_dict
+from repro.experiments.parallel import parallel_map
+from repro.experiments.registry import run_experiment
+from repro.experiments.reporting import format_table
+from repro.store import ResultStore
+from repro.campaign.spec import CampaignSpec, CampaignTask, expand_tasks
+
+__all__ = [
+    "CampaignReport",
+    "TaskOutcome",
+    "campaign_status",
+    "run_campaign",
+]
+
+_WorkerTask = Tuple[str, Dict[str, Any]]
+_WorkerResult = Tuple[Any, str, float]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Final state of one campaign task."""
+
+    index: int
+    digest: str
+    params: Dict[str, Any]
+    status: str  # "cached" | "executed" | "pending"
+    wall_time_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Summary of one :func:`run_campaign`/:func:`campaign_status` pass."""
+
+    spec_name: str
+    experiment_id: str
+    outcomes: List[TaskOutcome]
+    interrupted: bool = False
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "executed")
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "pending")
+
+    @property
+    def complete(self) -> bool:
+        return self.pending == 0 and not self.interrupted
+
+    def render(self) -> str:
+        headers = ["#", "digest", "status", "wall [s]", "params"]
+        rows = []
+        for outcome in self.outcomes:
+            wall = (
+                "-"
+                if outcome.wall_time_s is None
+                else f"{outcome.wall_time_s:.2f}"
+            )
+            params = ", ".join(
+                f"{key}={value!r}" for key, value in outcome.params.items()
+            )
+            rows.append(
+                [outcome.index, outcome.digest[:12], outcome.status, wall, params]
+            )
+        state = "INTERRUPTED" if self.interrupted else (
+            "complete" if self.complete else "incomplete"
+        )
+        title = (
+            f"Campaign {self.spec_name!r} ({self.experiment_id}): "
+            f"{self.total} tasks, {self.cached} cached, "
+            f"{self.executed} executed, {self.pending} pending [{state}]"
+        )
+        return format_table(headers, rows, title=title)
+
+
+def _execute_task(task: _WorkerTask) -> _WorkerResult:
+    """Worker: run one experiment task (module-level, hence picklable)."""
+    experiment_id, params = task
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, **params)
+    wall = time.perf_counter() - started
+    return result_to_dict(result), result.render(), wall
+
+
+def _partition(
+    tasks: List[CampaignTask], store: ResultStore, *, force: bool
+) -> Tuple[List[CampaignTask], Dict[int, str]]:
+    """Split tasks into (to-run, {index: "cached"}) by store membership."""
+    cached: Dict[int, str] = {}
+    pending: List[CampaignTask] = []
+    for task in tasks:
+        if not force and store.contains(task.digest):
+            cached[task.index] = "cached"
+        else:
+            pending.append(task)
+    return pending, cached
+
+
+def campaign_status(
+    spec: CampaignSpec, *, store: Optional[ResultStore] = None
+) -> CampaignReport:
+    """What a run would do now: which tasks are cached, which pending."""
+    store = store if store is not None else ResultStore.default()
+    tasks = expand_tasks(spec)
+    pending, cached = _partition(tasks, store, force=False)
+    pending_indices = {task.index for task in pending}
+    outcomes = [
+        TaskOutcome(
+            index=task.index,
+            digest=task.digest,
+            params=task.params,
+            status="pending" if task.index in pending_indices else "cached",
+        )
+        for task in tasks
+    ]
+    return CampaignReport(
+        spec_name=spec.name,
+        experiment_id=spec.experiment_id,
+        outcomes=outcomes,
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    store: Optional[ResultStore] = None,
+    jobs: Optional[int] = None,
+    force: bool = False,
+) -> CampaignReport:
+    """Run a campaign through the store (see module docstring).
+
+    Parameters
+    ----------
+    spec:
+        The validated campaign specification.
+    store:
+        Results store; defaults to :meth:`ResultStore.default`.
+    jobs:
+        Worker override; ``None`` defers to ``spec.jobs``.
+    force:
+        Re-execute every task even on a store hit (``--no-cache``).
+
+    Returns
+    -------
+    CampaignReport
+        Per-task outcomes.  If the sweep is interrupted by SIGINT the
+        report is returned (not raised) with ``interrupted=True`` and
+        the unfinished tasks left ``"pending"``; everything committed
+        before the interrupt stays in the store.
+    """
+    store = store if store is not None else ResultStore.default()
+    tasks = expand_tasks(spec)
+    pending, statuses = _partition(tasks, store, force=force)
+    wall_times: Dict[int, float] = {}
+
+    def _commit(position: int, _task: _WorkerTask, value: _WorkerResult) -> None:
+        task = pending[position]
+        payload, rendered, wall = value
+        store.put(
+            task.experiment_id,
+            task.params,
+            payload,
+            rendered=rendered,
+            wall_time_s=wall,
+            digest=task.digest,
+        )
+        statuses[task.index] = "executed"
+        wall_times[task.index] = wall
+
+    interrupted = False
+    worker_tasks: List[_WorkerTask] = [
+        (task.experiment_id, dict(task.params)) for task in pending
+    ]
+    try:
+        parallel_map(
+            _execute_task,
+            worker_tasks,
+            jobs=jobs if jobs is not None else spec.jobs,
+            on_result=_commit,
+        )
+    except KeyboardInterrupt:
+        interrupted = True
+
+    outcomes = [
+        TaskOutcome(
+            index=task.index,
+            digest=task.digest,
+            params=task.params,
+            status=statuses.get(task.index, "pending"),
+            wall_time_s=wall_times.get(task.index),
+        )
+        for task in tasks
+    ]
+    return CampaignReport(
+        spec_name=spec.name,
+        experiment_id=spec.experiment_id,
+        outcomes=outcomes,
+        interrupted=interrupted,
+    )

@@ -2,17 +2,29 @@
 
 Installed as ``repro-experiments``::
 
-    repro-experiments list                 # every registered experiment
-    repro-experiments run table2           # regenerate one artefact
-    repro-experiments run table2 --quick   # reduced simulation size
-    repro-experiments run table3 --jobs 4  # sweep on 4 worker processes
-    repro-experiments run-all --quick      # the whole evaluation
+    repro-experiments list                    # every registered experiment
+    repro-experiments run table2              # regenerate one artefact
+    repro-experiments run table2 --quick      # reduced simulation size
+    repro-experiments run table3 --jobs 4     # sweep on 4 worker processes
+    repro-experiments run-all --quick         # the whole evaluation
+    repro-experiments store ls                # stored runs, newest first
+    repro-experiments store show <digest>     # manifest + rendered artefact
+    repro-experiments store diff <a> <b>      # field-level run delta
+    repro-experiments store gc --keep 3       # retention per experiment
+    repro-experiments campaign run sweep.toml # declarative cached sweep
+    repro-experiments campaign status sweep.toml
 
 The quick overrides mirror ``examples/reproduce_paper.py``.  ``--jobs``
 fans the sweep experiments out over a process pool
 (:mod:`repro.experiments.parallel`); per-task seeds are spawned from the
 experiment's root seed before dispatch, so the artefacts are bit-identical
 whatever the worker count (``--jobs 0`` means one worker per CPU).
+
+``run``/``run-all`` route through the content-addressed results store
+(:mod:`repro.store`): a repeated invocation with the same parameters is
+served from disk and labelled ``[cached <digest>]``; ``--no-cache``
+forces recomputation and ``--store DIR`` overrides the store location
+(default ``$REPRO_STORE_DIR`` or ``./.repro-store``).
 """
 
 from __future__ import annotations
@@ -22,7 +34,11 @@ import sys
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.campaign import campaign_status, load_spec, run_campaign
+from repro.errors import ReproError
 from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.export import result_to_dict
+from repro.store import ResultStore, compute_digest
 
 __all__ = ["build_parser", "entry", "main"]
 
@@ -35,10 +51,16 @@ QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
     "search": {"slots_per_probe": 20_000},
 }
 
-#: Experiments whose runners accept the parallel runner's ``jobs`` knob.
+#: Experiments whose runners accept the parallel runner's ``jobs`` knob
+#: (derived from the registry's ``supports_jobs`` capability flag).
 PARALLEL_EXPERIMENTS = frozenset(
-    {"table2", "table3", "fig2", "fig3", "multihop"}
+    experiment_id
+    for experiment_id, experiment in EXPERIMENTS.items()
+    if experiment.supports_jobs
 )
+
+#: Exit code for an interrupted campaign (mirrors 128 + SIGINT).
+EXIT_INTERRUPTED = 130
 
 
 def _jobs_type(value: str) -> int:
@@ -48,6 +70,26 @@ def _jobs_type(value: str) -> int:
             f"jobs must be >= 0 (0 = one per CPU), got {jobs}"
         )
     return jobs
+
+
+def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_type,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep experiments (0 = one per CPU)",
+    )
+
+
+def _add_store_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="results store directory (default: $REPRO_STORE_DIR "
+        "or ./.repro-store)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,46 +110,199 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quick", action="store_true", help="reduced simulation size"
     )
+    _add_jobs_option(run)
     run.add_argument(
-        "--jobs",
-        type=_jobs_type,
-        default=None,
-        metavar="N",
-        help="worker processes for sweep experiments (0 = one per CPU)",
+        "--no-cache",
+        action="store_true",
+        help="recompute even when the store already holds this run",
     )
+    _add_store_option(run)
 
     run_all = commands.add_parser("run-all", help="run every experiment")
     run_all.add_argument(
         "--quick", action="store_true", help="reduced simulation size"
     )
+    _add_jobs_option(run_all)
     run_all.add_argument(
-        "--jobs",
-        type=_jobs_type,
+        "--no-cache",
+        action="store_true",
+        help="recompute even when the store already holds these runs",
+    )
+    _add_store_option(run_all)
+
+    store = commands.add_parser(
+        "store", help="inspect the content-addressed results store"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+
+    store_ls = store_commands.add_parser("ls", help="list stored runs")
+    store_ls.add_argument(
+        "--experiment",
+        default=None,
+        choices=sorted(EXPERIMENTS),
+        help="only runs of one experiment",
+    )
+    _add_store_option(store_ls)
+
+    store_show = store_commands.add_parser(
+        "show", help="show one stored run (manifest + rendered artefact)"
+    )
+    store_show.add_argument("digest", help="full digest or unique prefix")
+    _add_store_option(store_show)
+
+    store_diff = store_commands.add_parser(
+        "diff", help="field-level delta between two stored runs"
+    )
+    store_diff.add_argument("digest_a", help="full digest or unique prefix")
+    store_diff.add_argument("digest_b", help="full digest or unique prefix")
+    _add_store_option(store_diff)
+
+    store_gc = store_commands.add_parser(
+        "gc", help="apply a retention policy to the store"
+    )
+    store_gc.add_argument(
+        "--keep",
+        type=int,
         default=None,
         metavar="N",
-        help="worker processes for sweep experiments (0 = one per CPU)",
+        help="keep only the N newest runs per experiment",
     )
+    store_gc.add_argument(
+        "--before",
+        default=None,
+        metavar="ISO",
+        help="drop runs created before this ISO-8601 timestamp",
+    )
+    store_gc.add_argument(
+        "--experiment",
+        default=None,
+        choices=sorted(EXPERIMENTS),
+        help="restrict the policy to one experiment",
+    )
+    _add_store_option(store_gc)
+
+    campaign = commands.add_parser(
+        "campaign", help="declarative sweep campaigns over the store"
+    )
+    campaign_commands = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    campaign_run = campaign_commands.add_parser(
+        "run", help="run a campaign spec (cache misses only)"
+    )
+    campaign_run.add_argument("spec", help="path to a .toml/.json spec")
+    _add_jobs_option(campaign_run)
+    campaign_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-execute every task even on a store hit",
+    )
+    _add_store_option(campaign_run)
+
+    campaign_stat = campaign_commands.add_parser(
+        "status", help="show which tasks are cached vs pending"
+    )
+    campaign_stat.add_argument("spec", help="path to a .toml/.json spec")
+    _add_store_option(campaign_stat)
+
     return parser
 
 
-def _run_one(
-    experiment_id: str, quick: bool, jobs: Optional[int] = None
-) -> None:
+def _open_store(path: Optional[str]) -> ResultStore:
+    return ResultStore(path) if path is not None else ResultStore.default()
+
+
+def _print_header(experiment_id: str, note: str) -> None:
     experiment = EXPERIMENTS[experiment_id]
+    print("=" * 72)
+    print(
+        f"{experiment.paper_artifact} ({experiment_id}) - "
+        f"{experiment.description} [{note}]"
+    )
+    print("=" * 72)
+
+
+def _run_one(
+    experiment_id: str,
+    quick: bool,
+    jobs: Optional[int] = None,
+    *,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+) -> None:
     kwargs = dict(QUICK_OVERRIDES.get(experiment_id, {})) if quick else {}
+    # The digest is keyed on the science-relevant parameters only; jobs
+    # is a pure speed knob and must not fragment the cache.
+    digest = compute_digest(experiment_id, kwargs)
+    if store is not None and use_cache and store.contains(digest):
+        rendered = store.manifest(digest).rendered
+        if rendered is not None:
+            store.verify(digest)
+            _print_header(experiment_id, f"cached {digest[:12]}")
+            print(rendered)
+            print()
+            return
     if jobs is not None and experiment_id in PARALLEL_EXPERIMENTS:
         kwargs["jobs"] = jobs
     started = time.perf_counter()
     result = run_experiment(experiment_id, **kwargs)
     elapsed = time.perf_counter() - started
-    print("=" * 72)
-    print(
-        f"{experiment.paper_artifact} ({experiment_id}) - "
-        f"{experiment.description} [{elapsed:.1f}s]"
-    )
-    print("=" * 72)
-    print(result.render())
+    rendered = result.render()
+    if store is not None:
+        params = {
+            key: value for key, value in kwargs.items() if key != "jobs"
+        }
+        store.put(
+            experiment_id,
+            params,
+            result_to_dict(result),
+            rendered=rendered,
+            wall_time_s=elapsed,
+            digest=digest,
+        )
+    _print_header(experiment_id, f"{elapsed:.1f}s")
+    print(rendered)
     print()
+
+
+def _store_ls(store: ResultStore, experiment_id: Optional[str]) -> int:
+    entries = store.find(experiment_id)
+    if not entries:
+        print("store is empty")
+        return 0
+    for entry in entries:
+        wall = entry.get("wall_time_s")
+        wall_text = "-" if wall is None else f"{wall:8.2f}s"
+        params = ", ".join(
+            f"{key}={value!r}" for key, value in entry["params"].items()
+        )
+        print(
+            f"{entry['digest'][:12]}  {entry['experiment_id']:<14}"
+            f"{entry['created_at']}  {wall_text:>9}  {params}"
+        )
+    return 0
+
+
+def _store_show(store: ResultStore, prefix: str) -> int:
+    digest = store.resolve(prefix)
+    manifest = store.verify(digest)
+    print(f"digest:      {manifest.digest}")
+    print(f"experiment:  {manifest.experiment_id}")
+    print(f"created:     {manifest.created_at}")
+    print(f"version:     {manifest.version}")
+    print(f"git sha:     {manifest.git_sha or '-'}")
+    print(f"host:        {manifest.host}")
+    print(f"python:      {manifest.python_version}")
+    print(f"numpy:       {manifest.numpy_version}")
+    wall = manifest.wall_time_s
+    print(f"wall time:   {'-' if wall is None else f'{wall:.2f}s'}")
+    print(f"result sha:  {manifest.result_sha256}")
+    print(f"params:      {manifest.params!r}")
+    if manifest.rendered:
+        print()
+        print(manifest.rendered)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -123,12 +318,70 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return 0
     if args.command == "run":
-        _run_one(args.experiment_id, args.quick, args.jobs)
+        _run_one(
+            args.experiment_id,
+            args.quick,
+            args.jobs,
+            store=_open_store(args.store),
+            use_cache=not args.no_cache,
+        )
         return 0
     if args.command == "run-all":
+        store = _open_store(args.store)
         for eid in EXPERIMENTS:
-            _run_one(eid, args.quick, args.jobs)
+            _run_one(
+                eid,
+                args.quick,
+                args.jobs,
+                store=store,
+                use_cache=not args.no_cache,
+            )
         return 0
+    if args.command == "store":
+        store = _open_store(args.store)
+        try:
+            if args.store_command == "ls":
+                return _store_ls(store, args.experiment)
+            if args.store_command == "show":
+                return _store_show(store, args.digest)
+            if args.store_command == "diff":
+                diff = store.diff(
+                    store.resolve(args.digest_a), store.resolve(args.digest_b)
+                )
+                print(diff.render())
+                return 0
+            if args.store_command == "gc":
+                removed = store.gc(
+                    keep_latest=args.keep,
+                    before=args.before,
+                    experiment_id=args.experiment,
+                )
+                print(f"removed {len(removed)} stored run(s)")
+                for digest in removed:
+                    print(f"  {digest}")
+                return 0
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    if args.command == "campaign":
+        store = _open_store(args.store)
+        try:
+            spec = load_spec(args.spec)
+            if args.campaign_command == "status":
+                print(campaign_status(spec, store=store).render())
+                return 0
+            if args.campaign_command == "run":
+                report = run_campaign(
+                    spec,
+                    store=store,
+                    jobs=args.jobs,
+                    force=args.no_cache,
+                )
+                print(report.render())
+                return EXIT_INTERRUPTED if report.interrupted else 0
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     raise AssertionError("unreachable")  # pragma: no cover
 
 

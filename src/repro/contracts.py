@@ -28,6 +28,7 @@ from __future__ import annotations
 import functools
 import inspect
 import os
+import re
 from typing import Any, Callable, Optional, TypeVar, Union
 
 import numpy as np
@@ -37,6 +38,7 @@ from repro.errors import ContractError
 __all__ = [
     "ENV_FLAG",
     "checks_enabled",
+    "check_digest",
     "check_interval",
     "check_probability",
     "check_window",
@@ -127,6 +129,23 @@ def check_interval(
         _fail(name, value, "be finite")
     if np.any(arr < lower - tol) or np.any(arr > upper + tol):
         _fail(name, value, f"lie in [{lower!r}, {upper!r}]")
+    return value
+
+
+_DIGEST_PATTERN = re.compile(r"[0-9a-f]{64}\Z")
+
+
+def check_digest(value: Any, name: str = "digest") -> str:
+    """Require ``value`` to be a 64-character lowercase hex SHA-256 digest.
+
+    The content-addressed results store (:mod:`repro.store`) keys every
+    run by such a digest; validating the shape at the boundary turns a
+    corrupted index or a truncated manifest into a loud
+    :class:`~repro.errors.ContractError` instead of a silent cache miss.
+    Returns ``value`` unchanged.
+    """
+    if not isinstance(value, str) or _DIGEST_PATTERN.fullmatch(value) is None:
+        _fail(name, value, "be a 64-character lowercase hex sha-256 digest")
     return value
 
 

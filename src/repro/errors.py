@@ -9,13 +9,16 @@ simulation, or the distributed search protocol.
 from __future__ import annotations
 
 __all__ = [
+    "CampaignError",
     "ContractError",
     "ConvergenceError",
     "GameDefinitionError",
+    "IntegrityError",
     "ParameterError",
     "ProtocolError",
     "ReproError",
     "SimulationError",
+    "StoreError",
     "StrategyError",
     "TopologyError",
 ]
@@ -60,3 +63,20 @@ class ProtocolError(ReproError, RuntimeError):
 
 class TopologyError(ReproError, ValueError):
     """A multi-hop topology is invalid for the requested operation."""
+
+
+class StoreError(ReproError, RuntimeError):
+    """The content-addressed results store is missing or inconsistent."""
+
+
+class IntegrityError(StoreError):
+    """A stored artefact failed integrity verification on read.
+
+    Raised when a result payload's recorded SHA-256 no longer matches the
+    bytes on disk, or a manifest is malformed - i.e. the store was
+    tampered with or truncated, not merely absent.
+    """
+
+
+class CampaignError(ReproError, ValueError):
+    """A campaign specification is malformed or inconsistent."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from enum import Enum
 from pathlib import Path
 from typing import Any, Optional, Union
@@ -41,7 +43,8 @@ def result_to_dict(result: Any) -> Any:
     if isinstance(result, (np.integer,)):
         return int(result)
     if isinstance(result, (np.floating,)):
-        return float(result)
+        value = float(result)
+        return value if np.isfinite(value) else None
     if isinstance(result, (np.bool_,)):
         return bool(result)
     if isinstance(result, dict):
@@ -62,14 +65,40 @@ def result_to_dict(result: Any) -> Any:
 
 
 def to_json(result: Any, *, indent: Optional[int] = 2) -> str:
-    """Serialise an experiment result to a JSON string."""
-    return json.dumps(result_to_dict(result), indent=indent)
+    """Serialise an experiment result to a standards-compliant JSON string.
+
+    Non-finite floats (``nan``, ``+/-inf``) are mapped to ``null`` by
+    :func:`result_to_dict`; ``allow_nan=False`` then guarantees the output
+    never contains the non-standard ``NaN``/``Infinity`` tokens that
+    ``json.dumps`` would otherwise emit (and that strict parsers reject).
+    """
+    return json.dumps(result_to_dict(result), indent=indent, allow_nan=False)
 
 
 def write_json(
     result: Any, path: Union[str, Path], *, indent: Optional[int] = 2
 ) -> Path:
-    """Serialise an experiment result to a file; returns the path."""
+    """Serialise an experiment result to a file atomically; returns the path.
+
+    Missing parent directories are created, and the payload is written to
+    a temporary file in the target directory then moved into place with
+    :func:`os.replace` - so a reader (or a killed campaign) never observes
+    a truncated JSON artefact at ``path``.
+    """
     target = Path(path)
-    target.write_text(to_json(result, indent=indent) + "\n")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = to_json(result, indent=indent) + "\n"
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already moved or gone
+            pass
+        raise
     return target

@@ -74,6 +74,7 @@ def parallel_map(
     tasks: Sequence[_T],
     *,
     jobs: Optional[int] = None,
+    on_result: Optional[Callable[[int, _T, _R], None]] = None,
 ) -> List[_R]:
     """Map ``fn`` over ``tasks``, optionally on a process pool.
 
@@ -87,6 +88,13 @@ def parallel_map(
     jobs:
         Worker count as in :func:`resolve_jobs`.  The pool is capped at
         ``len(tasks)`` - there is no point spawning idle processes.
+    on_result:
+        Optional ``callback(index, task, result)`` invoked **in the
+        calling process**, in task order, as each result becomes
+        available.  This is the commit hook the campaign engine uses to
+        persist finished tasks immediately: if the sweep is interrupted
+        (SIGINT, crash), everything already committed survives and a
+        rerun resumes after it.
 
     Returns
     -------
@@ -94,9 +102,19 @@ def parallel_map(
         ``[fn(task) for task in tasks]``, computed serially or in
         parallel but always in task order.
     """
-    workers = min(resolve_jobs(jobs), len(tasks))
     task_list = list(tasks)
+    workers = min(resolve_jobs(jobs), len(task_list))
+    results: List[_R] = []
     if workers <= 1 or len(task_list) <= 1:
-        return [fn(task) for task in task_list]
+        for index, task in enumerate(task_list):
+            value = fn(task)
+            if on_result is not None:
+                on_result(index, task, value)
+            results.append(value)
+        return results
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, task_list))
+        for index, value in enumerate(pool.map(fn, task_list)):
+            if on_result is not None:
+                on_result(index, task_list[index], value)
+            results.append(value)
+    return results

@@ -44,12 +44,17 @@ class Experiment:
     runner:
         Zero-required-argument callable returning a result object with a
         ``render()`` method.
+    supports_jobs:
+        Whether the runner accepts the parallel runner's ``jobs``
+        keyword (the sweep experiments).  Tooling - the CLI, the
+        campaign engine - uses this instead of hard-coding id lists.
     """
 
     experiment_id: str
     paper_artifact: str
     description: str
     runner: Callable[..., Any]
+    supports_jobs: bool = False
 
     def run(self, **kwargs: Any) -> Any:
         """Run the experiment, forwarding keyword overrides."""
@@ -70,30 +75,35 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "Table II",
             "Efficient NE windows, basic access (analytic vs simulated)",
             table2.run,
+            supports_jobs=True,
         ),
         Experiment(
             "table3",
             "Table III",
             "Efficient NE windows, RTS/CTS access (analytic vs simulated)",
             table3.run,
+            supports_jobs=True,
         ),
         Experiment(
             "fig2",
             "Figure 2",
             "Global payoff versus common CW, basic access",
             figure2.run,
+            supports_jobs=True,
         ),
         Experiment(
             "fig3",
             "Figure 3",
             "Global payoff versus common CW, RTS/CTS access",
             figure3.run,
+            supports_jobs=True,
         ),
         Experiment(
             "multihop",
             "Section VII.B",
             "Multi-hop quasi-optimality on random-waypoint snapshots",
             multihop_quasi.run,
+            supports_jobs=True,
         ),
         Experiment(
             "shortsighted",

@@ -1,0 +1,39 @@
+"""Content-addressed results store (digests, manifests, queries, GC).
+
+* :mod:`repro.store.digest` - the digest recipe: SHA-256 over a
+  canonical JSON document of (experiment id, canonicalized params, seed
+  material, package version).
+* :mod:`repro.store.store` - the on-disk store: atomic writes, a
+  provenance manifest per run, integrity verification on read, an
+  index with ``find``/``latest``/``diff`` queries and ``gc`` retention.
+
+See ``docs/store_and_campaigns.md`` for layout and recipes.
+"""
+
+from repro.store.digest import (
+    DIGEST_SCHEMA,
+    canonical_json,
+    canonicalize,
+    compute_digest,
+    digest_material,
+)
+from repro.store.store import (
+    ENV_STORE_DIR,
+    MANIFEST_SCHEMA,
+    Manifest,
+    ResultStore,
+    StoreDiff,
+)
+
+__all__ = [
+    "DIGEST_SCHEMA",
+    "ENV_STORE_DIR",
+    "MANIFEST_SCHEMA",
+    "Manifest",
+    "ResultStore",
+    "StoreDiff",
+    "canonical_json",
+    "canonicalize",
+    "compute_digest",
+    "digest_material",
+]

@@ -1,0 +1,99 @@
+"""Content digests for experiment runs.
+
+A run is addressed by the SHA-256 of a canonical JSON document built
+from the *identity* of the computation - experiment id, canonicalized
+parameters, seed material and package version - and nothing else.  Two
+invocations that would produce the same artefact therefore share one
+digest, which is what lets the store serve cache hits and lets a
+campaign resume by set difference.
+
+Canonicalization reuses :func:`repro.experiments.export.result_to_dict`
+(numpy scalars/arrays, enums, dataclasses and ranges all normalise to
+plain JSON types), then serialises with sorted keys and fixed
+separators, so key order, ``np.int64`` vs ``int`` and similar
+representation accidents cannot change the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Optional
+
+from repro.experiments.export import result_to_dict
+
+__all__ = [
+    "DIGEST_SCHEMA",
+    "canonical_json",
+    "canonicalize",
+    "compute_digest",
+    "digest_material",
+]
+
+#: Version of the digest recipe itself.  Bump when the material layout
+#: changes so old store entries are never misattributed to new code.
+DIGEST_SCHEMA = 1
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def canonicalize(value: Any) -> Any:
+    """Normalise ``value`` to plain JSON types (see module docstring)."""
+    return result_to_dict(value)
+
+
+def canonical_json(value: Any) -> str:
+    """Serialise ``value`` to its one canonical JSON representation."""
+    return json.dumps(
+        canonicalize(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def digest_material(
+    experiment_id: str,
+    params: Mapping[str, Any],
+    *,
+    seed_material: Any = None,
+    version: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The canonical document a run digest is computed over.
+
+    ``seed_material`` defaults to the ``seed`` entry of ``params`` (the
+    convention every stochastic experiment follows); pass it explicitly
+    when seed material lives elsewhere.
+    """
+    canonical_params = canonicalize(dict(params))
+    if seed_material is None and isinstance(canonical_params, dict):
+        seed_material = canonical_params.get("seed")
+    return {
+        "schema": DIGEST_SCHEMA,
+        "experiment": experiment_id,
+        "params": canonical_params,
+        "seed": canonicalize(seed_material),
+        "version": version if version is not None else _package_version(),
+    }
+
+
+def compute_digest(
+    experiment_id: str,
+    params: Mapping[str, Any],
+    *,
+    seed_material: Any = None,
+    version: Optional[str] = None,
+) -> str:
+    """SHA-256 content digest of one experiment run's identity."""
+    material = digest_material(
+        experiment_id,
+        params,
+        seed_material=seed_material,
+        version=version,
+    )
+    return hashlib.sha256(canonical_json(material).encode("ascii")).hexdigest()

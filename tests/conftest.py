@@ -21,6 +21,17 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    """Point the content-addressed store at a per-test directory.
+
+    ``repro-experiments run`` (and anything else using
+    ``ResultStore.default()``) would otherwise write ``./.repro-store``
+    into the working tree during the suite.
+    """
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "repro-store"))
+
+
 @pytest.fixture(scope="session")
 def params() -> PhyParameters:
     """The paper's Table I parameters."""

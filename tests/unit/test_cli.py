@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import QUICK_OVERRIDES, build_parser, main
+from repro.cli import EXIT_INTERRUPTED, QUICK_OVERRIDES, build_parser, main
 from repro.experiments import EXPERIMENTS
+from repro.store import ResultStore
 
 
 class TestParser:
@@ -47,3 +50,90 @@ class TestExecution:
 
     def test_quick_overrides_are_known_ids(self):
         assert set(QUICK_OVERRIDES) <= set(EXPERIMENTS)
+
+
+class TestStoreRouting:
+    def test_second_run_is_served_from_the_store(self, capsys):
+        assert main(["run", "table1"]) == 0
+        first = capsys.readouterr().out
+        assert "cached" not in first
+        assert main(["run", "table1"]) == 0
+        second = capsys.readouterr().out
+        assert "cached" in second
+        assert "Packet size" in second  # same artefact, from disk
+
+    def test_no_cache_escape_hatch(self, capsys):
+        assert main(["run", "table1"]) == 0
+        capsys.readouterr()
+        assert main(["run", "table1", "--no-cache"]) == 0
+        assert "cached" not in capsys.readouterr().out
+
+    def test_explicit_store_dir(self, tmp_path, capsys):
+        target = tmp_path / "elsewhere"
+        assert main(["run", "table1", "--store", str(target)]) == 0
+        capsys.readouterr()
+        assert len(ResultStore(target).find("table1")) == 1
+
+
+class TestStoreCommands:
+    def _seed_store(self, capsys):
+        assert main(["run", "table1"]) == 0
+        capsys.readouterr()
+        return ResultStore.default()
+
+    def test_ls_show_roundtrip(self, capsys):
+        store = self._seed_store(capsys)
+        assert main(["store", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        digest = store.latest("table1")["digest"]
+        assert main(["store", "show", digest[:12]]) == 0
+        out = capsys.readouterr().out
+        assert digest in out and "Packet size" in out
+
+    def test_ls_empty_store(self, capsys):
+        assert main(["store", "ls"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_show_unknown_digest_fails_cleanly(self, capsys):
+        assert main(["store", "show", "ffffffff"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_gc_reports_removals(self, capsys):
+        self._seed_store(capsys)
+        assert main(["store", "gc", "--keep", "0"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+
+class TestCampaignCommands:
+    def _spec_path(self, tmp_path):
+        spec = {
+            "experiment": "convergence",
+            "params": {"n_players": 3, "n_stages": 2},
+            "grid": {"seed": [1, 2]},
+            "jobs": 1,
+        }
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_run_then_status_all_cached(self, tmp_path, capsys):
+        path = self._spec_path(tmp_path)
+        assert main(["campaign", "run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 tasks" in out and "2 executed" in out
+        assert main(["campaign", "status", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 cached" in out and "0 pending" in out
+        assert main(["campaign", "run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+
+    def test_bad_spec_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"experiment": "nope"}))
+        assert main(["campaign", "run", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_interrupted_exit_code_is_130(self):
+        assert EXIT_INTERRUPTED == 130

@@ -32,6 +32,15 @@ class TestResultToDict:
         assert result_to_dict(float("nan")) is None
         assert result_to_dict(float("inf")) is None
 
+    def test_nonfinite_numpy_scalars_become_null(self):
+        assert result_to_dict(np.float64("nan")) is None
+        assert result_to_dict(np.float64("-inf")) is None
+        assert result_to_dict(np.array([1.0, np.nan, np.inf])) == [
+            1.0,
+            None,
+            None,
+        ]
+
     def test_enum_converted(self):
         assert result_to_dict(AccessMode.BASIC) == "basic"
 
@@ -82,3 +91,37 @@ class TestEndToEnd:
         path = write_json(result, tmp_path / "table1.json")
         payload = json.loads(path.read_text())
         assert payload["parameters"]["Packet size"] == "8184 bits"
+
+
+class TestStandardsCompliance:
+    def test_to_json_never_emits_nan_infinity_tokens(self):
+        text = to_json(
+            {
+                "nan": float("nan"),
+                "inf": np.float64("inf"),
+                "arr": np.array([np.nan, 1.5]),
+            }
+        )
+        assert "NaN" not in text and "Infinity" not in text
+        payload = json.loads(text)  # strict parsers accept the output
+        assert payload == {"nan": None, "inf": None, "arr": [None, 1.5]}
+
+
+class TestWriteJsonAtomicity:
+    def test_creates_missing_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "c" / "result.json"
+        path = write_json({"x": 1}, target)
+        assert path == target
+        assert json.loads(target.read_text()) == {"x": 1}
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        write_json({"x": 1}, tmp_path / "out.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failed_serialisation_leaves_existing_file_intact(self, tmp_path):
+        target = tmp_path / "out.json"
+        write_json({"x": 1}, target)
+        with pytest.raises(ParameterError):
+            write_json({"bad": object()}, target)
+        assert json.loads(target.read_text()) == {"x": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import inspect
+from pathlib import Path
+
 import pytest
 
 from repro.errors import ParameterError
@@ -10,6 +13,22 @@ from repro.experiments.registry import (
     get_experiment,
     run_experiment,
 )
+
+#: Smallest meaningful overrides per experiment, so the full-registry
+#: render check below stays cheap enough for tier-1.
+TINY_OVERRIDES = {
+    "table2": {"sizes": (2,), "slots_per_point": 2_000},
+    "table3": {"sizes": (2,), "slots_per_point": 2_000},
+    "fig2": {"sizes": (2,), "n_points": 4},
+    "fig3": {"sizes": (2,), "n_points": 4},
+    "multihop": {"n_nodes": 8, "n_snapshots": 1},
+    "search": {"n_players": 3, "with_simulation": False},
+    "shortsighted": {"n_players": 3, "discounts": (0.5,)},
+    "malicious": {"n_players": 3, "attack_windows": (2, 8)},
+    "convergence": {"n_players": 3, "n_stages": 2},
+    "bestresponse": {"n_players": 3, "n_stages": 2},
+    "mobility": {"n_nodes": 6, "n_epochs": 1},
+}
 
 
 class TestRegistry:
@@ -56,3 +75,51 @@ class TestRegistry:
             result = run_experiment(experiment_id)
             text = result.render()
             assert isinstance(text, str) and text
+
+
+class TestRegistryContract:
+    """Every entry honours the registry's documented runner contract.
+
+    This is the inverse direction of lint rule REPRO005: the linter
+    guarantees every experiment module is registered; these tests
+    guarantee every registered entry is a real, runnable, documented
+    experiment.
+    """
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_runner_accepts_zero_required_arguments(self, experiment_id):
+        signature = inspect.signature(EXPERIMENTS[experiment_id].runner)
+        required = [
+            name
+            for name, parameter in signature.parameters.items()
+            if parameter.default is inspect.Parameter.empty
+            and parameter.kind
+            not in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            )
+        ]
+        assert required == [], (
+            f"{experiment_id} runner has required parameters {required}"
+        )
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_id_documented_in_experiments_md(self, experiment_id):
+        text = (
+            Path(__file__).resolve().parents[2] / "EXPERIMENTS.md"
+        ).read_text()
+        assert experiment_id in text, (
+            f"{experiment_id} is registered but absent from EXPERIMENTS.md"
+        )
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_every_runner_yields_renderable_result(self, experiment_id):
+        result = run_experiment(
+            experiment_id, **TINY_OVERRIDES.get(experiment_id, {})
+        )
+        text = result.render()
+        assert isinstance(text, str) and text
+        assert hasattr(result, "render")
+
+    def test_tiny_overrides_reference_known_ids(self):
+        assert set(TINY_OVERRIDES) <= set(EXPERIMENTS)
