@@ -1,0 +1,132 @@
+"""Scalar-vs-batched fixed-point throughput on the candidate-scan shape.
+
+Times the legacy damped scalar solver against the Anderson-accelerated
+batched solver on the deviation-analysis workload - ``B = 256`` window
+vectors of ``n = 20`` nodes (a 20-node network's candidate scan, many
+discounts deep) - and writes the measurements to
+``BENCH_fixedpoint.json`` at the repository root, mirroring
+``BENCH_kernel.json``.
+
+Beyond raw speed, the benchmark asserts the numerical contract that
+makes the speedup usable: the batched tau must match the scalar
+reference within 1e-9 on every instance of the batch.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the batch; the JSON is still
+produced and a relaxed speedup floor is asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bianchi.batched import solve_heterogeneous_batch
+from repro.bianchi.fixedpoint import solve_heterogeneous_reference
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_fixedpoint.json"
+
+N_NODES = 20
+MAX_STAGE = 5
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+BATCH = 32 if SMOKE else 256
+#: Scalar solves are slow; time a sample and extrapolate to the batch.
+REFERENCE_SAMPLE = 8 if SMOKE else 32
+MIN_SPEEDUP = 3.0 if SMOKE else 10.0
+MAX_TAU_DIFF = 1e-9
+
+
+def _workload() -> np.ndarray:
+    """Deviation-scan-like batch: one deviant window against W_c*=335."""
+    rng = np.random.default_rng(2007)
+    windows = np.full((BATCH, N_NODES), 335.0)
+    deviants = rng.integers(2, 1025, size=BATCH)
+    windows[np.arange(BATCH), rng.integers(0, N_NODES, size=BATCH)] = deviants
+    return windows
+
+
+def _time_reference(windows: np.ndarray) -> dict:
+    sample = windows[:REFERENCE_SAMPLE]
+    solve_heterogeneous_reference(sample[0], MAX_STAGE)  # warm-up
+    started = time.perf_counter()
+    for row in sample:
+        solve_heterogeneous_reference(row, MAX_STAGE)
+    elapsed = time.perf_counter() - started
+    per_solve = elapsed / REFERENCE_SAMPLE
+    return {
+        "engine": "reference",
+        "batch": 1,
+        "sampled_solves": REFERENCE_SAMPLE,
+        "elapsed_s": elapsed,
+        "solves_per_sec": 1.0 / per_solve,
+        "projected_batch_s": per_solve * BATCH,
+    }
+
+
+def _time_batched(windows: np.ndarray) -> dict:
+    solve_heterogeneous_batch(windows[:4], MAX_STAGE)  # warm-up
+    started = time.perf_counter()
+    batch = solve_heterogeneous_batch(windows, MAX_STAGE)
+    elapsed = time.perf_counter() - started
+    return {
+        "engine": "batched",
+        "batch": BATCH,
+        "elapsed_s": elapsed,
+        "solves_per_sec": BATCH / elapsed,
+        "newton_fallbacks": int(batch.newton.sum()),
+    }
+
+
+def _max_tau_diff(windows: np.ndarray) -> float:
+    batch = solve_heterogeneous_batch(windows, MAX_STAGE)
+    worst = 0.0
+    for index in range(0, BATCH, max(1, BATCH // 16)):
+        reference = solve_heterogeneous_reference(windows[index], MAX_STAGE)
+        worst = max(
+            worst,
+            float(np.max(np.abs(batch.tau[index] - reference.tau))),
+        )
+    return worst
+
+
+def test_bench_fixedpoint_speedup():
+    windows = _workload()
+    reference = _time_reference(windows)
+    batched = _time_batched(windows)
+    speedup = batched["solves_per_sec"] / reference["solves_per_sec"]
+    max_tau_diff = _max_tau_diff(windows)
+    payload = {
+        "workload": {
+            "n_nodes": N_NODES,
+            "batch": BATCH,
+            "max_stage": MAX_STAGE,
+            "smoke": SMOKE,
+        },
+        "reference": reference,
+        "vectorized": batched,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "max_tau_diff": max_tau_diff,
+        "max_tau_diff_limit": MAX_TAU_DIFF,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nreference  {reference['solves_per_sec']:>10,.1f} solves/s"
+        f"\nbatched    {batched['solves_per_sec']:>10,.1f} solves/s"
+        f" (batch {BATCH})"
+        f"\nspeedup    {speedup:.1f}x, max |dtau| {max_tau_diff:.2e}"
+        f"  [written to {RESULT_PATH}]"
+    )
+    assert max_tau_diff <= MAX_TAU_DIFF, (
+        f"batched solver drifted {max_tau_diff:.2e} from the scalar "
+        f"reference (limit {MAX_TAU_DIFF:.0e})"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched solver only {speedup:.1f}x the scalar reference "
+        f"(floor {MIN_SPEEDUP}x) on B={BATCH}, n={N_NODES}"
+    )

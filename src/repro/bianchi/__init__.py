@@ -12,10 +12,18 @@ from repro.bianchi.markov import (
     stationary_distribution,
     transmission_probability,
 )
+from repro.bianchi.batched import (
+    BatchedFixedPoint,
+    SymmetricGridSolution,
+    collision_probabilities,
+    solve_heterogeneous_batch,
+    solve_symmetric_grid,
+)
 from repro.bianchi.fixedpoint import (
     FixedPointSolution,
     SymmetricSolution,
     solve_heterogeneous,
+    solve_heterogeneous_reference,
     solve_symmetric,
     symmetric_cache_info,
 )
@@ -35,10 +43,13 @@ from repro.bianchi.fairness import jain_index, throughput_shares
 __all__ = [
     "AccessDelay",
     "BackoffChain",
+    "BatchedFixedPoint",
     "FixedPointSolution",
     "SlotStatistics",
+    "SymmetricGridSolution",
     "SymmetricSolution",
     "access_delay_jitter",
+    "collision_probabilities",
     "expected_access_delay",
     "jain_index",
     "mean_backoff_slots",
@@ -46,7 +57,10 @@ __all__ = [
     "throughput_shares",
     "slot_statistics",
     "solve_heterogeneous",
+    "solve_heterogeneous_batch",
+    "solve_heterogeneous_reference",
     "solve_symmetric",
+    "solve_symmetric_grid",
     "stationary_distribution",
     "symmetric_cache_info",
     "transmission_probability",

@@ -5,9 +5,15 @@ Given per-node contention windows ``W_1..W_n``, the model is the system
 ``tau_i = tau(W_i, p_i)``          (per-node Markov chain, equation (2))
 ``p_i   = 1 - prod_{j != i} (1 - tau_j)``   (coupling, equation (3))
 
-which is ``2n`` equations in ``2n`` unknowns.  We solve it by damped
-fixed-point iteration on the ``tau`` vector with a ``scipy.optimize.root``
-fallback for stubborn instances, and verify the residual before returning.
+which is ``2n`` equations in ``2n`` unknowns.  Production solves go
+through the batched array kernel in :mod:`repro.bianchi.batched`:
+:func:`solve_heterogeneous` is a thin ``B = 1`` wrapper around
+:func:`~repro.bianchi.batched.solve_heterogeneous_batch`, and the
+memoized :func:`solve_symmetric` wraps a one-window
+:func:`~repro.bianchi.batched.solve_symmetric_grid` call.  The original
+per-node Python loop survives as :func:`solve_heterogeneous_reference`
+(with a ``scipy.optimize.root`` fallback) so tests and benchmarks can
+pin the batched kernel against the legacy scalar semantics.
 
 For the symmetric case (all nodes share one ``W``) the system collapses to
 a scalar fixed point ``tau = tau(W, 1 - (1 - tau)^{n-1})``; the paper notes
@@ -27,12 +33,18 @@ from scipy import optimize
 from repro.typealiases import FloatArray
 from repro.contracts import check_probability, check_window, checks_enabled
 from repro.errors import ConvergenceError, ParameterError
+from repro.bianchi.batched import (
+    collision_probabilities,
+    solve_heterogeneous_batch,
+    solve_symmetric_grid,
+)
 from repro.bianchi.markov import transmission_probability
 
 __all__ = [
     "FixedPointSolution",
     "SymmetricSolution",
     "solve_heterogeneous",
+    "solve_heterogeneous_reference",
     "solve_symmetric",
     "symmetric_cache_info",
 ]
@@ -57,7 +69,15 @@ class FixedPointSolution:
     residual:
         Max-norm residual of ``tau_i - tau(W_i, p_i)`` at the solution.
     iterations:
-        Number of damped iterations used (0 if the root fallback solved it).
+        Number of fixed-point iterations consumed.  When ``method`` is a
+        fallback (``"newton"``/``"hybr"``) this counts the exhausted
+        fixed-point budget (``-1`` for the legacy scipy path, which does
+        not iterate the damped map at all).
+    method:
+        How the solution was obtained: ``"closed-form"`` (``n = 1``),
+        ``"anderson"`` (accelerated batched iteration), ``"newton"``
+        (vectorized Newton fallback), ``"damped"`` (legacy reference
+        loop) or ``"hybr"`` (legacy ``scipy.optimize.root`` fallback).
     """
 
     windows: FloatArray
@@ -65,6 +85,7 @@ class FixedPointSolution:
     collision: FloatArray
     residual: float
     iterations: int
+    method: str = "anderson"
 
     @property
     def n_nodes(self) -> int:
@@ -103,21 +124,12 @@ class SymmetricSolution:
 def _collision_probabilities(tau: FloatArray) -> FloatArray:
     """``p_i = 1 - prod_{j != i}(1 - tau_j)``, computed stably.
 
-    Uses log-space products; exact leave-one-out division would lose
-    precision when some ``1 - tau_j`` is tiny.
+    Delegates to the O(n) vectorized ``log1p``-sum kernel of
+    :func:`repro.bianchi.batched.collision_probabilities`; the result is
+    already clamped below 1, so callers feed it straight into
+    ``tau(W, p)`` without per-site ``min(p, ...)`` guards.
     """
-    one_minus = 1.0 - tau
-    if np.any(one_minus <= 0.0):
-        # Some tau hit 1: everyone else collides with certainty.
-        n = tau.shape[0]
-        p = np.empty(n)
-        for i in range(n):
-            others = np.delete(one_minus, i)
-            p[i] = 1.0 - float(np.prod(others))
-        return p
-    logs = np.log(one_minus)
-    total = logs.sum()
-    return 1.0 - np.exp(total - logs)
+    return collision_probabilities(tau)
 
 
 def solve_heterogeneous(
@@ -130,6 +142,12 @@ def solve_heterogeneous(
 ) -> FixedPointSolution:
     """Solve the coupled ``(tau, p)`` system for per-node windows.
 
+    Thin ``B = 1`` wrapper over the batched Anderson-accelerated solver
+    (:func:`repro.bianchi.batched.solve_heterogeneous_batch`); callers
+    with many window vectors should batch them instead of looping here.
+    Results match :func:`solve_heterogeneous_reference` to ``<= 1e-9``
+    max abs difference in ``tau``.
+
     Parameters
     ----------
     windows:
@@ -139,8 +157,8 @@ def solve_heterogeneous(
     tol:
         Convergence tolerance on the max-norm of the tau update.
     max_iterations:
-        Iteration budget for the damped scheme before falling back to
-        ``scipy.optimize.root``.
+        Iteration budget for the accelerated scheme before the batched
+        Newton fallback takes over.
     initial_tau:
         Optional warm start for the tau vector.
 
@@ -151,8 +169,8 @@ def solve_heterogeneous(
     Raises
     ------
     ConvergenceError
-        If neither the damped iteration nor the root fallback reaches the
-        requested tolerance.
+        If neither the accelerated iteration nor the Newton fallback
+        reaches the requested tolerance.
     """
     w = np.asarray(list(windows), dtype=float)
     if w.ndim != 1 or w.shape[0] < 1:
@@ -169,6 +187,63 @@ def solve_heterogeneous(
             collision=np.zeros(1),
             residual=0.0,
             iterations=0,
+            method="closed-form",
+        )
+
+    start: Optional[FloatArray] = None
+    if initial_tau is not None:
+        start = np.asarray(list(initial_tau), dtype=float)
+        if start.shape != w.shape:
+            raise ParameterError("initial_tau must match windows in length")
+
+    batch = solve_heterogeneous_batch(
+        w[None, :],
+        max_stage,
+        tol=tol,
+        max_iterations=max_iterations,
+        initial_tau=start,
+    )
+    return FixedPointSolution(
+        windows=w,
+        tau=batch.tau[0],
+        collision=batch.collision[0],
+        residual=float(batch.residual[0]),
+        iterations=int(batch.iterations[0]),
+        method="newton" if bool(batch.newton[0]) else "anderson",
+    )
+
+
+def solve_heterogeneous_reference(
+    windows: Sequence[float],
+    max_stage: int,
+    *,
+    tol: float = _DEFAULT_TOL,
+    max_iterations: int = _DEFAULT_MAX_ITER,
+    initial_tau: Optional[Sequence[float]] = None,
+) -> FixedPointSolution:
+    """Legacy scalar solver: one damped Python-loop instance per call.
+
+    Kept as the semantic reference the batched kernel is verified and
+    benchmarked against (see ``tests/property`` and
+    ``benchmarks/test_bench_fixedpoint.py``).  Fallback solves are
+    reported distinguishably: ``method="hybr"`` with ``iterations=-1``
+    instead of masquerading as instant damped convergence.
+    """
+    w = np.asarray(list(windows), dtype=float)
+    if w.ndim != 1 or w.shape[0] < 1:
+        raise ParameterError("windows must be a non-empty 1-D sequence")
+    check_window(w, "windows")
+    n = w.shape[0]
+
+    if n == 1:
+        tau = np.array([transmission_probability(w[0], 0.0, max_stage)])
+        return FixedPointSolution(
+            windows=w,
+            tau=tau,
+            collision=np.zeros(1),
+            residual=0.0,
+            iterations=0,
+            method="closed-form",
         )
 
     if initial_tau is not None:
@@ -179,15 +254,18 @@ def solve_heterogeneous(
         tau = np.full(n, 0.1)
 
     def step(current: FloatArray) -> FloatArray:
+        # _collision_probabilities clamps centrally, so the per-node
+        # evaluations need no ad-hoc min(p, 1 - eps) guard.
         p = _collision_probabilities(current)
         return np.array(
             [
-                transmission_probability(w[i], min(p[i], 1.0 - 1e-15), max_stage)
+                transmission_probability(float(w[i]), float(p[i]), max_stage)
                 for i in range(n)
             ]
         )
 
     iterations = 0
+    method = "damped"
     for iterations in range(1, max_iterations + 1):
         updated = _DAMPING * tau + (1.0 - _DAMPING) * step(tau)
         delta = float(np.max(np.abs(updated - tau)))
@@ -196,7 +274,8 @@ def solve_heterogeneous(
             break
     else:
         tau = _root_fallback(w, max_stage, tau)
-        iterations = 0
+        iterations = -1
+        method = "hybr"
 
     p = _collision_probabilities(tau)
     residual = float(np.max(np.abs(tau - step(tau))))
@@ -212,7 +291,12 @@ def solve_heterogeneous(
         check_probability(tau, "tau")
         check_probability(p, "collision")
     return FixedPointSolution(
-        windows=w, tau=tau, collision=p, residual=residual, iterations=iterations
+        windows=w,
+        tau=tau,
+        collision=p,
+        residual=residual,
+        iterations=iterations,
+        method=method,
     )
 
 
@@ -225,7 +309,7 @@ def _root_fallback(w: FloatArray, max_stage: int, tau0: FloatArray) -> FloatArra
         p = _collision_probabilities(clipped)
         target = np.array(
             [
-                transmission_probability(w[i], min(p[i], 1.0 - 1e-15), max_stage)
+                transmission_probability(float(w[i]), float(p[i]), max_stage)
                 for i in range(n)
             ]
         )
@@ -250,10 +334,12 @@ def solve_symmetric(
 ) -> SymmetricSolution:
     """Solve the scalar symmetric fixed point for a common window.
 
-    Results are memoized: the window sweeps of Figures 2/3, the
-    equilibrium searches and the multi-hop local games all re-solve the
-    same ``(W, n)`` pairs many times, and the solution object is frozen,
-    so identical arguments return the cached instance.
+    Results are memoized: scattered scalar queries (the multi-hop local
+    games, spot checks) re-solve the same ``(W, n)`` pairs many times,
+    and the solution object is frozen, so identical arguments return the
+    cached instance.  Whole window sweeps should call
+    :func:`repro.bianchi.batched.solve_symmetric_grid` instead and pay
+    one array iteration for the entire grid.
 
     Parameters
     ----------
@@ -293,48 +379,18 @@ def _solve_symmetric_cached(
     tol: float,
     max_iterations: int,
 ) -> SymmetricSolution:
-    if n_nodes < 1:
-        raise ParameterError(f"n_nodes must be >= 1, got {n_nodes!r}")
-    check_window(window, "window")
-
-    if n_nodes == 1:
-        tau = transmission_probability(window, 0.0, max_stage)
-        return SymmetricSolution(
-            window=float(window),
-            n_nodes=1,
-            tau=tau,
-            collision=0.0,
-            residual=0.0,
-            iterations=0,
-        )
-
-    tau = 0.1
-    iterations = 0
-    for iterations in range(1, max_iterations + 1):
-        p = 1.0 - (1.0 - tau) ** (n_nodes - 1)
-        target = transmission_probability(window, min(p, 1.0 - 1e-15), max_stage)
-        updated = _DAMPING * tau + (1.0 - _DAMPING) * target
-        delta = abs(updated - tau)
-        tau = updated
-        if delta < tol:
-            break
-    else:
-        raise ConvergenceError(
-            f"symmetric fixed point did not converge for window={window!r}, "
-            f"n={n_nodes!r}"
-        )
-    p = 1.0 - (1.0 - tau) ** (n_nodes - 1)
-    residual = abs(
-        tau - transmission_probability(window, min(p, 1.0 - 1e-15), max_stage)
+    grid = solve_symmetric_grid(
+        np.array([float(window)]),
+        n_nodes,
+        max_stage,
+        tol=tol,
+        max_iterations=max_iterations,
     )
-    if checks_enabled():
-        check_probability(tau, "tau")
-        check_probability(p, "collision")
     return SymmetricSolution(
         window=float(window),
-        n_nodes=n_nodes,
-        tau=tau,
-        collision=p,
-        residual=float(residual),
-        iterations=iterations,
+        n_nodes=int(n_nodes),
+        tau=float(grid.tau[0]),
+        collision=float(grid.collision[0]),
+        residual=float(grid.residual[0]),
+        iterations=int(grid.iterations[0]),
     )

@@ -24,7 +24,7 @@ no special-casing is needed for ``tau``; ``q(0,0)`` uses the limit form.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Tuple, Union, overload
 
 import numpy as np
 
@@ -59,15 +59,59 @@ def _geometric_sum(ratio: float, terms: int) -> float:
     return (1.0 - ratio**terms) / (1.0 - ratio)
 
 
+def _geometric_sum_array(ratio: FloatArray, terms: int) -> FloatArray:
+    """Elementwise :func:`_geometric_sum` with the same ``ratio = 1`` guard."""
+    if terms <= 0:
+        return np.zeros_like(ratio)
+    near_one = np.abs(ratio - 1.0) < 1e-12
+    safe = np.where(near_one, 2.0, ratio)
+    return np.where(near_one, float(terms), (1.0 - safe**terms) / (1.0 - safe))
+
+
+def _validate_arrays(
+    window: FloatArray, collision_probability: FloatArray, max_stage: int
+) -> None:
+    if np.any(window < 1):
+        raise ParameterError(f"window must be >= 1, got {window!r}")
+    if np.any(collision_probability < 0) or np.any(collision_probability >= 1):
+        raise ParameterError(
+            "collision_probability must lie in [0, 1), got "
+            f"{collision_probability!r}"
+        )
+    if max_stage < 0:
+        raise ParameterError(f"max_stage must be >= 0, got {max_stage!r}")
+
+
+@overload
 def transmission_probability(
     window: float, collision_probability: float, max_stage: int
-) -> float:
+) -> float: ...
+
+
+@overload
+def transmission_probability(
+    window: FloatArray,
+    collision_probability: Union[float, FloatArray],
+    max_stage: int,
+) -> FloatArray: ...
+
+
+def transmission_probability(
+    window: Union[float, FloatArray],
+    collision_probability: Union[float, FloatArray],
+    max_stage: int,
+) -> Union[float, FloatArray]:
     """``tau(W, p)``: probability a node transmits in a random slot.
 
     This is equation (2) of the paper, written through the geometric sum so
     it is well defined at ``p = 1/2``::
 
         tau = 2 / (1 + W + p W * sum_{j=0}^{m-1} (2p)^j)
+
+    Accepts scalars or arrays; array arguments broadcast against each other
+    and return an array (the batched solvers evaluate whole ``(B, n)``
+    window/collision grids in one call).  The scalar path is unchanged and
+    bit-compatible with earlier revisions.
 
     Parameters
     ----------
@@ -79,10 +123,18 @@ def transmission_probability(
     max_stage:
         Maximum backoff stage ``m``.
     """
-    _validate(window, collision_probability, max_stage)
-    p = collision_probability
-    series = _geometric_sum(2.0 * p, max_stage)
-    return 2.0 / (1.0 + window + p * window * series)
+    if np.ndim(window) == 0 and np.ndim(collision_probability) == 0:
+        w_scalar = float(window)  # type: ignore[arg-type]
+        p_scalar = float(collision_probability)  # type: ignore[arg-type]
+        _validate(w_scalar, p_scalar, max_stage)
+        series = _geometric_sum(2.0 * p_scalar, max_stage)
+        return 2.0 / (1.0 + w_scalar + p_scalar * w_scalar * series)
+    w = np.asarray(window, dtype=float)
+    p = np.asarray(collision_probability, dtype=float)
+    _validate_arrays(w, p, max_stage)
+    series_arr = _geometric_sum_array(2.0 * p, max_stage)
+    result: FloatArray = 2.0 / (1.0 + w + p * w * series_arr)
+    return result
 
 
 @dataclass(frozen=True)

@@ -98,7 +98,13 @@ def run(
     mode: AccessMode = AccessMode.BASIC,
     n_stages: int = 6,
 ) -> BestResponseResult:
-    """Play both populations from the efficient NE and compare."""
+    """Play both populations from the efficient NE and compare.
+
+    The per-stage best-response scans run as batched fixed-point solves
+    (one ``(B, n)`` call per deciding player, via
+    :meth:`MACGame.stage_batch`), so the dynamics cost a handful of array
+    iterations per stage instead of a scalar solve per candidate window.
+    """
     if params is None:
         params = default_parameters()
     game = MACGame(n_players=n_players, params=params, mode=mode)

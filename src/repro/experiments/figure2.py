@@ -92,10 +92,15 @@ _CHUNK_WINDOWS = 16
 
 
 def _curve_chunk_task(task) -> np.ndarray:
-    """Worker: global payoffs of one window chunk for one size (picklable)."""
+    """Worker: global payoffs of one window chunk for one size (picklable).
+
+    Each chunk is one batched symmetric-grid solve
+    (:meth:`MACGame.global_payoff_curve`), so the per-window cost is a
+    few array operations rather than a scalar fixed-point iteration.
+    """
     n_nodes, params, mode, chunk = task
     game = MACGame(n_players=n_nodes, params=params, mode=mode)
-    return np.array([game.global_payoff(int(w)) for w in chunk])
+    return game.global_payoff_curve([float(w) for w in chunk])
 
 
 def run_mode(

@@ -105,9 +105,10 @@ def run(
     if any(w < 1 for w in windows):
         raise ParameterError("attack windows must be >= 1")
 
+    # One batched symmetric-grid solve covers the whole attack ladder.
+    curve = game.global_payoff_curve([float(w) for w in windows])
     rows: List[MaliciousRow] = []
-    for window in windows:
-        payoff = game.global_payoff(window)
+    for window, payoff in zip(windows, (float(v) for v in curve)):
         rows.append(
             MaliciousRow(
                 attack_window=window,

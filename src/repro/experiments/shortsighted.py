@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 from repro.errors import ParameterError
 from repro.experiments.reporting import format_table
 from repro.game.definition import MACGame
-from repro.game.deviation import DeviationAnalysis, optimal_deviation_window
+from repro.game.deviation import DeviationAnalysis, deviation_table
 from repro.game.equilibrium import efficient_window
 from repro.phy.parameters import AccessMode, PhyParameters, default_parameters
 
@@ -95,14 +95,17 @@ def run(
     game = MACGame(n_players=n_players, params=params, mode=mode)
     reference = efficient_window(n_players, params, game.times)
 
+    # The candidate scan's stage payoffs are discount-independent, so one
+    # batched solve supports the whole sweep; each discount only re-ranks
+    # the table.
+    table = deviation_table(
+        game,
+        reaction_stages=reaction_stages,
+        reference_window=reference,
+    )
     rows: List[ShortSightedRow] = []
     for discount in discounts:
-        best: DeviationAnalysis = optimal_deviation_window(
-            game,
-            discount=discount,
-            reaction_stages=reaction_stages,
-            reference_window=reference,
-        )
+        best: DeviationAnalysis = table.best(discount)
         rows.append(
             ShortSightedRow(
                 discount=discount,

@@ -19,7 +19,9 @@ from repro.errors import GameDefinitionError
 from repro.game.utility import (
     StageOutcome,
     stage_outcome,
+    stage_outcome_batch,
     symmetric_stage_utility,
+    symmetric_utility_curve,
 )
 from repro.phy.parameters import AccessMode, PhyParameters, default_parameters
 from repro.phy.timing import SlotTimes, slot_times
@@ -106,6 +108,19 @@ class MACGame:
         """Per-player stage payoffs ``U_i^s = u_i T`` for a profile."""
         return self.stage(windows).utilities * self.params.stage_duration_us
 
+    def stage_batch(
+        self, profiles: Sequence[Sequence[float]]
+    ) -> list[StageOutcome]:
+        """Solve many stage profiles in one batched fixed-point call.
+
+        Validates every profile against the strategy space, then hands
+        the whole ``(B, n)`` family to the batched solver; the candidate
+        scans of the deviation and best-response analyses use this
+        instead of ``B`` separate :meth:`stage` calls.
+        """
+        stacked = np.stack([self.validate_profile(p) for p in profiles])
+        return stage_outcome_batch(stacked, self.params, self.times)
+
     def symmetric_utility(
         self, window: float, *, ignore_cost: bool = False
     ) -> float:
@@ -134,3 +149,25 @@ class MACGame:
         return self.n_players * self.symmetric_utility(
             window, ignore_cost=ignore_cost
         )
+
+    def global_payoff_curve(
+        self,
+        windows: Sequence[float],
+        *,
+        ignore_cost: bool = False,
+    ) -> FloatArray:
+        """:meth:`global_payoff` for a whole window grid in one call.
+
+        The Figures 2/3 sweeps and the malicious-impact table evaluate
+        social welfare over hundreds of symmetric windows; this solves
+        the entire grid as one batched symmetric fixed point.
+        """
+        curve = symmetric_utility_curve(
+            np.asarray(list(windows), dtype=float),
+            self.n_players,
+            self.params,
+            self.times,
+            ignore_cost=ignore_cost,
+        )
+        result: FloatArray = self.n_players * curve
+        return result

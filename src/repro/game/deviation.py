@@ -23,17 +23,21 @@ The paper's conclusions, all checkable through this module:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.typealiases import FloatArray
 from repro.errors import ParameterError
 from repro.game.definition import MACGame
 from repro.game.equilibrium import efficient_window
 
 __all__ = [
     "DeviationAnalysis",
+    "DeviationTable",
     "analyze_deviation",
+    "deviation_candidates",
+    "deviation_table",
     "optimal_deviation_window",
 ]
 
@@ -140,21 +144,46 @@ def analyze_deviation(
         )
 
     n = game.n_players
-    mixed = [deviation_window] + [reference_window] * (n - 1)
-    stage_before = float(game.stage_payoffs(mixed)[0])
-    stage_after = float(
-        game.stage_payoffs([deviation_window] * n)[0]
+    # The three stage profiles (mixed, all-deviant, all-reference) differ
+    # only in windows: one batched solve covers them all.
+    mixed = [float(deviation_window)] + [float(reference_window)] * (n - 1)
+    outcomes = game.stage_batch(
+        [mixed, [float(deviation_window)] * n, [float(reference_window)] * n]
     )
-    stage_reference = float(game.stage_payoffs([reference_window] * n)[0])
+    duration = game.params.stage_duration_us
+    stage_before = float(outcomes[0].utilities[0]) * duration
+    stage_after = float(outcomes[1].utilities[0]) * duration
+    stage_reference = float(outcomes[2].utilities[0]) * duration
 
+    return _assemble_analysis(
+        deviation_window=int(deviation_window),
+        reference_window=int(reference_window),
+        discount=discount,
+        reaction_stages=reaction_stages,
+        stage_before=stage_before,
+        stage_after=stage_after,
+        stage_reference=stage_reference,
+    )
+
+
+def _assemble_analysis(
+    *,
+    deviation_window: int,
+    reference_window: int,
+    discount: float,
+    reaction_stages: int,
+    stage_before: float,
+    stage_after: float,
+    stage_reference: float,
+) -> DeviationAnalysis:
+    """Fold stage payoffs into the discounted Section V.D comparison."""
     geometric_head = (1.0 - discount**reaction_stages) / (1.0 - discount)
     geometric_tail = discount**reaction_stages / (1.0 - discount)
     payoff_deviate = geometric_head * stage_before + geometric_tail * stage_after
     payoff_conform = stage_reference / (1.0 - discount)
-
     return DeviationAnalysis(
-        deviation_window=int(deviation_window),
-        reference_window=int(reference_window),
+        deviation_window=deviation_window,
+        reference_window=reference_window,
         discount=discount,
         reaction_stages=reaction_stages,
         payoff_deviate=payoff_deviate,
@@ -162,6 +191,133 @@ def analyze_deviation(
         stage_payoff_before=stage_before,
         stage_payoff_after=stage_after,
         stage_payoff_reference=stage_reference,
+    )
+
+
+def deviation_candidates(
+    game: MACGame, reference_window: int
+) -> List[int]:
+    """Default candidate grid for the deviator's window scan.
+
+    A geometric grid over ``[cw_min, reference_window]`` (ratio 1.25)
+    plus the reference window itself, sorted ascending.
+    """
+    lo = game.params.cw_min
+    grid = {int(reference_window)}
+    value = max(lo, 2)
+    while value < reference_window:
+        grid.add(int(value))
+        value = max(value + 1, int(value * 1.25))
+    return sorted(grid)
+
+
+@dataclass(frozen=True)
+class DeviationTable:
+    """Stage payoffs of a whole candidate scan, solved as one batch.
+
+    The stage payoffs of the Section V.D comparison do not depend on the
+    deviator's discount, so one batched fixed-point solve over the
+    ``2 C + 1`` profiles (mixed and all-deviant per candidate, plus the
+    all-reference profile) supports every discount: Table-of-Figure-5
+    style sweeps re-rank the same table instead of re-solving the model
+    per ``delta_s``.
+
+    Attributes
+    ----------
+    candidates:
+        Candidate windows ``W_s``, ascending.
+    reference_window:
+        The pre-deviation common window (normally ``W_c*``).
+    reaction_stages:
+        ``m_react`` baked into the discounted comparison.
+    stage_before:
+        Deviator's stage payoff per candidate while others still play the
+        reference window.
+    stage_after:
+        Common stage payoff per candidate once everyone converged to it.
+    stage_reference:
+        Common stage payoff at the reference symmetric profile.
+    """
+
+    candidates: Tuple[int, ...]
+    reference_window: int
+    reaction_stages: int
+    stage_before: FloatArray
+    stage_after: FloatArray
+    stage_reference: float
+
+    def analysis(self, index: int, discount: float) -> DeviationAnalysis:
+        """The :class:`DeviationAnalysis` of candidate ``index``."""
+        if not 0.0 < discount < 1.0:
+            raise ParameterError(
+                f"discount must lie in (0, 1), got {discount!r}"
+            )
+        return _assemble_analysis(
+            deviation_window=self.candidates[index],
+            reference_window=self.reference_window,
+            discount=discount,
+            reaction_stages=self.reaction_stages,
+            stage_before=float(self.stage_before[index]),
+            stage_after=float(self.stage_after[index]),
+            stage_reference=self.stage_reference,
+        )
+
+    def best(self, discount: float) -> DeviationAnalysis:
+        """The payoff-maximising candidate for one discount.
+
+        Ties resolve to the smallest candidate window, matching the
+        scalar scan's first-maximum semantics.
+        """
+        analyses = [
+            self.analysis(i, discount) for i in range(len(self.candidates))
+        ]
+        return max(analyses, key=lambda a: a.payoff_deviate)
+
+
+def deviation_table(
+    game: MACGame,
+    *,
+    reaction_stages: int = 1,
+    reference_window: Optional[int] = None,
+    candidates: Optional[Sequence[int]] = None,
+) -> DeviationTable:
+    """Solve the candidate scan's stage payoffs in one batched call."""
+    if reaction_stages < 1:
+        raise ParameterError(
+            f"reaction_stages must be >= 1, got {reaction_stages!r}"
+        )
+    if reference_window is None:
+        reference_window = efficient_window(
+            game.n_players, game.params, game.times
+        )
+    if candidates is None:
+        candidates = deviation_candidates(game, reference_window)
+    if not candidates:
+        raise ParameterError("candidates must be non-empty")
+    windows = [int(c) for c in candidates]
+
+    n = game.n_players
+    profiles: List[List[float]] = []
+    for window in windows:
+        profiles.append([float(window)] + [float(reference_window)] * (n - 1))
+        profiles.append([float(window)] * n)
+    profiles.append([float(reference_window)] * n)
+    outcomes = game.stage_batch(profiles)
+    duration = game.params.stage_duration_us
+    stage_before = np.array(
+        [float(outcomes[2 * i].utilities[0]) for i in range(len(windows))]
+    ) * duration
+    stage_after = np.array(
+        [float(outcomes[2 * i + 1].utilities[0]) for i in range(len(windows))]
+    ) * duration
+    stage_reference = float(outcomes[-1].utilities[0]) * duration
+    return DeviationTable(
+        candidates=tuple(windows),
+        reference_window=int(reference_window),
+        reaction_stages=int(reaction_stages),
+        stage_before=stage_before,
+        stage_after=stage_after,
+        stage_reference=stage_reference,
     )
 
 
@@ -179,31 +335,14 @@ def optimal_deviation_window(
     ``[cw_min, reference_window]`` by default) and returns the analysis of
     the payoff-maximising one.  For ``discount -> 1`` the winner converges
     to the reference window itself (deviation does not pay); for
-    ``discount -> 0`` it is an aggressive small window.
+    ``discount -> 0`` it is an aggressive small window.  The whole scan is
+    one batched fixed-point solve; sweeps over many discounts should build
+    a :func:`deviation_table` once and call :meth:`DeviationTable.best`.
     """
-    if reference_window is None:
-        reference_window = efficient_window(
-            game.n_players, game.params, game.times
-        )
-    if candidates is None:
-        lo = game.params.cw_min
-        grid = {reference_window}
-        value = max(lo, 2)
-        while value < reference_window:
-            grid.add(int(value))
-            value = max(value + 1, int(value * 1.25))
-        candidates = sorted(grid)
-    if not candidates:
-        raise ParameterError("candidates must be non-empty")
-
-    analyses = [
-        analyze_deviation(
-            game,
-            window,
-            discount=discount,
-            reaction_stages=reaction_stages,
-            reference_window=reference_window,
-        )
-        for window in candidates
-    ]
-    return max(analyses, key=lambda a: a.payoff_deviate)
+    table = deviation_table(
+        game,
+        reaction_stages=reaction_stages,
+        reference_window=reference_window,
+        candidates=candidates,
+    )
+    return table.best(discount)

@@ -34,9 +34,10 @@ from scipy import optimize
 
 from repro.contracts import check_interval, check_probability, checks_enabled
 from repro.errors import ConvergenceError, ParameterError
+from repro.typealiases import FloatArray
 from repro.bianchi.fixedpoint import solve_symmetric
 from repro.bianchi.markov import _geometric_sum
-from repro.game.utility import symmetric_utility_from_tau
+from repro.game.utility import symmetric_utility_curve, symmetric_utility_from_tau
 from repro.phy.parameters import PhyParameters
 from repro.phy.timing import SlotTimes
 
@@ -186,6 +187,11 @@ def _unimodal_integer_argmax(
     Falls back to a local scan of the final bracket so plateaus (the
     utility around ``W_c*`` is extremely flat) resolve deterministically to
     the smallest maximiser.
+
+    This is the legacy scalar search; the production path precomputes the
+    whole utility curve with one batched grid solve and replays the same
+    decisions on it (:func:`_unimodal_argmax_on_values`).  It is kept as
+    the reference implementation the equivalence tests pin against.
     """
     if lo > hi:
         raise ParameterError(f"empty search range [{lo}, {hi}]")
@@ -202,6 +208,31 @@ def _unimodal_integer_argmax(
     best_value, neg_w = max(values)
     del best_value
     return -neg_w
+
+
+def _unimodal_argmax_on_values(values: FloatArray, lo: int, hi: int) -> int:
+    """Replay :func:`_unimodal_integer_argmax` on a precomputed curve.
+
+    ``values[k]`` must be the objective at window ``lo + k``.  The
+    bracket-narrowing comparisons and the final plateau scan are decision
+    for decision the same as the scalar ternary search, so with equal
+    objective values the two return identical windows; only the objective
+    evaluations are batched away.
+    """
+    if lo > hi:
+        raise ParameterError(f"empty search range [{lo}, {hi}]")
+    left, right = 0, hi - lo
+    while right - left > 8:
+        third = (right - left) // 3
+        m1 = left + third
+        m2 = right - third
+        if values[m1] < values[m2]:
+            left = m1 + 1
+        else:
+            right = m2
+    # np.argmax returns the first maximiser, i.e. the smallest window on
+    # a float-equal plateau - the same tie-break as max((value, -w)).
+    return lo + left + int(np.argmax(values[left : right + 1]))
 
 
 def efficient_window(
@@ -239,20 +270,26 @@ def efficient_window(
     lo = max(params.cw_min, int(w_guess * 0.5))
     hi = min(params.cw_max, max(int(w_guess * 2.0) + 4, lo + 8))
 
-    def objective(window: int) -> float:
-        solution = solve_symmetric(window, n_nodes, params.max_backoff_stage)
-        return symmetric_utility_from_tau(
-            solution.tau, n_nodes, params, times, ignore_cost=ignore_cost
+    def search(lo: int, hi: int) -> int:
+        # One batched grid solve for the whole bracket, then the same
+        # unimodal search decisions on the precomputed curve.
+        curve = symmetric_utility_curve(
+            np.arange(lo, hi + 1, dtype=float),
+            n_nodes,
+            params,
+            times,
+            ignore_cost=ignore_cost,
         )
+        return _unimodal_argmax_on_values(curve, lo, hi)
 
-    best = _unimodal_integer_argmax(objective, lo, hi)
+    best = search(lo, hi)
     # Guard against a bracket that clipped the optimum.
     while best == hi and hi < params.cw_max:
         lo, hi = hi, min(params.cw_max, hi * 2)
-        best = _unimodal_integer_argmax(objective, lo, hi)
+        best = search(lo, hi)
     while best == lo and lo > params.cw_min:
         hi, lo = lo, max(params.cw_min, lo // 2)
-        best = _unimodal_integer_argmax(objective, lo, hi)
+        best = search(lo, hi)
     return int(best)
 
 
@@ -288,15 +325,15 @@ def breakeven_window(
             "symmetric payoff is non-positive on the whole strategy space; "
             "increase cw_max or lower the cost"
         )
-    # Payoff is increasing in W below the optimum; binary search the
-    # sign change.
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        if payoff(mid) > 0:
-            hi = mid
-        else:
-            lo = mid
-    return hi
+    # Payoff is increasing in W below the optimum, so the sign changes
+    # exactly once; one batched grid solve over the strategy space finds
+    # the first positive window directly (np.argmax on a boolean array
+    # returns the first True).
+    curve = symmetric_utility_curve(
+        np.arange(lo, hi + 1, dtype=float), n_nodes, params, times,
+        ignore_cost=False,
+    )
+    return lo + int(np.argmax(curve > 0))
 
 
 @dataclass(frozen=True)

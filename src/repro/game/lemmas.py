@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.typealiases import FloatArray
 from repro.errors import ParameterError
+from repro.bianchi.batched import collision_probabilities
 from repro.game.definition import MACGame
 
 __all__ = [
@@ -181,25 +182,20 @@ def check_lemma2(
     p_i = 1.0 - prod_others  # collision probability of player i
 
     # Success mass of the *other* players per slot, split by whether
-    # player i stays silent (their successes need i silent too).
-    others_single = 0.0
-    for j in range(others.shape[0]):
-        others_single += others[j] * float(
-            np.prod(np.delete(one_minus_others, j))
-        )
+    # player i stays silent (their successes need i silent too).  The
+    # leave-one-out products are one batched collision evaluation.
+    others_single = float(np.sum(others * (1.0 - collision_probabilities(others))))
 
     tau_grid = np.linspace(1e-6, 1.0 - 1e-6, n_points)
-    utilities = np.empty(n_points)
-    for index, tau_i in enumerate(tau_grid):
-        p_idle = (1.0 - tau_i) * prod_others
-        p_success = tau_i * prod_others + (1.0 - tau_i) * others_single
-        p_tr = 1.0 - p_idle
-        tslot = (
-            p_idle * times.idle_us
-            + p_success * times.success_us
-            + (p_tr - p_success) * times.collision_us
-        )
-        utilities[index] = tau_i * ((1.0 - p_i) * gain - cost) / tslot
+    p_idle = (1.0 - tau_grid) * prod_others
+    p_success = tau_grid * prod_others + (1.0 - tau_grid) * others_single
+    p_tr = 1.0 - p_idle
+    tslot = (
+        p_idle * times.idle_us
+        + p_success * times.success_us
+        + (p_tr - p_success) * times.collision_us
+    )
+    utilities = tau_grid * ((1.0 - p_i) * gain - cost) / tslot
 
     second = np.diff(utilities, n=2)
     return Lemma2Check(
@@ -264,8 +260,10 @@ def check_lemma4(
             f"{window_common!r}"
         )
     profile = [window_deviant] + [window_common] * (game.n_players - 1)
-    deviated = game.stage(profile)
-    symmetric = game.stage([window_common] * game.n_players)
+    # Both stage profiles of the lemma solve as one batch.
+    deviated, symmetric = game.stage_batch(
+        [profile, [window_common] * game.n_players]
+    )
     return Lemma4Check(
         window_common=float(window_common),
         window_deviant=float(window_deviant),

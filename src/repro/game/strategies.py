@@ -233,13 +233,16 @@ class BestResponseStrategy(Strategy):
     ) -> int:
         self._require_history(history)
         last = history[-1].astype(float).copy()
-        best_window = int(last[player])
-        best_payoff = -np.inf
-        for candidate in self._grid(game):
-            profile = last.copy()
-            profile[player] = candidate
-            payoff = float(game.stage(profile).utilities[player])
-            if payoff > best_payoff:
-                best_payoff = payoff
-                best_window = candidate
+        candidates = list(self._grid(game))
+        # All candidate profiles differ only in this player's window: one
+        # batched fixed-point solve scans the entire grid.
+        profiles = np.tile(last, (len(candidates), 1))
+        profiles[:, player] = candidates
+        outcomes = game.stage_batch(profiles)
+        payoffs = np.array(
+            [float(outcome.utilities[player]) for outcome in outcomes]
+        )
+        # np.argmax takes the first maximiser - the same tie-break as the
+        # scalar scan's strict-improvement loop.
+        best_window = candidates[int(np.argmax(payoffs))]
         return self._clamp(best_window, game)

@@ -23,6 +23,7 @@ import numpy as np
 from repro.typealiases import FloatArray
 from repro.contracts import check_probability, checks_enabled, contract, probability
 from repro.errors import ParameterError
+from repro.bianchi.batched import solve_heterogeneous_batch, solve_symmetric_grid
 from repro.bianchi.fixedpoint import (
     FixedPointSolution,
     solve_heterogeneous,
@@ -35,8 +36,10 @@ from repro.phy.timing import SlotTimes
 __all__ = [
     "StageOutcome",
     "stage_outcome",
+    "stage_outcome_batch",
     "stage_utilities",
     "symmetric_stage_utility",
+    "symmetric_utility_curve",
     "discounted_utility",
 ]
 
@@ -137,6 +140,69 @@ def stage_outcome(
     )
 
 
+def stage_outcome_batch(
+    profiles: Union[Sequence[Sequence[float]], FloatArray],
+    params: PhyParameters,
+    times: SlotTimes,
+) -> list[StageOutcome]:
+    """Solve many stage profiles in one batched fixed-point call.
+
+    The candidate scans of the deviation/best-response analyses evaluate
+    dozens of profiles that differ in a single window; stacking them into
+    a ``(B, n)`` batch amortises the whole fixed-point solve across the
+    family.  Per-profile slot statistics and utilities are evaluated as
+    array expressions (``per-node success = tau_i (1 - p_i)``), matching
+    :func:`stage_outcome` to floating-point noise.
+
+    Parameters
+    ----------
+    profiles:
+        Window profiles, shape ``(B, n)``.
+    params, times:
+        Model constants, as in :func:`stage_outcome`.
+
+    Returns
+    -------
+    list of StageOutcome
+        One outcome per profile, in input order.
+    """
+    prof = np.asarray(profiles, dtype=float)
+    if prof.ndim != 2 or prof.shape[0] < 1 or prof.shape[1] < 1:
+        raise ParameterError("profiles must be a non-empty (B, n) array")
+    batch = solve_heterogeneous_batch(prof, params.max_backoff_stage)
+    tau, collision = batch.tau, batch.collision
+    p_idle = np.prod(1.0 - tau, axis=1)
+    per_node_success = tau * (1.0 - collision)
+    p_single = per_node_success.sum(axis=1)
+    p_tr = 1.0 - p_idle
+    expected_slot = (
+        p_idle * times.idle_us
+        + p_single * times.success_us
+        + (p_tr - p_single) * times.collision_us
+    )
+    if np.any(expected_slot <= 0):
+        raise ParameterError("expected slot duration must be positive")
+    utilities = (
+        tau
+        * ((1.0 - collision) * params.gain - params.cost)
+        / expected_slot[:, None]
+    )
+    throughput = p_single * params.payload_time_us / expected_slot
+    if checks_enabled():
+        check_probability(throughput, "throughput", tol=1e-6)
+    return [
+        StageOutcome(
+            windows=prof[b],
+            tau=tau[b],
+            collision=collision[b],
+            utilities=utilities[b],
+            expected_slot_us=float(expected_slot[b]),
+            throughput=float(throughput[b]),
+        )
+        for b in range(prof.shape[0])
+    ]
+
+
 def stage_utilities(
     windows: Sequence[float],
     params: PhyParameters,
@@ -216,6 +282,60 @@ def symmetric_utility_from_tau(
         return 0.0
     collision = 1.0 - one_minus ** (n_nodes - 1)
     return tau * ((1.0 - collision) * params.gain - cost) / expected_slot
+
+
+def symmetric_utility_curve(
+    windows: Union[Sequence[float], FloatArray],
+    n_nodes: int,
+    params: PhyParameters,
+    times: SlotTimes,
+    *,
+    ignore_cost: bool = False,
+) -> FloatArray:
+    """:func:`symmetric_stage_utility` for a whole window grid at once.
+
+    Solves the symmetric fixed point of every grid window in one
+    :func:`repro.bianchi.batched.solve_symmetric_grid` call and evaluates
+    the utility formula as array expressions mirroring
+    :func:`symmetric_utility_from_tau` term by term.  This is the curve
+    the equilibrium searches (Figures 2/3, ``efficient_window``,
+    ``breakeven_window``) maximise; batching the grid replaces thousands
+    of memoized scalar solves with one array iteration.
+
+    Parameters
+    ----------
+    windows:
+        Window grid, shape ``(G,)``.
+    n_nodes, params, times, ignore_cost:
+        As in :func:`symmetric_stage_utility`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Per-node utilities ``u_i`` at each symmetric profile, shape
+        ``(G,)``; entries with a non-positive expected slot are 0.
+    """
+    if n_nodes < 1:
+        raise ParameterError(f"n_nodes must be >= 1, got {n_nodes!r}")
+    grid = solve_symmetric_grid(
+        np.asarray(windows, dtype=float), n_nodes, params.max_backoff_stage
+    )
+    tau = grid.tau
+    cost = 0.0 if ignore_cost else params.cost
+    one_minus = 1.0 - tau
+    p_idle = one_minus**n_nodes
+    p_single = n_nodes * tau * one_minus ** (n_nodes - 1)
+    p_tr = 1.0 - p_idle
+    expected_slot = (
+        p_idle * times.idle_us
+        + p_single * times.success_us
+        + (p_tr - p_single) * times.collision_us
+    )
+    collision = 1.0 - one_minus ** (n_nodes - 1)
+    payoff = tau * ((1.0 - collision) * params.gain - cost)
+    safe_slot = np.where(expected_slot <= 0, 1.0, expected_slot)
+    result: FloatArray = np.where(expected_slot <= 0, 0.0, payoff / safe_slot)
+    return result
 
 
 def discounted_utility(

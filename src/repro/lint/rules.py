@@ -271,10 +271,23 @@ class RngFallbackRule(LintRule):
 
 @register_rule
 class FloatEqualityRule(LintRule):
-    """REPRO003: tolerate floating point; never ``==`` it."""
+    """REPRO003: tolerate floating point; never ``==`` it.
+
+    Modules listed in :attr:`EXEMPT_PATH_SUFFIXES` are skipped entirely.
+    The batched fixed-point solver legitimately compares against exact
+    ``0.0``: its Anderson-acceleration step guards a division with
+    ``den == 0.0`` masks, where the denominator is a sum of squares that
+    is *identically* zero (not merely small) when the iterate has
+    stalled.  A tolerance there would misclassify genuinely tiny - but
+    valid - secant denominators and disable the acceleration.
+    """
 
     code = "REPRO003"
     summary = "float equality comparison (use math.isclose or a tolerance)"
+
+    #: Path suffixes (``/``-normalised) whose modules may compare floats
+    #: exactly; see the class docstring for the rationale per entry.
+    EXEMPT_PATH_SUFFIXES = ("bianchi/batched.py",)
 
     _HINT = re.compile(
         r"(^|_)(tau|prob|probabilit|utilit|payoff|welfare|residual)"
@@ -282,6 +295,10 @@ class FloatEqualityRule(LintRule):
     _TOLERANT_CALLS = frozenset(
         {"approx", "isclose", "allclose", "assert_allclose"}
     )
+
+    def _is_exempt(self, context: "ModuleContext") -> bool:
+        path = str(context.path).replace("\\", "/")
+        return path.endswith(self.EXEMPT_PATH_SUFFIXES)
 
     def _is_tolerant_call(self, node: ast.expr) -> bool:
         if not isinstance(node, ast.Call):
@@ -315,6 +332,8 @@ class FloatEqualityRule(LintRule):
     def check_module(
         self, context: "ModuleContext"
     ) -> Iterator["Violation"]:
+        if self._is_exempt(context):
+            return
         for node in ast.walk(context.tree):
             if not isinstance(node, ast.Compare):
                 continue

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.contracts import check_probability, checks_enabled
 from repro.errors import ParameterError, TopologyError
+from repro.bianchi.batched import solve_symmetric_grid
 from repro.bianchi.fixedpoint import solve_symmetric
 from repro.multihop.hidden import analytic_hidden_degradation
 from repro.multihop.localgame import LocalGameResult, local_efficient_windows
@@ -133,6 +134,7 @@ class MultihopGame:
         self.hidden_factor = hidden_factor
         self._utility_cache: Dict[tuple, float] = {}
         self._hidden_cache: Dict[int, float] = {}
+        self._hidden_tau: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Step 1-2: local games and TFT flooding
@@ -180,25 +182,39 @@ class MultihopGame:
     # ------------------------------------------------------------------
     # Per-node analytic utilities
     # ------------------------------------------------------------------
-    def _hidden(self, node: int) -> float:
-        if self.hidden_factor == "none":
-            return 1.0
-        cached = self._hidden_cache.get(node)
-        if cached is None:
+    def _local_fixed_point_taus(self) -> np.ndarray:
+        """Every node's local symmetric ``tau``, batched per domain size.
+
+        Nodes sharing a contention-domain size solve as one window grid;
+        the result is cached because every hidden-node factor consumes
+        the same vector.
+        """
+        if self._hidden_tau is None:
             # Estimate with every node at its local fixed point for the
             # converged window class; the paper's approximation makes the
             # result insensitive to the exact windows used here.
             local = local_efficient_windows(
                 self.topology, self.params, self.mode
             )
+            sizes = np.maximum(2, local.local_sizes.astype(int))
+            windows = local.windows.astype(int).astype(float)
             tau = np.empty(self.topology.n_nodes)
-            for other in range(self.topology.n_nodes):
-                size = max(2, int(local.local_sizes[other]))
-                tau[other] = solve_symmetric(
-                    int(local.windows[other]),
-                    size,
-                    self.params.max_backoff_stage,
-                ).tau
+            for size in np.unique(sizes):
+                mask = sizes == size
+                unique_w, inverse = np.unique(windows[mask], return_inverse=True)
+                grid = solve_symmetric_grid(
+                    unique_w, int(size), self.params.max_backoff_stage
+                )
+                tau[mask] = grid.tau[inverse]
+            self._hidden_tau = tau
+        return self._hidden_tau
+
+    def _hidden(self, node: int) -> float:
+        if self.hidden_factor == "none":
+            return 1.0
+        cached = self._hidden_cache.get(node)
+        if cached is None:
+            tau = self._local_fixed_point_taus()
             cached = analytic_hidden_degradation(self.topology, node, tau)
             self._hidden_cache[node] = cached
         return cached
@@ -245,6 +261,53 @@ class MultihopGame:
         )
         self._utility_cache[key] = value
         return value
+
+    def _utility_matrix(self, grid: np.ndarray) -> np.ndarray:
+        """Per-node utilities over a common-window grid, shape ``(G, n)``.
+
+        Nodes sharing a contention-domain size see identical fixed
+        points, so the grid solves batch per distinct size
+        (:func:`repro.bianchi.batched.solve_symmetric_grid`) and only the
+        per-node hidden factor differs within a group.  Matches
+        :meth:`local_utility` entry by entry within floating-point noise.
+        Isolated nodes keep utility 0.
+        """
+        n = self.topology.n_nodes
+        utilities = np.zeros((grid.size, n))
+        sizes = np.array(
+            [self.topology.local_size(node) for node in range(n)]
+        )
+        windows = grid.astype(float)
+        for size in np.unique(sizes[sizes >= 2]):
+            solution = solve_symmetric_grid(
+                windows, int(size), self.params.max_backoff_stage
+            )
+            tau, collision = solution.tau, solution.collision
+            if checks_enabled():
+                check_probability(tau, "tau")
+                check_probability(collision, "collision")
+            one_minus = 1.0 - tau
+            p_idle = one_minus ** int(size)
+            p_single = int(size) * tau * one_minus ** (int(size) - 1)
+            p_tr = 1.0 - p_idle
+            tslot = (
+                p_idle * self.times.idle_us
+                + p_single * self.times.success_us
+                + (p_tr - p_single) * self.times.collision_us
+            )
+            for node in np.flatnonzero(sizes == size):
+                hidden = self._hidden(int(node))
+                if checks_enabled():
+                    check_probability(hidden, "hidden-node factor")
+                utilities[:, node] = (
+                    tau
+                    * (
+                        (1.0 - collision) * hidden * self.params.gain
+                        - self.params.cost
+                    )
+                    / tslot
+                )
+        return utilities
 
     def global_payoff(self, window: int) -> float:
         """Social welfare: sum of per-node utilities at a common window."""
@@ -313,12 +376,9 @@ class MultihopGame:
             raise ParameterError("grid must contain the converged window")
 
         n = self.topology.n_nodes
-        utilities = np.empty((grid_arr.size, n))
-        for g_index, window in enumerate(grid_arr):
-            for node in range(n):
-                utilities[g_index, node] = self.local_utility(
-                    node, int(window)
-                )
+        # One batched grid solve per distinct contention-domain size
+        # replaces the (grid x nodes) scalar double loop.
+        utilities = self._utility_matrix(grid_arr)
         ne_index = int(np.flatnonzero(grid_arr == w_m)[0])
 
         per_node_max = utilities.max(axis=0)

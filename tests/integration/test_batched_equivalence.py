@@ -1,0 +1,115 @@
+"""Integration: the batched rewire reproduces the scalar pipeline.
+
+The PR's acceptance bar: every paper artefact that now runs through
+`repro.bianchi.batched` - the Table II/III efficient windows, the
+Figure 2/3 payoff curves, the Section V.D/V.E sweeps and the Section
+VII.B quasi-optimality matrix - must equal a scalar recomputation (or
+the seed's frozen outputs) within 1e-9, the documented tolerance of the
+batched solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import malicious, shortsighted
+from repro.experiments.figure2 import run_mode
+from repro.game.definition import MACGame
+from repro.game.equilibrium import efficient_window
+from repro.game.utility import symmetric_utility_from_tau
+from repro.bianchi.fixedpoint import solve_symmetric
+from repro.multihop.game import MultihopGame
+from repro.multihop.topology import random_topology
+from repro.phy.parameters import AccessMode
+from repro.phy.timing import slot_times
+
+TOL = 1e-9
+
+#: Seed outputs of Tables II/III (W_c* per network size and access mode),
+#: produced by the scalar pipeline before this PR.
+SEED_EFFICIENT_WINDOWS = {
+    AccessMode.BASIC: {5: 78, 20: 335, 50: 848},
+    AccessMode.RTS_CTS: {5: 12, 20: 48, 50: 121},
+}
+
+
+class TestEfficientWindows:
+    @pytest.mark.parametrize("mode", list(SEED_EFFICIENT_WINDOWS))
+    def test_tables_2_and_3_windows_unchanged(self, params, mode):
+        times = slot_times(params, mode)
+        for n_nodes, expected in SEED_EFFICIENT_WINDOWS[mode].items():
+            assert efficient_window(n_nodes, params, times) == expected
+
+
+class TestFigureCurves:
+    @pytest.mark.parametrize(
+        "mode", [AccessMode.BASIC, AccessMode.RTS_CTS]
+    )
+    def test_curves_match_scalar_recomputation(self, params, mode):
+        curves = run_mode(
+            mode, params=params, sizes=(5, 20), n_points=12, jobs=1
+        )
+        times = slot_times(params, mode)
+        for n_nodes, curve in curves.curves.items():
+            for window, value in zip(curves.windows, curve):
+                scalar = solve_symmetric(
+                    float(window), n_nodes, params.max_backoff_stage
+                )
+                utility = symmetric_utility_from_tau(
+                    scalar.tau, n_nodes, params, times
+                )
+                expected = n_nodes * utility * times.idle_us / params.gain
+                assert float(value) == pytest.approx(expected, abs=TOL)
+
+
+class TestSectionVSweeps:
+    def test_shortsighted_matches_seed_rows(self, params):
+        result = shortsighted.run(params=params, n_players=10)
+        seed_rows = {
+            0.01: (2, 974.618240007),
+            0.3: (2, 957.035096163),
+            0.6: (2, 912.016184771),
+            0.9: (3, 606.168454876),
+            0.99: (151, 4.149169025),
+            0.9999: (163, -0.0),
+        }
+        assert len(result.rows) == len(seed_rows)
+        for row in result.rows:
+            window, gain = seed_rows[row.discount]
+            assert row.best_window == window
+            assert row.gain == pytest.approx(gain, abs=1e-6)
+
+    def test_malicious_matches_scalar_recomputation(self, params):
+        result = malicious.run(params=params, n_players=10)
+        times = slot_times(params, AccessMode.BASIC)
+        for row in result.rows:
+            scalar = solve_symmetric(
+                float(row.attack_window), 10, params.max_backoff_stage
+            )
+            expected = 10 * symmetric_utility_from_tau(
+                scalar.tau, 10, params, times
+            )
+            assert row.global_payoff == pytest.approx(expected, abs=TOL)
+
+
+class TestMultihopQuasiOptimality:
+    def test_utility_matrix_matches_local_utility_loop(self, params):
+        topology = random_topology(
+            30, rng=np.random.default_rng(19), require_connected=True
+        )
+        game = MultihopGame(topology, params)
+        equilibrium = game.solve()
+        report = game.quasi_optimality(equilibrium)
+
+        grid = report.grid
+        utilities = game._utility_matrix(np.asarray(grid, dtype=int))
+        for row, window in enumerate(grid):
+            for node in range(topology.n_nodes):
+                scalar = game.local_utility(node, int(window))
+                assert float(utilities[row, node]) == pytest.approx(
+                    scalar, abs=TOL
+                )
+        np.testing.assert_allclose(
+            report.global_curve, utilities.sum(axis=1), atol=TOL, rtol=0
+        )

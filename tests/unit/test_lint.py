@@ -142,6 +142,22 @@ class TestFloatEquality:
     def test_accepts_unhinted_name_comparison(self):
         assert check_source("same = left == right\n") == []
 
+    def test_batched_solver_module_is_exempt(self):
+        # The Anderson step's exact-zero divide guards are deliberate;
+        # the module is on the rule's exemption list.
+        source = "safe = den == 0.0\nusable = den != 0.0\n"
+        assert check_source(source, "src/repro/bianchi/batched.py") == []
+        assert check_source(
+            source, "src\\repro\\bianchi\\batched.py"
+        ) == []
+
+    def test_exemption_does_not_leak_to_other_paths(self):
+        source = "safe = den == 0.0\n"
+        assert codes(
+            check_source(source, "src/repro/bianchi/fixedpoint.py")
+        ) == ["REPRO003"]
+        assert codes(check_source(source, "batched.py")) == ["REPRO003"]
+
 
 # ----------------------------------------------------------------- REPRO004
 class TestMutableDefault:
