@@ -21,12 +21,14 @@ import os
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.phy.parameters import AccessMode
 from repro.sim.engine import DcfSimulator
 from repro.sim.vectorized import run_batch
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_kernel.json"
+OBS_PROFILE_PATH = REPO_ROOT / "BENCH_obs_profile.json"
 
 N_NODES = 50
 WINDOW = 116  # Table III RTS/CTS efficient window at n = 50
@@ -98,3 +100,65 @@ def test_bench_kernel_speedup(params):
         f"vectorized kernel only {speedup:.1f}x the reference engine "
         f"(floor {MIN_SPEEDUP}x) on n={N_NODES} {MODE.name}"
     )
+
+
+# One kernel run performs only a handful of disabled-instrumentation
+# calls (a couple of ``enabled()`` checks); pricing 200 full
+# inc/observe/span rounds is a ~100x over-budget, so the 2% bound holds
+# with a wide margin whenever the null path is genuinely O(1).
+NULL_OP_ROUNDS = 200
+MAX_NULL_OVERHEAD = 0.02
+
+
+def test_bench_null_recorder_overhead(params):
+    """Disabled instrumentation must cost <2% of one kernel run."""
+    assert obs.enabled() is False, "bench must run with the NullRecorder"
+    windows = [[WINDOW] * N_NODES] * BATCH
+    run_batch(windows, params, MODE, n_slots=500, seed=1)  # warm-up
+    started = time.perf_counter()
+    run_batch(windows, params, MODE, n_slots=N_SLOTS, seed=2)
+    kernel_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(NULL_OP_ROUNDS):
+        obs.inc("bench.noop")
+        obs.observe("bench.noop", 1)
+        with obs.span("bench.noop"):
+            pass
+    null_s = time.perf_counter() - started
+
+    overhead = null_s / kernel_s
+    print(
+        f"\n{3 * NULL_OP_ROUNDS} null instrumentation calls: "
+        f"{null_s * 1e3:.2f} ms = {overhead:.2%} of one "
+        f"{kernel_s * 1e3:.0f} ms kernel run (bound {MAX_NULL_OVERHEAD:.0%})"
+    )
+    assert overhead < MAX_NULL_OVERHEAD, (
+        f"null-recorder instrumentation costs {overhead:.2%} of a kernel "
+        f"run (bound {MAX_NULL_OVERHEAD:.0%})"
+    )
+
+
+def test_bench_obs_profile_artifact(params):
+    """Profile the bench workload and write the run-profile artifact."""
+    recorder = obs.MemoryRecorder()
+    with obs.use_recorder(recorder):
+        with obs.span("bench.kernel", smoke=SMOKE):
+            run_batch(
+                [[WINDOW] * N_NODES] * BATCH,
+                params,
+                MODE,
+                n_slots=N_SLOTS,
+                seed=2,
+            )
+    profile = obs.build_profile(
+        recorder.events,
+        meta={"workload": "BENCH_kernel", "smoke": SMOKE},
+    )
+    OBS_PROFILE_PATH.write_text(
+        json.dumps(profile, indent=2, sort_keys=True) + "\n"
+    )
+    counters = profile["counters"]
+    assert any(key.startswith("sim.slots|") for key in counters)
+    assert counters["sim.runs|engine=vectorized"] == BATCH
+    print(f"\nobs profile {profile['digest']} written to {OBS_PROFILE_PATH}")

@@ -46,6 +46,9 @@ import numpy as np
 from repro.typealiases import BoolArray, FloatArray, IntArray
 from repro.contracts import check_probability, check_window, checks_enabled
 from repro.errors import ConvergenceError, ParameterError
+from repro.obs import enabled as _obs_enabled
+from repro.obs.metrics import inc as _obs_inc
+from repro.obs.metrics import observe_many as _obs_observe_many
 from repro.bianchi.markov import transmission_probability
 
 __all__ = [
@@ -231,6 +234,9 @@ def solve_heterogeneous_batch(
     if n_nodes == 1:
         # A lone node never collides: p = 0, tau = tau(W, 0), exactly.
         tau = transmission_probability(w, np.zeros_like(w), max_stage)
+        if _obs_enabled():
+            _obs_inc("bianchi.solves", n_batch, kind="heterogeneous")
+            _obs_inc("bianchi.method", n_batch, method="closed-form")
         return BatchedFixedPoint(
             windows=w,
             tau=tau,
@@ -310,6 +316,21 @@ def solve_heterogeneous_batch(
         # utility/equilibrium layers.
         check_probability(tau, "tau")
         check_probability(p, "collision")
+    if _obs_enabled():
+        newton_count = int(newton.sum())
+        _obs_inc("bianchi.solves", n_batch, kind="heterogeneous")
+        if n_batch > newton_count:
+            _obs_inc(
+                "bianchi.method", n_batch - newton_count, method="anderson"
+            )
+        if newton_count:
+            _obs_inc("bianchi.method", newton_count, method="newton")
+            _obs_inc("bianchi.fallbacks", newton_count, method="newton")
+        _obs_observe_many(
+            "bianchi.iterations",
+            iterations.tolist(),
+            kind="heterogeneous",
+        )
     return BatchedFixedPoint(
         windows=w,
         tau=tau,
@@ -475,6 +496,9 @@ def solve_symmetric_grid(
 
     if n_nodes == 1:
         tau = transmission_probability(w, np.zeros_like(w), max_stage)
+        if _obs_enabled():
+            _obs_inc("bianchi.solves", n_grid, kind="symmetric-grid")
+            _obs_inc("bianchi.method", n_grid, method="closed-form")
         return SymmetricGridSolution(
             windows=w,
             n_nodes=1,
@@ -512,6 +536,14 @@ def solve_symmetric_grid(
     if checks_enabled():
         check_probability(tau, "tau")
         check_probability(p, "collision")
+    if _obs_enabled():
+        _obs_inc("bianchi.solves", n_grid, kind="symmetric-grid")
+        _obs_inc("bianchi.method", n_grid, method="damped")
+        _obs_observe_many(
+            "bianchi.iterations",
+            iterations.tolist(),
+            kind="symmetric-grid",
+        )
     return SymmetricGridSolution(
         windows=w,
         n_nodes=int(n_nodes),

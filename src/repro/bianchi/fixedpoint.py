@@ -33,6 +33,9 @@ from scipy import optimize
 from repro.typealiases import FloatArray
 from repro.contracts import check_probability, check_window, checks_enabled
 from repro.errors import ConvergenceError, ParameterError
+from repro.obs import enabled as _obs_enabled
+from repro.obs.metrics import inc as _obs_inc
+from repro.obs.metrics import observe as _obs_observe
 from repro.bianchi.batched import (
     collision_probabilities,
     solve_heterogeneous_batch,
@@ -290,6 +293,13 @@ def solve_heterogeneous_reference(
         # utility/equilibrium layers.
         check_probability(tau, "tau")
         check_probability(p, "collision")
+    if _obs_enabled():
+        _obs_inc("bianchi.solves", 1, kind="reference")
+        _obs_inc("bianchi.method", 1, method=method)
+        if method == "hybr":
+            _obs_inc("bianchi.fallbacks", 1, method="hybr")
+        else:
+            _obs_observe("bianchi.iterations", iterations, kind="reference")
     return FixedPointSolution(
         windows=w,
         tau=tau,

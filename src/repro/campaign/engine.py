@@ -18,10 +18,13 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.errors import IntegrityError
 from repro.experiments.export import result_to_dict
 from repro.experiments.parallel import parallel_map
 from repro.experiments.registry import run_experiment
 from repro.experiments.reporting import format_table
+from repro.obs import MemoryRecorder, build_profile, use_recorder
+from repro.obs.metrics import inc as _obs_inc
 from repro.store import ResultStore
 from repro.campaign.spec import CampaignSpec, CampaignTask, expand_tasks
 
@@ -33,7 +36,7 @@ __all__ = [
 ]
 
 _WorkerTask = Tuple[str, Dict[str, Any]]
-_WorkerResult = Tuple[Any, str, float]
+_WorkerResult = Tuple[Any, str, float, List[Dict[str, Any]]]
 
 
 @dataclass(frozen=True)
@@ -103,22 +106,44 @@ class CampaignReport:
 
 
 def _execute_task(task: _WorkerTask) -> _WorkerResult:
-    """Worker: run one experiment task (module-level, hence picklable)."""
+    """Worker: run one experiment task (module-level, hence picklable).
+
+    Each task records into its own :class:`~repro.obs.MemoryRecorder`
+    regardless of any ambient recorder, and ships the events back with
+    the result so the parent can fold them into the per-run profile
+    committed next to the manifest.
+    """
     experiment_id, params = task
+    recorder = MemoryRecorder()
     started = time.perf_counter()
-    result = run_experiment(experiment_id, **params)
+    with use_recorder(recorder):
+        result = run_experiment(experiment_id, **params)
     wall = time.perf_counter() - started
-    return result_to_dict(result), result.render(), wall
+    return result_to_dict(result), result.render(), wall, recorder.events
 
 
 def _partition(
     tasks: List[CampaignTask], store: ResultStore, *, force: bool
 ) -> Tuple[List[CampaignTask], Dict[int, str]]:
-    """Split tasks into (to-run, {index: "cached"}) by store membership."""
+    """Split tasks into (to-run, {index: "cached"}) by store membership.
+
+    A cache hit is only honoured after :meth:`ResultStore.verify`: a
+    task whose stored object is corrupt (tampered payload, truncated or
+    field-stripped manifest) is demoted to pending and re-executed, so a
+    resumed campaign heals the store instead of trusting it blindly.
+    """
     cached: Dict[int, str] = {}
     pending: List[CampaignTask] = []
     for task in tasks:
+        hit = False
         if not force and store.contains(task.digest):
+            try:
+                store.verify(task.digest)
+                hit = True
+            except IntegrityError:
+                hit = False
+        _obs_inc("store.cache", 1, outcome="hit" if hit else "miss")
+        if hit:
             cached[task.index] = "cached"
         else:
             pending.append(task)
@@ -184,7 +209,16 @@ def run_campaign(
 
     def _commit(position: int, _task: _WorkerTask, value: _WorkerResult) -> None:
         task = pending[position]
-        payload, rendered, wall = value
+        payload, rendered, wall, events = value
+        profile = build_profile(
+            events,
+            meta={
+                "experiment_id": task.experiment_id,
+                "params": task.params,
+                "campaign": spec.name,
+                "task_index": task.index,
+            },
+        )
         store.put(
             task.experiment_id,
             task.params,
@@ -192,6 +226,7 @@ def run_campaign(
             rendered=rendered,
             wall_time_s=wall,
             digest=task.digest,
+            profile=profile,
         )
         statuses[task.index] = "executed"
         wall_times[task.index] = wall

@@ -13,6 +13,9 @@ Installed as ``repro-experiments``::
     repro-experiments store gc --keep 3       # retention per experiment
     repro-experiments campaign run sweep.toml # declarative cached sweep
     repro-experiments campaign status sweep.toml
+    repro-experiments obs summary [<digest>]  # run-profile of a stored run
+    repro-experiments obs diff <a> <b>        # profile delta (timings excluded)
+    repro-experiments obs export <digest>     # raw profile JSON
 
 The quick overrides mirror ``examples/reproduce_paper.py``.  ``--jobs``
 fans the sweep experiments out over a process pool
@@ -25,19 +28,29 @@ whatever the worker count (``--jobs 0`` means one worker per CPU).
 served from disk and labelled ``[cached <digest>]``; ``--no-cache``
 forces recomputation and ``--store DIR`` overrides the store location
 (default ``$REPRO_STORE_DIR`` or ``./.repro-store``).
+
+Every executed ``run``/``run-all`` records through :mod:`repro.obs` and
+stores the resulting run profile (``profile.json``) next to the
+manifest; set ``REPRO_OBS=0`` to disable the recorder.  The ``obs``
+commands read those artifacts back; profile references accept a digest,
+a unique digest prefix or a filesystem path to a profile JSON file.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.campaign import campaign_status, load_spec, run_campaign
-from repro.errors import ReproError
+from repro.errors import IntegrityError, ReproError, StoreError
 from repro.experiments import EXPERIMENTS, run_experiment
-from repro.experiments.export import result_to_dict
+from repro.experiments.export import result_to_dict, write_json
 from repro.store import ResultStore, compute_digest
 
 __all__ = ["build_parser", "entry", "main"]
@@ -61,6 +74,13 @@ PARALLEL_EXPERIMENTS = frozenset(
 
 #: Exit code for an interrupted campaign (mirrors 128 + SIGINT).
 EXIT_INTERRUPTED = 130
+
+#: Environment switch: set to ``0`` to run without the obs recorder.
+ENV_OBS = "REPRO_OBS"
+
+
+def _obs_active() -> bool:
+    return os.environ.get(ENV_OBS, "1") != "0"
 
 
 def _jobs_type(value: str) -> int:
@@ -206,6 +226,49 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_stat.add_argument("spec", help="path to a .toml/.json spec")
     _add_store_option(campaign_stat)
 
+    obs_cmd = commands.add_parser(
+        "obs", help="inspect stored run profiles (tracing + metrics)"
+    )
+    obs_commands = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    obs_summary = obs_commands.add_parser(
+        "summary", help="human-readable summary of one run profile"
+    )
+    obs_summary.add_argument(
+        "ref",
+        nargs="?",
+        default=None,
+        help="digest, unique prefix or profile JSON path "
+        "(default: newest profiled run)",
+    )
+    _add_store_option(obs_summary)
+
+    obs_diff = obs_commands.add_parser(
+        "diff", help="delta between two run profiles (timings excluded)"
+    )
+    obs_diff.add_argument("ref_a", help="digest, prefix or profile path")
+    obs_diff.add_argument("ref_b", help="digest, prefix or profile path")
+    _add_store_option(obs_diff)
+
+    obs_export = obs_commands.add_parser(
+        "export", help="write one run profile as JSON"
+    )
+    obs_export.add_argument(
+        "ref",
+        nargs="?",
+        default=None,
+        help="digest, unique prefix or profile JSON path "
+        "(default: newest profiled run)",
+    )
+    obs_export.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="FILE",
+        help="destination file (default: stdout)",
+    )
+    _add_store_option(obs_export)
+
     return parser
 
 
@@ -236,19 +299,39 @@ def _run_one(
     # is a pure speed knob and must not fragment the cache.
     digest = compute_digest(experiment_id, kwargs)
     if store is not None and use_cache and store.contains(digest):
-        rendered = store.manifest(digest).rendered
-        if rendered is not None:
-            store.verify(digest)
-            _print_header(experiment_id, f"cached {digest[:12]}")
-            print(rendered)
-            print()
-            return
+        try:
+            rendered = store.manifest(digest).rendered
+            if rendered is not None:
+                store.verify(digest)
+                _print_header(experiment_id, f"cached {digest[:12]}")
+                print(rendered)
+                print()
+                return
+        except IntegrityError as error:
+            # A corrupt cache entry must never abort the run - warn,
+            # fall through and recompute (the put below heals it).
+            print(
+                f"warning: ignoring corrupt cached run: {error}",
+                file=sys.stderr,
+            )
     if jobs is not None and experiment_id in PARALLEL_EXPERIMENTS:
         kwargs["jobs"] = jobs
+    recorder = obs.MemoryRecorder() if _obs_active() else obs.NullRecorder()
     started = time.perf_counter()
-    result = run_experiment(experiment_id, **kwargs)
+    with obs.use_recorder(recorder):
+        result = run_experiment(experiment_id, **kwargs)
     elapsed = time.perf_counter() - started
     rendered = result.render()
+    profile: Optional[Dict[str, Any]] = None
+    if isinstance(recorder, obs.MemoryRecorder):
+        profile = obs.build_profile(
+            recorder.events,
+            meta={
+                "experiment_id": experiment_id,
+                "quick": quick,
+                "wall_time_s": elapsed,
+            },
+        )
     if store is not None:
         params = {
             key: value for key, value in kwargs.items() if key != "jobs"
@@ -260,6 +343,7 @@ def _run_one(
             rendered=rendered,
             wall_time_s=elapsed,
             digest=digest,
+            profile=profile,
         )
     _print_header(experiment_id, f"{elapsed:.1f}s")
     print(rendered)
@@ -305,6 +389,54 @@ def _store_show(store: ResultStore, prefix: str) -> int:
     return 0
 
 
+def _resolve_profile(
+    store: ResultStore, ref: Optional[str]
+) -> Dict[str, Any]:
+    """Load a run profile from a digest, prefix, path or the newest run."""
+    if ref is None:
+        for entry in store.find():
+            if store.has_profile(entry["digest"]):
+                return store.load_profile(entry["digest"])
+        raise StoreError("store holds no run profiles yet")
+    path = Path(ref)
+    if path.is_file():
+        try:
+            profile = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise IntegrityError(
+                f"run profile at {path} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(profile, dict):
+            raise IntegrityError(
+                f"run profile at {path} must be a JSON object"
+            )
+        return profile
+    return store.load_profile(store.resolve(ref))
+
+
+def _obs_command(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    if args.obs_command == "summary":
+        print(obs.summarize_profile(_resolve_profile(store, args.ref)))
+        return 0
+    if args.obs_command == "diff":
+        diff = obs.diff_profiles(
+            _resolve_profile(store, args.ref_a),
+            _resolve_profile(store, args.ref_b),
+        )
+        print(diff.render())
+        return 0
+    if args.obs_command == "export":
+        profile = _resolve_profile(store, args.ref)
+        if args.output is None:
+            print(json.dumps(profile, indent=2, sort_keys=True))
+        else:
+            write_json(profile, Path(args.output))
+            print(f"wrote {args.output}")
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -318,24 +450,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return 0
     if args.command == "run":
-        _run_one(
-            args.experiment_id,
-            args.quick,
-            args.jobs,
-            store=_open_store(args.store),
-            use_cache=not args.no_cache,
-        )
+        try:
+            _run_one(
+                args.experiment_id,
+                args.quick,
+                args.jobs,
+                store=_open_store(args.store),
+                use_cache=not args.no_cache,
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
         return 0
     if args.command == "run-all":
         store = _open_store(args.store)
-        for eid in EXPERIMENTS:
-            _run_one(
-                eid,
-                args.quick,
-                args.jobs,
-                store=store,
-                use_cache=not args.no_cache,
-            )
+        try:
+            for eid in EXPERIMENTS:
+                _run_one(
+                    eid,
+                    args.quick,
+                    args.jobs,
+                    store=store,
+                    use_cache=not args.no_cache,
+                )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
         return 0
     if args.command == "store":
         store = _open_store(args.store)
@@ -382,12 +522,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
+    if args.command == "obs":
+        try:
+            return _obs_command(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     raise AssertionError("unreachable")  # pragma: no cover
 
 
 def entry() -> None:  # pragma: no cover - thin wrapper
     """Console-script entry point."""
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like cat.
+        sys.exit(141)
 
 
 if __name__ == "__main__":  # pragma: no cover - python -m repro.cli

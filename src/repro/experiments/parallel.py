@@ -23,11 +23,22 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar, Union
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.obs import (
+    MemoryRecorder,
+    current_span_id,
+    enabled as _obs_enabled,
+    get_recorder,
+    span as _obs_span,
+    use_recorder,
+)
+from repro.obs.metrics import gauge_set as _obs_gauge_set
+from repro.obs.metrics import inc as _obs_inc
 
 __all__ = ["parallel_map", "resolve_jobs", "spawn_seeds"]
 
@@ -69,6 +80,35 @@ def spawn_seeds(
     return sequence.spawn(count)
 
 
+@dataclass
+class _WorkerBatch:
+    """A task's return value plus the events its execution recorded."""
+
+    value: Any
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+
+@dataclass
+class _RecordedCall:
+    """Picklable wrapper running ``fn`` under a task-local recorder.
+
+    Instrumentation state never crosses process boundaries, so each task
+    records into a fresh :class:`MemoryRecorder` and ships the event
+    batch back with its result through the normal ``pool.map`` channel
+    (no extra queues or shared state).  The same wrapper runs on the
+    serial path, so ``--jobs`` changes neither the recorded counters nor
+    the span structure - only the timings.
+    """
+
+    fn: Callable[[Any], Any]
+
+    def __call__(self, task: Any) -> "_WorkerBatch":
+        recorder = MemoryRecorder()
+        with use_recorder(recorder):
+            value = self.fn(task)
+        return _WorkerBatch(value=value, events=recorder.events)
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     tasks: Sequence[_T],
@@ -101,9 +141,54 @@ def parallel_map(
     list
         ``[fn(task) for task in tasks]``, computed serially or in
         parallel but always in task order.
+
+    Notes
+    -----
+    When a recorder is active (:func:`repro.obs.use_recorder`), each
+    task runs under its own :class:`~repro.obs.MemoryRecorder` - in the
+    worker process for pool runs, in-process for serial runs - and the
+    event batches are merged back into the caller's recorder in task
+    order.  The merged stream is therefore identical (up to timing
+    values) for any worker count, which is what keeps run-profile
+    digests byte-identical across ``--jobs`` settings.
     """
     task_list = list(tasks)
     workers = min(resolve_jobs(jobs), len(task_list))
+    if not _obs_enabled():
+        return _plain_map(fn, task_list, workers, on_result)
+    recorder = get_recorder()
+    with _obs_span("parallel.map", tasks=len(task_list), jobs=workers):
+        parent_id = current_span_id()
+        results: List[_R] = []
+
+        def consume(index: int, task: _T, batch: "_WorkerBatch") -> None:
+            recorder.ingest(batch.events, parent_id=parent_id)
+            _obs_inc("parallel.tasks", 1)
+            _obs_gauge_set(
+                "parallel.tasks_in_flight", len(task_list) - index - 1
+            )
+            if on_result is not None:
+                on_result(index, task, batch.value)
+            results.append(batch.value)
+
+        wrapped = _RecordedCall(fn)
+        if workers <= 1 or len(task_list) <= 1:
+            for index, task in enumerate(task_list):
+                consume(index, task, wrapped(task))
+            return results
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for index, batch in enumerate(pool.map(wrapped, task_list)):
+                consume(index, task_list[index], batch)
+        return results
+
+
+def _plain_map(
+    fn: Callable[[_T], _R],
+    task_list: List[_T],
+    workers: int,
+    on_result: Optional[Callable[[int, _T, _R], None]],
+) -> List[_R]:
+    """The uninstrumented fast path (no recorder installed)."""
     results: List[_R] = []
     if workers <= 1 or len(task_list) <= 1:
         for index, task in enumerate(task_list):

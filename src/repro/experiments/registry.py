@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
 from repro.errors import ParameterError
+from repro.obs import span as _obs_span
 from repro.experiments import (
     bestresponse,
     convergence,
@@ -58,7 +59,8 @@ class Experiment:
 
     def run(self, **kwargs: Any) -> Any:
         """Run the experiment, forwarding keyword overrides."""
-        return self.runner(**kwargs)
+        with _obs_span("experiment", experiment_id=self.experiment_id):
+            return self.runner(**kwargs)
 
 
 EXPERIMENTS: Dict[str, Experiment] = {

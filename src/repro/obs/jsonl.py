@@ -1,0 +1,67 @@
+"""Lossless JSONL encoding of instrumentation events.
+
+Events are plain dicts restricted to JSON types (the instrumentation
+helpers sanitise attributes before recording), so the encoding is the
+identity up to JSON serialisation: ``line_to_event(event_to_line(e))``
+returns an equal dict for every valid event - the round-trip property
+``tests/property/test_obs_properties.py`` pins.  Keys are sorted and
+separators compact, so identical events always serialise to identical
+bytes (the profile digest relies on the same canonical form).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "event_to_line",
+    "events_to_jsonl",
+    "jsonl_to_events",
+    "line_to_event",
+]
+
+Event = Dict[str, Any]
+
+
+def event_to_line(event: Event) -> str:
+    """Serialise one event to its canonical single-line JSON form."""
+    try:
+        return json.dumps(
+            event, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as error:
+        raise ParameterError(
+            f"event is not JSONL-encodable: {error}"
+        ) from error
+
+
+def line_to_event(line: str) -> Event:
+    """Parse one JSONL line back to an event dict."""
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ParameterError(
+            f"invalid JSONL event line: {error}"
+        ) from error
+    if not isinstance(event, dict):
+        raise ParameterError(
+            f"JSONL event must be an object, got {type(event).__name__}"
+        )
+    return event
+
+
+def events_to_jsonl(events: Iterable[Event]) -> str:
+    """Serialise an event stream to JSON Lines (one event per line)."""
+    return "".join(event_to_line(event) + "\n" for event in events)
+
+
+def jsonl_to_events(text: str) -> List[Event]:
+    """Parse a JSON Lines document back to the event list."""
+    return [
+        line_to_event(line)
+        for line in text.splitlines()
+        if line.strip()
+    ]

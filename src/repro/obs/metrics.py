@@ -1,0 +1,117 @@
+"""Typed metric instruments: counters, gauges, histograms.
+
+Each helper emits one event to the ambient recorder (or returns after a
+single flag check when the null recorder is installed):
+
+* :func:`inc` - **counter**: monotonically accumulating totals (solver
+  fallbacks, simulated slots, cache hits).  Deterministic for a seeded
+  run, so counters participate in the profile digest.
+* :func:`gauge_set` - **gauge**: point-in-time readings (slots per
+  second, tasks in flight).  Gauges depend on wall clock and worker
+  count, so they are *excluded* from the profile digest.
+* :func:`observe`/:func:`observe_many` - **histogram**: distributions of
+  per-item values (fixed-point iteration counts).  Aggregated into
+  deterministic power-of-two buckets, so histograms participate in the
+  digest.
+
+Label values become part of the metric identity (``name|k=v`` keys in
+the profile), so instrumented code must never put timing- or
+concurrency-dependent values in a label - that is what gauges are for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Union
+
+from repro.obs.recorder import get_recorder
+from repro.obs.span import jsonable
+
+__all__ = ["gauge_set", "inc", "observe", "observe_many"]
+
+Number = Union[int, float]
+
+
+def _labels(labels: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: jsonable(val) for key, val in labels.items()}
+
+
+def _number(value: Any) -> Number:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _number(item())
+    return float(value)
+
+
+def inc(name: str, value: Number = 1, **labels: Any) -> None:
+    """Add ``value`` to the counter ``name`` (with optional labels)."""
+    recorder = get_recorder()
+    if not recorder.enabled:
+        return
+    recorder.record(
+        {
+            "type": "counter",
+            "name": name,
+            "labels": _labels(labels),
+            "value": _number(value),
+        }
+    )
+
+
+def gauge_set(name: str, value: Number, **labels: Any) -> None:
+    """Set the gauge ``name`` to a point-in-time reading."""
+    recorder = get_recorder()
+    if not recorder.enabled:
+        return
+    recorder.record(
+        {
+            "type": "gauge",
+            "name": name,
+            "labels": _labels(labels),
+            "value": _number(value),
+        }
+    )
+
+
+def observe(name: str, value: Number, **labels: Any) -> None:
+    """Record one observation into the histogram ``name``."""
+    recorder = get_recorder()
+    if not recorder.enabled:
+        return
+    recorder.record(
+        {
+            "type": "histogram",
+            "name": name,
+            "labels": _labels(labels),
+            "value": _number(value),
+        }
+    )
+
+
+def observe_many(
+    name: str, values: Iterable[Any], **labels: Any
+) -> None:
+    """Record a batch of observations into the histogram ``name``.
+
+    One event per value keeps the schema uniform; callers on hot paths
+    should gate on :func:`repro.obs.enabled` before materialising the
+    value list (every instrumented solver already does).
+    """
+    recorder = get_recorder()
+    if not recorder.enabled:
+        return
+    rendered = _labels(labels)
+    for value in values:
+        recorder.record(
+            {
+                "type": "histogram",
+                "name": name,
+                "labels": rendered,
+                "value": _number(value),
+            }
+        )

@@ -1,0 +1,330 @@
+"""Run profiles: deterministic aggregation of an event stream.
+
+A *run profile* is the JSON artifact written next to each store manifest
+(``profile.json``): counters summed, histograms bucketed, gauges
+summarised and spans rolled up by name.  Aggregation is a pure fold over
+the event list, so counter merging is associative and commutative - the
+property that lets worker batches from any number of processes collapse
+to the same profile (``tests/property/test_obs_properties.py``).
+
+The profile's ``digest`` covers only the *deterministic* sections -
+counters, histograms and span counts/error counts.  Wall-clock data
+(span durations, gauges such as slots-per-second or tasks-in-flight) and
+the free-form ``meta`` block are excluded, which is why a seeded run
+digests identically under ``--jobs 1`` and ``--jobs 4`` even though the
+timings in the artifact differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "ProfileDiff",
+    "build_profile",
+    "diff_profiles",
+    "profile_digest",
+    "summarize_profile",
+]
+
+#: Bump when the profile layout changes incompatibly.
+PROFILE_SCHEMA = 1
+
+Event = Dict[str, Any]
+Profile = Dict[str, Any]
+
+#: Histogram buckets above 2^62 collapse into the overflow bucket.
+_MAX_EXPONENT = 62
+
+
+def metric_key(name: str, labels: Mapping[str, Any]) -> str:
+    """Canonical ``name|k=v,...`` identity of one labelled metric."""
+    if not labels:
+        return name
+    rendered = ",".join(
+        f"{key}={labels[key]}" for key in sorted(labels)
+    )
+    return f"{name}|{rendered}"
+
+
+def _bucket_label(value: float) -> str:
+    """Deterministic power-of-two bucket for one observation."""
+    if value <= 0:
+        return "le_0"
+    exponent = max(0, math.ceil(math.log2(value)))
+    if exponent > _MAX_EXPONENT:
+        return "inf"
+    return f"le_{1 << exponent}"
+
+
+def build_profile(
+    events: Iterable[Event],
+    *,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Profile:
+    """Fold an event stream into a run-profile dict (see module doc).
+
+    Unknown event types are counted under ``meta.dropped_events`` rather
+    than raising - a newer writer must never crash an older reader.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, Dict[str, Any]] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    spans: Dict[str, Dict[str, Any]] = {}
+    dropped = 0
+    for event in events:
+        kind = event.get("type")
+        if kind == "counter":
+            key = metric_key(event["name"], event.get("labels", {}))
+            counters[key] = counters.get(key, 0) + event["value"]
+        elif kind == "gauge":
+            key = metric_key(event["name"], event.get("labels", {}))
+            value = event["value"]
+            stats = gauges.get(key)
+            if stats is None:
+                gauges[key] = {
+                    "count": 1,
+                    "last": value,
+                    "min": value,
+                    "max": value,
+                }
+            else:
+                stats["count"] += 1
+                stats["last"] = value
+                stats["min"] = min(stats["min"], value)
+                stats["max"] = max(stats["max"], value)
+        elif kind == "histogram":
+            key = metric_key(event["name"], event.get("labels", {}))
+            value = event["value"]
+            stats = histograms.get(key)
+            if stats is None:
+                stats = histograms[key] = {
+                    "count": 0,
+                    "sum": 0,
+                    "min": value,
+                    "max": value,
+                    "buckets": {},
+                }
+            stats["count"] += 1
+            stats["sum"] += value
+            stats["min"] = min(stats["min"], value)
+            stats["max"] = max(stats["max"], value)
+            label = _bucket_label(float(value))
+            stats["buckets"][label] = stats["buckets"].get(label, 0) + 1
+        elif kind == "span_end":
+            name = event.get("name", "<unnamed>")
+            stats = spans.get(name)
+            if stats is None:
+                stats = spans[name] = {
+                    "count": 0,
+                    "errors": 0,
+                    "total_s": 0.0,
+                    "max_s": 0.0,
+                }
+            stats["count"] += 1
+            if event.get("status") == "error":
+                stats["errors"] += 1
+            duration = float(event.get("duration_s", 0.0))
+            stats["total_s"] += duration
+            stats["max_s"] = max(stats["max_s"], duration)
+        elif kind == "span_start":
+            pass  # counted via the matching span_end
+        else:
+            dropped += 1
+    profile: Profile = {
+        "schema": PROFILE_SCHEMA,
+        "meta": dict(meta) if meta else {},
+        "counters": {key: counters[key] for key in sorted(counters)},
+        "gauges": {key: gauges[key] for key in sorted(gauges)},
+        "histograms": {
+            key: {
+                **histograms[key],
+                "buckets": {
+                    label: histograms[key]["buckets"][label]
+                    for label in sorted(histograms[key]["buckets"])
+                },
+            }
+            for key in sorted(histograms)
+        },
+        "spans": {name: spans[name] for name in sorted(spans)},
+    }
+    if dropped:
+        profile["meta"]["dropped_events"] = dropped
+    profile["digest"] = profile_digest(profile)
+    return profile
+
+
+def profile_digest(profile: Mapping[str, Any]) -> str:
+    """SHA-256 over the deterministic sections of a profile.
+
+    Covers counters, histograms and per-span ``count``/``errors``;
+    excludes gauges, span timings and ``meta`` (all wall-clock or
+    environment dependent), so two runs of the same seeded workload
+    digest identically whatever the worker count or machine speed.
+    """
+    for section in ("counters", "histograms", "spans"):
+        if section not in profile:
+            raise ParameterError(
+                f"profile is missing its {section!r} section"
+            )
+    stable = {
+        "schema": profile.get("schema", PROFILE_SCHEMA),
+        "counters": profile["counters"],
+        "histograms": profile["histograms"],
+        "spans": {
+            name: {
+                "count": stats.get("count", 0),
+                "errors": stats.get("errors", 0),
+            }
+            for name, stats in profile["spans"].items()
+        },
+    }
+    canonical = json.dumps(
+        stable, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ProfileDiff:
+    """Field-level delta between two run profiles.
+
+    ``counter_changes``/``histogram_changes``/``span_changes`` map keys
+    to ``(a, b)`` pairs; a side missing the key reports ``"<absent>"``.
+    Only digest-relevant fields are compared - two runs that differ just
+    in wall-clock numbers are reported identical.
+    """
+
+    digest_a: str
+    digest_b: str
+    counter_changes: Dict[str, Tuple[Any, Any]]
+    histogram_changes: Dict[str, Tuple[Any, Any]]
+    span_changes: Dict[str, Tuple[Any, Any]]
+
+    @property
+    def identical(self) -> bool:
+        return (
+            not self.counter_changes
+            and not self.histogram_changes
+            and not self.span_changes
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"profile diff {self.digest_a[:12]} .. {self.digest_b[:12]}"
+        ]
+        for title, changes in (
+            ("counters", self.counter_changes),
+            ("histograms", self.histogram_changes),
+            ("spans", self.span_changes),
+        ):
+            if not changes:
+                continue
+            lines.append(f"  {title} ({len(changes)} changed):")
+            for key in sorted(changes):
+                before, after = changes[key]
+                lines.append(f"    {key}: {before!r} -> {after!r}")
+        if self.identical:
+            lines.append("  identical (timings excluded)")
+        return "\n".join(lines)
+
+
+def _section_diff(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> Dict[str, Tuple[Any, Any]]:
+    changes: Dict[str, Tuple[Any, Any]] = {}
+    for key in set(a) | set(b):
+        left = a.get(key, "<absent>")
+        right = b.get(key, "<absent>")
+        if left != right:
+            changes[key] = (left, right)
+    return changes
+
+
+def diff_profiles(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> ProfileDiff:
+    """Compare the digest-relevant sections of two profiles."""
+    spans_a = {
+        name: (stats.get("count", 0), stats.get("errors", 0))
+        for name, stats in a.get("spans", {}).items()
+    }
+    spans_b = {
+        name: (stats.get("count", 0), stats.get("errors", 0))
+        for name, stats in b.get("spans", {}).items()
+    }
+    return ProfileDiff(
+        digest_a=a.get("digest", profile_digest(a)),
+        digest_b=b.get("digest", profile_digest(b)),
+        counter_changes=_section_diff(
+            a.get("counters", {}), b.get("counters", {})
+        ),
+        histogram_changes=_section_diff(
+            a.get("histograms", {}), b.get("histograms", {})
+        ),
+        span_changes=_section_diff(spans_a, spans_b),
+    )
+
+
+def _format_number(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def summarize_profile(profile: Mapping[str, Any]) -> str:
+    """Human-readable summary of one run profile (the CLI's ``summary``)."""
+    lines: List[str] = []
+    digest = profile.get("digest", "")
+    lines.append(f"profile digest: {digest or '-'}")
+    meta = profile.get("meta", {})
+    for key in sorted(meta):
+        lines.append(f"  {key}: {meta[key]!r}")
+    spans = profile.get("spans", {})
+    if spans:
+        lines.append("spans (by total time):")
+        ordered = sorted(
+            spans.items(),
+            key=lambda item: (-float(item[1].get("total_s", 0.0)), item[0]),
+        )
+        for name, stats in ordered:
+            lines.append(
+                f"  {name}: count={stats.get('count', 0)} "
+                f"errors={stats.get('errors', 0)} "
+                f"total={_format_number(stats.get('total_s', 0.0))}s "
+                f"max={_format_number(stats.get('max_s', 0.0))}s"
+            )
+    counters = profile.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for key in sorted(counters):
+            lines.append(f"  {key}: {_format_number(counters[key])}")
+    histograms = profile.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for key in sorted(histograms):
+            stats = histograms[key]
+            count = stats.get("count", 0)
+            mean = stats.get("sum", 0) / count if count else 0.0
+            lines.append(
+                f"  {key}: count={count} min={_format_number(stats.get('min', 0))} "
+                f"mean={_format_number(mean)} max={_format_number(stats.get('max', 0))}"
+            )
+    gauges = profile.get("gauges", {})
+    if gauges:
+        lines.append("gauges (excluded from digest):")
+        for key in sorted(gauges):
+            stats = gauges[key]
+            lines.append(
+                f"  {key}: last={_format_number(stats.get('last', 0))} "
+                f"min={_format_number(stats.get('min', 0))} "
+                f"max={_format_number(stats.get('max', 0))}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Structured tracing spans.
+
+:func:`span` is a context manager emitting a ``span_start``/``span_end``
+event pair with monotonic timings, a recorder-local span id and the id
+of the enclosing span - enough to rebuild the call tree from the flat
+JSONL stream.  The pair is emitted and the open-span pointer restored in
+a ``finally`` block, so the stream stays well-formed (strict stack
+discipline) whatever the body raises; :func:`validate_span_events`
+checks exactly that property and backs the hypothesis suite.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ParameterError
+from repro.obs.recorder import (
+    _reset_current_span,
+    _set_current_span,
+    current_span_id,
+    get_recorder,
+)
+
+__all__ = ["jsonable", "span", "validate_span_events"]
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort coercion of an attribute value to JSON types.
+
+    Handles the scalars the instrumented layers actually pass (Python
+    and numpy numbers, strings, bools, None) plus nested dicts/sequences;
+    non-finite floats become None (matching the store's JSON policy) and
+    anything unrecognised falls back to ``str(value)`` - attributes must
+    never be able to break a run just because a type slipped through.
+    """
+    if value is None or isinstance(value, (str, bool)):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "shape", None) in ((), None):
+        try:
+            return jsonable(item())
+        except (TypeError, ValueError):  # pragma: no cover - exotic .item()
+            return str(value)
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return jsonable(tolist())
+    if isinstance(value, dict):
+        return {str(key): jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    return str(value)
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[None]:
+    """Trace one logical operation as a timed, nestable span.
+
+    With the null recorder installed the body runs with no recording
+    work at all (one ``enabled`` check).  Otherwise a ``span_start``
+    event is emitted on entry and a matching ``span_end`` - carrying the
+    monotonic duration and an ``ok``/``error`` status - on exit, with
+    the exception (if any) re-raised unchanged.
+    """
+    recorder = get_recorder()
+    if not recorder.enabled:
+        yield
+        return
+    span_id = recorder.next_span_id()
+    parent_id = current_span_id()
+    token = _set_current_span(span_id)
+    started = time.monotonic()
+    recorder.record(
+        {
+            "type": "span_start",
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "name": name,
+            "attrs": {key: jsonable(val) for key, val in attrs.items()},
+            "t_mono": started,
+        }
+    )
+    status = "ok"
+    error: Optional[str] = None
+    try:
+        yield
+    except BaseException as exc:
+        status = "error"
+        error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        ended = time.monotonic()
+        _reset_current_span(token)
+        recorder.record(
+            {
+                "type": "span_end",
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "name": name,
+                "t_mono": ended,
+                "duration_s": ended - started,
+                "status": status,
+                "error": error,
+            }
+        )
+
+
+def validate_span_events(events: Sequence[Dict[str, Any]]) -> None:
+    """Check that a stream's span events obey strict stack discipline.
+
+    Raises :class:`~repro.errors.ParameterError` on the first violation:
+    a ``span_end`` that does not close the innermost open span, a
+    mismatched name/parent, a duplicate id, or spans left open at the
+    end of the stream.  Non-span events are ignored.
+    """
+    stack: List[Dict[str, Any]] = []
+    seen: set = set()
+    for index, event in enumerate(events):
+        kind = event.get("type")
+        if kind == "span_start":
+            span_id = event.get("span_id")
+            if span_id in seen:
+                raise ParameterError(
+                    f"event {index}: duplicate span id {span_id!r}"
+                )
+            seen.add(span_id)
+            expected_parent = stack[-1]["span_id"] if stack else None
+            if event.get("parent_id") != expected_parent:
+                raise ParameterError(
+                    f"event {index}: span {span_id!r} claims parent "
+                    f"{event.get('parent_id')!r}, expected "
+                    f"{expected_parent!r}"
+                )
+            stack.append(event)
+        elif kind == "span_end":
+            if not stack:
+                raise ParameterError(
+                    f"event {index}: span_end with no span open"
+                )
+            top = stack.pop()
+            for key in ("span_id", "name"):
+                if event.get(key) != top.get(key):
+                    raise ParameterError(
+                        f"event {index}: span_end {key} "
+                        f"{event.get(key)!r} does not match open span "
+                        f"{top.get(key)!r}"
+                    )
+    if stack:
+        open_ids = [frame["span_id"] for frame in stack]
+        raise ParameterError(
+            f"stream ended with {len(stack)} span(s) still open: "
+            f"{open_ids!r}"
+        )

@@ -16,6 +16,7 @@ with the number of *transmissions*, not slots.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Protocol, Sequence, Union
 
@@ -23,6 +24,10 @@ import numpy as np
 
 from repro.typealiases import FloatArray
 from repro.errors import ParameterError
+from repro.obs import enabled as _obs_enabled
+from repro.obs import span as _obs_span
+from repro.obs.metrics import gauge_set as _obs_gauge_set
+from repro.obs.metrics import inc as _obs_inc
 from repro.phy.parameters import AccessMode, PhyParameters
 from repro.phy.timing import SlotTimes, slot_times
 from repro.sim.metrics import ChannelCounters, NodeCounters
@@ -165,6 +170,45 @@ class DcfSimulator:
         """
         if n_slots < 1:
             raise ParameterError(f"n_slots must be >= 1, got {n_slots!r}")
+        if not _obs_enabled():
+            return self._run(n_slots, observer)
+        with _obs_span(
+            "sim.run",
+            engine="reference",
+            n_nodes=self.n_nodes,
+            n_slots=n_slots,
+        ):
+            started = time.perf_counter()
+            result = self._run(n_slots, observer)
+            elapsed = time.perf_counter() - started
+            counters = result.counters
+            _obs_inc("sim.runs", 1, engine="reference")
+            _obs_inc(
+                "sim.slots", counters.idle_slots,
+                engine="reference", kind="idle",
+            )
+            _obs_inc(
+                "sim.slots", counters.success_slots,
+                engine="reference", kind="success",
+            )
+            _obs_inc(
+                "sim.slots", counters.collision_slots,
+                engine="reference", kind="collision",
+            )
+            total = (
+                counters.idle_slots
+                + counters.success_slots
+                + counters.collision_slots
+            )
+            if elapsed > 0:
+                _obs_gauge_set(
+                    "sim.slots_per_sec", total / elapsed, engine="reference"
+                )
+        return result
+
+    def _run(
+        self, n_slots: int, observer: Optional[SlotObserver]
+    ) -> SimulationResult:
         counters = ChannelCounters(
             per_node=[NodeCounters() for _ in range(self.n_nodes)]
         )

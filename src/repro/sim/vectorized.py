@@ -29,6 +29,7 @@ the reference engine and the :mod:`repro.bianchi` fixed point).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
@@ -40,6 +41,10 @@ import numpy as np
 from repro.typealiases import FloatArray, IntArray
 from repro.contracts import check_probability, check_window, checks_enabled
 from repro.errors import ParameterError, SimulationError
+from repro.obs import enabled as _obs_enabled
+from repro.obs import span as _obs_span
+from repro.obs.metrics import gauge_set as _obs_gauge_set
+from repro.obs.metrics import inc as _obs_inc
 from repro.phy.parameters import AccessMode, PhyParameters
 from repro.phy.timing import SlotTimes, slot_times
 from repro.sim.metrics import ChannelCounters, NodeCounters
@@ -184,6 +189,54 @@ def run_batch(
     if n_slots < 1:
         raise ParameterError(f"n_slots must be >= 1, got {n_slots!r}")
     window_matrix = np.ascontiguousarray(_as_window_matrix(windows))
+    if not _obs_enabled():
+        return _run_batch_impl(
+            window_matrix, params, mode, n_slots=n_slots, seed=seed
+        )
+    batch, n_nodes = window_matrix.shape
+    with _obs_span(
+        "sim.run_batch",
+        engine="vectorized",
+        batch=batch,
+        n_nodes=n_nodes,
+        n_slots=n_slots,
+    ):
+        started = time.perf_counter()
+        result = _run_batch_impl(
+            window_matrix, params, mode, n_slots=n_slots, seed=seed
+        )
+        elapsed = time.perf_counter() - started
+        _obs_inc("sim.runs", batch, engine="vectorized")
+        _obs_inc(
+            "sim.slots", int(result.idle_slots.sum()),
+            engine="vectorized", kind="idle",
+        )
+        _obs_inc(
+            "sim.slots", int(result.success_slots.sum()),
+            engine="vectorized", kind="success",
+        )
+        _obs_inc(
+            "sim.slots", int(result.collision_slots.sum()),
+            engine="vectorized", kind="collision",
+        )
+        if elapsed > 0:
+            _obs_gauge_set(
+                "sim.slots_per_sec",
+                float(result.total_slots.sum()) / elapsed,
+                engine="vectorized",
+            )
+    return result
+
+
+def _run_batch_impl(
+    window_matrix: IntArray,
+    params: PhyParameters,
+    mode: AccessMode,
+    *,
+    n_slots: int,
+    seed: SeedLike,
+) -> BatchResult:
+    """The kernel proper, on a validated ``(batch, n_nodes)`` matrix."""
     batch, n_nodes = window_matrix.shape
     max_stage = params.max_backoff_stage
     times: SlotTimes = slot_times(params, mode)

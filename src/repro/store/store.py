@@ -230,6 +230,9 @@ class ResultStore:
     def manifest_path(self, digest: str) -> Path:
         return self.object_dir(digest) / "manifest.json"
 
+    def profile_path(self, digest: str) -> Path:
+        return self.object_dir(digest) / "profile.json"
+
     # -- writes --------------------------------------------------------
     def put(
         self,
@@ -241,6 +244,7 @@ class ResultStore:
         wall_time_s: Optional[float] = None,
         digest: Optional[str] = None,
         seed_material: Any = None,
+        profile: Optional[Mapping[str, Any]] = None,
     ) -> Manifest:
         """Store one run; returns its manifest.
 
@@ -248,7 +252,9 @@ class ResultStore:
         converted plain dict - both go through
         :func:`~repro.experiments.export.result_to_dict`.  Storing an
         existing digest overwrites the object (same identity, same
-        content by construction).
+        content by construction).  ``profile`` (a run profile from
+        :func:`repro.obs.build_profile`) is written as ``profile.json``
+        next to the manifest when given.
         """
         payload = result_to_dict(result)
         if digest is None:
@@ -272,6 +278,8 @@ class ResultStore:
             rendered=rendered,
         )
         write_json(manifest.to_dict(), self.manifest_path(digest))
+        if profile is not None:
+            write_json(dict(profile), self.profile_path(digest))
         index = self._load_index(repair=True)
         index[digest] = self._index_entry(manifest)
         self._write_index(index)
@@ -309,9 +317,14 @@ class ResultStore:
             data = json.loads(path.read_text())
         except json.JSONDecodeError as error:
             raise IntegrityError(
-                f"manifest for {digest!r} is not valid JSON: {error}"
+                f"manifest at {path} is not valid JSON: {error}"
             ) from error
-        manifest = Manifest.from_dict(data)
+        try:
+            manifest = Manifest.from_dict(data)
+        except IntegrityError as error:
+            raise IntegrityError(
+                f"manifest at {path} is invalid: {error}"
+            ) from error
         if manifest.digest != digest:
             raise IntegrityError(
                 f"manifest at {path} claims digest {manifest.digest!r}, "
@@ -334,15 +347,40 @@ class ResultStore:
         path = self.result_path(digest)
         if not path.is_file():
             raise IntegrityError(
-                f"stored run {digest!r} has a manifest but no result.json"
+                f"stored run {digest!r} has a manifest but no result "
+                f"payload at {path}"
             )
         actual = _sha256_file(path)
         if actual != manifest.result_sha256:
             raise IntegrityError(
-                f"result payload for {digest!r} fails integrity check: "
+                f"result payload at {path} fails integrity check: "
                 f"sha256 {actual} != recorded {manifest.result_sha256}"
             )
         return manifest
+
+    def has_profile(self, digest: str) -> bool:
+        """Whether a run profile was stored alongside ``digest``."""
+        return self.profile_path(digest).is_file()
+
+    def load_profile(self, digest: str) -> Dict[str, Any]:
+        """Load the run profile stored alongside one run."""
+        path = self.profile_path(digest)
+        if not path.is_file():
+            raise StoreError(
+                f"no run profile stored for digest {digest!r}"
+            )
+        try:
+            profile = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise IntegrityError(
+                f"run profile at {path} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(profile, dict):
+            raise IntegrityError(
+                f"run profile at {path} must be a JSON object, got "
+                f"{type(profile).__name__}"
+            )
+        return profile
 
     def resolve(self, prefix: str) -> str:
         """Expand a (unique) digest prefix to the full digest."""

@@ -21,6 +21,16 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+def pytest_addoption(parser):
+    """Add ``--update-golden`` (regenerate the golden snapshots)."""
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/snapshots/*.json from the current code",
+    )
+
+
 @pytest.fixture(autouse=True)
 def _isolated_result_store(tmp_path, monkeypatch):
     """Point the content-addressed store at a per-test directory.

@@ -1,0 +1,102 @@
+"""Golden-snapshot harness.
+
+A *golden* is the canonical JSON of one experiment's exported payload
+(``result_to_dict``), normalized so the comparison is meaningful:
+
+* every float is rounded to 12 significant digits before serialisation,
+  so snapshots are stable across platforms' last-bit printing noise but
+  still catch perturbations down to ~1e-12 relative (a 1e-6 change is
+  eleven orders of magnitude above the noise floor);
+* keys are sorted and the JSON is indented, so snapshot diffs in review
+  are line-per-field.
+
+``pytest --update-golden`` rewrites the checked-in snapshots from the
+current code; a plain run compares and fails with a field-level delta.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+import pytest
+
+SNAPSHOT_DIR = Path(__file__).parent / "snapshots"
+
+#: Significant digits kept in golden floats (see module docstring).
+FLOAT_DIGITS = 12
+
+
+def normalize(value: Any) -> Any:
+    """Round every float in a JSON-able payload to 12 significant digits."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        return float(f"{value:.{FLOAT_DIGITS}g}")
+    if isinstance(value, dict):
+        return {str(key): normalize(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [normalize(item) for item in value]
+    raise TypeError(f"golden payloads must be JSON types, got {type(value)!r}")
+
+
+def _leaf_paths(value: Any, prefix: str, out: Dict[str, Any]) -> None:
+    if isinstance(value, dict):
+        for key in value:
+            _leaf_paths(value[key], f"{prefix}.{key}" if prefix else str(key), out)
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            _leaf_paths(item, f"{prefix}.{index}" if prefix else str(index), out)
+    else:
+        out[prefix or "<root>"] = value
+
+
+def golden_delta(expected: Any, actual: Any) -> str:
+    """Field-level description of where two normalized payloads differ."""
+    flat_expected: Dict[str, Any] = {}
+    flat_actual: Dict[str, Any] = {}
+    _leaf_paths(expected, "", flat_expected)
+    _leaf_paths(actual, "", flat_actual)
+    lines = []
+    for path in sorted(set(flat_expected) | set(flat_actual)):
+        left = flat_expected.get(path, "<absent>")
+        right = flat_actual.get(path, "<absent>")
+        if left != right:
+            lines.append(f"  {path}: golden {left!r} != actual {right!r}")
+    return "\n".join(lines)
+
+
+class GoldenComparer:
+    """Compare one payload against its checked-in snapshot."""
+
+    def __init__(self, update: bool) -> None:
+        self.update = update
+
+    def check(self, name: str, payload: Any) -> None:
+        actual = normalize(payload)
+        path = SNAPSHOT_DIR / f"{name}.json"
+        if self.update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(actual, indent=2, sort_keys=True) + "\n"
+            )
+            return
+        if not path.is_file():
+            pytest.fail(
+                f"missing golden snapshot {path.name}; run "
+                f"`pytest tests/golden --update-golden` to create it"
+            )
+        expected = json.loads(path.read_text())
+        if expected != actual:
+            delta = golden_delta(expected, actual)
+            pytest.fail(
+                f"golden snapshot {path.name} differs:\n{delta}\n"
+                f"(if the change is intended, rerun with --update-golden)"
+            )
+
+
+@pytest.fixture()
+def golden(request) -> GoldenComparer:
+    """The snapshot comparer, honouring ``--update-golden``."""
+    return GoldenComparer(update=request.config.getoption("--update-golden"))

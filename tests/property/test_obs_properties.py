@@ -1,0 +1,202 @@
+"""Property tests for the observability layer.
+
+Pins the three contracts the tentpole design leans on:
+
+* span streams obey strict stack discipline whatever the body raises
+  (:func:`repro.obs.validate_span_events`);
+* profile counter aggregation is associative and commutative, so worker
+  batches merge to the same profile in any grouping or order;
+* JSONL round-trips events losslessly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs.profile import build_profile, profile_digest
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_label_keys = st.sampled_from(["kind", "method", "engine", "outcome"])
+_label_values = st.sampled_from(
+    ["a", "b", "anderson", "newton", "hit", "miss", "reference"]
+)
+_labels = st.dictionaries(_label_keys, _label_values, max_size=2)
+_metric_names = st.sampled_from(
+    ["bianchi.solves", "sim.slots", "store.cache", "parallel.tasks"]
+)
+_finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+_counter_events = st.builds(
+    lambda name, labels, value: {
+        "type": "counter",
+        "name": name,
+        "labels": labels,
+        "value": value,
+    },
+    _metric_names,
+    _labels,
+    st.integers(min_value=0, max_value=10**6) | _finite_floats,
+)
+
+_json_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**12), max_value=10**12)
+    | _finite_floats
+    | st.text(max_size=20)
+)
+_events = st.dictionaries(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_.", min_size=1, max_size=12
+    ),
+    _json_scalars
+    | st.lists(_json_scalars, max_size=4)
+    | st.dictionaries(st.text(max_size=6), _json_scalars, max_size=3),
+    max_size=6,
+)
+
+
+# ----------------------------------------------------------------------
+# Span nesting
+# ----------------------------------------------------------------------
+class _Boom(Exception):
+    pass
+
+
+@given(
+    plan=st.recursive(
+        st.booleans(),  # leaf: True = raise inside this span
+        lambda children: st.lists(children, min_size=1, max_size=3),
+        max_leaves=12,
+    )
+)
+def test_span_stream_well_formed_under_exceptions(plan) -> None:
+    """Arbitrary nesting with exceptions still yields a well-formed stream."""
+    recorder = obs.MemoryRecorder()
+
+    def execute(node, depth: int) -> None:
+        with obs.span(f"level{depth}"):
+            if node is True:
+                raise _Boom()
+            if isinstance(node, list):
+                for child in node:
+                    try:
+                        execute(child, depth + 1)
+                    except _Boom:
+                        pass
+
+    with obs.use_recorder(recorder):
+        try:
+            execute(plan, 0)
+        except _Boom:
+            pass
+
+    obs.validate_span_events(recorder.events)
+    starts = [e for e in recorder.events if e["type"] == "span_start"]
+    ends = [e for e in recorder.events if e["type"] == "span_end"]
+    assert len(starts) == len(ends)
+
+
+@given(plan=st.lists(st.booleans(), min_size=1, max_size=6))
+def test_error_status_marks_exactly_the_raising_spans(plan) -> None:
+    recorder = obs.MemoryRecorder()
+    with obs.use_recorder(recorder):
+        for should_raise in plan:
+            try:
+                with obs.span("op"):
+                    if should_raise:
+                        raise _Boom()
+            except _Boom:
+                pass
+    ends = [e for e in recorder.events if e["type"] == "span_end"]
+    assert [e["status"] == "error" for e in ends] == plan
+
+
+# ----------------------------------------------------------------------
+# Counter merge algebra
+# ----------------------------------------------------------------------
+def _counters_of(events):
+    return build_profile(events)["counters"]
+
+
+@given(
+    events=st.lists(_counter_events, max_size=30),
+    data=st.data(),
+)
+def test_counter_aggregation_is_order_invariant(events, data) -> None:
+    """Any permutation of the event stream folds to the same counters."""
+    shuffled = data.draw(st.permutations(events))
+    a = _counters_of(events)
+    b = _counters_of(shuffled)
+    assert set(a) == set(b)
+    for key in a:
+        assert math.isclose(a[key], b[key], rel_tol=1e-12, abs_tol=1e-9)
+
+
+@given(
+    batch_a=st.lists(_counter_events, max_size=15),
+    batch_b=st.lists(_counter_events, max_size=15),
+    batch_c=st.lists(_counter_events, max_size=15),
+)
+def test_counter_merge_associative_commutative(batch_a, batch_b, batch_c) -> None:
+    """Worker batches merge identically in any grouping or order.
+
+    Integer-valued counters (what the instrumented code records) merge
+    *exactly*, so the profile digest is grouping-invariant too.
+    """
+    int_only = [
+        e
+        for e in batch_a + batch_b + batch_c
+        if isinstance(e["value"], int)
+    ]
+    left = _counters_of(int_only)
+    # Regroup: c + b + a, concatenated differently.
+    regrouped = (
+        [e for e in batch_c if isinstance(e["value"], int)]
+        + [e for e in batch_b if isinstance(e["value"], int)]
+        + [e for e in batch_a if isinstance(e["value"], int)]
+    )
+    right = _counters_of(regrouped)
+    assert left == right
+    assert profile_digest(build_profile(int_only)) == profile_digest(
+        build_profile(regrouped)
+    )
+
+
+@given(batches=st.lists(st.lists(_counter_events, max_size=8), max_size=5))
+def test_ingest_preserves_counter_totals(batches) -> None:
+    """Merging worker batches via MemoryRecorder.ingest loses no counts."""
+    parent = obs.MemoryRecorder()
+    for batch in batches:
+        parent.ingest(batch)
+    direct = _counters_of([event for batch in batches for event in batch])
+    merged = _counters_of(parent.events)
+    assert set(direct) == set(merged)
+    for key in direct:
+        assert math.isclose(
+            direct[key], merged[key], rel_tol=1e-12, abs_tol=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip
+# ----------------------------------------------------------------------
+@given(events=st.lists(_events, max_size=20))
+def test_jsonl_roundtrip_lossless(events) -> None:
+    text = obs.events_to_jsonl(events)
+    assert obs.jsonl_to_events(text) == events
+
+
+@given(events=st.lists(_events, max_size=10))
+def test_jsonl_serialisation_canonical(events) -> None:
+    """Identical events always serialise to identical lines."""
+    assert obs.events_to_jsonl(events) == obs.events_to_jsonl(
+        [dict(e) for e in events]
+    )

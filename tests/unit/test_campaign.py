@@ -244,3 +244,70 @@ class TestExecution:
         text = report.render()
         for task in expand_tasks(spec):
             assert task.digest[:12] in text
+
+
+class TestCorruptCacheResume:
+    """A corrupt stored object must be re-executed, not trusted."""
+
+    def test_tampered_payload_demoted_to_pending_and_healed(self, store):
+        spec = spec_from_dict(TINY)
+        run_campaign(spec, store=store)
+        victim = expand_tasks(spec)[0]
+        store.result_path(victim.digest).write_text('{"forged": true}\n')
+
+        status = campaign_status(spec, store=store)
+        assert status.pending == 1 and status.cached == 1
+
+        healed = run_campaign(spec, store=store)
+        assert healed.executed == 1 and healed.cached == 1
+        # the re-execution restored a verifiable object
+        store.verify(victim.digest)
+
+    def test_field_stripped_manifest_demoted_and_healed(self, store):
+        spec = spec_from_dict(TINY)
+        run_campaign(spec, store=store)
+        victim = expand_tasks(spec)[1]
+        path = store.manifest_path(victim.digest)
+        data = json.loads(path.read_text())
+        del data["result_sha256"]
+        path.write_text(json.dumps(data))
+
+        healed = run_campaign(spec, store=store)
+        assert healed.executed == 1 and healed.cached == 1
+        store.verify(victim.digest)
+
+    def test_invalid_json_manifest_demoted_and_healed(self, store):
+        spec = spec_from_dict(TINY)
+        run_campaign(spec, store=store)
+        victim = expand_tasks(spec)[0]
+        store.manifest_path(victim.digest).write_text("{not json")
+
+        healed = run_campaign(spec, store=store)
+        assert healed.executed == 1 and healed.cached == 1
+        store.verify(victim.digest)
+
+
+class TestCampaignProfiles:
+    def test_every_executed_task_gets_a_profile(self, store):
+        from repro import obs
+
+        spec = spec_from_dict(TINY)
+        run_campaign(spec, store=store)
+        for task in expand_tasks(spec):
+            profile = store.load_profile(task.digest)
+            assert profile["meta"]["experiment_id"] == "convergence"
+            assert profile["meta"]["campaign"] == "tiny"
+            assert profile["meta"]["task_index"] == task.index
+            assert profile["digest"] == obs.profile_digest(profile)
+
+    def test_cache_hit_miss_counters_recorded(self, store):
+        from repro import obs
+
+        spec = spec_from_dict(TINY)
+        recorder = obs.MemoryRecorder()
+        with obs.use_recorder(recorder):
+            run_campaign(spec, store=store)   # 2 misses
+            run_campaign(spec, store=store)   # 2 hits
+        counters = obs.build_profile(recorder.events)["counters"]
+        assert counters["store.cache|outcome=miss"] == 2
+        assert counters["store.cache|outcome=hit"] == 2

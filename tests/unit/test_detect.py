@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.detect.empirical import EmpiricalRepeatedGame
+from repro.detect.empirical import EmpiricalRepeatedGame, EmpiricalTrace
 from repro.detect.estimator import (
     WindowObserver,
     estimate_window,
@@ -163,3 +163,44 @@ class TestEmpiricalGame:
         engine = EmpiricalRepeatedGame(game, [TitForTat()] * 4, [64] * 4)
         with pytest.raises(GameDefinitionError):
             engine.run(0)
+
+
+class TestEmpiricalTrace:
+    def test_empty_trace_raises(self):
+        with pytest.raises(GameDefinitionError, match="trace is empty"):
+            EmpiricalTrace().final_windows
+
+    def test_window_history_shape(self, params):
+        game = MACGame(n_players=3, params=params)
+        engine = EmpiricalRepeatedGame(
+            game,
+            [TitForTat()] * 3,
+            [64, 64, 64],
+            slots_per_stage=2_000,
+            seed=4,
+        )
+        trace = engine.run(3)
+        history = trace.window_history()
+        assert history.shape == (3, 3)
+        np.testing.assert_array_equal(history[0], [64, 64, 64])
+        np.testing.assert_array_equal(history[-1], trace.final_windows)
+
+
+class TestSilentNodes:
+    def test_nan_estimates_assumed_polite(self, params):
+        # Five slots is far below one backoff cycle at W=256, so every
+        # node stays silent and every estimate is NaN.  Strategies must
+        # see those players at cw_max (polite), not NaN: TFT then holds
+        # its initial window instead of propagating NaN.
+        game = MACGame(n_players=3, params=params)
+        engine = EmpiricalRepeatedGame(
+            game,
+            [TitForTat()] * 3,
+            [256] * 3,
+            slots_per_stage=5,
+            seed=0,
+        )
+        trace = engine.run(2)
+        assert np.isnan(trace.stages[0].estimated_windows).all()
+        assert np.isfinite(trace.stages[1].windows).all()
+        np.testing.assert_array_equal(trace.stages[1].windows, [256.0] * 3)

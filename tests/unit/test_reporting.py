@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import ParameterError
@@ -52,6 +53,39 @@ class TestFormatTable:
             format_table(["a"], [[object()]])
 
 
+class TestCellEdgeCases:
+    def test_numpy_scalar_cells(self):
+        text = format_table(
+            ["n", "tau"], [[np.int64(7), np.float64(0.25)]]
+        )
+        assert "7" in text and "0.25" in text
+
+    def test_numpy_float32_cell(self):
+        assert "0.5" in format_table(["v"], [[np.float32(0.5)]])
+
+    def test_bool_cells_render_as_ints(self):
+        # bool is an int subclass; the rendered form is the digit.
+        lines = format_table(["flag"], [[True], [False]]).splitlines()
+        assert lines[2].strip() == "1"
+        assert lines[3].strip() == "0"
+
+    def test_negative_floats_keep_sign(self):
+        text = format_table(["v"], [[-0.123456], [-12345.678]])
+        assert "-0.1235" in text
+        assert "-1.235e+04" in text
+
+    def test_nonfinite_floats_render_verbatim(self):
+        text = format_table(
+            ["v"], [[float("nan")], [float("inf")], [float("-inf")]]
+        )
+        assert "nan" in text
+        assert "-inf" in text
+
+    def test_rejects_none_cell(self):
+        with pytest.raises(ParameterError, match="NoneType"):
+            format_table(["a"], [[None]])
+
+
 class TestFormatSeries:
     def test_aligned_series(self):
         text = format_series(
@@ -71,3 +105,18 @@ class TestFormatSeries:
     def test_rejects_length_mismatch(self):
         with pytest.raises(ParameterError):
             format_series([1, 2], {"s": [1]})
+
+    def test_empty_series_mapping_renders_x_column(self):
+        lines = format_series([1.0, 2.0], {}, x_label="W").splitlines()
+        assert lines[0].strip() == "W"
+        assert len(lines) == 2 + 2
+
+    def test_empty_x_renders_header_only(self):
+        lines = format_series([], {"s": []}).splitlines()
+        assert len(lines) == 2
+
+    def test_numpy_array_inputs(self):
+        text = format_series(
+            np.array([1.0, 2.0]), {"s": np.array([0.5, 0.25])}
+        )
+        assert "0.25" in text

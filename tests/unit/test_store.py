@@ -234,3 +234,91 @@ class TestCheckDigestContract:
 
     def test_accepts_sha256_hex(self):
         assert check_digest("0123456789abcdef" * 4) == "0123456789abcdef" * 4
+
+
+class TestIntegrityErrorNamesFile:
+    """IntegrityError messages must name the offending file on disk."""
+
+    def test_invalid_json_manifest_names_manifest_path(self, store):
+        manifest = _put(store, seed=1)
+        path = store.manifest_path(manifest.digest)
+        path.write_text("{not json")
+        with pytest.raises(IntegrityError, match="manifest at .*manifest.json"):
+            store.manifest(manifest.digest)
+
+    def test_field_stripped_manifest_names_manifest_path(self, store):
+        import json as json_module
+
+        manifest = _put(store, seed=1)
+        path = store.manifest_path(manifest.digest)
+        data = json_module.loads(path.read_text())
+        del data["result_sha256"]
+        path.write_text(json_module.dumps(data))
+        with pytest.raises(IntegrityError) as excinfo:
+            store.manifest(manifest.digest)
+        assert str(path) in str(excinfo.value)
+        assert "result_sha256" in str(excinfo.value)
+
+    def test_tampered_result_names_result_path(self, store):
+        manifest = _put(store, seed=1)
+        path = store.result_path(manifest.digest)
+        path.write_text('{"forged": true}\n')
+        with pytest.raises(IntegrityError) as excinfo:
+            store.verify(manifest.digest)
+        assert str(path) in str(excinfo.value)
+
+    def test_missing_result_names_result_path(self, store):
+        manifest = _put(store, seed=1)
+        path = store.result_path(manifest.digest)
+        path.unlink()
+        with pytest.raises(IntegrityError) as excinfo:
+            store.verify(manifest.digest)
+        assert str(path) in str(excinfo.value)
+
+    def test_corrupt_profile_names_profile_path(self, store):
+        manifest = _put(store, seed=1)
+        path = store.profile_path(manifest.digest)
+        path.write_text("[1, 2")
+        with pytest.raises(IntegrityError) as excinfo:
+            store.load_profile(manifest.digest)
+        assert str(path) in str(excinfo.value)
+
+
+class TestProfiles:
+    def test_put_and_load_profile(self, store):
+        from repro import obs
+
+        recorder = obs.MemoryRecorder()
+        with obs.use_recorder(recorder):
+            obs.inc("bianchi.solves", 2, kind="heterogeneous")
+        profile = obs.build_profile(recorder.events, meta={"experiment_id": "x"})
+        params = {"n_players": 3, "seed": 1}
+        manifest = store.put(
+            "convergence",
+            params,
+            {"seed": 1},
+            rendered="r",
+            profile=profile,
+        )
+        assert store.has_profile(manifest.digest)
+        loaded = store.load_profile(manifest.digest)
+        assert loaded["digest"] == profile["digest"]
+        assert loaded["counters"] == {"bianchi.solves|kind=heterogeneous": 2}
+
+    def test_put_without_profile_has_none(self, store):
+        manifest = _put(store, seed=1)
+        assert not store.has_profile(manifest.digest)
+        with pytest.raises(StoreError, match="no run profile"):
+            store.load_profile(manifest.digest)
+
+    def test_non_object_profile_rejected_on_read(self, store):
+        manifest = _put(store, seed=1)
+        store.profile_path(manifest.digest).write_text("[1, 2]")
+        with pytest.raises(IntegrityError, match="JSON object"):
+            store.load_profile(manifest.digest)
+
+    def test_remove_deletes_profile_too(self, store):
+        manifest = _put(store, seed=1)
+        store.profile_path(manifest.digest).write_text("{}")
+        store.remove(manifest.digest)
+        assert not store.has_profile(manifest.digest)
