@@ -10,6 +10,13 @@ sweep actually uses (17 grid points x 4 replicas = 68 rows); its
 advantage comes from amortising each virtual-slot event over the batch,
 so single-row comparisons understate production speed.
 
+Both engine records carry the compute backend they ran on (the session
+default from :func:`repro.backends.resolve_backend`; the reference
+engine is always the pure-python ground truth) and the run's peak
+memory - Python-heap peak from ``tracemalloc`` on a separate untimed
+pass, plus the process ``ru_maxrss`` high-water mark - so regressions
+in allocation show up next to regressions in throughput.
+
 Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the slot budget; the JSON is
 still produced and a relaxed speedup floor is asserted.
 """
@@ -18,10 +25,13 @@ from __future__ import annotations
 
 import json
 import os
+import resource
 import time
+import tracemalloc
 from pathlib import Path
 
 from repro import obs
+from repro.backends import resolve_backend
 from repro.phy.parameters import AccessMode
 from repro.sim.engine import DcfSimulator
 from repro.sim.vectorized import run_batch
@@ -40,33 +50,64 @@ N_SLOTS = 6_000 if SMOKE else 50_000
 MIN_SPEEDUP = 3.0 if SMOKE else 10.0
 
 
+def _peak_rss_kb() -> int:
+    """Process peak RSS in kB (``ru_maxrss`` is kB on Linux)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _traced(run) -> float:
+    """Peak Python-heap MB of one untimed ``run()`` under tracemalloc."""
+    tracemalloc.start()
+    try:
+        run()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1e6
+
+
 def _time_reference(params) -> dict:
     simulator = DcfSimulator([WINDOW] * N_NODES, params, MODE, seed=1)
     simulator.run(1_000)  # warm-up
     started = time.perf_counter()
     DcfSimulator([WINDOW] * N_NODES, params, MODE, seed=2).run(N_SLOTS)
     elapsed = time.perf_counter() - started
+    peak_mb = _traced(
+        lambda: DcfSimulator([WINDOW] * N_NODES, params, MODE, seed=2).run(
+            N_SLOTS
+        )
+    )
     return {
         "engine": "reference",
+        "backend": "reference",
         "batch": 1,
         "n_slots": N_SLOTS,
         "elapsed_s": elapsed,
         "slots_per_sec": N_SLOTS / elapsed,
+        "peak_heap_mb": peak_mb,
+        "peak_rss_kb": _peak_rss_kb(),
     }
 
 
 def _time_vectorized(params) -> dict:
+    backend = resolve_backend()
     windows = [[WINDOW] * N_NODES] * BATCH
     run_batch(windows, params, MODE, n_slots=500, seed=1)  # warm-up
     started = time.perf_counter()
     run_batch(windows, params, MODE, n_slots=N_SLOTS, seed=2)
     elapsed = time.perf_counter() - started
+    peak_mb = _traced(
+        lambda: run_batch(windows, params, MODE, n_slots=N_SLOTS, seed=2)
+    )
     return {
         "engine": "vectorized",
+        "backend": backend.name,
         "batch": BATCH,
         "n_slots": N_SLOTS,
         "elapsed_s": elapsed,
         "slots_per_sec": BATCH * N_SLOTS / elapsed,
+        "peak_heap_mb": peak_mb,
+        "peak_rss_kb": _peak_rss_kb(),
     }
 
 
@@ -92,8 +133,10 @@ def test_bench_kernel_speedup(params):
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(
         f"\nreference  {reference['slots_per_sec']:>12,.0f} slots/s"
+        f"  (peak heap {reference['peak_heap_mb']:.1f} MB)"
         f"\nvectorized {vectorized['slots_per_sec']:>12,.0f} slots/s"
-        f" (batch {BATCH})"
+        f" (batch {BATCH}, backend {vectorized['backend']},"
+        f" peak heap {vectorized['peak_heap_mb']:.1f} MB)"
         f"\nspeedup    {speedup:.1f}x  [written to {RESULT_PATH}]"
     )
     assert speedup >= MIN_SPEEDUP, (
@@ -159,6 +202,7 @@ def test_bench_obs_profile_artifact(params):
         json.dumps(profile, indent=2, sort_keys=True) + "\n"
     )
     counters = profile["counters"]
+    backend = resolve_backend().name
     assert any(key.startswith("sim.slots|") for key in counters)
-    assert counters["sim.runs|engine=vectorized"] == BATCH
+    assert counters[f"sim.runs|backend={backend},engine=vectorized"] == BATCH
     print(f"\nobs profile {profile['digest']} written to {OBS_PROFILE_PATH}")

@@ -1,0 +1,59 @@
+"""Minimal array-API namespace shim.
+
+Post-processing code that only *transforms* arrays (estimator
+finalisation, streaming Welford folds) is written against an ``xp``
+namespace parameter instead of importing numpy directly, so CuPy-style
+array libraries can be dropped in later without touching the math.  The
+custom lint ``REPRO006`` enforces the convention: a function that takes
+``xp`` must not call ``np.*`` in its body.
+
+This module is deliberately tiny - it resolves a namespace from the
+arrays in hand (the `array API standard`_ ``__array_namespace__`` hook
+when present, numpy otherwise) and nothing more.  Kernels that need
+RNGs, scatter updates or JIT stay backend-specific.
+
+.. _array API standard: https://data-apis.org/array-api/latest/
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Any
+
+import numpy as np
+
+__all__ = ["get_namespace"]
+
+
+def get_namespace(*arrays: Any) -> Any:
+    """Resolve the array namespace shared by ``arrays``.
+
+    Returns the ``__array_namespace__()`` of the first array exposing
+    the array API standard hook, and :mod:`numpy` when none does (plain
+    ndarrays and scalars).  Mixing arrays from two different non-numpy
+    namespaces is an error - there is no sane common namespace to
+    compute in.
+    """
+    namespace: Any = None
+    for array in arrays:
+        hook = getattr(array, "__array_namespace__", None)
+        if hook is None:
+            continue
+        candidate = hook()
+        if namespace is None:
+            namespace = candidate
+        elif candidate is not namespace:
+            raise TypeError(
+                "arrays come from two different array namespaces: "
+                f"{namespace!r} and {candidate!r}"
+            )
+    if namespace is None:
+        return np
+    if isinstance(namespace, ModuleType) and namespace.__name__.startswith(
+        "numpy"
+    ):
+        # numpy >= 2 exposes __array_namespace__ returning numpy itself
+        # (or numpy.array_api); normalise to the top-level module so
+        # callers can rely on the full namespace surface.
+        return np
+    return namespace

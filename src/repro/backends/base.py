@@ -1,0 +1,170 @@
+"""Compute-backend protocol shared by the two hot kernels.
+
+A *backend* supplies low-level implementations of the repository's two
+hot loops - the slotted DCF simulation chunk and the batched Bianchi
+fixed point - behind a small, array-in/array-out protocol.  The public
+entry points (:func:`repro.sim.vectorized.run_batch`,
+:func:`repro.bianchi.batched.solve_heterogeneous_batch`) keep all
+validation, finalization, contracts and observability; backends only
+advance raw ``(batch, n)`` state arrays.
+
+The simulation protocol is *chunked*: a kernel call advances every lane
+to an absolute virtual-slot target, mutating the state arrays in place,
+and may be called repeatedly on the same state.  That is what lets the
+streaming-statistics path (:mod:`repro.sim.streaming`) fold counters
+into running Welford accumulators every ``interval`` slots without ever
+materialising an array with a slots-sized axis.
+
+Determinism contract per backend:
+
+* ``deterministic`` - results are a pure function of the seed (every
+  shipped backend is deterministic).
+* ``matches_numpy`` - *bit-identical* to the numpy backend for matched
+  seeds.  Only the numpy backend itself claims this for the simulator:
+  the numba/C kernels consume their own (deterministic) splitmix64
+  streams, so they are pinned by tolerance-based statistical tests
+  instead.  Fixed-point solves are deterministic math on every backend
+  and are pinned to the numpy path at ``1e-9``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.typealiases import BoolArray, FloatArray, IntArray
+from repro.errors import BackendError
+
+__all__ = ["ComputeBackend", "SimChunkState", "lane_seeds"]
+
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+#: Sentinel value marking an uninitialised backoff counter; the first
+#: chunk call draws the initial uniform backoff for sentinel entries.
+COUNTER_UNSET = -1
+
+
+@dataclass
+class SimChunkState:
+    """Mutable per-run simulator state shared across chunk calls.
+
+    All arrays are C-contiguous ``int64`` of shape ``(batch, n)`` or
+    ``(batch,)``; ``rng`` is backend-specific (a
+    :class:`numpy.random.Generator` for the numpy backend, a ``(batch,)``
+    ``uint64`` splitmix64 state vector for the numba/C kernels).
+    """
+
+    stage: IntArray
+    counter: IntArray
+    attempts: IntArray
+    successes: IntArray
+    busy_count: IntArray
+    slots_done: IntArray
+    rng: object
+
+    @classmethod
+    def allocate(cls, batch: int, n_nodes: int, rng: object) -> "SimChunkState":
+        """Fresh state with sentinel counters (first chunk initialises)."""
+        return cls(
+            stage=np.zeros((batch, n_nodes), dtype=np.int64),
+            counter=np.full((batch, n_nodes), COUNTER_UNSET, dtype=np.int64),
+            attempts=np.zeros((batch, n_nodes), dtype=np.int64),
+            successes=np.zeros((batch, n_nodes), dtype=np.int64),
+            busy_count=np.zeros(batch, dtype=np.int64),
+            slots_done=np.zeros(batch, dtype=np.int64),
+            rng=rng,
+        )
+
+
+def lane_seeds(seed: SeedLike, batch: int) -> IntArray:
+    """Derive one independent ``uint64`` splitmix64 seed per batch lane.
+
+    A pure function of the input seed, shared by every non-numpy sim
+    kernel so that two backends given the same seed consume *identical*
+    per-lane streams (the cnative-vs-python bit-compatibility tests rely
+    on this).  A ready :class:`numpy.random.Generator` is consumed for
+    ``batch`` draws; anything else routes through
+    :class:`numpy.random.SeedSequence`.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed.integers(0, 2**64, size=batch, dtype=np.uint64)
+    sequence = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return sequence.generate_state(batch, np.uint64)
+
+
+class ComputeBackend:
+    """Base class every registered compute backend implements.
+
+    Subclasses override :meth:`sim_chunk` (required) and, when they
+    accelerate the fixed point, set ``supports_fixed_point = True`` and
+    override :meth:`solve_batch`.
+    """
+
+    #: Registry key and obs label value.
+    name: str = "abstract"
+    #: Results are a pure function of the seed.
+    deterministic: bool = True
+    #: Simulator output is bit-identical to the numpy backend.
+    matches_numpy: bool = False
+    #: Whether :meth:`solve_batch` is implemented.
+    supports_fixed_point: bool = False
+
+    def available(self) -> bool:
+        """Whether this backend can run in the current environment."""
+        return True
+
+    def availability_note(self) -> str:
+        """Human-readable reason when :meth:`available` is ``False``."""
+        return "available" if self.available() else "unavailable"
+
+    # ------------------------------------------------------------------
+    # Simulation kernel
+    # ------------------------------------------------------------------
+    def init_sim_rng(self, seed: SeedLike, batch: int) -> object:
+        """Backend-specific RNG state for one simulation run."""
+        return lane_seeds(seed, batch)
+
+    def sim_chunk(
+        self,
+        windows: IntArray,
+        max_stage: int,
+        target_slots: int,
+        state: SimChunkState,
+    ) -> None:
+        """Advance every lane of ``state`` to ``target_slots`` slots.
+
+        Mutates the state arrays in place; lanes already at or past the
+        target are untouched.  Counter entries equal to
+        :data:`COUNTER_UNSET` are initialised from the backend's stream
+        before the first slot.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Fixed-point kernel
+    # ------------------------------------------------------------------
+    def solve_batch(
+        self,
+        windows: FloatArray,
+        max_stage: int,
+        *,
+        tol: float,
+        max_iterations: int,
+        initial_tau: Optional[FloatArray] = None,
+    ) -> Tuple[FloatArray, IntArray, BoolArray]:
+        """Solve ``B`` heterogeneous fixed points; see :mod:`repro.bianchi`.
+
+        Returns ``(tau, iterations, converged)``; lanes with
+        ``converged == False`` are re-solved on the numpy path by the
+        caller, so a backend may bail out early on hard instances
+        without failing the whole batch.
+        """
+        raise BackendError(
+            f"backend {self.name!r} does not accelerate the fixed point"
+        )

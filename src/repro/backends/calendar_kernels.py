@@ -1,0 +1,237 @@
+"""Calendar-queue DCF kernels shared by the python and numba backends.
+
+The numpy kernel pays O(batch x n) array work per busy event; these
+kernels replace it with a classic discrete-event *calendar queue* per
+batch lane: each node stores an absolute transmission deadline, buckets
+of a ring buffer hold the nodes due at each future slot, and advancing
+one virtual slot is O(1) plus O(transmitters) - independent of ``n``.
+Because every drawn backoff is strictly smaller than the ring size
+``(max_window << max_stage) + 1``, the ``deadline % ring_size`` hash is
+exact (no overflow chains), so the algorithm is an exact sampler of the
+same ``(stage, counter)`` process as the reference engine.
+
+Randomness is a per-lane `splitmix64`_ stream mapped to bounded integers
+by ``floor(u53 * bound)`` - the same floor construction (and the same
+O(bound / 2^53) bias) as the numpy kernel's uniform-block draws.  The
+arithmetic is written with explicit ``numpy.uint64`` scalars so the
+functions behave identically interpreted (python backend), JIT-compiled
+(numba backend) and transliterated to C (cnative backend): the
+cnative-vs-python bit-compatibility tests in
+``tests/unit/test_backends.py`` pin all three to the same stream.
+
+Everything here is ``numba.njit``-compatible: scalar loops, no closures,
+no python objects.  ``prange`` resolves to :func:`numba.prange` when
+numba is installed (a plain ``range`` alias while interpreted) and to
+``range`` otherwise, so the same source serves both backends.
+
+.. _splitmix64: https://prng.di.unimi.it/splitmix64.c
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.typealiases import FloatArray, IntArray
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import prange  # type: ignore[import-untyped]
+except ImportError:  # pragma: no cover - the container default
+    prange = range  # type: ignore[assignment]
+
+__all__ = ["fixed_point_kernel", "ring_size_for", "sim_chunk_kernel"]
+
+# splitmix64 constants; uint64 scalars wrap exactly like C both under
+# numba and in interpreted numpy (the python backend runs the kernels
+# under ``errstate(over="ignore")`` to silence the wraparound warnings).
+_SM_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM_MUL2 = np.uint64(0x94D049BB133111EB)
+_SH30 = np.uint64(30)
+_SH27 = np.uint64(27)
+_SH31 = np.uint64(31)
+_SH11 = np.uint64(11)
+#: ``2**-53``: top 53 bits of the mix mapped to a uniform in ``[0, 1)``.
+_INV_2_53 = 1.0 / 9007199254740992.0
+
+
+def ring_size_for(windows: IntArray, max_stage: int) -> int:
+    """Calendar ring size: one slot more than the largest backoff bound."""
+    return (int(windows.max()) << max_stage) + 1
+
+
+def sim_chunk_kernel(
+    windows: IntArray,
+    max_stage: int,
+    target: int,
+    ring_size: int,
+    stage: IntArray,
+    counter: IntArray,
+    attempts: IntArray,
+    successes: IntArray,
+    busy_count: IntArray,
+    slots_done: IntArray,
+    rng_state: IntArray,
+) -> None:
+    """Advance every lane to ``target`` absolute slots (in place).
+
+    ``counter`` entries below zero are initialised from the lane stream
+    (the first-chunk sentinel); on return ``counter`` holds each node's
+    remaining backoff so a later chunk resumes exactly.
+    """
+    batch, n = windows.shape
+    for lane in prange(batch):
+        t = slots_done[lane]
+        if t >= target:
+            continue
+        s = rng_state[lane]
+        head = np.full(ring_size, -1, np.int64)
+        nxt = np.empty(n, np.int64)
+        deadline = np.empty(n, np.int64)
+        due = np.empty(n, np.int64)
+        for i in range(n):
+            c = counter[lane, i]
+            if c < 0:
+                s = s + _SM_GAMMA
+                z = s
+                z = (z ^ (z >> _SH30)) * _SM_MUL1
+                z = (z ^ (z >> _SH27)) * _SM_MUL2
+                z = z ^ (z >> _SH31)
+                u = np.float64(z >> _SH11) * _INV_2_53
+                c = np.int64(u * np.float64(windows[lane, i]))
+            deadline[i] = t + c
+            b = deadline[i] % ring_size
+            nxt[i] = head[b]
+            head[b] = i
+        bucket = t % ring_size
+        busy = busy_count[lane]
+        while t < target:
+            i = head[bucket]
+            if i < 0:
+                t += 1
+                bucket += 1
+                if bucket == ring_size:
+                    bucket = 0
+                continue
+            # Collect this slot's transmitters and process them in
+            # ascending node order: bucket chains are LIFO in *push*
+            # order, which depends on where chunk boundaries fell, so a
+            # canonical order is what keeps differently-chunked runs
+            # (and the C transliteration) bit-identical.
+            k = 0
+            j = i
+            while j >= 0:
+                due[k] = j
+                k += 1
+                j = nxt[j]
+            for a in range(1, k):
+                v = due[a]
+                b = a - 1
+                while b >= 0 and due[b] > v:
+                    due[b + 1] = due[b]
+                    b -= 1
+                due[b + 1] = v
+            success = k == 1
+            head[bucket] = -1
+            for a in range(k):
+                j = due[a]
+                attempts[lane, j] += 1
+                if success:
+                    successes[lane, j] += 1
+                    stage[lane, j] = 0
+                else:
+                    st = stage[lane, j] + 1
+                    if st > max_stage:
+                        st = max_stage
+                    stage[lane, j] = st
+                bound = windows[lane, j] << stage[lane, j]
+                s = s + _SM_GAMMA
+                z = s
+                z = (z ^ (z >> _SH30)) * _SM_MUL1
+                z = (z ^ (z >> _SH27)) * _SM_MUL2
+                z = z ^ (z >> _SH31)
+                u = np.float64(z >> _SH11) * _INV_2_53
+                d = np.int64(u * np.float64(bound))
+                deadline[j] = t + 1 + d
+                nb = deadline[j] % ring_size
+                nxt[j] = head[nb]
+                head[nb] = j
+            busy += 1
+            t += 1
+            bucket += 1
+            if bucket == ring_size:
+                bucket = 0
+        busy_count[lane] = busy
+        slots_done[lane] = t
+        for i in range(n):
+            counter[lane, i] = deadline[i] - t
+        rng_state[lane] = s
+
+
+def fixed_point_kernel(
+    windows: FloatArray,
+    max_stage: int,
+    tol: float,
+    max_iterations: int,
+    damping: float,
+    p_max: float,
+    tau_min: float,
+    tau_max: float,
+    tau: FloatArray,
+    iterations: IntArray,
+    converged: IntArray,
+) -> None:
+    """Per-lane damped Bianchi fixed point on ``(B, n)`` arrays.
+
+    The plain damped iteration of the scalar reference solver, one lane
+    per ``prange`` index: coupling through the ``log1p``-sum leave-one-
+    out product, ``tau(W, p)`` through the geometric series of paper
+    equation (2).  ``tau`` is the warm start on entry and the solution
+    on exit; lanes that exhaust the budget report ``converged == 0`` and
+    are finished on the numpy path by the caller.
+    """
+    batch, n = windows.shape
+    for lane in prange(batch):
+        x = np.empty(n, np.float64)
+        x_next = np.empty(n, np.float64)
+        for i in range(n):
+            x[i] = tau[lane, i]
+        done = False
+        it = 0
+        while it < max_iterations and not done:
+            it += 1
+            total = 0.0
+            for i in range(n):
+                total += math.log1p(-x[i])
+            delta = 0.0
+            for i in range(n):
+                p = 1.0 - math.exp(total - math.log1p(-x[i]))
+                if p > p_max:
+                    p = p_max
+                if p < 0.0:
+                    p = 0.0
+                series = 0.0
+                power = 1.0
+                for _ in range(max_stage):
+                    series += power
+                    power *= 2.0 * p
+                w = windows[lane, i]
+                fp = 2.0 / (1.0 + w + p * w * series)
+                nx = x[i] + damping * (fp - x[i])
+                if nx < tau_min:
+                    nx = tau_min
+                if nx > tau_max:
+                    nx = tau_max
+                d = abs(nx - x[i])
+                if d > delta:
+                    delta = d
+                x_next[i] = nx
+            for i in range(n):
+                x[i] = x_next[i]
+            if delta < tol:
+                done = True
+        for i in range(n):
+            tau[lane, i] = x[i]
+        iterations[lane] = it
+        converged[lane] = 1 if done else 0

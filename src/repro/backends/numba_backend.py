@@ -1,0 +1,179 @@
+"""Calendar-queue backends: interpreted (``python``) and JIT (``numba``).
+
+Both backends run the *same source* - the kernels in
+:mod:`repro.backends.calendar_kernels` - so the ``python`` backend is
+simultaneously a debugging reference for the calendar algorithm and the
+graceful-degradation target when numba is not installed.  The ``numba``
+backend compiles the kernels with ``njit(parallel=True)`` on first use
+(``prange`` over batch lanes), paying one compilation per process and
+amortising it across every later call.
+
+Numba is an *optional* dependency (``pip install repro[backends]``);
+importing this module never imports it eagerly beyond a cheap
+availability probe, and a missing numba simply reports the backend as
+unavailable - :func:`repro.backends.resolve_backend` then falls back to
+numpy with a warning instead of failing the run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.typealiases import BoolArray, FloatArray, IntArray
+from repro.errors import BackendError
+from repro.backends.base import ComputeBackend, SimChunkState
+from repro.backends.calendar_kernels import (
+    fixed_point_kernel,
+    ring_size_for,
+    sim_chunk_kernel,
+)
+
+__all__ = ["NumbaBackend", "PurePythonBackend"]
+
+try:  # pragma: no cover - absent in the default container
+    import numba  # type: ignore[import-untyped]
+except ImportError:  # pragma: no cover
+    numba = None  # type: ignore[assignment]
+
+# Fixed-point constants matching repro.bianchi.batched's clamps; the
+# plain damped scheme here is the scalar reference iteration, so the
+# same guards keep iterates strictly inside (0, 1).
+_P_MAX = 1.0 - 1e-15
+_TAU_MIN = 1e-12
+_TAU_MAX = 1.0 - 1e-12
+_DAMPING = 0.5
+
+
+class _CalendarBackend(ComputeBackend):
+    """Shared chunk/solve plumbing around the calendar kernels."""
+
+    def _kernels(
+        self,
+    ) -> Tuple[Callable[..., None], Callable[..., None]]:
+        """Return ``(sim_chunk, fixed_point)`` callables to dispatch to."""
+        raise NotImplementedError
+
+    def sim_chunk(
+        self,
+        windows: IntArray,
+        max_stage: int,
+        target_slots: int,
+        state: SimChunkState,
+    ) -> None:
+        rng_state = np.ascontiguousarray(state.rng, dtype=np.uint64)
+        state.rng = rng_state
+        sim_kernel, _ = self._kernels()
+        # uint64 wraparound is the point of splitmix64; silence numpy's
+        # interpreted-mode overflow warnings (numba wraps silently).
+        with np.errstate(over="ignore"):
+            sim_kernel(
+                windows,
+                max_stage,
+                target_slots,
+                ring_size_for(windows, max_stage),
+                state.stage,
+                state.counter,
+                state.attempts,
+                state.successes,
+                state.busy_count,
+                state.slots_done,
+                rng_state,
+            )
+
+    def solve_batch(
+        self,
+        windows: FloatArray,
+        max_stage: int,
+        *,
+        tol: float,
+        max_iterations: int,
+        initial_tau: Optional[FloatArray] = None,
+    ) -> Tuple[FloatArray, IntArray, BoolArray]:
+        w = np.ascontiguousarray(windows, dtype=np.float64)
+        batch = w.shape[0]
+        if initial_tau is not None:
+            tau = np.ascontiguousarray(
+                np.broadcast_to(
+                    np.asarray(initial_tau, dtype=np.float64), w.shape
+                ).copy()
+            )
+            np.clip(tau, _TAU_MIN, _TAU_MAX, out=tau)
+        else:
+            tau = np.full_like(w, 0.1)
+        iterations = np.zeros(batch, dtype=np.int64)
+        converged = np.zeros(batch, dtype=np.int64)
+        _, fp_kernel = self._kernels()
+        fp_kernel(
+            w,
+            max_stage,
+            tol,
+            max_iterations,
+            _DAMPING,
+            _P_MAX,
+            _TAU_MIN,
+            _TAU_MAX,
+            tau,
+            iterations,
+            converged,
+        )
+        return tau, iterations, converged.astype(bool)
+
+
+class PurePythonBackend(_CalendarBackend):
+    """Interpreted calendar-queue backend - always available, slow.
+
+    Exists for algorithm debugging and for the cross-backend
+    bit-compatibility tests: it consumes the exact splitmix64 streams of
+    the numba and cnative kernels at interpreter speed.  Do not use it
+    for production-size runs.
+    """
+
+    name = "python"
+    deterministic = True
+    matches_numpy = False
+    supports_fixed_point = True
+
+    def availability_note(self) -> str:
+        return "always available (interpreted calendar kernels; slow)"
+
+    def _kernels(self) -> Tuple[Callable[..., None], Callable[..., None]]:
+        return sim_chunk_kernel, fixed_point_kernel
+
+
+class NumbaBackend(_CalendarBackend):
+    """JIT-compiled calendar-queue backend (optional numba dependency)."""
+
+    name = "numba"
+    deterministic = True
+    matches_numpy = False
+    supports_fixed_point = True
+
+    def __init__(self) -> None:
+        self._compiled: Optional[
+            Tuple[Callable[..., None], Callable[..., None]]
+        ] = None
+
+    def available(self) -> bool:
+        return numba is not None
+
+    def availability_note(self) -> str:
+        if numba is None:
+            return "numba is not installed (pip install repro[backends])"
+        return f"numba {numba.__version__}"
+
+    def _kernels(self) -> Tuple[Callable[..., None], Callable[..., None]]:
+        if numba is None:
+            raise BackendError(
+                "the numba backend was selected but numba is not "
+                "installed; install repro[backends] or pick another "
+                "backend"
+            )
+        if self._compiled is None:
+            jit: Dict[str, Any] = dict(parallel=True, nogil=True, cache=True)
+            self._compiled = (
+                numba.njit(**jit)(sim_chunk_kernel),
+                numba.njit(**jit)(fixed_point_kernel),
+            )
+        return self._compiled

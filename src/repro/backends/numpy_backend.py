@@ -1,0 +1,163 @@
+"""Reference numpy backend: the vectorized SoA kernel, unchanged math.
+
+This is the batched struct-of-arrays kernel PR 1 introduced, relocated
+behind the chunked :class:`~repro.backends.base.ComputeBackend` protocol.
+For a single chunk covering the whole slot budget it consumes the random
+stream in exactly the order the pre-backend ``run_batch`` did, so every
+seeded artefact (golden snapshots, Tables II/III, Figure sweeps) is
+bit-identical to earlier revisions.
+
+The fixed point is *not* implemented here: the numpy solve path lives in
+:mod:`repro.bianchi.batched` (Anderson acceleration plus Newton
+fallback) and is what every other backend is pinned against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.typealiases import IntArray
+from repro.backends.base import (
+    COUNTER_UNSET,
+    ComputeBackend,
+    SeedLike,
+    SimChunkState,
+)
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(ComputeBackend):
+    """The always-available reference backend (pure numpy)."""
+
+    name = "numpy"
+    deterministic = True
+    matches_numpy = True
+    supports_fixed_point = False
+
+    def availability_note(self) -> str:
+        return "always available (reference)"
+
+    def init_sim_rng(self, seed: SeedLike, batch: int) -> object:
+        return np.random.default_rng(seed)
+
+    def sim_chunk(
+        self,
+        windows: IntArray,
+        max_stage: int,
+        target_slots: int,
+        state: SimChunkState,
+    ) -> None:
+        rng = state.rng
+        assert isinstance(rng, np.random.Generator)
+        batch, n_nodes = windows.shape
+        stage = state.stage
+        counter = state.counter
+        attempts = state.attempts
+        successes = state.successes
+        slots_done = state.slots_done
+
+        if counter[0, 0] == COUNTER_UNSET:
+            # First chunk: one vectorized uniform draw per node, exactly
+            # the initial-backoff draw of the pre-backend kernel.
+            counter[...] = rng.integers(0, windows, dtype=np.int64)
+
+        # Flat views share memory with the 2-D state; scatter updates for
+        # the (few) transmitters per slot avoid full-array np.where
+        # temporaries.
+        counter_flat = counter.ravel()
+        stage_flat = stage.ravel()
+        window_flat = windows.ravel()
+        attempts_flat = attempts.ravel()
+        successes_flat = successes.ravel()
+
+        # Backoff redraws consume one pre-drawn block of uniforms at a
+        # time; ``floor(u * bound)`` on float64 uniforms is uniform on
+        # ``{0, ..., bound-1}`` up to O(bound / 2^53) bias - immaterial
+        # next to the Monte-Carlo noise of any finite run.
+        block_size = max(1 << 16, 4 * batch * n_nodes)
+        uniform_block = rng.random(block_size)
+        block_pos = 0
+
+        # --------------------------------------------------------------
+        # Fast path: every replica is mid-run, so no per-replica masking
+        # is needed - each iteration advances the whole batch by one idle
+        # jump plus one busy slot with ~20 full-vector ops.
+        # --------------------------------------------------------------
+        fast_iterations = 0
+        while True:
+            jump = counter.min(axis=1)
+            if np.any(jump >= target_slots - slots_done):
+                break  # some replica exhausts its budget: tail path
+            ready_idx = np.flatnonzero(counter == jump[:, np.newaxis])
+            rows = ready_idx // n_nodes
+            success_flags = np.bincount(rows, minlength=batch)[rows] == 1
+
+            # A node index appears at most once per slot, so plain fancy
+            # increments are safe (no np.add.at needed).
+            attempts_flat[ready_idx] += 1
+            successes_flat[ready_idx[success_flags]] += 1
+
+            new_stage = np.minimum(stage_flat[ready_idx] + 1, max_stage)
+            new_stage[success_flags] = 0
+            stage_flat[ready_idx] = new_stage
+            bounds = window_flat[ready_idx] << new_stage
+
+            k = ready_idx.size
+            if block_pos + k > block_size:
+                uniform_block = rng.random(block_size)
+                block_pos = 0
+            draws = (
+                uniform_block[block_pos : block_pos + k] * bounds
+            ).astype(np.int64)
+            block_pos += k
+
+            jump_plus = jump + 1
+            counter -= jump_plus[:, np.newaxis]
+            counter_flat[ready_idx] = draws
+            slots_done += jump_plus
+            fast_iterations += 1
+        state.busy_count += fast_iterations
+
+        # --------------------------------------------------------------
+        # Tail path: replicas finish at different events; mask the
+        # stragglers.  At most a handful of iterations for homogeneous
+        # slot budgets.
+        # --------------------------------------------------------------
+        active = slots_done < target_slots
+        while active.any():
+            jump = counter[active].min(axis=1)
+            idle = np.minimum(jump, target_slots - slots_done[active])
+            counter[active] -= idle[:, np.newaxis]
+            slots_done[active] += idle
+
+            # Replicas that still owe slots now have some counter at zero.
+            busy = np.flatnonzero(slots_done < target_slots)
+            if busy.size == 0:
+                break
+            sub_counter = counter[busy]
+            ready = sub_counter == 0
+            success = ready.sum(axis=1) == 1
+            success_col = success[:, np.newaxis]
+            attempts[busy] += ready
+            successes[busy] += ready & success_col
+
+            sub_stage = stage[busy]
+            sub_stage = np.where(
+                ready,
+                np.where(
+                    success_col, 0, np.minimum(sub_stage + 1, max_stage)
+                ),
+                sub_stage,
+            )
+            stage[busy] = sub_stage
+
+            stage_window = windows[busy] << sub_stage
+            draws = rng.integers(0, stage_window[ready], dtype=np.int64)
+            new_counter = sub_counter - 1
+            new_counter[ready] = draws
+            counter[busy] = new_counter
+
+            state.busy_count[busy] += 1
+            slots_done[busy] += 1
+            active = slots_done < target_slots

@@ -194,6 +194,13 @@ def run_campaign(
     force:
         Re-execute every task even on a store hit (``--no-cache``).
 
+    Notes
+    -----
+    A spec's ``backend`` field is pinned around every executed task
+    (highest selection precedence, above the CLI flag and the
+    environment variable); like ``jobs`` it never enters task digests,
+    so cached results are shared across backends.
+
     Returns
     -------
     CampaignReport
@@ -241,6 +248,7 @@ def run_campaign(
             worker_tasks,
             jobs=jobs if jobs is not None else spec.jobs,
             on_result=_commit,
+            backend=spec.backend,
         )
     except KeyboardInterrupt:
         interrupted = True

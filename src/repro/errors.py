@@ -9,6 +9,7 @@ simulation, or the distributed search protocol.
 from __future__ import annotations
 
 __all__ = [
+    "BackendError",
     "CampaignError",
     "ContractError",
     "ConvergenceError",
@@ -80,3 +81,12 @@ class IntegrityError(StoreError):
 
 class CampaignError(ReproError, ValueError):
     """A campaign specification is malformed or inconsistent."""
+
+
+class BackendError(ReproError, RuntimeError):
+    """A compute backend is unknown, unavailable or misbehaved.
+
+    Raised by :mod:`repro.backends` when a requested backend name is not
+    registered, when ``fallback=False`` resolution hits an unavailable
+    backend, or when a native kernel fails to build/load.
+    """

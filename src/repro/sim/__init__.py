@@ -11,10 +11,15 @@ level of the analysis (see DESIGN.md for the substitution argument):
   so long backoffs cost O(1);
 * :mod:`repro.sim.metrics` - per-node and channel counters with
   estimators for ``tau``, ``p``, throughput and payoff;
-* :mod:`repro.sim.vectorized` - struct-of-arrays NumPy kernel with a
-  batch axis: statistically equivalent to the reference engine but runs
-  many replicas / grid points per call at 10-40x the slot throughput
-  (``run_batch``), plus the ``simulate`` engine dispatch;
+* :mod:`repro.sim.vectorized` - struct-of-arrays kernel with a batch
+  axis: statistically equivalent to the reference engine but runs many
+  replicas / grid points per call at 10-40x the slot throughput
+  (``run_batch``), dispatching its inner loop through the pluggable
+  compute backends of :mod:`repro.backends`, plus the ``simulate``
+  engine dispatch;
+* :mod:`repro.sim.streaming` - Welford accumulators folding
+  per-interval estimates out of chunked runs in ``O(batch x n)``
+  memory;
 * :mod:`repro.sim.adaptive` - the per-node "best CW" measurement used for
   the simulated columns of Tables II/III;
 * :mod:`repro.sim.spatial` - spatial slot-synchronous multi-hop simulator
@@ -30,6 +35,7 @@ from repro.sim.engine import DcfSimulator, SimulationResult
 from repro.sim.metrics import ChannelCounters, NodeCounters
 from repro.sim.adaptive import PerNodeOptimum, measure_per_node_optimum
 from repro.sim.spatial import SpatialResult, SpatialSimulator
+from repro.sim.streaming import StreamingStats, WelfordAccumulator
 from repro.sim.vectorized import BatchResult, run_batch, simulate
 
 __all__ = [
@@ -42,6 +48,8 @@ __all__ = [
     "SimulationResult",
     "SpatialResult",
     "SpatialSimulator",
+    "StreamingStats",
+    "WelfordAccumulator",
     "measure_per_node_optimum",
     "run_batch",
     "simulate",

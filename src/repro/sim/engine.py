@@ -12,6 +12,13 @@ limits - the property Tables II/III rely on.
 Long idle stretches are event-advanced: the engine jumps straight to the
 next slot in which some counter reaches zero, so simulation cost scales
 with the number of *transmissions*, not slots.
+
+This engine deliberately stays outside the compute-backend registry
+(:mod:`repro.backends`): it is the ground truth the backend equivalence
+tests compare against, so it must never itself be re-dispatched through
+the machinery under test.  Callers that want the pluggable/accelerated
+path use :func:`repro.sim.vectorized.run_batch` (or ``simulate`` with
+``engine="vectorized"``) and pick a backend there.
 """
 
 from __future__ import annotations

@@ -10,14 +10,51 @@ throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, List, Tuple
 
 import numpy as np
 
 from repro.typealiases import FloatArray
 from repro.errors import SimulationError
 
-__all__ = ["ChannelCounters", "NodeCounters"]
+__all__ = ["ChannelCounters", "NodeCounters", "batch_estimates"]
+
+
+def batch_estimates(
+    xp: Any,
+    attempts: Any,
+    successes: Any,
+    collisions: Any,
+    slots_done: Any,
+    elapsed_us: Any,
+    gain: float,
+    cost: float,
+    payload_time_us: float,
+) -> Tuple[Any, Any, Any, Any]:
+    """Vectorized end-of-run estimators on ``(batch, n)`` counter arrays.
+
+    The batched counterpart of the :class:`ChannelCounters` estimator
+    methods, shared by every compute backend's finalization path.
+    Written against the ``xp`` array namespace (see
+    :mod:`repro.backends.array_api`) so array-API libraries can flow
+    through unchanged; returns ``(tau, collision, payoff_rates,
+    throughput)``.
+    """
+    total = slots_done[:, None]
+    tau = attempts / total
+    one = xp.ones_like(attempts)
+    collision = xp.where(
+        attempts > 0,
+        collisions / xp.maximum(attempts, one),
+        xp.zeros_like(tau),
+    )
+    payoff_rates = (
+        successes * gain - attempts * cost
+    ) / elapsed_us[:, None]
+    throughput = (
+        xp.sum(successes, axis=1) * payload_time_us / elapsed_us
+    )
+    return tau, collision, payoff_rates, throughput
 
 
 @dataclass

@@ -25,6 +25,16 @@ The kernel is statistically equivalent to the reference engine - same
 give *distributionally* identical, not bit-identical, runs
 (``tests/unit/test_sim_vectorized.py`` pins the equivalence against both
 the reference engine and the :mod:`repro.bianchi` fixed point).
+
+The inner loop itself is pluggable: :func:`run_batch` dispatches to a
+:class:`repro.backends.ComputeBackend` (numpy reference, numba JIT,
+self-compiled C, interpreted calendar queue - see :mod:`repro.backends`)
+through a *chunked* protocol, and an optional ``stats_interval`` folds
+per-interval estimates into streaming Welford accumulators
+(:mod:`repro.sim.streaming`) so time-resolved statistics never
+materialise a slots-sized axis.  The default numpy backend run as a
+single chunk consumes the random stream in exactly the pre-backend
+order, so seeded artefacts are bit-identical across this refactor.
 """
 
 from __future__ import annotations
@@ -39,6 +49,12 @@ if TYPE_CHECKING:  # pragma: no cover - circular at runtime only
 import numpy as np
 
 from repro.typealiases import FloatArray, IntArray
+from repro.backends import (
+    ComputeBackend,
+    SimChunkState,
+    get_namespace,
+    resolve_backend,
+)
 from repro.contracts import check_probability, check_window, checks_enabled
 from repro.errors import ParameterError, SimulationError
 from repro.obs import enabled as _obs_enabled
@@ -47,11 +63,14 @@ from repro.obs.metrics import gauge_set as _obs_gauge_set
 from repro.obs.metrics import inc as _obs_inc
 from repro.phy.parameters import AccessMode, PhyParameters
 from repro.phy.timing import SlotTimes, slot_times
-from repro.sim.metrics import ChannelCounters, NodeCounters
+from repro.sim.metrics import ChannelCounters, NodeCounters, batch_estimates
+from repro.sim.streaming import StreamingStats, interval_estimates
 
 __all__ = ["BatchResult", "run_batch", "simulate"]
 
 SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+BackendLike = Union[None, str, ComputeBackend]
 
 
 @dataclass(frozen=True)
@@ -80,6 +99,11 @@ class BatchResult:
         Per-node measured payoff per microsecond.
     throughput:
         Per-replica normalized channel throughput, shape ``(batch,)``.
+    backend:
+        Name of the compute backend that ran the kernel.
+    streaming:
+        Per-interval Welford moments when the run was chunked with
+        ``stats_interval``; ``None`` for single-chunk runs.
     """
 
     windows: FloatArray
@@ -94,6 +118,8 @@ class BatchResult:
     collision: FloatArray
     payoff_rates: FloatArray
     throughput: FloatArray
+    backend: str = "numpy"
+    streaming: Optional[StreamingStats] = None
 
     @property
     def batch_size(self) -> int:
@@ -162,6 +188,8 @@ def run_batch(
     *,
     n_slots: int,
     seed: SeedLike = None,
+    backend: BackendLike = None,
+    stats_interval: Optional[int] = None,
 ) -> BatchResult:
     """Simulate a batch of independent replicas with the vectorized kernel.
 
@@ -181,6 +209,18 @@ def run_batch(
         ``None``, an int, a :class:`numpy.random.SeedSequence` or a
         :class:`numpy.random.Generator`.  One stream drives the whole
         batch; replicas are independent because their state arrays are.
+    backend:
+        Compute backend running the inner loop: a registered name, a
+        :class:`~repro.backends.ComputeBackend` instance, or ``None``
+        for the configured default (``REPRO_BACKEND`` environment
+        variable, CLI ``--backend``, campaign ``backend:`` field; numpy
+        otherwise).  Unavailable backends fall back to numpy with a
+        warning.
+    stats_interval:
+        When set, run the kernel in chunks of this many virtual slots
+        and fold per-interval estimates into streaming Welford
+        accumulators (:attr:`BatchResult.streaming`).  Memory stays
+        ``O(batch x n)`` regardless of ``n_slots``.
 
     Returns
     -------
@@ -188,42 +228,67 @@ def run_batch(
     """
     if n_slots < 1:
         raise ParameterError(f"n_slots must be >= 1, got {n_slots!r}")
+    if stats_interval is not None and stats_interval < 1:
+        raise ParameterError(
+            f"stats_interval must be >= 1, got {stats_interval!r}"
+        )
     window_matrix = np.ascontiguousarray(_as_window_matrix(windows))
+    resolved = (
+        backend
+        if isinstance(backend, ComputeBackend)
+        else resolve_backend(backend)
+    )
     if not _obs_enabled():
         return _run_batch_impl(
-            window_matrix, params, mode, n_slots=n_slots, seed=seed
+            window_matrix,
+            params,
+            mode,
+            n_slots=n_slots,
+            seed=seed,
+            backend=resolved,
+            stats_interval=stats_interval,
         )
     batch, n_nodes = window_matrix.shape
     with _obs_span(
         "sim.run_batch",
         engine="vectorized",
+        backend=resolved.name,
         batch=batch,
         n_nodes=n_nodes,
         n_slots=n_slots,
     ):
         started = time.perf_counter()
         result = _run_batch_impl(
-            window_matrix, params, mode, n_slots=n_slots, seed=seed
+            window_matrix,
+            params,
+            mode,
+            n_slots=n_slots,
+            seed=seed,
+            backend=resolved,
+            stats_interval=stats_interval,
         )
         elapsed = time.perf_counter() - started
-        _obs_inc("sim.runs", batch, engine="vectorized")
+        _obs_inc(
+            "sim.runs", batch, engine="vectorized", backend=resolved.name
+        )
         _obs_inc(
             "sim.slots", int(result.idle_slots.sum()),
-            engine="vectorized", kind="idle",
+            engine="vectorized", backend=resolved.name, kind="idle",
         )
         _obs_inc(
             "sim.slots", int(result.success_slots.sum()),
-            engine="vectorized", kind="success",
+            engine="vectorized", backend=resolved.name, kind="success",
         )
         _obs_inc(
             "sim.slots", int(result.collision_slots.sum()),
-            engine="vectorized", kind="collision",
+            engine="vectorized", backend=resolved.name, kind="collision",
         )
         if elapsed > 0:
             _obs_gauge_set(
                 "sim.slots_per_sec",
                 float(result.total_slots.sum()) / elapsed,
                 engine="vectorized",
+                backend=resolved.name,
             )
     return result
 
@@ -235,118 +300,60 @@ def _run_batch_impl(
     *,
     n_slots: int,
     seed: SeedLike,
+    backend: ComputeBackend,
+    stats_interval: Optional[int],
 ) -> BatchResult:
-    """The kernel proper, on a validated ``(batch, n_nodes)`` matrix."""
+    """Drive the backend kernel on a validated ``(batch, n)`` matrix."""
     batch, n_nodes = window_matrix.shape
     max_stage = params.max_backoff_stage
     times: SlotTimes = slot_times(params, mode)
-    rng = np.random.default_rng(seed)
-
-    stage = np.zeros((batch, n_nodes), dtype=np.int64)
-    counter = np.ascontiguousarray(
-        rng.integers(0, window_matrix, dtype=np.int64)
+    state = SimChunkState.allocate(
+        batch, n_nodes, backend.init_sim_rng(seed, batch)
     )
-    attempts = np.zeros((batch, n_nodes), dtype=np.int64)
-    successes = np.zeros((batch, n_nodes), dtype=np.int64)
-    busy_count = np.zeros(batch, dtype=np.int64)
-    slots_done = np.zeros(batch, dtype=np.int64)
 
-    # Flat views share memory with the 2-D state; scatter updates for the
-    # (few) transmitters per slot avoid full-array np.where temporaries.
-    counter_flat = counter.ravel()
-    stage_flat = stage.ravel()
-    window_flat = window_matrix.ravel()
-    attempts_flat = attempts.ravel()
-    successes_flat = successes.ravel()
+    streaming: Optional[StreamingStats] = None
+    if stats_interval is None:
+        # One chunk covering the whole budget: on the numpy backend this
+        # consumes the random stream in exactly the pre-backend order,
+        # keeping seeded artefacts bit-identical.
+        backend.sim_chunk(window_matrix, max_stage, n_slots, state)
+    else:
+        streaming = StreamingStats(interval_slots=stats_interval)
+        xp = get_namespace(state.attempts)
+        prev_attempts = state.attempts.copy()
+        prev_successes = state.successes.copy()
+        prev_busy = state.busy_count.copy()
+        prev_slots = state.slots_done.copy()
+        done = 0
+        while done < n_slots:
+            target = min(done + stats_interval, n_slots)
+            backend.sim_chunk(window_matrix, max_stage, target, state)
+            tau_i, collision_i, throughput_i = interval_estimates(
+                xp,
+                state.attempts - prev_attempts,
+                state.successes - prev_successes,
+                state.busy_count - prev_busy,
+                state.slots_done - prev_slots,
+                times.idle_us,
+                times.success_us,
+                times.collision_us,
+                params.payload_time_us,
+            )
+            streaming.fold(tau_i, collision_i, throughput_i)
+            prev_attempts[...] = state.attempts
+            prev_successes[...] = state.successes
+            prev_busy[...] = state.busy_count
+            prev_slots[...] = state.slots_done
+            done = target
 
-    # Backoff redraws consume one pre-drawn block of uniforms at a time;
-    # ``floor(u * bound)`` on float64 uniforms is uniform on
-    # ``{0, ..., bound-1}`` up to O(bound / 2^53) bias - immaterial next
-    # to the Monte-Carlo noise of any finite run.
-    block_size = max(1 << 16, 4 * batch * n_nodes)
-    uniform_block = rng.random(block_size)
-    block_pos = 0
-
-    # ------------------------------------------------------------------
-    # Fast path: every replica is mid-run, so no per-replica masking is
-    # needed - each iteration advances the whole batch by one idle jump
-    # plus one busy slot with ~20 full-vector ops.
-    # ------------------------------------------------------------------
-    fast_iterations = 0
-    while True:
-        jump = counter.min(axis=1)
-        if np.any(jump >= n_slots - slots_done):
-            break  # some replica exhausts its budget: go to the tail path
-        ready_idx = np.flatnonzero(counter == jump[:, np.newaxis])
-        rows = ready_idx // n_nodes
-        success_flags = np.bincount(rows, minlength=batch)[rows] == 1
-
-        # A node index appears at most once per slot, so plain fancy
-        # increments are safe (no np.add.at needed).
-        attempts_flat[ready_idx] += 1
-        successes_flat[ready_idx[success_flags]] += 1
-
-        new_stage = np.minimum(stage_flat[ready_idx] + 1, max_stage)
-        new_stage[success_flags] = 0
-        stage_flat[ready_idx] = new_stage
-        bounds = window_flat[ready_idx] << new_stage
-
-        k = ready_idx.size
-        if block_pos + k > block_size:
-            uniform_block = rng.random(block_size)
-            block_pos = 0
-        draws = (
-            uniform_block[block_pos : block_pos + k] * bounds
-        ).astype(np.int64)
-        block_pos += k
-
-        jump_plus = jump + 1
-        counter -= jump_plus[:, np.newaxis]
-        counter_flat[ready_idx] = draws
-        slots_done += jump_plus
-        fast_iterations += 1
-    busy_count += fast_iterations
-
-    # ------------------------------------------------------------------
-    # Tail path: replicas finish at different events; mask the stragglers.
-    # At most a handful of iterations for homogeneous slot budgets.
-    # ------------------------------------------------------------------
-    active = slots_done < n_slots
-    while active.any():
-        jump = counter[active].min(axis=1)
-        idle = np.minimum(jump, n_slots - slots_done[active])
-        counter[active] -= idle[:, np.newaxis]
-        slots_done[active] += idle
-
-        # Replicas that still owe slots now have some counter at zero.
-        busy = np.flatnonzero(slots_done < n_slots)
-        if busy.size == 0:
-            break
-        sub_counter = counter[busy]
-        ready = sub_counter == 0
-        success = ready.sum(axis=1) == 1
-        success_col = success[:, np.newaxis]
-        attempts[busy] += ready
-        successes[busy] += ready & success_col
-
-        sub_stage = stage[busy]
-        sub_stage = np.where(
-            ready,
-            np.where(success_col, 0, np.minimum(sub_stage + 1, max_stage)),
-            sub_stage,
+    attempts = state.attempts
+    successes = state.successes
+    busy_count = state.busy_count
+    slots_done = state.slots_done
+    if np.any(slots_done < n_slots):
+        raise SimulationError(  # pragma: no cover - backend bug guard
+            f"backend {backend.name!r} left lanes short of the slot budget"
         )
-        stage[busy] = sub_stage
-
-        stage_window = window_matrix[busy] << sub_stage
-        draws = rng.integers(0, stage_window[ready], dtype=np.int64)
-        new_counter = sub_counter - 1
-        new_counter[ready] = draws
-        counter[busy] = new_counter
-
-        busy_count[busy] += 1
-        slots_done[busy] += 1
-        active = slots_done < n_slots
-
     if np.any(slots_done <= 0):
         raise SimulationError("no slots simulated")  # pragma: no cover
 
@@ -362,16 +369,17 @@ def _run_batch_impl(
         + collision_slots * times.collision_us
     )
 
-    total = slots_done.astype(np.float64)
-    tau = attempts / total[:, np.newaxis]
-    collision_prob = np.where(
-        attempts > 0, collisions / np.maximum(attempts, 1), 0.0
-    )
-    payoff_rates = (
-        successes * params.gain - attempts * params.cost
-    ) / elapsed_us[:, np.newaxis]
-    throughput = (
-        successes.sum(axis=1) * params.payload_time_us / elapsed_us
+    xp = get_namespace(attempts)
+    tau, collision_prob, payoff_rates, throughput = batch_estimates(
+        xp,
+        attempts,
+        successes,
+        collisions,
+        slots_done,
+        elapsed_us,
+        params.gain,
+        params.cost,
+        params.payload_time_us,
     )
     if checks_enabled():
         # One vectorized sweep over the estimators after the kernel
@@ -394,6 +402,8 @@ def _run_batch_impl(
         collision=collision_prob,
         payoff_rates=payoff_rates,
         throughput=throughput,
+        backend=backend.name,
+        streaming=streaming,
     )
 
 
@@ -405,6 +415,7 @@ def simulate(
     n_slots: int,
     seed: SeedLike = None,
     engine: str = "vectorized",
+    backend: BackendLike = None,
     observer: Optional[SlotObserver] = None,
 ) -> SimulationResult:
     """Run one single-collision-domain simulation on a selected engine.
@@ -414,7 +425,9 @@ def simulate(
     the vectorized kernel (``engine="vectorized"``); both return the same
     :class:`repro.sim.engine.SimulationResult` type, so call sites choose
     purely on speed.  An ``observer`` forces the reference engine - the
-    vectorized kernel does not replay per-slot events.
+    vectorized kernel does not replay per-slot events.  ``backend``
+    selects the vectorized kernel's compute backend (ignored by the
+    reference engine).
     """
     if engine not in ("vectorized", "reference"):
         raise ParameterError(
@@ -427,7 +440,12 @@ def simulate(
         return simulator.run(n_slots, observer=observer)
 
     batch = run_batch(
-        np.asarray(list(windows)), params, mode, n_slots=n_slots, seed=seed
+        np.asarray(list(windows)),
+        params,
+        mode,
+        n_slots=n_slots,
+        seed=seed,
+        backend=backend,
     )
     counters = batch.replica_counters(0)
     return SimulationResult(

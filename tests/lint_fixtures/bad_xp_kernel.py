@@ -1,0 +1,18 @@
+"""Deliberate REPRO006 violations: hard-coded numpy in xp kernels."""
+
+import numpy as np
+
+
+def bad_kernel(xp, values):
+    total = np.sum(values)
+    scaled = xp.asarray(values)
+    return np.where(scaled > total, scaled, xp.zeros_like(scaled))
+
+
+def good_kernel(xp, values):
+    total = xp.sum(values)
+    return values / total
+
+
+def not_a_kernel(values):
+    return np.sum(values)

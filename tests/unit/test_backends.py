@@ -1,0 +1,290 @@
+"""Unit tests for the pluggable compute-backend layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import backends
+from repro.backends import (
+    ComputeBackend,
+    available_backends,
+    backend_names,
+    default_backend_name,
+    get_backend,
+    get_namespace,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.bianchi.batched import solve_heterogeneous_batch
+from repro.campaign.spec import spec_from_dict
+from repro.errors import BackendError, CampaignError
+from repro.experiments.parallel import parallel_map
+from repro.phy.parameters import AccessMode, default_parameters
+from repro.sim.vectorized import run_batch
+
+CALENDAR_NAMES = [
+    name for name in ("python", "cnative", "numba")
+    if name in available_backends()
+]
+ACCELERATED = [name for name in CALENDAR_NAMES if name != "python"]
+
+
+@pytest.fixture(scope="module")
+def params():
+    return default_parameters()
+
+
+@pytest.fixture(autouse=True)
+def _clean_default():
+    """Never leak a default-backend override between tests."""
+    set_default_backend(None)
+    yield
+    set_default_backend(None)
+
+
+class _Unavailable(ComputeBackend):
+    name = "test-unavailable"
+
+    def available(self) -> bool:
+        return False
+
+    def availability_note(self) -> str:
+        return "synthetic test backend, never available"
+
+
+@pytest.fixture
+def unavailable_backend():
+    register_backend(_Unavailable())
+    yield "test-unavailable"
+    backends._REGISTRY.pop("test-unavailable", None)
+
+
+# ------------------------------------------------------------------ registry
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = backend_names()
+        for expected in ("numpy", "numba", "cnative", "python"):
+            assert expected in names
+
+    def test_numpy_and_python_always_available(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "python" in names
+
+    def test_unknown_name_raises_listing_registered(self):
+        with pytest.raises(BackendError, match="registered:"):
+            get_backend("definitely-not-a-backend")
+
+    def test_reference_flags(self):
+        numpy_backend = get_backend("numpy")
+        assert numpy_backend.matches_numpy is True
+        assert numpy_backend.deterministic is True
+        for name in CALENDAR_NAMES:
+            assert get_backend(name).matches_numpy is False
+            assert get_backend(name).deterministic is True
+
+
+# ---------------------------------------------------------------- precedence
+class TestSelection:
+    def test_builtin_default(self, monkeypatch):
+        monkeypatch.delenv(backends.ENV_BACKEND, raising=False)
+        assert default_backend_name() == "numpy"
+
+    def test_env_overrides_builtin(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_BACKEND, "python")
+        assert default_backend_name() == "python"
+        assert resolve_backend().name == "python"
+
+    def test_set_default_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_BACKEND, "python")
+        set_default_backend("numpy")
+        assert default_backend_name() == "numpy"
+
+    def test_explicit_name_overrides_default(self):
+        set_default_backend("python")
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_use_backend_restores(self):
+        assert default_backend_name() == "numpy"
+        with use_backend("python"):
+            assert default_backend_name() == "python"
+        assert default_backend_name() == "numpy"
+
+    def test_set_default_validates_immediately(self):
+        with pytest.raises(BackendError):
+            set_default_backend("nope")
+
+    def test_unavailable_falls_back_with_warning(self, unavailable_backend):
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            backend = resolve_backend(unavailable_backend)
+        assert backend.name == "numpy"
+
+    def test_fallback_false_raises(self, unavailable_backend):
+        with pytest.raises(BackendError, match="unavailable"):
+            resolve_backend(unavailable_backend, fallback=False)
+
+
+# ------------------------------------------------------------------ numpy ref
+class TestNumpyReference:
+    def test_explicit_numpy_backend_bit_identical_to_default(self, params):
+        base = run_batch(
+            [[16, 32, 64]] * 2, params, AccessMode.BASIC,
+            n_slots=3_000, seed=42,
+        )
+        explicit = run_batch(
+            [[16, 32, 64]] * 2, params, AccessMode.BASIC,
+            n_slots=3_000, seed=42, backend="numpy",
+        )
+        assert base.backend == explicit.backend == "numpy"
+        np.testing.assert_array_equal(base.attempts, explicit.attempts)
+        np.testing.assert_array_equal(base.successes, explicit.successes)
+        np.testing.assert_array_equal(base.tau, explicit.tau)
+
+    def test_backend_instance_accepted(self, params):
+        result = run_batch(
+            [32] * 4, params, AccessMode.BASIC,
+            n_slots=1_000, seed=1, backend=get_backend("numpy"),
+        )
+        assert result.backend == "numpy"
+
+
+# ------------------------------------------------------- calendar equivalence
+class TestCalendarBackends:
+    @pytest.mark.parametrize("name", ACCELERATED)
+    def test_bit_identical_to_python_backend(self, params, name):
+        kwargs = dict(n_slots=4_000, seed=17)
+        anchor = run_batch(
+            [[16, 32, 64, 128]] * 2, params, AccessMode.BASIC,
+            backend="python", **kwargs,
+        )
+        candidate = run_batch(
+            [[16, 32, 64, 128]] * 2, params, AccessMode.BASIC,
+            backend=name, **kwargs,
+        )
+        np.testing.assert_array_equal(anchor.attempts, candidate.attempts)
+        np.testing.assert_array_equal(anchor.successes, candidate.successes)
+        np.testing.assert_array_equal(anchor.tau, candidate.tau)
+
+    @pytest.mark.parametrize("name", CALENDAR_NAMES)
+    def test_chunking_does_not_change_results(self, params, name):
+        single = run_batch(
+            [[32] * 6] * 2, params, AccessMode.BASIC,
+            n_slots=5_000, seed=23, backend=name,
+        )
+        chunked = run_batch(
+            [[32] * 6] * 2, params, AccessMode.BASIC,
+            n_slots=5_000, seed=23, backend=name, stats_interval=700,
+        )
+        np.testing.assert_array_equal(single.attempts, chunked.attempts)
+        np.testing.assert_array_equal(single.tau, chunked.tau)
+
+    def test_python_backend_statistically_matches_numpy(self, params):
+        n_slots = 40_000
+        reference = run_batch(
+            [[32] * 8] * 2, params, AccessMode.BASIC,
+            n_slots=n_slots, seed=5,
+        )
+        candidate = run_batch(
+            [[32] * 8] * 2, params, AccessMode.BASIC,
+            n_slots=n_slots, seed=5, backend="python",
+        )
+        ref_tau = float(reference.tau.mean())
+        cand_tau = float(candidate.tau.mean())
+        assert abs(cand_tau - ref_tau) / ref_tau < 0.1
+        assert (
+            abs(float(candidate.throughput.mean())
+                - float(reference.throughput.mean()))
+            < 0.05
+        )
+
+
+# ---------------------------------------------------------------- fixed point
+class TestFixedPointBackends:
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in CALENDAR_NAMES
+         if get_backend(n).supports_fixed_point],
+    )
+    def test_tau_within_1e9_of_numpy(self, name):
+        rng = np.random.default_rng(3)
+        windows = rng.integers(8, 256, size=(20, 15)).astype(float)
+        reference = solve_heterogeneous_batch(windows, 5, backend="numpy")
+        candidate = solve_heterogeneous_batch(windows, 5, backend=name)
+        assert np.max(np.abs(candidate.tau - reference.tau)) <= 1e-9
+
+    def test_numpy_path_unchanged_without_native_solver(self):
+        windows = np.full((3, 4), 32.0)
+        solution = solve_heterogeneous_batch(windows, 5, backend="numpy")
+        assert solution.tau.shape == (3, 4)
+        assert bool(np.all(solution.residual <= 1e-8))
+
+
+# -------------------------------------------------------------- orchestration
+def _report_backend(_task):
+    return default_backend_name()
+
+
+class TestPlumbing:
+    def test_parallel_map_pins_backend(self):
+        assert parallel_map(_report_backend, [0, 1], backend="python") == [
+            "python", "python",
+        ]
+
+    def test_parallel_map_leaves_default_alone(self):
+        assert parallel_map(_report_backend, [0]) == ["numpy"]
+
+    def test_campaign_spec_accepts_registered_backend(self):
+        spec = spec_from_dict(
+            {"experiment": "table2", "backend": "python"}, name="s"
+        )
+        assert spec.backend == "python"
+
+    def test_campaign_spec_rejects_unknown_backend(self):
+        with pytest.raises(CampaignError, match="unknown compute backend"):
+            spec_from_dict(
+                {"experiment": "table2", "backend": "nope"}, name="s"
+            )
+
+    def test_campaign_spec_rejects_non_string_backend(self):
+        with pytest.raises(CampaignError, match="backend"):
+            spec_from_dict({"experiment": "table2", "backend": 3}, name="s")
+
+    def test_get_namespace_defaults_to_numpy(self):
+        assert get_namespace(np.zeros(3), None) is np
+
+    def test_result_records_backend_name(self, params):
+        result = run_batch(
+            [32] * 3, params, AccessMode.BASIC,
+            n_slots=500, seed=1, backend="python",
+        )
+        assert result.backend == "python"
+
+
+# ------------------------------------------------------------------------ CLI
+class TestCli:
+    def test_backends_subcommand_lists_registry(self, capsys):
+        from repro.cli import main
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy" in out
+        assert "python" in out
+
+    def test_backend_flag_installs_default(self, capsys):
+        from repro.cli import main
+
+        try:
+            assert main(["backends", "--backend", "python"]) == 0
+            out = capsys.readouterr().out
+            assert "python" in out
+        finally:
+            set_default_backend(None)
+
+    def test_unknown_backend_flag_fails_cleanly(self, capsys):
+        from repro.cli import main
+
+        assert main(["backends", "--backend", "nope"]) == 1
+        assert "unknown compute backend" in capsys.readouterr().err
