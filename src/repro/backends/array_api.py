@@ -22,6 +22,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.errors import BackendError
+
 __all__ = ["get_namespace"]
 
 
@@ -43,7 +45,7 @@ def get_namespace(*arrays: Any) -> Any:
         if namespace is None:
             namespace = candidate
         elif candidate is not namespace:
-            raise TypeError(
+            raise BackendError(
                 "arrays come from two different array namespaces: "
                 f"{namespace!r} and {candidate!r}"
             )

@@ -42,6 +42,14 @@ except ImportError:  # pragma: no cover - the container default
 
 __all__ = ["fixed_point_kernel", "ring_size_for", "sim_chunk_kernel"]
 
+#: Cache-entering analysis roots for ``repro.lint --deep`` (REPRO101):
+#: results of the two hot kernels flow into digested store entries via
+#: every calendar backend, so both must certify as transitively pure.
+ANALYSIS_ROOTS = (
+    "repro.backends.calendar_kernels.sim_chunk_kernel",
+    "repro.backends.calendar_kernels.fixed_point_kernel",
+)
+
 # splitmix64 constants; uint64 scalars wrap exactly like C both under
 # numba and in interpreted numpy (the python backend runs the kernels
 # under ``errstate(over="ignore")`` to silence the wraparound warnings).

@@ -35,6 +35,13 @@ __all__ = [
     "run_campaign",
 ]
 
+#: Cache-entering analysis root for ``repro.lint --deep`` (REPRO101):
+#: ``run_experiment`` is what a campaign worker executes to produce the
+#: payload committed under a task digest - the timing/recorder work in
+#: ``_execute_task`` wraps it but lands in the manifest, not the cached
+#: result, so the purity obligation starts exactly here.
+ANALYSIS_ROOTS = ("repro.experiments.registry.run_experiment",)
+
 _WorkerTask = Tuple[str, Dict[str, Any]]
 _WorkerResult = Tuple[Any, str, float, List[Dict[str, Any]]]
 

@@ -139,6 +139,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("list", help="list registered experiments")
 
+    lint_cmd = commands.add_parser(
+        "lint",
+        help=(
+            "run the static analyzer (same flags as python -m "
+            "repro.lint, e.g. 'repro lint --deep src')"
+        ),
+    )
+    lint_cmd.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.lint",
+    )
+
     backends_cmd = commands.add_parser(
         "backends", help="list compute backends and their availability"
     )
@@ -496,6 +509,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return failure
     if args.command == "backends":
         return _list_backends()
+    if args.command == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(args.lint_args)
     if args.command == "list":
         width = max(len(eid) for eid in EXPERIMENTS)
         for eid in sorted(EXPERIMENTS):

@@ -15,6 +15,7 @@ __all__ = [
     "ConvergenceError",
     "GameDefinitionError",
     "IntegrityError",
+    "LintError",
     "ParameterError",
     "ProtocolError",
     "ReproError",
@@ -89,4 +90,13 @@ class BackendError(ReproError, RuntimeError):
     Raised by :mod:`repro.backends` when a requested backend name is not
     registered, when ``fallback=False`` resolution hits an unavailable
     backend, or when a native kernel fails to build/load.
+    """
+
+
+class LintError(ReproError, ValueError):
+    """The static analyzer was misconfigured or fed bad inputs.
+
+    Raised by :mod:`repro.lint` for unknown/duplicate rule codes and
+    unreadable baseline files.  Subclasses :class:`ValueError` so
+    pre-hierarchy callers catching ``ValueError`` keep working.
     """

@@ -6,6 +6,15 @@ conventions of this repository.  Rules are plugins registered in
 reporting live in :mod:`repro.lint.analyzer`; the command line in
 :mod:`repro.lint.cli`.
 
+With ``--deep`` the linter additionally runs *whole-program* analyses:
+:mod:`repro.lint.graph` builds a project-wide call graph with effect
+summaries, :mod:`repro.lint.flow` runs fixpoint purity/taint dataflow
+over it, and :mod:`repro.lint.project_rules` certifies the REPRO1xx
+invariants (purity of cache-entering call trees, RNG seed provenance,
+the exception contract and cross-backend kernel parity).  SARIF output
+and the baseline ratchet live in :mod:`repro.lint.sarif` and
+:mod:`repro.lint.baseline`.
+
 See ``docs/static_analysis.md`` for the rule catalogue.
 """
 
@@ -15,6 +24,7 @@ from repro.lint.analyzer import (
     Violation,
     check_file,
     check_paths,
+    check_project,
     check_source,
     iter_python_files,
 )
@@ -34,6 +44,7 @@ __all__ = [
     "build_rules",
     "check_file",
     "check_paths",
+    "check_project",
     "check_source",
     "iter_python_files",
     "register_rule",

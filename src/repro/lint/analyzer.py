@@ -10,6 +10,7 @@ filtered before reporting.
 from __future__ import annotations
 
 import ast
+import concurrent.futures
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -32,6 +33,7 @@ __all__ = [
     "Violation",
     "check_file",
     "check_paths",
+    "check_project",
     "check_source",
     "iter_python_files",
     "registered_experiment_modules",
@@ -290,6 +292,20 @@ def _find_registry(files: Sequence[Path]) -> Optional[FrozenSet[str]]:
     return None
 
 
+def _lint_file_worker(
+    args: Tuple[str, Optional[Tuple[str, ...]], Optional[Tuple[str, ...]],
+                Optional[FrozenSet[str]], bool],
+) -> List[Violation]:
+    """Process-pool worker: lint one file (all arguments picklable)."""
+    path, select, ignore, registered, respect_noqa = args
+    return check_file(
+        Path(path),
+        rules=build_rules(select=select, ignore=ignore),
+        registered_experiments=registered,
+        respect_noqa=respect_noqa,
+    )
+
+
 def check_paths(
     roots: Sequence[Path],
     *,
@@ -297,8 +313,13 @@ def check_paths(
     ignore: Optional[Sequence[str]] = None,
     excluded_dirs: FrozenSet[str] = DEFAULT_EXCLUDED_DIRS,
     respect_noqa: bool = True,
+    jobs: Optional[int] = None,
 ) -> Tuple[List[Violation], int]:
     """Lint every Python file under ``roots``.
+
+    ``jobs`` > 1 fans the per-file work out over a process pool; output
+    is sorted either way, so the violation list is byte-identical for
+    any job count.
 
     Returns
     -------
@@ -310,13 +331,99 @@ def check_paths(
     files = list(iter_python_files(roots, excluded_dirs=excluded_dirs))
     registered = _find_registry(files)
     violations: List[Violation] = []
-    for path in files:
-        violations.extend(
-            check_file(
-                path,
-                rules=rules,
-                registered_experiments=registered,
-                respect_noqa=respect_noqa,
+    worker_count = int(jobs) if jobs else 1
+    if worker_count > 1 and len(files) > 1:
+        select_t = tuple(select) if select is not None else None
+        ignore_t = tuple(ignore) if ignore is not None else None
+        work = [
+            (str(path), select_t, ignore_t, registered, respect_noqa)
+            for path in files
+        ]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(worker_count, len(files))
+        ) as pool:
+            for result in pool.map(_lint_file_worker, work):
+                violations.extend(result)
+    else:
+        for path in files:
+            violations.extend(
+                check_file(
+                    path,
+                    rules=rules,
+                    registered_experiments=registered,
+                    respect_noqa=respect_noqa,
+                )
             )
-        )
     return sorted(violations), len(files)
+
+
+def _deep_suppressed(
+    violation: Violation, line_cache: Dict[str, List[str]]
+) -> bool:
+    """noqa check for whole-program findings (sources read lazily)."""
+    if violation.path not in line_cache:
+        try:
+            line_cache[violation.path] = Path(violation.path).read_text(
+                encoding="utf-8"
+            ).splitlines()
+        except OSError:
+            line_cache[violation.path] = []
+    lines = line_cache[violation.path]
+    if not 1 <= violation.line <= len(lines):
+        return False
+    match = _NOQA_PATTERN.search(lines[violation.line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True
+    wanted = {code.strip() for code in codes.split(",") if code.strip()}
+    return violation.rule in wanted
+
+
+def check_project(
+    roots: Sequence[Path],
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    excluded_dirs: FrozenSet[str] = DEFAULT_EXCLUDED_DIRS,
+    respect_noqa: bool = True,
+    cache_dir: Optional[Path] = None,
+    extra_boundaries: FrozenSet[str] = frozenset(),
+) -> Tuple[List[Violation], object]:
+    """Run the whole-program (REPRO1xx) rules over ``roots``.
+
+    Builds (or loads from ``cache_dir``) the project call graph, runs
+    every selected :class:`~repro.lint.project_rules.ProjectRule`, and
+    filters findings through the same ``# repro: noqa`` machinery as the
+    per-file pass - a whole-program finding anchors to the offending
+    call site, so a noqa comment on that line suppresses it.
+
+    Returns ``(violations, graph)``; the graph is returned so callers
+    (tests, tooling) can inspect roots and reachability directly.
+    """
+    # Imported lazily: project_rules imports Violation from this module.
+    from repro.lint.graph import load_or_build
+    from repro.lint.project_rules import ProjectContext, build_project_rules
+
+    graph = load_or_build(
+        roots, cache_dir=cache_dir, excluded_dirs=excluded_dirs
+    )
+    context = ProjectContext(
+        graph=graph,
+        roots=tuple(str(root) for root in roots),
+        extra_boundaries=extra_boundaries,
+    )
+    select_f = frozenset(select) if select is not None else None
+    ignore_f = frozenset(ignore) if ignore is not None else None
+    violations: List[Violation] = []
+    for rule in build_project_rules(select=select_f, ignore=ignore_f):
+        violations.extend(rule.check_project(context))
+    if respect_noqa:
+        line_cache: Dict[str, List[str]] = {}
+        violations = [
+            violation
+            for violation in violations
+            if not _deep_suppressed(violation, line_cache)
+        ]
+    return sorted(violations), graph

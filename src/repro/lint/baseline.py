@@ -1,0 +1,178 @@
+"""Baseline ratchet for the lint pipeline.
+
+A baseline file (``.repro-lint-baseline.json``) records fingerprints of
+*accepted legacy* violations.  A lint run compared against it fails only
+on violations whose fingerprint is **not** in the baseline, so new debt
+is blocked while tracked legacy findings don't break the build; the
+ratchet only ever tightens because ``--update-baseline`` prunes
+fingerprints that no longer occur (it never silently adds new ones
+unless you ask it to).
+
+Fingerprints are deliberately **line-independent**:
+``sha256(rule|normalized-path|message)`` plus an occurrence counter for
+identical (rule, path, message) triples.  Whole-program rule messages
+contain call chains but no line numbers, so moving code within a file
+does not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.analyzer import Violation
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "BaselineComparison",
+    "compare_to_baseline",
+    "fingerprint_violations",
+    "load_baseline",
+    "save_baseline",
+]
+
+BASELINE_FILENAME = ".repro-lint-baseline.json"
+_BASELINE_VERSION = 1
+
+
+def _normalize_path(path: str) -> str:
+    """Forward-slash, relative-to-cwd-if-possible form of ``path``."""
+    candidate = Path(path)
+    try:
+        candidate = candidate.resolve().relative_to(Path.cwd().resolve())
+    except (ValueError, OSError):
+        pass
+    return candidate.as_posix()
+
+
+def fingerprint_violations(
+    violations: Sequence[Violation],
+) -> List[str]:
+    """One stable fingerprint per violation, order-aligned with input.
+
+    Identical (rule, path, message) triples get ``#0``, ``#1``, ...
+    occurrence suffixes **in line order**, so two legacy duplicates stay
+    two fingerprints and adding a third is a new (unbaselined) one.
+    """
+    ordered = sorted(
+        range(len(violations)),
+        key=lambda i: (
+            violations[i].path,
+            violations[i].line,
+            violations[i].col,
+            violations[i].rule,
+            violations[i].message,
+        ),
+    )
+    counters: Dict[Tuple[str, str, str], int] = {}
+    fingerprints: List[str] = [""] * len(violations)
+    for index in ordered:
+        violation = violations[index]
+        key = (
+            violation.rule,
+            _normalize_path(violation.path),
+            violation.message,
+        )
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        payload = "|".join([*key, f"#{occurrence}"])
+        fingerprints[index] = hashlib.sha256(
+            payload.encode("utf-8")
+        ).hexdigest()[:24]
+    return fingerprints
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """Outcome of checking a run against a baseline."""
+
+    new: Tuple[Violation, ...]  # not in baseline: these fail the build
+    legacy: Tuple[Violation, ...]  # tracked by the baseline: reported, pass
+    stale: Tuple[str, ...]  # baselined fingerprints that no longer occur
+
+
+def load_baseline(path: Path) -> List[str]:
+    """Fingerprints recorded in ``path`` (empty list when absent)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return []
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"unreadable lint baseline {path}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or not isinstance(payload.get("fingerprints"), list)
+        or not all(isinstance(fp, str) for fp in payload["fingerprints"])
+    ):
+        raise LintError(
+            f"malformed lint baseline {path}: expected "
+            '{"version": ..., "fingerprints": [...]}'
+        )
+    return list(payload["fingerprints"])
+
+
+def save_baseline(path: Path, violations: Sequence[Violation]) -> int:
+    """Write the baseline for ``violations``; returns fingerprint count.
+
+    Alongside each fingerprint a human-readable ``entries`` section
+    records rule/path/message so baseline diffs review meaningfully; the
+    ratchet itself only reads ``fingerprints``.
+    """
+    fingerprints = fingerprint_violations(violations)
+    order = sorted(range(len(violations)), key=lambda i: fingerprints[i])
+    payload = {
+        "version": _BASELINE_VERSION,
+        "fingerprints": [fingerprints[i] for i in order],
+        "entries": [
+            {
+                "fingerprint": fingerprints[i],
+                "rule": violations[i].rule,
+                "path": _normalize_path(violations[i].path),
+                "message": violations[i].message,
+            }
+            for i in order
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(fingerprints)
+
+
+def compare_to_baseline(
+    violations: Sequence[Violation], baseline: Sequence[str]
+) -> BaselineComparison:
+    """Split ``violations`` into new vs. baseline-tracked legacy.
+
+    Each baselined fingerprint absorbs at most one occurrence (the
+    occurrence counter in the fingerprint already differentiates true
+    duplicates), and fingerprints with no matching violation are
+    reported stale so ``--update-baseline`` can prune them.
+    """
+    remaining: Dict[str, int] = {}
+    for fingerprint in baseline:
+        remaining[fingerprint] = remaining.get(fingerprint, 0) + 1
+    new: List[Violation] = []
+    legacy: List[Violation] = []
+    for violation, fingerprint in zip(
+        violations, fingerprint_violations(violations)
+    ):
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+            legacy.append(violation)
+        else:
+            new.append(violation)
+    stale = tuple(
+        sorted(
+            fingerprint
+            for fingerprint, count in remaining.items()
+            for _ in range(count)
+            if count > 0
+        )
+    )
+    return BaselineComparison(tuple(new), tuple(legacy), stale)

@@ -1,0 +1,329 @@
+"""Fixpoint dataflow analyses over the :mod:`repro.lint.graph` call graph.
+
+Two interprocedural analyses back the REPRO1xx whole-program rules:
+
+:func:`transitive_effects`
+    Purity certification.  Starting from the graph's cache-entering
+    roots, walk resolved call edges (skipping the sanctioned boundary
+    functions) and surface every direct impurity - I/O, wall-clock and
+    environment reads, entropy, module-state mutation, unsanctioned
+    :mod:`repro.obs` recorder use - together with the *call chain* from
+    the nearest root, so a violation message names exactly how the
+    impure call is reached.
+
+:func:`rng_taint`
+    RNG provenance.  A generator built by a bare
+    ``np.random.default_rng()`` is *tainted*; one built from a seed,
+    from ``repro.rng.resolve_rng`` or spawned from a clean
+    ``SeedSequence`` is *clean*.  Taint propagates through local
+    assignments, returned values and call arguments (arguments bind to
+    the callee's parameters; returns bind to the caller's target), and
+    any sampling call on a tainted generator is reported with the
+    provenance chain back to the offending construction.
+
+Both analyses are monotone unions over finite lattices, so the
+worklists terminate; both only *add* facts along resolved edges, which
+makes them conservative in the right direction: a function the graph
+cannot see (dynamic dispatch, externals) contributes nothing rather
+than a spurious finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.graph import Effect, FunctionInfo, ProjectGraph, RngOp
+
+__all__ = [
+    "EffectFinding",
+    "TaintFinding",
+    "TaintOrigin",
+    "reachable_functions",
+    "rng_taint",
+    "transitive_effects",
+]
+
+
+# ---------------------------------------------------------------------------
+# Purity / effect propagation
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class EffectFinding:
+    """One impure effect reachable from a certification root."""
+
+    root: str
+    function: str  # qname of the function containing the effect
+    effect: Effect
+    chain: Tuple[str, ...]  # qnames from root to function, inclusive
+
+    def render_chain(self) -> str:
+        return " -> ".join(self.chain)
+
+
+def _sanctioned(qname: str, boundaries: FrozenSet[str]) -> bool:
+    """Exact qname or any dotted prefix entry (``pkg.`` form) matches."""
+    if qname in boundaries:
+        return True
+    return any(
+        qname.startswith(prefix)
+        for prefix in boundaries
+        if prefix.endswith(".")
+    )
+
+
+def reachable_functions(
+    graph: ProjectGraph,
+    roots: Sequence[str],
+    *,
+    boundaries: FrozenSet[str] = frozenset(),
+) -> Dict[str, Tuple[str, ...]]:
+    """BFS over resolved call edges: qname -> shortest chain from a root."""
+    chains: Dict[str, Tuple[str, ...]] = {}
+    queue: List[str] = []
+    for root in roots:
+        if root in graph.functions and root not in chains:
+            chains[root] = (root,)
+            queue.append(root)
+    while queue:
+        current = queue.pop(0)
+        for call in graph.callees(current):
+            if not call.resolved:
+                continue
+            if call.callee in chains:
+                continue
+            if _sanctioned(call.callee, boundaries):
+                continue
+            if call.callee not in graph.functions:
+                continue
+            chains[call.callee] = chains[current] + (call.callee,)
+            queue.append(call.callee)
+    return chains
+
+
+def transitive_effects(
+    graph: ProjectGraph,
+    roots: Sequence[str],
+    *,
+    boundaries: FrozenSet[str] = frozenset(),
+    kinds: Optional[FrozenSet[str]] = None,
+) -> List[EffectFinding]:
+    """Every direct effect in any function reachable from ``roots``.
+
+    One finding per (function, effect site); the chain reported is the
+    shortest path from the nearest root (BFS order), which is the most
+    readable repro recipe for the violation.
+    """
+    chains = reachable_functions(graph, roots, boundaries=boundaries)
+    findings: List[EffectFinding] = []
+    for qname, chain in chains.items():
+        info = graph.functions[qname]
+        for effect in info.effects:
+            if kinds is not None and effect.kind not in kinds:
+                continue
+            findings.append(
+                EffectFinding(
+                    root=chain[0],
+                    function=qname,
+                    effect=effect,
+                    chain=chain,
+                )
+            )
+    findings.sort(
+        key=lambda f: (f.function, f.effect.line, f.effect.col, f.effect.kind)
+    )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RNG provenance taint
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaintOrigin:
+    """Where a provenance-free generator was constructed."""
+
+    path: str
+    line: int
+    detail: str
+    hops: Tuple[str, ...] = ()  # function qnames the taint travelled through
+
+    def extended(self, qname: str) -> "TaintOrigin":
+        if self.hops and self.hops[-1] == qname:
+            return self
+        return TaintOrigin(
+            self.path, self.line, self.detail, self.hops + (qname,)
+        )
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """A sampling call on a generator with no seed provenance."""
+
+    function: str
+    path: str
+    line: int
+    col: int
+    method: str
+    origin: TaintOrigin
+
+    def render_provenance(self) -> str:
+        via = (
+            f" via {' -> '.join(self.origin.hops)}"
+            if self.origin.hops
+            else ""
+        )
+        return f"built by {self.origin.detail}{via}"
+
+
+@dataclass
+class _FunctionTaint:
+    """Mutable per-function state for the interprocedural fixpoint."""
+
+    params: Dict[str, TaintOrigin] = field(default_factory=dict)
+    returns: Optional[TaintOrigin] = None
+
+
+def _param_name(
+    info: FunctionInfo, position: Optional[int], keyword: Optional[str]
+) -> Optional[str]:
+    if keyword is not None:
+        return keyword if keyword in info.params else None
+    if position is None:
+        return None
+    params = info.params
+    # Skip the receiver slot for methods; positional args at a call site
+    # never bind to ``self``/``cls``.
+    if params and params[0] in ("self", "cls"):
+        params = params[1:]
+    if position < len(params):
+        return params[position]
+    return None
+
+
+def _local_pass(
+    info: FunctionInfo,
+    state: _FunctionTaint,
+    summaries: Dict[str, _FunctionTaint],
+    graph: ProjectGraph,
+) -> Tuple[List[TaintFinding], Dict[Tuple[str, str], TaintOrigin], bool]:
+    """One any-path evaluation of a function's RNG micro-ops.
+
+    Returns ``(sampling findings, argument taints keyed by (callee,
+    param), return-taint changed)``.  Local taint iterates to a fixpoint
+    internally so op ordering never matters.
+    """
+    local: Dict[str, TaintOrigin] = dict(state.params)
+    changed = True
+    while changed:
+        changed = False
+        for op in info.rng_ops:
+            if op.op == "make" and op.tainted and op.var not in local:
+                local[op.var] = TaintOrigin(info.path, op.line, op.detail)
+                changed = True
+            elif op.op == "copy":
+                origin = local.get(op.src)
+                if origin is not None and op.var not in local:
+                    local[op.var] = origin
+                    changed = True
+            elif op.op == "call" and op.var:
+                summary = summaries.get(op.callee)
+                if (
+                    summary is not None
+                    and summary.returns is not None
+                    and op.var not in local
+                ):
+                    local[op.var] = summary.returns.extended(op.callee)
+                    changed = True
+
+    findings: List[TaintFinding] = []
+    argument_taints: Dict[Tuple[str, str], TaintOrigin] = {}
+    for op in info.rng_ops:
+        if op.op == "sample":
+            origin = local.get(op.var)
+            if origin is not None and op.detail != "spawn":
+                findings.append(
+                    TaintFinding(
+                        function=info.qname,
+                        path=info.path,
+                        line=op.line,
+                        col=op.col,
+                        method=op.detail,
+                        origin=origin,
+                    )
+                )
+        elif op.op == "call" and op.callee in graph.functions:
+            callee_info = graph.functions[op.callee]
+            for binding in op.args:
+                origin = local.get(binding.var)
+                if origin is None:
+                    continue
+                param = _param_name(
+                    callee_info, binding.position, binding.keyword
+                )
+                if param is None:
+                    continue
+                argument_taints[(op.callee, param)] = origin.extended(
+                    info.qname
+                )
+
+    return_changed = False
+    for op in info.rng_ops:
+        if op.op == "return":
+            origin = local.get(op.src)
+            if origin is not None and state.returns is None:
+                state.returns = origin
+                return_changed = True
+    return findings, argument_taints, return_changed
+
+
+def rng_taint(graph: ProjectGraph) -> List[TaintFinding]:
+    """Interprocedural RNG provenance analysis over the whole graph.
+
+    Worklist fixpoint: whenever a call site passes a tainted local into a
+    known function's parameter, or a function's return becomes tainted,
+    every (transitive) caller/callee affected is re-evaluated.  Only
+    *definite* taint is propagated - parameters with unknown call sites
+    stay untracked - so clean ``resolve_rng``-fed paths produce no
+    findings without any suppression.
+    """
+    summaries: Dict[str, _FunctionTaint] = {
+        qname: _FunctionTaint() for qname in graph.functions
+    }
+    callers: Dict[str, Set[str]] = {qname: set() for qname in graph.functions}
+    for qname, info in graph.functions.items():
+        for call in info.calls:
+            if call.resolved and call.callee in callers:
+                callers[call.callee].add(qname)
+
+    findings: Dict[Tuple[str, int, int], TaintFinding] = {}
+    worklist: List[str] = sorted(graph.functions)
+    pending: Set[str] = set(worklist)
+    iterations = 0
+    budget = max(64, 16 * len(graph.functions))
+    while worklist and iterations < budget:
+        iterations += 1
+        qname = worklist.pop(0)
+        pending.discard(qname)
+        info = graph.functions[qname]
+        state = summaries[qname]
+        local_findings, argument_taints, return_changed = _local_pass(
+            info, state, summaries, graph
+        )
+        for finding in local_findings:
+            findings[(finding.path, finding.line, finding.col)] = finding
+        for (callee, param), origin in argument_taints.items():
+            callee_state = summaries[callee]
+            if param not in callee_state.params:
+                callee_state.params[param] = origin
+                if callee not in pending:
+                    worklist.append(callee)
+                    pending.add(callee)
+        if return_changed:
+            for caller in callers[qname]:
+                if caller not in pending:
+                    worklist.append(caller)
+                    pending.add(caller)
+    ordered = sorted(
+        findings.values(), key=lambda f: (f.path, f.line, f.col, f.method)
+    )
+    return ordered

@@ -36,6 +36,8 @@ import ast
 import re
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Type
 
+from repro.errors import LintError
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.lint.analyzer import ModuleContext, Violation
 
@@ -54,9 +56,9 @@ def register_rule(cls: Type["LintRule"]) -> Type["LintRule"]:
     """Class decorator adding a rule to the plugin registry."""
     code = cls.code
     if not re.fullmatch(r"REPRO\d{3}", code):
-        raise ValueError(f"rule code must match REPROnnn, got {code!r}")
+        raise LintError(f"rule code must match REPROnnn, got {code!r}")
     if code in RULE_REGISTRY:
-        raise ValueError(f"duplicate rule code {code!r}")
+        raise LintError(f"duplicate rule code {code!r}")
     RULE_REGISTRY[code] = cls
     return cls
 
@@ -75,7 +77,7 @@ def build_rules(
     ignored = set(ignore) if ignore is not None else set()
     unknown = (selected | ignored) - set(RULE_REGISTRY)
     if unknown:
-        raise ValueError(
+        raise LintError(
             f"unknown rule codes: {sorted(unknown)!r}; "
             f"known: {all_rule_codes()!r}"
         )

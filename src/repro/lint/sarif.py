@@ -1,0 +1,280 @@
+"""SARIF 2.1.0 output for the lint pipeline.
+
+:func:`build_sarif` converts a violation list into a Static Analysis
+Results Interchange Format log (the schema GitHub code scanning
+ingests); :func:`validate_sarif` is a dependency-free structural
+validator covering the subset of the 2.1.0 schema the builder emits, so
+the SARIF tests run in CI without ``jsonschema`` or network access to
+the published schema.
+
+Every result carries a ``partialFingerprints`` entry with the same
+stable fingerprint the baseline ratchet uses (rule + normalized path +
+message, line-independent), so code-scanning alert identity survives
+unrelated edits shifting line numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.analyzer import Violation
+from repro.lint.baseline import fingerprint_violations
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "build_sarif", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "repro-lint"
+_TOOL_URI = "https://example.invalid/repro/docs/static_analysis.md"
+
+
+def _rule_descriptors(
+    violations: Sequence[Violation],
+    rule_summaries: Optional[Dict[str, str]] = None,
+) -> List[dict]:
+    summaries = rule_summaries or {}
+    codes = sorted({violation.rule for violation in violations})
+    descriptors = []
+    for code in codes:
+        descriptor = {
+            "id": code,
+            "name": code,
+            "shortDescription": {
+                "text": summaries.get(code, f"repro lint rule {code}")
+            },
+            "helpUri": _TOOL_URI,
+        }
+        descriptors.append(descriptor)
+    return descriptors
+
+
+def build_sarif(
+    violations: Sequence[Violation],
+    *,
+    rule_summaries: Optional[Dict[str, str]] = None,
+    base_dir: Optional[Path] = None,
+) -> dict:
+    """A SARIF 2.1.0 log object for ``violations``.
+
+    ``base_dir`` relativizes result paths (GitHub code scanning wants
+    repository-relative URIs); paths outside it are kept as-is.
+    """
+    descriptors = _rule_descriptors(violations, rule_summaries)
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    fingerprints = fingerprint_violations(violations)
+    results = []
+    for violation, fingerprint in zip(violations, fingerprints):
+        uri = violation.path
+        if base_dir is not None:
+            try:
+                uri = str(Path(violation.path).resolve().relative_to(
+                    Path(base_dir).resolve()
+                ))
+            except ValueError:
+                pass
+        uri = uri.replace("\\", "/")
+        results.append(
+            {
+                "ruleId": violation.rule,
+                "ruleIndex": rule_index[violation.rule],
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": uri,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": max(violation.line, 1),
+                                "startColumn": max(violation.col, 1),
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproLintFingerprint/v1": fingerprint
+                },
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+
+
+def render_sarif(
+    violations: Sequence[Violation],
+    *,
+    rule_summaries: Optional[Dict[str, str]] = None,
+    base_dir: Optional[Path] = None,
+) -> str:
+    """JSON text of the SARIF log (stable key order, trailing newline)."""
+    log = build_sarif(
+        violations, rule_summaries=rule_summaries, base_dir=base_dir
+    )
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Structural validation (dependency-free subset of the 2.1.0 schema)
+# ---------------------------------------------------------------------------
+def validate_sarif(log: object) -> List[str]:
+    """Structural errors in ``log`` against the SARIF 2.1.0 shape.
+
+    Returns an empty list when the document is valid.  This checks the
+    subset of the published schema that :func:`build_sarif` can emit:
+    required top-level members, run/tool/driver/rule shape, result
+    shape, and location/region integer constraints.
+    """
+    errors: List[str] = []
+
+    def expect(condition: bool, message: str) -> bool:
+        if not condition:
+            errors.append(message)
+        return condition
+
+    if not expect(isinstance(log, dict), "log must be a JSON object"):
+        return errors
+    assert isinstance(log, dict)
+    expect(log.get("version") == SARIF_VERSION, "version must be '2.1.0'")
+    runs = log.get("runs")
+    if not expect(
+        isinstance(runs, list) and len(runs) >= 1,
+        "runs must be a non-empty array",
+    ):
+        return errors
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not expect(isinstance(run, dict), f"{where} must be an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if not expect(
+            isinstance(driver, dict), f"{where}.tool.driver is required"
+        ):
+            continue
+        expect(
+            isinstance(driver.get("name"), str) and driver["name"],
+            f"{where}.tool.driver.name must be a non-empty string",
+        )
+        rules = driver.get("rules", [])
+        rule_ids: List[str] = []
+        if expect(
+            isinstance(rules, list), f"{where}.tool.driver.rules must be an array"
+        ):
+            for rule_index, rule in enumerate(rules):
+                rwhere = f"{where}.tool.driver.rules[{rule_index}]"
+                if not expect(
+                    isinstance(rule, dict) and isinstance(rule.get("id"), str),
+                    f"{rwhere}.id must be a string",
+                ):
+                    continue
+                rule_ids.append(rule["id"])
+        results = run.get("results", [])
+        if not expect(
+            isinstance(results, list), f"{where}.results must be an array"
+        ):
+            continue
+        for result_index, result in enumerate(results):
+            rwhere = f"{where}.results[{result_index}]"
+            if not expect(
+                isinstance(result, dict), f"{rwhere} must be an object"
+            ):
+                continue
+            message = result.get("message")
+            expect(
+                isinstance(message, dict)
+                and isinstance(message.get("text"), str),
+                f"{rwhere}.message.text is required",
+            )
+            rule_id = result.get("ruleId")
+            if isinstance(rule_id, str) and rule_ids:
+                expect(
+                    rule_id in rule_ids,
+                    f"{rwhere}.ruleId {rule_id!r} not among driver rules",
+                )
+            rule_index_value = result.get("ruleIndex")
+            if rule_index_value is not None:
+                expect(
+                    isinstance(rule_index_value, int)
+                    and 0 <= rule_index_value < len(rule_ids),
+                    f"{rwhere}.ruleIndex out of range",
+                )
+            level = result.get("level")
+            if level is not None:
+                expect(
+                    level in ("none", "note", "warning", "error"),
+                    f"{rwhere}.level must be a SARIF level",
+                )
+            locations = result.get("locations", [])
+            if not expect(
+                isinstance(locations, list),
+                f"{rwhere}.locations must be an array",
+            ):
+                continue
+            for loc_index, location in enumerate(locations):
+                lwhere = f"{rwhere}.locations[{loc_index}]"
+                physical = (
+                    location.get("physicalLocation")
+                    if isinstance(location, dict)
+                    else None
+                )
+                if not expect(
+                    isinstance(physical, dict),
+                    f"{lwhere}.physicalLocation is required",
+                ):
+                    continue
+                artifact = physical.get("artifactLocation")
+                expect(
+                    isinstance(artifact, dict)
+                    and isinstance(artifact.get("uri"), str),
+                    f"{lwhere}.physicalLocation.artifactLocation.uri "
+                    "must be a string",
+                )
+                region = physical.get("region")
+                if region is not None and expect(
+                    isinstance(region, dict),
+                    f"{lwhere}.physicalLocation.region must be an object",
+                ):
+                    for key in ("startLine", "startColumn"):
+                        value = region.get(key)
+                        if value is not None:
+                            expect(
+                                isinstance(value, int) and value >= 1,
+                                f"{lwhere}.physicalLocation.region.{key} "
+                                "must be an integer >= 1",
+                            )
+            fingerprints = result.get("partialFingerprints")
+            if fingerprints is not None:
+                expect(
+                    isinstance(fingerprints, dict)
+                    and all(
+                        isinstance(value, str)
+                        for value in fingerprints.values()
+                    ),
+                    f"{rwhere}.partialFingerprints must map to strings",
+                )
+    return errors

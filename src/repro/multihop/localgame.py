@@ -16,6 +16,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.errors import TopologyError
 from repro.game.equilibrium import efficient_window
 from repro.multihop.topology import GeometricTopology
 from repro.phy.parameters import AccessMode, PhyParameters
@@ -95,7 +96,7 @@ def local_efficient_windows(
         windows[node] = cache[size]
     contending = [n for n in range(topology.n_nodes) if n not in isolated]
     if not contending:
-        raise ValueError("topology has no contending nodes")
+        raise TopologyError("topology has no contending nodes")
     fill = int(windows[contending].max())
     for node in isolated:
         windows[node] = fill

@@ -21,12 +21,21 @@ concurrency-dependent values in a label - that is what gauges are for.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Union
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, Optional, Union
 
 from repro.obs.recorder import get_recorder
 from repro.obs.span import jsonable
 
-__all__ = ["gauge_set", "inc", "observe", "observe_many"]
+__all__ = [
+    "RateProbe",
+    "gauge_set",
+    "inc",
+    "observe",
+    "observe_many",
+    "rate_gauge",
+]
 
 Number = Union[int, float]
 
@@ -115,3 +124,37 @@ def observe_many(
                 "value": _number(value),
             }
         )
+
+
+class RateProbe:
+    """Count holder handed out by :func:`rate_gauge`.
+
+    The instrumented block assigns the number of items it processed to
+    ``count``; leaving it ``None`` (e.g. on an error path) records
+    nothing.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count: Optional[Number] = None
+
+
+@contextmanager
+def rate_gauge(name: str, **labels: Any) -> Iterator[RateProbe]:
+    """Time the ``with`` block and gauge ``count / elapsed_seconds``.
+
+    This is the sanctioned home for throughput instrumentation on
+    compute paths: the wall-clock reads live *here*, inside the
+    observability boundary, so the instrumented function itself stays
+    certifiably pure under the whole-program purity rule (REPRO101) -
+    the timing feeds only this gauge, never the returned results.
+    """
+    probe = RateProbe()
+    started = time.perf_counter()
+    try:
+        yield probe
+    finally:
+        elapsed = time.perf_counter() - started
+        if probe.count is not None and elapsed > 0:
+            gauge_set(name, _number(probe.count) / elapsed, **labels)

@@ -23,7 +23,6 @@ path use :func:`repro.sim.vectorized.run_batch` (or ``simulate`` with
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Protocol, Sequence, Union
 
@@ -33,8 +32,8 @@ from repro.typealiases import FloatArray
 from repro.errors import ParameterError
 from repro.obs import enabled as _obs_enabled
 from repro.obs import span as _obs_span
-from repro.obs.metrics import gauge_set as _obs_gauge_set
 from repro.obs.metrics import inc as _obs_inc
+from repro.obs.metrics import rate_gauge as _obs_rate_gauge
 from repro.phy.parameters import AccessMode, PhyParameters
 from repro.phy.timing import SlotTimes, slot_times
 from repro.sim.metrics import ChannelCounters, NodeCounters
@@ -185,10 +184,16 @@ class DcfSimulator:
             n_nodes=self.n_nodes,
             n_slots=n_slots,
         ):
-            started = time.perf_counter()
-            result = self._run(n_slots, observer)
-            elapsed = time.perf_counter() - started
-            counters = result.counters
+            with _obs_rate_gauge(
+                "sim.slots_per_sec", engine="reference"
+            ) as probe:
+                result = self._run(n_slots, observer)
+                counters = result.counters
+                probe.count = (
+                    counters.idle_slots
+                    + counters.success_slots
+                    + counters.collision_slots
+                )
             _obs_inc("sim.runs", 1, engine="reference")
             _obs_inc(
                 "sim.slots", counters.idle_slots,
@@ -202,15 +207,6 @@ class DcfSimulator:
                 "sim.slots", counters.collision_slots,
                 engine="reference", kind="collision",
             )
-            total = (
-                counters.idle_slots
-                + counters.success_slots
-                + counters.collision_slots
-            )
-            if elapsed > 0:
-                _obs_gauge_set(
-                    "sim.slots_per_sec", total / elapsed, engine="reference"
-                )
         return result
 
     def _run(

@@ -39,7 +39,6 @@ order, so seeded artefacts are bit-identical across this refactor.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
@@ -59,8 +58,8 @@ from repro.contracts import check_probability, check_window, checks_enabled
 from repro.errors import ParameterError, SimulationError
 from repro.obs import enabled as _obs_enabled
 from repro.obs import span as _obs_span
-from repro.obs.metrics import gauge_set as _obs_gauge_set
 from repro.obs.metrics import inc as _obs_inc
+from repro.obs.metrics import rate_gauge as _obs_rate_gauge
 from repro.phy.parameters import AccessMode, PhyParameters
 from repro.phy.timing import SlotTimes, slot_times
 from repro.sim.metrics import ChannelCounters, NodeCounters, batch_estimates
@@ -257,17 +256,19 @@ def run_batch(
         n_nodes=n_nodes,
         n_slots=n_slots,
     ):
-        started = time.perf_counter()
-        result = _run_batch_impl(
-            window_matrix,
-            params,
-            mode,
-            n_slots=n_slots,
-            seed=seed,
-            backend=resolved,
-            stats_interval=stats_interval,
-        )
-        elapsed = time.perf_counter() - started
+        with _obs_rate_gauge(
+            "sim.slots_per_sec", engine="vectorized", backend=resolved.name
+        ) as probe:
+            result = _run_batch_impl(
+                window_matrix,
+                params,
+                mode,
+                n_slots=n_slots,
+                seed=seed,
+                backend=resolved,
+                stats_interval=stats_interval,
+            )
+            probe.count = float(result.total_slots.sum())
         _obs_inc(
             "sim.runs", batch, engine="vectorized", backend=resolved.name
         )
@@ -283,13 +284,6 @@ def run_batch(
             "sim.slots", int(result.collision_slots.sum()),
             engine="vectorized", backend=resolved.name, kind="collision",
         )
-        if elapsed > 0:
-            _obs_gauge_set(
-                "sim.slots_per_sec",
-                float(result.total_slots.sum()) / elapsed,
-                engine="vectorized",
-                backend=resolved.name,
-            )
     return result
 
 

@@ -25,6 +25,12 @@ from repro.store.store import (
     StoreDiff,
 )
 
+#: Cache-entering analysis root for ``repro.lint --deep`` (REPRO101):
+#: everything read back from the store under a digest was produced by
+#: ``run_experiment``; a cache hit is only sound if that call tree is a
+#: pure function of the digested (experiment, params, seed) material.
+ANALYSIS_ROOTS = ("repro.experiments.registry.run_experiment",)
+
 __all__ = [
     "DIGEST_SCHEMA",
     "ENV_STORE_DIR",

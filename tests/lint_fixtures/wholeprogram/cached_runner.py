@@ -1,0 +1,22 @@
+"""Fixture: a cached experiment runner that is secretly impure.
+
+``run`` is registered in the neighbouring ``registry.py``, so the
+whole-program purity rule (REPRO101) must certify its entire call tree;
+the wall-clock read is buried two calls down, which only an
+interprocedural analysis can see.
+"""
+
+import time
+
+
+def _stamp():
+    return time.time()
+
+
+def _sweep(values):
+    baseline = _stamp()
+    return [value - baseline for value in values]
+
+
+def run(params=None):
+    return _sweep([1.0, 2.0, 3.0])

@@ -1,0 +1,30 @@
+"""Fixture: seed-provenanced sampling that REPRO102 must NOT flag.
+
+Every generator here flows from ``repro.rng.resolve_rng`` or a spawned
+``SeedSequence`` - the sanctioned sources - through the same
+return-value/argument hops as the tainted fixture, so a correct taint
+analysis reports nothing (with zero suppressions).
+"""
+
+import numpy as np
+
+from repro.rng import resolve_rng
+
+
+def make_generator(seed):
+    return resolve_rng(seed)
+
+
+def draw_profile(rng, count):
+    return rng.integers(1, 32, size=count)
+
+
+def sample_windows(seed, count):
+    rng = make_generator(seed)
+    return draw_profile(rng, count)
+
+
+def spawned_streams(seed, workers):
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(workers)
+    return [np.random.default_rng(child) for child in children]

@@ -1,0 +1,26 @@
+"""Fixture: a miniature experiment registry.
+
+The analyzer extracts ``Experiment(...)`` runner arguments from any
+``registry.py`` statically, so ``cached_runner.run`` becomes a
+cache-entering analysis root without this file ever being imported.
+"""
+
+import cached_runner
+
+
+class Experiment:
+    def __init__(self, exp_id, title, description, runner):
+        self.exp_id = exp_id
+        self.title = title
+        self.description = description
+        self.runner = runner
+
+
+EXPERIMENTS = (
+    Experiment(
+        "cached",
+        "Cached sweep",
+        "A runner whose results enter the content-addressed cache.",
+        cached_runner.run,
+    ),
+)

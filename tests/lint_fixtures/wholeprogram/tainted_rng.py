@@ -1,0 +1,23 @@
+"""Fixture: a sampling site two calls away from a provenance-free RNG.
+
+The per-file rule (REPRO001) would flag the bare ``default_rng()``
+construction line; it is deliberately suppressed here so the fixture
+demonstrates that the whole-program taint rule (REPRO102) still catches
+the *flow* - the generator travels through a return value and a call
+argument before the draw, which no single-file analysis can connect.
+"""
+
+import numpy as np
+
+
+def make_generator():
+    return np.random.default_rng()  # repro: noqa=REPRO001
+
+
+def draw_profile(rng, count):
+    return rng.integers(1, 32, size=count)
+
+
+def sample_windows(count):
+    rng = make_generator()
+    return draw_profile(rng, count)

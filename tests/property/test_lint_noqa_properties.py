@@ -1,0 +1,167 @@
+"""Property tests for ``# repro: noqa`` suppression semantics.
+
+Covers the acceptance surface for the suppression machinery:
+multi-code ``# repro: noqa=CODE1,CODE2`` comments, the ``--no-noqa``
+escape hatch, and whole-program (REPRO1xx) findings round-tripping
+consistently through the text, JSON and SARIF output formats.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lint.analyzer import check_source
+from repro.lint.cli import main as lint_main
+from repro.lint.sarif import validate_sarif
+
+# One single-line trigger per per-file rule we exercise; each line
+# produces exactly one violation of its code when linted standalone.
+_TRIGGERS = {
+    "REPRO001": "rng = np.random.default_rng()",
+    "REPRO003": "flag = (x == 0.5)",
+    "REPRO004": "def f(a=[]):\n    return a",
+}
+
+_CODES = sorted(_TRIGGERS)
+
+_noqa_sets = st.lists(
+    st.tuples(
+        st.frozensets(st.sampled_from(_CODES + ["REPRO101", "REPRO102"])),
+        st.booleans(),  # whether a noqa comment is present at all
+    ),
+    min_size=len(_CODES),
+    max_size=len(_CODES),
+)
+
+
+def _build_source(per_line):
+    """A module with one trigger per rule, each with its noqa config."""
+    chunks = ["import numpy as np", "x = 1.0"]
+    for code, (codes, present) in zip(_CODES, per_line):
+        trigger = _TRIGGERS[code]
+        if present:
+            suffix = (
+                "  # repro: noqa=" + ",".join(sorted(codes))
+                if codes
+                else "  # repro: noqa"
+            )
+        else:
+            suffix = ""
+        first, *rest = trigger.split("\n")
+        chunks.append(first + suffix)
+        chunks.extend(rest)
+    return "\n".join(chunks) + "\n"
+
+
+@given(per_line=_noqa_sets)
+@settings(max_examples=60, deadline=None)
+def test_multicode_noqa_suppresses_exactly_listed_codes(per_line):
+    source = _build_source(per_line)
+    reported = {
+        v.rule for v in check_source(source, path="prop.py")
+    }
+    for code, (codes, present) in zip(_CODES, per_line):
+        # A bare noqa suppresses everything on the line; a code list
+        # suppresses the violation iff its own code is listed.
+        suppressed = present and (not codes or code in codes)
+        assert (code not in reported) == suppressed
+
+
+@given(per_line=_noqa_sets)
+@settings(max_examples=30, deadline=None)
+def test_no_noqa_reports_everything(per_line):
+    source = _build_source(per_line)
+    reported = {
+        v.rule
+        for v in check_source(source, path="prop.py", respect_noqa=False)
+    }
+    assert reported == set(_CODES)
+
+
+@given(
+    codes=st.frozensets(
+        st.sampled_from(["REPRO101", "REPRO001", "REPRO003"])
+    ),
+    fmt=st.sampled_from(["text", "json", "sarif"]),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_deep_suppression_round_trips_through_formats(
+    codes, fmt, tmp_path_factory, capsys
+):
+    """A REPRO101 finding suppressed at its call site disappears from
+    every output format; unsuppressed it appears in every format."""
+    tree = tmp_path_factory.mktemp("deeptree")
+    suffix = "  # repro: noqa=" + ",".join(sorted(codes)) if codes else ""
+    (tree / "mod.py").write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            ANALYSIS_ROOTS = ("mod.run",)
+
+            def run():
+                return time.time(){suffix}
+            """
+        ).format(suffix=suffix),
+        encoding="utf-8",
+    )
+    exit_code = lint_main([str(tree), "--deep", "--format", fmt])
+    out = capsys.readouterr().out
+    suppressed = "REPRO101" in codes
+    assert exit_code == (0 if suppressed else 1)
+    if fmt == "json":
+        payload = json.loads(out)
+        present = any(
+            v["rule"] == "REPRO101" for v in payload["violations"]
+        )
+    elif fmt == "sarif":
+        log = json.loads(out)
+        assert validate_sarif(log) == []
+        present = any(
+            r["ruleId"] == "REPRO101"
+            for r in log["runs"][0]["results"]
+        )
+    else:
+        present = "REPRO101" in out
+    assert present == (not suppressed)
+
+
+@given(data=st.data())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_no_noqa_flag_resurfaces_deep_findings(
+    data, tmp_path_factory, capsys
+):
+    tree = tmp_path_factory.mktemp("deepnoqa")
+    (tree / "mod.py").write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            ANALYSIS_ROOTS = ("mod.run",)
+
+            def run():
+                return time.time()  # repro: noqa=REPRO101
+            """
+        ),
+        encoding="utf-8",
+    )
+    fmt = data.draw(st.sampled_from(["text", "json"]))
+    assert lint_main([str(tree), "--deep", "--format", fmt]) == 0
+    capsys.readouterr()
+    assert (
+        lint_main([str(tree), "--deep", "--no-noqa", "--format", fmt]) == 1
+    )
+    out = capsys.readouterr().out
+    assert "REPRO101" in out

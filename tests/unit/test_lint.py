@@ -319,7 +319,7 @@ class TestDiscoveryAndSyntax:
 
     def test_fixture_sweep_totals(self):
         violations, files_checked = check_paths([FIXTURES])
-        assert files_checked == 10
+        assert files_checked == 14
         by_rule = {}
         for violation in violations:
             by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1

@@ -1,0 +1,135 @@
+"""Tests for the lint baseline ratchet (repro.lint.baseline)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint.analyzer import Violation
+from repro.lint.baseline import (
+    compare_to_baseline,
+    fingerprint_violations,
+    load_baseline,
+    save_baseline,
+)
+
+
+def violation(path="src/mod.py", line=1, col=1, rule="REPRO001", message="m"):
+    return Violation(path=path, line=line, col=col, rule=rule, message=message)
+
+
+class TestFingerprints:
+    def test_line_and_column_independent(self):
+        before = fingerprint_violations([violation(line=3, col=2)])
+        after = fingerprint_violations([violation(line=42, col=9)])
+        assert before == after
+
+    def test_rule_path_message_all_contribute(self):
+        base = fingerprint_violations([violation()])[0]
+        assert fingerprint_violations([violation(rule="REPRO002")])[0] != base
+        assert fingerprint_violations([violation(path="other.py")])[0] != base
+        assert fingerprint_violations([violation(message="n")])[0] != base
+
+    def test_duplicate_triples_get_occurrence_counters(self):
+        duplicates = [violation(line=1), violation(line=5)]
+        fingerprints = fingerprint_violations(duplicates)
+        assert len(set(fingerprints)) == 2
+
+    def test_occurrence_counters_follow_line_order(self):
+        # The same duplicates presented in reverse input order must get
+        # the same fingerprint *per line*, so baselines don't churn when
+        # the input ordering changes.
+        forward = fingerprint_violations([violation(line=1), violation(line=5)])
+        backward = fingerprint_violations(
+            [violation(line=5), violation(line=1)]
+        )
+        assert forward == [backward[1], backward[0]]
+
+    def test_aligned_with_input_order(self):
+        first = violation(path="a.py", message="alpha")
+        second = violation(path="b.py", message="beta")
+        fingerprints = fingerprint_violations([second, first])
+        assert fingerprints == [
+            fingerprint_violations([second])[0],
+            fingerprint_violations([first])[0],
+        ]
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        violations = [violation(), violation(rule="REPRO003", message="x")]
+        count = save_baseline(path, violations)
+        assert count == 2
+        assert sorted(load_baseline(path)) == sorted(
+            fingerprint_violations(violations)
+        )
+
+    def test_entries_are_human_readable(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [violation(message="keep me reviewable")])
+        payload = json.loads(path.read_text())
+        assert payload["entries"][0]["message"] == "keep me reviewable"
+        assert payload["entries"][0]["rule"] == "REPRO001"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_malformed_json_raises_lint_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(LintError):
+            load_baseline(path)
+
+    def test_wrong_shape_raises_lint_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"fingerprints": "nope"}))
+        with pytest.raises(LintError):
+            load_baseline(path)
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(LintError):
+            load_baseline(path)
+
+
+class TestRatchet:
+    def test_new_legacy_and_stale_partition(self, tmp_path):
+        legacy = violation(message="old debt")
+        gone = violation(message="since fixed")
+        baseline = fingerprint_violations([legacy, gone])
+        fresh = violation(message="brand new")
+        comparison = compare_to_baseline([legacy, fresh], baseline)
+        assert comparison.new == (fresh,)
+        assert comparison.legacy == (legacy,)
+        assert comparison.stale == (fingerprint_violations([gone])[0],)
+
+    def test_each_fingerprint_absorbs_one_occurrence(self):
+        first = violation(line=1)
+        second = violation(line=5)
+        third = violation(line=9)
+        baseline = fingerprint_violations([first, second])
+        comparison = compare_to_baseline([first, second, third], baseline)
+        assert comparison.legacy == (first, second)
+        assert comparison.new == (third,)
+
+    def test_empty_baseline_everything_is_new(self):
+        violations = [violation(), violation(rule="REPRO002")]
+        comparison = compare_to_baseline(violations, [])
+        assert comparison.new == tuple(violations)
+        assert comparison.legacy == ()
+        assert comparison.stale == ()
+
+    def test_clean_run_reports_all_stale(self):
+        baseline = fingerprint_violations([violation()])
+        comparison = compare_to_baseline([], baseline)
+        assert comparison.new == ()
+        assert comparison.stale == tuple(baseline)
+
+    def test_line_shift_does_not_break_ratchet(self):
+        tracked = violation(line=10)
+        baseline = fingerprint_violations([tracked])
+        shifted = violation(line=200)
+        comparison = compare_to_baseline([shifted], baseline)
+        assert comparison.new == ()
+        assert comparison.legacy == (shifted,)

@@ -1,0 +1,173 @@
+"""Tests for SARIF 2.1.0 output (repro.lint.sarif)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.analyzer import Violation
+from repro.lint.sarif import (
+    SARIF_VERSION,
+    build_sarif,
+    render_sarif,
+    validate_sarif,
+)
+
+
+def make_violations():
+    return [
+        Violation(
+            path="src/repro/sim/engine.py",
+            line=10,
+            col=5,
+            rule="REPRO001",
+            message="np.random.default_rng() without a seed argument",
+        ),
+        Violation(
+            path="src/repro/campaign/engine.py",
+            line=42,
+            col=1,
+            rule="REPRO101",
+            message="impure call reachable from cache-entering root",
+        ),
+    ]
+
+
+class TestBuildSarif:
+    def test_valid_against_structural_schema(self):
+        log = build_sarif(make_violations())
+        assert validate_sarif(log) == []
+        assert log["version"] == SARIF_VERSION
+
+    def test_empty_run_is_valid(self):
+        log = build_sarif([])
+        assert validate_sarif(log) == []
+        assert log["runs"][0]["results"] == []
+
+    def test_rule_descriptors_and_indices(self):
+        log = build_sarif(
+            make_violations(),
+            rule_summaries={"REPRO001": "unseeded default_rng"},
+        )
+        driver = log["runs"][0]["tool"]["driver"]
+        ids = [rule["id"] for rule in driver["rules"]]
+        assert ids == ["REPRO001", "REPRO101"]
+        assert (
+            driver["rules"][0]["shortDescription"]["text"]
+            == "unseeded default_rng"
+        )
+        for result in log["runs"][0]["results"]:
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_result_regions_are_one_based(self):
+        violation = Violation(
+            path="x.py", line=0, col=0, rule="REPRO001", message="m"
+        )
+        log = build_sarif([violation])
+        region = log["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startLine"] == 1
+        assert region["startColumn"] == 1
+
+    def test_partial_fingerprints_present_and_stable(self):
+        log = build_sarif(make_violations())
+        fingerprints = [
+            result["partialFingerprints"]["reproLintFingerprint/v1"]
+            for result in log["runs"][0]["results"]
+        ]
+        assert all(isinstance(fp, str) and fp for fp in fingerprints)
+        # Line-shift invariance: same (rule, path, message), new lines.
+        shifted = [
+            Violation(
+                path=v.path,
+                line=v.line + 7,
+                col=v.col,
+                rule=v.rule,
+                message=v.message,
+            )
+            for v in make_violations()
+        ]
+        shifted_log = build_sarif(shifted)
+        shifted_fps = [
+            result["partialFingerprints"]["reproLintFingerprint/v1"]
+            for result in shifted_log["runs"][0]["results"]
+        ]
+        assert shifted_fps == fingerprints
+
+    def test_base_dir_relativizes_uris(self, tmp_path):
+        target = tmp_path / "pkg" / "mod.py"
+        target.parent.mkdir()
+        target.write_text("x = 1\n")
+        violation = Violation(
+            path=str(target), line=1, col=1, rule="REPRO001", message="m"
+        )
+        log = build_sarif([violation], base_dir=tmp_path)
+        uri = log["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["artifactLocation"]["uri"]
+        assert uri == "pkg/mod.py"
+
+    def test_path_outside_base_dir_kept(self, tmp_path):
+        violation = Violation(
+            path="/elsewhere/mod.py",
+            line=1,
+            col=1,
+            rule="REPRO001",
+            message="m",
+        )
+        log = build_sarif([violation], base_dir=tmp_path)
+        uri = log["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["artifactLocation"]["uri"]
+        assert uri == "/elsewhere/mod.py"
+
+    def test_render_round_trips_through_json(self):
+        text = render_sarif(make_violations())
+        assert text.endswith("\n")
+        assert validate_sarif(json.loads(text)) == []
+
+
+class TestValidateSarif:
+    def test_rejects_non_object(self):
+        assert validate_sarif([]) != []
+
+    def test_rejects_wrong_version(self):
+        log = build_sarif(make_violations())
+        log["version"] = "2.0.0"
+        assert any("version" in e for e in validate_sarif(log))
+
+    def test_rejects_missing_driver_name(self):
+        log = build_sarif(make_violations())
+        del log["runs"][0]["tool"]["driver"]["name"]
+        assert any("driver.name" in e for e in validate_sarif(log))
+
+    def test_rejects_unknown_rule_id(self):
+        log = build_sarif(make_violations())
+        log["runs"][0]["results"][0]["ruleId"] = "REPRO999"
+        assert any("ruleId" in e for e in validate_sarif(log))
+
+    def test_rejects_out_of_range_rule_index(self):
+        log = build_sarif(make_violations())
+        log["runs"][0]["results"][0]["ruleIndex"] = 99
+        assert any("ruleIndex" in e for e in validate_sarif(log))
+
+    def test_rejects_bad_level(self):
+        log = build_sarif(make_violations())
+        log["runs"][0]["results"][0]["level"] = "fatal"
+        assert any("level" in e for e in validate_sarif(log))
+
+    def test_rejects_zero_based_region(self):
+        log = build_sarif(make_violations())
+        location = log["runs"][0]["results"][0]["locations"][0]
+        location["physicalLocation"]["region"]["startLine"] = 0
+        assert any("startLine" in e for e in validate_sarif(log))
+
+    def test_rejects_missing_message_text(self):
+        log = build_sarif(make_violations())
+        log["runs"][0]["results"][0]["message"] = {}
+        assert any("message.text" in e for e in validate_sarif(log))
+
+    def test_rejects_non_string_fingerprints(self):
+        log = build_sarif(make_violations())
+        log["runs"][0]["results"][0]["partialFingerprints"] = {"k": 7}
+        assert any("partialFingerprints" in e for e in validate_sarif(log))
