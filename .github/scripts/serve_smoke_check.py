@@ -1,0 +1,101 @@
+"""CI guard: a real ``repro serve`` process must coalesce and cache.
+
+Boots the CLI server as a subprocess on an ephemeral port against a
+fresh store, then drives it from client threads the way a deployment
+would:
+
+* a *cold* wave of concurrent requests - distinct documents plus a
+  burst of identical ones, so the identical burst must coalesce onto a
+  single solve;
+* a *warm* wave repeating the same documents, which must be served from
+  the store cache.
+
+Asserts via ``GET /stats`` that cache hits and coalesced requests are
+both non-zero, and that the warm wave triggered no further solves (see
+docs/serving.md).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.errors import ServeError
+from repro.serve import ServeClient
+
+PORT = 8351
+DISTINCT = [{"kind": "equilibrium", "params": {"n_nodes": n}} for n in (5, 9)]
+IDENTICAL = [{"kind": "equilibrium", "params": {"n_nodes": 14}}] * 6
+WAVE = DISTINCT + IDENTICAL
+
+
+def wait_until_healthy(client: ServeClient, deadline_s: float = 30.0) -> None:
+    deadline = time.monotonic() + deadline_s
+    while True:
+        try:
+            if client.health() == {"ok": True}:
+                return
+        except ServeError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.2)
+
+
+def fire_wave(documents) -> None:
+    def one(document):
+        with ServeClient("127.0.0.1", PORT) as client:
+            response = client.solve(document["kind"], document["params"])
+            assert response["result"], response
+            return response
+
+    with ThreadPoolExecutor(max_workers=len(documents)) as pool:
+        responses = list(pool.map(one, documents))
+    digests = {r["digest"] for r in responses}
+    assert len(digests) == len(DISTINCT) + 1, digests
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                str(PORT),
+                "--store",
+                str(Path(tmp) / "store"),
+            ]
+        )
+        try:
+            with ServeClient("127.0.0.1", PORT) as client:
+                wait_until_healthy(client)
+                fire_wave(WAVE)  # cold: everything solves or coalesces
+                cold = client.stats()
+                fire_wave(WAVE)  # warm: everything is a store hit
+                warm = client.stats()
+        finally:
+            server.terminate()
+            server.wait(timeout=30)
+
+    assert cold["solves"] >= len(DISTINCT), cold
+    assert cold["coalesced"] + cold["cache_hits"] >= len(IDENTICAL) - 1, cold
+    assert warm["solves"] == cold["solves"], (cold, warm)
+    assert warm["cache_hits"] > cold["cache_hits"] >= 0, (cold, warm)
+    assert warm["errors"] == 0, warm
+
+    print(
+        "serve smoke OK: "
+        f"{warm['requests']} requests, {warm['solves']} solves, "
+        f"{warm['coalesced']} coalesced, {warm['cache_hits']} cache hits"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

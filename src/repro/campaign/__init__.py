@@ -13,6 +13,7 @@ from repro.campaign.engine import (
     CampaignReport,
     TaskOutcome,
     campaign_status,
+    parse_shard,
     run_campaign,
 )
 from repro.campaign.spec import (
@@ -33,6 +34,7 @@ __all__ = [
     "campaign_status",
     "expand_tasks",
     "load_spec",
+    "parse_shard",
     "run_campaign",
     "spec_from_dict",
 ]

@@ -10,28 +10,43 @@ store from the parent process *as it completes* (the runner's
 power loss mid-JSON thanks to atomic writes) leaves a store whose
 membership is exactly the completed prefix; rerunning the same spec
 resumes from there without recomputing anything.
+
+**Multi-writer sharding.**  One campaign can be split across several
+writer processes (or hosts sharing the store filesystem): pass
+``shard=(index, count)`` to restrict a run to the tasks with
+``task.index % count == index``, and/or ``writer_id`` to claim tasks
+through the store's :class:`~repro.store.journal.WriterJournal` before
+executing them.  Claims make overlapping writers safe (a task is only
+computed once even when shards overlap or a writer is started twice) and
+every commit is journalled per writer, which is what
+:func:`campaign_status` reads to show shard progress and to distinguish
+"pending" from "claimed by another writer".  Resume stays exact and
+writer-free: store membership alone decides what still needs computing,
+so a plain single-process rerun after any number of sharded writers
+finds zero missing and zero duplicated tasks.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import IntegrityError
+from repro.errors import CampaignError, IntegrityError
 from repro.experiments.export import result_to_dict
 from repro.experiments.parallel import parallel_map
 from repro.experiments.registry import run_experiment
 from repro.experiments.reporting import format_table
 from repro.obs import MemoryRecorder, build_profile, use_recorder
 from repro.obs.metrics import inc as _obs_inc
-from repro.store import ResultStore
+from repro.store import ResultStore, WriterJournal
 from repro.campaign.spec import CampaignSpec, CampaignTask, expand_tasks
 
 __all__ = [
     "CampaignReport",
     "TaskOutcome",
     "campaign_status",
+    "parse_shard",
     "run_campaign",
 ]
 
@@ -48,23 +63,37 @@ _WorkerResult = Tuple[Any, str, float, List[Dict[str, Any]]]
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """Final state of one campaign task."""
+    """Final state of one campaign task.
+
+    ``status`` is one of ``"cached"`` (already in the store),
+    ``"executed"`` (computed and committed by this run), ``"pending"``
+    (not computed and unclaimed), ``"claimed"`` (another writer holds
+    the claim; ``claimed_by`` names it) or ``"other-shard"`` (excluded
+    from this run by its ``shard`` selector).
+    """
 
     index: int
     digest: str
     params: Dict[str, Any]
-    status: str  # "cached" | "executed" | "pending"
+    status: str
     wall_time_s: Optional[float] = None
+    claimed_by: Optional[str] = None
 
 
 @dataclass(frozen=True)
 class CampaignReport:
-    """Summary of one :func:`run_campaign`/:func:`campaign_status` pass."""
+    """Summary of one :func:`run_campaign`/:func:`campaign_status` pass.
+
+    ``writer_progress`` maps writer ids to the number of tasks of this
+    campaign each has journalled as committed (empty outside multi-writer
+    mode).
+    """
 
     spec_name: str
     experiment_id: str
     outcomes: List[TaskOutcome]
     interrupted: bool = False
+    writer_progress: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -83,8 +112,21 @@ class CampaignReport:
         return sum(1 for o in self.outcomes if o.status == "pending")
 
     @property
+    def claimed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "claimed")
+
+    @property
+    def other_shard(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "other-shard")
+
+    @property
     def complete(self) -> bool:
-        return self.pending == 0 and not self.interrupted
+        return (
+            self.pending == 0
+            and self.claimed == 0
+            and self.other_shard == 0
+            and not self.interrupted
+        )
 
     def render(self) -> str:
         headers = ["#", "digest", "status", "wall [s]", "params"]
@@ -98,18 +140,35 @@ class CampaignReport:
             params = ", ".join(
                 f"{key}={value!r}" for key, value in outcome.params.items()
             )
+            status = outcome.status
+            if outcome.claimed_by is not None:
+                status = f"{status}({outcome.claimed_by})"
             rows.append(
-                [outcome.index, outcome.digest[:12], outcome.status, wall, params]
+                [outcome.index, outcome.digest[:12], status, wall, params]
             )
         state = "INTERRUPTED" if self.interrupted else (
             "complete" if self.complete else "incomplete"
         )
+        extras = ""
+        if self.claimed:
+            extras += f", {self.claimed} claimed"
+        if self.other_shard:
+            extras += f", {self.other_shard} other-shard"
         title = (
             f"Campaign {self.spec_name!r} ({self.experiment_id}): "
             f"{self.total} tasks, {self.cached} cached, "
-            f"{self.executed} executed, {self.pending} pending [{state}]"
+            f"{self.executed} executed, {self.pending} pending"
+            f"{extras} [{state}]"
         )
-        return format_table(headers, rows, title=title)
+        table = format_table(headers, rows, title=title)
+        if not self.writer_progress:
+            return table
+        lines = [table, "writers:"]
+        for writer in sorted(self.writer_progress):
+            lines.append(
+                f"  {writer}: {self.writer_progress[writer]} committed"
+            )
+        return "\n".join(lines)
 
 
 def _execute_task(task: _WorkerTask) -> _WorkerResult:
@@ -157,27 +216,89 @@ def _partition(
     return pending, cached
 
 
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``K/M`` shard selector into ``(index, count)``.
+
+    ``K`` is the zero-based shard index, ``M`` the shard count; a run
+    with ``shard=(K, M)`` executes exactly the tasks whose index is
+    congruent to ``K`` modulo ``M``.
+    """
+    parts = text.split("/")
+    if len(parts) != 2:
+        raise CampaignError(
+            f"shard must look like 'K/M' (e.g. '0/4'), got {text!r}"
+        )
+    try:
+        index, count = int(parts[0]), int(parts[1])
+    except ValueError as error:
+        raise CampaignError(
+            f"shard must be two integers 'K/M', got {text!r}"
+        ) from error
+    return _check_shard((index, count))
+
+
+def _check_shard(shard: Tuple[int, int]) -> Tuple[int, int]:
+    index, count = shard
+    if count < 1:
+        raise CampaignError(f"shard count must be >= 1, got {count!r}")
+    if not 0 <= index < count:
+        raise CampaignError(
+            f"shard index must lie in [0, {count}), got {index!r}"
+        )
+    return (index, count)
+
+
+def _writer_progress(
+    journal: WriterJournal, campaign_name: str
+) -> Dict[str, int]:
+    """Per-writer committed-task counts for one campaign's journals."""
+    progress: Dict[str, int] = {}
+    for entry in journal.all_entries():
+        if entry.get("campaign") != campaign_name:
+            continue
+        writer = str(entry.get("writer", "?"))
+        progress[writer] = progress.get(writer, 0) + 1
+    return progress
+
+
 def campaign_status(
     spec: CampaignSpec, *, store: Optional[ResultStore] = None
 ) -> CampaignReport:
-    """What a run would do now: which tasks are cached, which pending."""
+    """What a run would do now: which tasks are cached, which pending.
+
+    Once multi-writer journals exist for the store, a pending task whose
+    digest is claimed by a writer is reported ``"claimed"`` (with the
+    writer id) rather than ``"pending"``, and the report carries the
+    per-writer shard progress from the journals.
+    """
     store = store if store is not None else ResultStore.default()
     tasks = expand_tasks(spec)
     pending, cached = _partition(tasks, store, force=False)
     pending_indices = {task.index for task in pending}
-    outcomes = [
-        TaskOutcome(
-            index=task.index,
-            digest=task.digest,
-            params=task.params,
-            status="pending" if task.index in pending_indices else "cached",
+    journal = WriterJournal(store.root, "status-probe")
+    outcomes = []
+    for task in tasks:
+        status = "pending" if task.index in pending_indices else "cached"
+        claimed_by: Optional[str] = None
+        if status == "pending":
+            owner = journal.claim_owner(task.digest)
+            if owner is not None:
+                status = "claimed"
+                claimed_by = owner.writer
+        outcomes.append(
+            TaskOutcome(
+                index=task.index,
+                digest=task.digest,
+                params=task.params,
+                status=status,
+                claimed_by=claimed_by,
+            )
         )
-        for task in tasks
-    ]
     return CampaignReport(
         spec_name=spec.name,
         experiment_id=spec.experiment_id,
         outcomes=outcomes,
+        writer_progress=_writer_progress(journal, spec.name),
     )
 
 
@@ -187,6 +308,8 @@ def run_campaign(
     store: Optional[ResultStore] = None,
     jobs: Optional[int] = None,
     force: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
+    writer_id: Optional[str] = None,
 ) -> CampaignReport:
     """Run a campaign through the store (see module docstring).
 
@@ -200,6 +323,15 @@ def run_campaign(
         Worker override; ``None`` defers to ``spec.jobs``.
     force:
         Re-execute every task even on a store hit (``--no-cache``).
+    shard:
+        ``(index, count)`` selector restricting this run to the tasks
+        with ``task.index % count == index`` (see :func:`parse_shard`);
+        excluded tasks are reported ``"other-shard"``.
+    writer_id:
+        Identity under which pending tasks are claimed and commits are
+        journalled.  Supplying a shard without a writer id uses
+        :func:`~repro.store.journal.default_writer_id`, so concurrent
+        shard processes are always claim-protected against each other.
 
     Notes
     -----
@@ -214,12 +346,43 @@ def run_campaign(
         Per-task outcomes.  If the sweep is interrupted by SIGINT the
         report is returned (not raised) with ``interrupted=True`` and
         the unfinished tasks left ``"pending"``; everything committed
-        before the interrupt stays in the store.
+        before the interrupt stays in the store, and this writer's
+        unexecuted claims are released so other writers can pick the
+        tasks up immediately.
     """
     store = store if store is not None else ResultStore.default()
+    if shard is not None:
+        shard = _check_shard(shard)
     tasks = expand_tasks(spec)
     pending, statuses = _partition(tasks, store, force=force)
     wall_times: Dict[int, float] = {}
+    claimed_by: Dict[int, str] = {}
+
+    if shard is not None:
+        index, count = shard
+        in_shard = []
+        for task in pending:
+            if task.index % count == index:
+                in_shard.append(task)
+            else:
+                statuses[task.index] = "other-shard"
+        pending = in_shard
+
+    journal: Optional[WriterJournal] = None
+    held_claims: Dict[int, str] = {}
+    if shard is not None or writer_id is not None:
+        journal = WriterJournal(store.root, writer_id)
+        runnable = []
+        for task in pending:
+            if journal.claim(task.digest):
+                held_claims[task.index] = task.digest
+                runnable.append(task)
+            else:
+                owner = journal.claim_owner(task.digest)
+                statuses[task.index] = "claimed"
+                if owner is not None:
+                    claimed_by[task.index] = owner.writer
+        pending = runnable
 
     def _commit(position: int, _task: _WorkerTask, value: _WorkerResult) -> None:
         task = pending[position]
@@ -244,6 +407,15 @@ def run_campaign(
         )
         statuses[task.index] = "executed"
         wall_times[task.index] = wall
+        if journal is not None:
+            journal.record(
+                task.digest,
+                campaign=spec.name,
+                task_index=task.index,
+                wall_time_s=wall,
+            )
+            journal.release(task.digest)
+            held_claims.pop(task.index, None)
 
     interrupted = False
     worker_tasks: List[_WorkerTask] = [
@@ -259,6 +431,13 @@ def run_campaign(
         )
     except KeyboardInterrupt:
         interrupted = True
+    finally:
+        if journal is not None:
+            # Claims on tasks we never committed (interrupt, worker
+            # failure) must not linger: release them so other writers
+            # see plain "pending" instead of waiting out staleness.
+            for digest in held_claims.values():
+                journal.release(digest)
 
     outcomes = [
         TaskOutcome(
@@ -267,6 +446,7 @@ def run_campaign(
             params=task.params,
             status=statuses.get(task.index, "pending"),
             wall_time_s=wall_times.get(task.index),
+            claimed_by=claimed_by.get(task.index),
         )
         for task in tasks
     ]
@@ -275,4 +455,7 @@ def run_campaign(
         experiment_id=spec.experiment_id,
         outcomes=outcomes,
         interrupted=interrupted,
+        writer_progress=(
+            _writer_progress(journal, spec.name) if journal is not None else {}
+        ),
     )

@@ -14,10 +14,13 @@ Installed as ``repro-experiments``::
     repro-experiments store diff <a> <b>      # field-level run delta
     repro-experiments store gc --keep 3       # retention per experiment
     repro-experiments campaign run sweep.toml # declarative cached sweep
+    repro-experiments campaign run sweep.toml --shard 0/4 --writer-id w0
     repro-experiments campaign status sweep.toml
     repro-experiments obs summary [<digest>]  # run-profile of a stored run
     repro-experiments obs diff <a> <b>        # profile delta (timings excluded)
     repro-experiments obs export <digest>     # raw profile JSON
+    repro-experiments serve --port 8351       # equilibrium-as-a-service
+    repro-experiments bench-serve             # serving benchmark -> JSON
 
 The quick overrides mirror ``examples/reproduce_paper.py``.  ``--jobs``
 fans the sweep experiments out over a process pool
@@ -50,7 +53,7 @@ from typing import Any, Dict, List, Optional
 
 from repro import backends as _backends
 from repro import obs
-from repro.campaign import campaign_status, load_spec, run_campaign
+from repro.campaign import campaign_status, load_spec, parse_shard, run_campaign
 from repro.errors import IntegrityError, ReproError, StoreError
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.export import result_to_dict, write_json
@@ -253,6 +256,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-execute every task even on a store hit",
     )
+    campaign_run.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/M",
+        help="run only the tasks of shard K of M (task index mod M == K); "
+        "start one process per shard against a shared store",
+    )
+    campaign_run.add_argument(
+        "--writer-id",
+        default=None,
+        metavar="ID",
+        help="stable writer identity for claims and the commit journal "
+        "(default: <hostname>-<pid>)",
+    )
     _add_store_option(campaign_run)
 
     campaign_stat = campaign_commands.add_parser(
@@ -303,6 +320,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="destination file (default: stdout)",
     )
     _add_store_option(obs_export)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the equilibrium solve server (see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8351,
+        help="TCP port (0 = ephemeral; default: 8351)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="solver thread-pool size (default: executor default)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="solve every request fresh instead of serving from the store",
+    )
+    _add_backend_option(serve)
+    _add_store_option(serve)
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="benchmark the solve server (writes BENCH_serve.json)",
+    )
+    bench_serve.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="FILE",
+        help="artifact path (default: BENCH_serve.json)",
+    )
+    bench_serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced concurrency levels and probe sizes (CI)",
+    )
+    _add_backend_option(bench_serve)
 
     return parser
 
@@ -472,6 +535,42 @@ def _obs_command(args: argparse.Namespace) -> int:
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    """Run the solve server in the foreground until interrupted."""
+    import asyncio
+
+    from repro.serve import EquilibriumService, ServeServer
+
+    service = EquilibriumService(
+        _open_store(args.store),
+        cache=not args.no_cache,
+        max_workers=args.workers,
+    )
+    server = ServeServer(service, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"serving on http://{args.host}:{server.port} "
+            f"(store: {service.store.root}; POST /v1/solve, GET /healthz, "
+            f"GET /stats; Ctrl-C to stop)"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; server stopped")
+        return EXIT_INTERRUPTED
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _install_backend(name: Optional[str]) -> Optional[int]:
     """Apply a ``--backend`` flag; returns an exit code on failure.
 
@@ -589,6 +688,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                     store=store,
                     jobs=args.jobs,
                     force=args.no_cache,
+                    shard=(
+                        parse_shard(args.shard)
+                        if args.shard is not None
+                        else None
+                    ),
+                    writer_id=args.writer_id,
                 )
                 print(report.render())
                 return EXIT_INTERRUPTED if report.interrupted else 0
@@ -601,6 +706,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
+    if args.command == "serve":
+        return _serve_command(args)
+    if args.command == "bench-serve":
+        from repro.serve.bench import DEFAULT_OUTPUT, render_report, run_benchmark
+
+        output = args.output if args.output is not None else DEFAULT_OUTPUT
+        try:
+            report = run_benchmark(output=output, smoke=args.smoke)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(render_report(report))
+        print(f"wrote {output}")
+        return 0
     raise AssertionError("unreachable")  # pragma: no cover
 
 

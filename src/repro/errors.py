@@ -19,6 +19,7 @@ __all__ = [
     "ParameterError",
     "ProtocolError",
     "ReproError",
+    "ServeError",
     "SimulationError",
     "StoreError",
     "StrategyError",
@@ -90,6 +91,14 @@ class BackendError(ReproError, RuntimeError):
     Raised by :mod:`repro.backends` when a requested backend name is not
     registered, when ``fallback=False`` resolution hits an unavailable
     backend, or when a native kernel fails to build/load.
+    """
+
+
+class ServeError(ReproError, RuntimeError):
+    """The serving layer received a malformed request or lost a worker.
+
+    Raised by :mod:`repro.serve` for unknown request kinds, invalid
+    request documents and solver failures surfaced to waiting clients.
     """
 
 

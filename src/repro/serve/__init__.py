@@ -1,0 +1,50 @@
+"""Equilibrium-as-a-service: async serving layer over the results store.
+
+Long-running workloads (parameter exploration UIs, sibling simulations,
+CI dashboards) keep re-asking the model the same questions: what is the
+efficient NE window ``W_c*`` at this network size, how profitable is a
+deviation, what does the utility curve look like.  This package turns
+those questions into a service instead of a script:
+
+* :mod:`repro.serve.requests` - request kinds (``equilibrium``,
+  ``best_response``, ``deviation_table``, ``curve``, ``fixed_point``),
+  canonical params and the request digest (the cache/coalescing key).
+* :mod:`repro.serve.solvers` - the pure solvers behind each kind,
+  REPRO101-certified via their ``ANALYSIS_ROOTS``.
+* :mod:`repro.serve.service` - :class:`EquilibriumService`: store-backed
+  caching, in-flight request coalescing, micro-batching of concurrent
+  ``fixed_point`` solves and worker-pool execution.
+* :mod:`repro.serve.protocol` - stdlib-only asyncio HTTP/1.1 server
+  (``repro-experiments serve``).
+* :mod:`repro.serve.client` - blocking stdlib client.
+* :mod:`repro.serve.bench` - the load-generator benchmark behind
+  ``repro-experiments bench-serve`` (``BENCH_serve.json``).
+
+See ``docs/serving.md`` for the protocol, deployment recipes (including
+multi-writer sharding against one shared store) and the benchmark
+methodology.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import ServeServer
+from repro.serve.requests import (
+    REQUEST_KINDS,
+    SolveRequest,
+    encode_json,
+    parse_request,
+)
+from repro.serve.service import EquilibriumService, ServiceStats
+from repro.serve.solvers import solve_fixed_point_batch, solve_request
+
+__all__ = [
+    "REQUEST_KINDS",
+    "EquilibriumService",
+    "ServeClient",
+    "ServeServer",
+    "ServiceStats",
+    "SolveRequest",
+    "encode_json",
+    "parse_request",
+    "solve_fixed_point_batch",
+    "solve_request",
+]

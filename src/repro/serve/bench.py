@@ -1,0 +1,310 @@
+"""Load-generator benchmark for the solve server (``BENCH_serve.json``).
+
+Boots an in-process :class:`~repro.serve.protocol.ServeServer` on an
+ephemeral port against a dedicated store, then drives it over real TCP
+with an asyncio load generator:
+
+* **Latency/throughput sweep** - at each concurrency level a distinct
+  workload of ``equilibrium`` requests is replayed twice against the
+  same store: the *cold* pass computes every solve, the *warm* pass is
+  served from the store cache.  Per-request wall times give p50/p99
+  latency and solves/s per pass; the cold/warm p50 ratio is the
+  headline cache speedup.
+* **Coalesce probe** - N generators fire the *same* fresh request
+  concurrently; the service's counters must show exactly one solve,
+  with the other N-1 requests coalesced onto it (or served from cache
+  when they arrive after the commit).
+* **Batch probe** - N distinct ``fixed_point`` requests fired
+  concurrently must fold into fewer batched solver calls than requests.
+
+``run_benchmark`` returns the result document and (optionally) writes
+it atomically; ``smoke=True`` shrinks the workload for CI.  All wire
+traffic goes through the real HTTP protocol layer, so the measured
+latency includes parsing, coalescing bookkeeping and store I/O exactly
+as a client would see them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ServeError
+from repro.experiments.export import write_json
+from repro.serve.protocol import ServeServer
+from repro.serve.requests import encode_json
+from repro.serve.service import EquilibriumService
+from repro.store import ResultStore
+
+__all__ = ["DEFAULT_OUTPUT", "render_report", "run_benchmark"]
+
+#: Default artifact path, relative to the current working directory.
+DEFAULT_OUTPUT = "BENCH_serve.json"
+
+#: Concurrency levels of the latency sweep (full / smoke).
+FULL_LEVELS = (1, 16, 256)
+SMOKE_LEVELS = (1, 4, 16)
+
+#: Identical concurrent requests of the coalesce probe (full / smoke).
+FULL_COALESCE = 32
+SMOKE_COALESCE = 8
+
+#: Distinct concurrent ``fixed_point`` requests of the batch probe.
+FULL_BATCH = 64
+SMOKE_BATCH = 12
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        raise ServeError("cannot take a percentile of zero samples")
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def _workload(offset: int, requests: int) -> List[Dict[str, Any]]:
+    """Distinct ``equilibrium`` documents, unique across the whole sweep.
+
+    Documents enumerate ``(n_nodes, mode, preset, ignore_cost)`` combos
+    starting at ``offset`` so no two documents of the benchmark share a
+    digest - a later level must not be pre-warmed by an earlier one.
+    ``n_nodes`` stays in the paper's 2-60 range, which bounds the cost
+    of one cold solve.
+    """
+    modes = ("basic", "rts_cts")
+    presets = ("default", "80211b")
+    documents = []
+    for i in range(requests):
+        index = offset + i
+        documents.append(
+            {
+                "kind": "equilibrium",
+                "params": {
+                    "n_nodes": 2 + (index // 8) % 59,
+                    "mode": modes[index % 2],
+                    "preset": presets[(index // 2) % 2],
+                    "ignore_cost": bool((index // 4) % 2),
+                },
+            }
+        )
+    return documents
+
+
+async def _post(
+    host: str, port: int, documents: List[Dict[str, Any]]
+) -> List[float]:
+    """One keep-alive connection working through ``documents`` serially.
+
+    Returns the per-request wall times (seconds).
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    latencies = []
+    try:
+        for document in documents:
+            body = encode_json(document)
+            head = (
+                "POST /v1/solve HTTP/1.1\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Content-Type: application/json\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            started = time.perf_counter()
+            writer.write(head + body)
+            await writer.drain()
+            status_line = await reader.readuntil(b"\r\n")
+            status = int(status_line.split()[1])
+            length = 0
+            while True:
+                line = await reader.readuntil(b"\r\n")
+                text = line.decode("latin-1").strip()
+                if not text:
+                    break
+                name, _, value = text.partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value)
+            payload = await reader.readexactly(length)
+            latencies.append(time.perf_counter() - started)
+            if status != 200:
+                raise ServeError(
+                    f"benchmark request failed with {status}: "
+                    f"{payload[:200].decode('utf-8', 'replace')}"
+                )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+    return latencies
+
+
+def _split(
+    documents: List[Dict[str, Any]], lanes: int
+) -> List[List[Dict[str, Any]]]:
+    return [documents[i::lanes] for i in range(lanes) if documents[i::lanes]]
+
+
+async def _run_pass(
+    host: str, port: int, documents: List[Dict[str, Any]], concurrency: int
+) -> Tuple[Dict[str, float], List[float]]:
+    started = time.perf_counter()
+    lanes = await asyncio.gather(
+        *(_post(host, port, lane) for lane in _split(documents, concurrency))
+    )
+    wall = time.perf_counter() - started
+    latencies = [sample for lane in lanes for sample in lane]
+    summary = {
+        "requests": len(latencies),
+        "wall_s": wall,
+        "requests_per_s": len(latencies) / wall if wall > 0 else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+    }
+    return summary, latencies
+
+
+async def _bench(
+    store: ResultStore, *, smoke: bool
+) -> Dict[str, Any]:
+    levels = SMOKE_LEVELS if smoke else FULL_LEVELS
+    service = EquilibriumService(store)
+    server = ServeServer(service, host="127.0.0.1", port=0)
+    await server.start()
+    host, port = server.host, server.port
+    try:
+        level_reports = []
+        offset = 0
+        for concurrency in levels:
+            documents = _workload(offset, max(concurrency, 8))
+            offset += len(documents)
+            cold, _ = await _run_pass(host, port, documents, concurrency)
+            warm, _ = await _run_pass(host, port, documents, concurrency)
+            speedup = (
+                cold["p50_ms"] / warm["p50_ms"] if warm["p50_ms"] > 0 else None
+            )
+            level_reports.append(
+                {
+                    "concurrency": concurrency,
+                    "cold": cold,
+                    "warm": warm,
+                    "warm_speedup_p50": speedup,
+                }
+            )
+
+        # Coalesce probe: N identical fresh requests, concurrently.
+        n_coalesce = SMOKE_COALESCE if smoke else FULL_COALESCE
+        before = service.stats.snapshot()
+        probe = {
+            "kind": "best_response",
+            "params": {"n_nodes": 75, "discount": 0.95},
+        }
+        await asyncio.gather(
+            *(_post(host, port, [probe]) for _ in range(n_coalesce))
+        )
+        after = service.stats.snapshot()
+        coalesce_report = {
+            "requests": n_coalesce,
+            "solves": after["solves"] - before["solves"],
+            "coalesced": after["coalesced"] - before["coalesced"],
+            "cache_hits": after["cache_hits"] - before["cache_hits"],
+        }
+
+        # Batch probe: N distinct fixed_point requests, concurrently.
+        n_batch = SMOKE_BATCH if smoke else FULL_BATCH
+        before = service.stats.snapshot()
+        batch_documents = [
+            {
+                "kind": "fixed_point",
+                "params": {"windows": [32.0 + i, 64.0, 128.0], "max_stage": 5},
+            }
+            for i in range(n_batch)
+        ]
+        await asyncio.gather(
+            *(_post(host, port, [document]) for document in batch_documents)
+        )
+        after = service.stats.snapshot()
+        batch_report = {
+            "requests": n_batch,
+            "batches": after["batches"] - before["batches"],
+            "batched_requests": after["batched_requests"]
+            - before["batched_requests"],
+            "solver_calls": after["solves"] - before["solves"],
+        }
+
+        return {
+            "schema": "repro.bench.serve/1",
+            "smoke": smoke,
+            "levels": level_reports,
+            "coalesce": coalesce_report,
+            "batch": batch_report,
+            "stats": service.stats.snapshot(),
+        }
+    finally:
+        await server.close()
+
+
+def run_benchmark(
+    *,
+    store_root: Optional[Union[str, Path]] = None,
+    output: Optional[Union[str, Path]] = DEFAULT_OUTPUT,
+    smoke: bool = False,
+) -> Dict[str, Any]:
+    """Run the serve benchmark; returns (and optionally writes) the report.
+
+    Parameters
+    ----------
+    store_root:
+        Store directory backing the server.  Defaults to a throwaway
+        directory under the system tempdir so the cold pass is honestly
+        cold; pass an existing store to benchmark against it.
+    output:
+        Artifact path (atomically written JSON); ``None`` skips writing.
+    smoke:
+        Shrink concurrency levels and probe sizes for CI.
+    """
+    if store_root is None:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+            report = asyncio.run(_bench(ResultStore(tmp), smoke=smoke))
+    else:
+        report = asyncio.run(_bench(ResultStore(store_root), smoke=smoke))
+    if output is not None:
+        write_json(report, Path(output))
+    return report
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a benchmark report."""
+    lines = [
+        f"serve benchmark ({'smoke' if report.get('smoke') else 'full'})"
+    ]
+    for level in report["levels"]:
+        cold, warm = level["cold"], level["warm"]
+        speedup = level["warm_speedup_p50"]
+        lines.append(
+            f"  c={level['concurrency']:<4} "
+            f"cold p50 {cold['p50_ms']:8.2f} ms  p99 {cold['p99_ms']:8.2f} ms"
+            f"  {cold['requests_per_s']:8.1f} req/s | "
+            f"warm p50 {warm['p50_ms']:7.2f} ms  p99 {warm['p99_ms']:7.2f} ms"
+            f"  {warm['requests_per_s']:8.1f} req/s | "
+            f"speedup {speedup:6.1f}x"
+        )
+    coalesce = report["coalesce"]
+    lines.append(
+        f"  coalesce: {coalesce['requests']} identical requests -> "
+        f"{coalesce['solves']} solve(s), {coalesce['coalesced']} coalesced, "
+        f"{coalesce['cache_hits']} cache hit(s)"
+    )
+    batch = report["batch"]
+    lines.append(
+        f"  batch: {batch['requests']} fixed_point requests -> "
+        f"{batch['solver_calls']} solver call(s) in "
+        f"{batch['batches']} batch(es)"
+    )
+    return "\n".join(lines)

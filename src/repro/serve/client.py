@@ -1,0 +1,114 @@
+"""Blocking stdlib client for the solve server.
+
+:class:`ServeClient` wraps :mod:`http.client` (keep-alive on one
+connection) so scripts, tests and the load generator can talk to a
+running ``repro-experiments serve`` without any HTTP dependency::
+
+    with ServeClient("127.0.0.1", 8351) as client:
+        response = client.solve("equilibrium", {"n_nodes": 10})
+        response["result"]["window_star"]
+
+Server-reported errors are raised as :class:`~repro.errors.ServeError`
+with the server's error type and message preserved.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ServeError
+from repro.serve.requests import encode_json
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One keep-alive HTTP connection to a solve server."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout_s: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drop the underlying connection (reopened on next use)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Any = None
+    ) -> Any:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        body = None
+        headers = {}
+        if payload is not None:
+            body = encode_json(payload)
+            headers["Content-Type"] = "application/json"
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        except (ConnectionError, http.client.HTTPException, OSError) as error:
+            self.close()
+            raise ServeError(
+                f"request to {self.host}:{self.port} failed: {error}"
+            ) from error
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServeError(
+                f"server returned invalid JSON ({error})"
+            ) from error
+        if response.status != 200:
+            message = "unknown error"
+            if isinstance(document, dict):
+                message = str(document.get("error", message))
+            raise ServeError(
+                f"server answered {response.status}: {message}"
+            )
+        return document
+
+    # -- API -----------------------------------------------------------
+    def solve(
+        self, kind: str, params: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Solve one request; returns the response document."""
+        return self._request(
+            "POST", "/v1/solve", {"kind": kind, "params": params or {}}
+        )
+
+    def solve_many(
+        self, documents: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Solve a list of request documents in one round trip.
+
+        Entries resolve concurrently on the server (identical entries
+        coalesce; ``fixed_point`` entries micro-batch).  Per-entry
+        failures come back as ``{"error": ..., "type": ...}`` documents
+        in place, not as an exception.
+        """
+        return self._request("POST", "/v1/solve", list(documents))
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness probe (``GET /healthz``)."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, int]:
+        """The service's monotonic counters (``GET /stats``)."""
+        return self._request("GET", "/stats")

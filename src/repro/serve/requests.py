@@ -1,0 +1,244 @@
+"""Request model of the serving layer: kinds, canonical params, digests.
+
+A solve request is ``{"kind": ..., "params": {...}}``.  Parsing
+normalises the params against the kind's schema (defaults filled in,
+unknown keys rejected, values canonicalized through the store's
+:func:`~repro.store.digest.canonicalize`), so two requests that mean the
+same solve always produce the same request digest - the key under which
+in-flight coalescing and the store-backed cache operate.
+
+The digest deliberately reuses :func:`repro.store.compute_digest` with a
+``serve.<kind>`` experiment id: served results live in the same
+content-addressed store as experiment runs and campaign tasks, carry the
+package version in their identity, and are inspectable with the ordinary
+``repro-experiments store`` tooling.
+
+Wire encoding goes through :func:`encode_json`, which routes every
+payload through :func:`repro.experiments.export.result_to_dict` and
+``json.dumps(..., allow_nan=False)`` - the same canonicalization the
+exporters use - so ``NaN``/``Infinity`` can never silently cross the
+wire as the non-standard JSON tokens (they become ``null``, REPRO003's
+float discipline applied to the protocol boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.experiments.export import to_json
+from repro.store import canonicalize, compute_digest
+
+__all__ = [
+    "REQUEST_KINDS",
+    "SolveRequest",
+    "encode_json",
+    "parse_request",
+]
+
+
+def _positive_int(value: Any, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServeError(f"{name} must be an integer, got {value!r}")
+    if value < 1:
+        raise ServeError(f"{name} must be >= 1, got {value!r}")
+    return value
+
+
+def _window_vector(value: Any, name: str) -> Tuple[float, ...]:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ServeError(
+            f"{name} must be a non-empty list of windows, got {value!r}"
+        )
+    windows = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            raise ServeError(
+                f"{name} entries must be numbers, got {item!r}"
+            )
+        windows.append(float(item))
+    return tuple(windows)
+
+
+#: Request kinds -> {param: (default, required)}.  ``None`` defaults that
+#: are *not* required stay None ("use the library default").
+_SCHEMAS: Dict[str, Dict[str, Tuple[Any, bool]]] = {
+    "equilibrium": {
+        "n_nodes": (None, True),
+        "mode": ("basic", False),
+        "preset": ("default", False),
+        "ignore_cost": (True, False),
+    },
+    "best_response": {
+        "n_nodes": (None, True),
+        "discount": (None, True),
+        "mode": ("basic", False),
+        "preset": ("default", False),
+        "reaction_stages": (1, False),
+        "reference_window": (None, False),
+    },
+    "deviation_table": {
+        "n_nodes": (None, True),
+        "mode": ("basic", False),
+        "preset": ("default", False),
+        "reaction_stages": (1, False),
+        "reference_window": (None, False),
+        "candidates": (None, False),
+    },
+    "curve": {
+        "n_nodes": (None, True),
+        "windows": (None, True),
+        "mode": ("basic", False),
+        "preset": ("default", False),
+        "ignore_cost": (False, False),
+    },
+    "fixed_point": {
+        "windows": (None, True),
+        "max_stage": (5, False),
+    },
+}
+
+#: The request kinds the service resolves, sorted.
+REQUEST_KINDS: Tuple[str, ...] = tuple(sorted(_SCHEMAS))
+
+_MODES = ("basic", "rts_cts")
+_PRESETS = ("default", "80211b")
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One normalised solve request.
+
+    ``params`` is the canonical parameter document (defaults filled,
+    values canonicalized); ``digest`` is the store/coalescing key,
+    computed as ``compute_digest("serve.<kind>", params)``.
+    """
+
+    kind: str
+    params: Dict[str, Any]
+    digest: str
+
+    @property
+    def experiment_id(self) -> str:
+        """The store experiment id served results are filed under."""
+        return f"serve.{self.kind}"
+
+
+def _check_common(kind: str, params: Dict[str, Any]) -> None:
+    if "n_nodes" in params:
+        params["n_nodes"] = _positive_int(params["n_nodes"], "n_nodes")
+        if params["n_nodes"] < 2:
+            raise ServeError(
+                f"n_nodes must be >= 2, got {params['n_nodes']!r}"
+            )
+    if "mode" in params and params["mode"] not in _MODES:
+        raise ServeError(
+            f"mode must be one of {_MODES}, got {params['mode']!r}"
+        )
+    if "preset" in params and params["preset"] not in _PRESETS:
+        raise ServeError(
+            f"preset must be one of {_PRESETS}, got {params['preset']!r}"
+        )
+    if "reaction_stages" in params:
+        params["reaction_stages"] = _positive_int(
+            params["reaction_stages"], "reaction_stages"
+        )
+    if params.get("reference_window") is not None:
+        params["reference_window"] = _positive_int(
+            params["reference_window"], "reference_window"
+        )
+    if "discount" in params:
+        discount = params["discount"]
+        if isinstance(discount, bool) or not isinstance(
+            discount, (int, float)
+        ):
+            raise ServeError(
+                f"discount must be a number, got {discount!r}"
+            )
+        if not 0.0 < float(discount) < 1.0:
+            raise ServeError(
+                f"discount must lie in (0, 1), got {discount!r}"
+            )
+        params["discount"] = float(discount)
+    if kind == "curve":
+        params["windows"] = list(_window_vector(params["windows"], "windows"))
+    if kind == "fixed_point":
+        params["windows"] = list(
+            _window_vector(params["windows"], "windows")
+        )
+        params["max_stage"] = _positive_int(params["max_stage"], "max_stage")
+    if kind == "deviation_table" and params.get("candidates") is not None:
+        candidates = params["candidates"]
+        if not isinstance(candidates, (list, tuple)) or not candidates:
+            raise ServeError(
+                f"candidates must be a non-empty list, got {candidates!r}"
+            )
+        params["candidates"] = [
+            _positive_int(c, "candidates entry") for c in candidates
+        ]
+
+
+def parse_request(document: Any) -> SolveRequest:
+    """Validate and normalise one request document.
+
+    Parameters
+    ----------
+    document:
+        ``{"kind": <str>, "params": {...}}`` (``params`` optional when
+        every field of the kind has a default).
+
+    Raises
+    ------
+    ServeError
+        On unknown kinds, missing required params, unknown params or
+        out-of-domain values.
+    """
+    if not isinstance(document, Mapping):
+        raise ServeError(
+            f"request must be a JSON object, got {type(document).__name__}"
+        )
+    kind = document.get("kind")
+    if kind not in _SCHEMAS:
+        raise ServeError(
+            f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}"
+        )
+    raw = document.get("params", {})
+    if raw is None:
+        raw = {}
+    if not isinstance(raw, Mapping):
+        raise ServeError(
+            f"params must be a JSON object, got {type(raw).__name__}"
+        )
+    schema = _SCHEMAS[kind]
+    unknown = sorted(set(raw) - set(schema))
+    if unknown:
+        raise ServeError(
+            f"unknown param(s) {unknown} for kind {kind!r}; "
+            f"expected a subset of {sorted(schema)}"
+        )
+    params: Dict[str, Any] = {}
+    for name, (default, required) in schema.items():
+        if name in raw:
+            params[name] = raw[name]
+        elif required:
+            raise ServeError(
+                f"request kind {kind!r} requires param {name!r}"
+            )
+        else:
+            params[name] = default
+    _check_common(kind, params)
+    params = canonicalize(params)
+    digest = compute_digest(f"serve.{kind}", params)
+    return SolveRequest(kind=kind, params=params, digest=digest)
+
+
+def encode_json(payload: Any) -> bytes:
+    """Encode one wire payload as compact, NaN-free UTF-8 JSON.
+
+    Non-finite floats become ``null`` (:func:`to_json` routes the
+    payload through :func:`result_to_dict` first), and its
+    ``allow_nan=False`` guarantees the encoder can never fall back to
+    the non-standard ``NaN``/``Infinity`` tokens.
+    """
+    return to_json(payload, indent=None).encode("utf-8")

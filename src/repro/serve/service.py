@@ -1,0 +1,482 @@
+"""The asyncio solve service: cache, coalescing, micro-batching, commits.
+
+:class:`EquilibriumService` resolves :class:`~repro.serve.requests.SolveRequest`
+objects through four layers, cheapest first:
+
+1. **Store cache.**  The request digest is looked up in the ordinary
+   content-addressed results store; a verified hit is returned without
+   touching a solver.  Corrupt entries are treated as misses (the commit
+   after the re-solve heals them).
+2. **Coalescing.**  Identical in-flight solves share one future keyed by
+   the request digest: N concurrent requests for the same digest cost
+   exactly one solve, and every waiter receives the same result (or the
+   same error).  Waiters await the shared future through
+   :func:`asyncio.shield`, so one cancelled client never cancels the
+   solve out from under the others.  The in-flight entry is removed only
+   *after* the store commit - a request arriving between solve
+   completion and commit still coalesces instead of racing the store.
+3. **Micro-batching.**  Concurrent ``fixed_point`` requests are folded
+   by a short batching window into single
+   :func:`~repro.bianchi.batched.solve_heterogeneous_batch` calls,
+   grouped by ``(n, max_stage)`` so the stacked ``(B, n)`` family is
+   rectangular.
+4. **Worker pool.**  Cache misses run the pure solvers of
+   :mod:`repro.serve.solvers` on a thread pool; each solo solve records
+   into its own :class:`~repro.obs.MemoryRecorder` and its profile is
+   committed next to the result, exactly like campaign tasks.  (Batched
+   solves commit without a profile: the batch composition is
+   timing-dependent, and per-request profiles must stay deterministic.)
+
+Request-lifecycle observability goes to the ambient recorder: counters
+for the logical outcomes (``serve.cache`` hit/miss, ``serve.coalesced``,
+``serve.batch.requests``, ``serve.solves``), spans around store I/O, and
+gauges for the timing data (queue wait, solve and commit seconds).
+Counters and spans enter profile digests, gauges do not - which is why
+wall-clock always travels as a gauge and never as a counter or
+histogram: a profile of a deterministic workload digests identically
+across machines and concurrency levels.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IntegrityError, ReproError, ServeError
+from repro.obs import MemoryRecorder, build_profile, span, use_recorder
+from repro.obs.metrics import gauge_set as _gauge
+from repro.obs.metrics import inc as _inc
+from repro.serve.requests import SolveRequest, parse_request
+from repro.serve.solvers import solve_fixed_point_batch, solve_request
+from repro.store import ResultStore
+
+__all__ = ["EquilibriumService", "ServiceStats"]
+
+#: Default seconds the micro-batcher waits for companions before flushing.
+DEFAULT_BATCH_WINDOW_S = 0.002
+
+#: Default cap on how many requests one batched solve may fold.
+DEFAULT_MAX_BATCH = 64
+
+_SolveValue = Tuple[Dict[str, Any], bool]  # (result document, cached?)
+
+
+class ServiceStats:
+    """Monotonic counters of one service instance (the /stats payload)."""
+
+    __slots__ = (
+        "requests",
+        "cache_hits",
+        "cache_misses",
+        "coalesced",
+        "solves",
+        "batches",
+        "batched_requests",
+        "errors",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.coalesced = 0
+        self.solves = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.errors = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict view for the ``/stats`` endpoint and the bench."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def _solve_with_events(
+    solver: Callable[[SolveRequest], Dict[str, Any]], request: SolveRequest
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]], float]:
+    """Worker-side solo solve: pure solver under a private recorder.
+
+    Runs on an executor thread, whose ambient recorder is the null
+    recorder (contextvars do not cross ``run_in_executor``), so the
+    events captured here are exactly the pure solve's and nothing else.
+    """
+    recorder = MemoryRecorder()
+    started = time.perf_counter()
+    with use_recorder(recorder):
+        result = solver(request)
+    return result, recorder.events, time.perf_counter() - started
+
+
+def _consume_exception(future: "asyncio.Future[Any]") -> None:
+    """Mark a shared future's error retrieved even if every waiter left."""
+    if not future.cancelled() and future.exception() is not None:
+        pass
+
+
+class _MicroBatcher:
+    """Folds concurrent ``fixed_point`` requests into batched solves.
+
+    Requests are grouped by ``(n, max_stage)``; the first request of a
+    group opens a ``window_s`` timer, companions arriving within the
+    window join the group, and the flush hands the stacked windows to
+    one ``batch_solver`` call on the executor.  A group also flushes
+    early when it reaches ``max_batch``.
+    """
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        executor: ThreadPoolExecutor,
+        batch_solver: Callable[
+            [Sequence[Sequence[float]], int], List[Dict[str, Any]]
+        ],
+        stats: ServiceStats,
+        *,
+        window_s: float,
+        max_batch: int,
+    ) -> None:
+        self._loop = loop
+        self._executor = executor
+        self._batch_solver = batch_solver
+        self._stats = stats
+        self._window_s = window_s
+        self._max_batch = max_batch
+        self._pending: Dict[
+            Tuple[int, int],
+            List[Tuple[SolveRequest, "asyncio.Future[Dict[str, Any]]"]],
+        ] = {}
+        self._timers: Dict[Tuple[int, int], asyncio.TimerHandle] = {}
+        self._tasks: set = set()
+
+    async def submit(self, request: SolveRequest) -> Dict[str, Any]:
+        windows = request.params["windows"]
+        key = (len(windows), int(request.params["max_stage"]))
+        future: "asyncio.Future[Dict[str, Any]]" = self._loop.create_future()
+        future.add_done_callback(_consume_exception)
+        bucket = self._pending.get(key)
+        if bucket is None:
+            bucket = []
+            self._pending[key] = bucket
+            self._timers[key] = self._loop.call_later(
+                self._window_s, self._flush, key
+            )
+        bucket.append((request, future))
+        if len(bucket) >= self._max_batch:
+            self._flush(key)
+        return await future
+
+    def _flush(self, key: Tuple[int, int]) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        batch = self._pending.pop(key, None)
+        if not batch:
+            return
+        task = self._loop.create_task(self._run(key, batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(
+        self,
+        key: Tuple[int, int],
+        batch: List[Tuple[SolveRequest, "asyncio.Future[Dict[str, Any]]"]],
+    ) -> None:
+        _n, max_stage = key
+        windows = [request.params["windows"] for request, _ in batch]
+        try:
+            results = await self._loop.run_in_executor(
+                self._executor, self._batch_solver, windows, max_stage
+            )
+        except BaseException as error:  # noqa: BLE001 - forwarded to waiters
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        self._stats.solves += 1
+        self._stats.batches += 1
+        self._stats.batched_requests += len(batch)
+        _inc("serve.solves", 1, mode="batched")
+        _inc("serve.batch.flushes", 1)
+        _inc("serve.batch.requests", len(batch))
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+
+    def drain(self) -> None:
+        """Flush every open group immediately (service shutdown)."""
+        for key in list(self._pending):
+            self._flush(key)
+
+
+class EquilibriumService:
+    """Async equilibrium-as-a-service over the results store (module doc).
+
+    Parameters
+    ----------
+    store:
+        Results store used as the shared response cache; defaults to
+        :meth:`ResultStore.default`.
+    cache:
+        Disable to solve every request fresh (``repro serve --no-cache``);
+        coalescing still applies.
+    max_workers:
+        Thread-pool size for solves and store commits.
+    batch_window_s, max_batch:
+        Micro-batching knobs; ``batch_window_s=0`` still batches
+        requests that are already queued concurrently (the timer fires
+        on the next loop pass).
+    solver, batch_solver:
+        Injectable solver callables (tests substitute crashing or
+        recording fakes); default to the pure solvers of
+        :mod:`repro.serve.solvers`.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        *,
+        cache: bool = True,
+        max_workers: Optional[int] = None,
+        batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        solver: Optional[Callable[[SolveRequest], Dict[str, Any]]] = None,
+        batch_solver: Optional[
+            Callable[[Sequence[Sequence[float]], int], List[Dict[str, Any]]]
+        ] = None,
+    ) -> None:
+        if batch_window_s < 0:
+            raise ServeError(
+                f"batch_window_s must be >= 0, got {batch_window_s!r}"
+            )
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch!r}")
+        self.store = store if store is not None else ResultStore.default()
+        self.cache_enabled = bool(cache)
+        self.stats = ServiceStats()
+        self._solver = solver if solver is not None else solve_request
+        self._batch_solver = (
+            batch_solver if batch_solver is not None else solve_fixed_point_batch
+        )
+        self._max_workers = max_workers
+        self._batch_window_s = float(batch_window_s)
+        self._max_batch = int(max_batch)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._batcher: Optional[_MicroBatcher] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._inflight: Dict[str, "asyncio.Future[_SolveValue]"] = {}
+        self._tasks: set = set()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    def _ensure_started(self) -> asyncio.AbstractEventLoop:
+        if self._closed:
+            raise ServeError("service is closed")
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-serve",
+            )
+            self._batcher = _MicroBatcher(
+                loop,
+                self._executor,
+                self._batch_solver,
+                self.stats,
+                window_s=self._batch_window_s,
+                max_batch=self._max_batch,
+            )
+        elif self._loop is not loop:
+            raise ServeError(
+                "service is bound to a different event loop; create one "
+                "service per loop"
+            )
+        return loop
+
+    async def close(self) -> None:
+        """Flush batches, wait out in-flight solves, stop the pool."""
+        self._closed = True
+        if self._batcher is not None:
+            self._batcher.drain()
+        pending = [task for task in self._tasks if not task.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    @property
+    def inflight(self) -> int:
+        """Number of distinct digests currently being solved."""
+        return len(self._inflight)
+
+    # -- solving -------------------------------------------------------
+    async def solve_document(self, document: Any) -> Dict[str, Any]:
+        """Parse one raw request document and solve it."""
+        return await self.solve(parse_request(document))
+
+    async def solve(self, request: SolveRequest) -> Dict[str, Any]:
+        """Resolve one request; returns the wire response document.
+
+        The response carries the request identity (``kind``, ``digest``)
+        and provenance flags: ``cached`` (served from the store without
+        solving) and ``coalesced`` (this call attached to an in-flight
+        solve instead of starting one).
+        """
+        loop = self._ensure_started()
+        self.stats.requests += 1
+        _inc("serve.requests", 1, kind=request.kind)
+        shared = self._inflight.get(request.digest)
+        if shared is not None:
+            self.stats.coalesced += 1
+            _inc("serve.coalesced", 1, kind=request.kind)
+            result, cached = await asyncio.shield(shared)
+            return self._response(
+                request, result, cached=cached, coalesced=True
+            )
+        future: "asyncio.Future[_SolveValue]" = loop.create_future()
+        future.add_done_callback(_consume_exception)
+        self._inflight[request.digest] = future
+        resolver = loop.create_task(self._resolve(request, future))
+        self._tasks.add(resolver)
+        resolver.add_done_callback(self._tasks.discard)
+        result, cached = await asyncio.shield(future)
+        return self._response(request, result, cached=cached, coalesced=False)
+
+    async def _resolve(
+        self, request: SolveRequest, future: "asyncio.Future[_SolveValue]"
+    ) -> None:
+        """Owner of one digest's solve: cache, solver, commit, publish.
+
+        Every exit path pops the in-flight entry and settles the shared
+        future, so waiters can neither hang nor observe a stale entry; a
+        solver crash becomes the future's exception and reaches *all*
+        coalesced waiters.
+        """
+        try:
+            queued = time.perf_counter()
+            if self.cache_enabled:
+                with span("serve.store.lookup", kind=request.kind):
+                    payload = self._cache_lookup(request.digest)
+                if payload is not None:
+                    self.stats.cache_hits += 1
+                    _inc("serve.cache", 1, outcome="hit", kind=request.kind)
+                    self._inflight.pop(request.digest, None)
+                    future.set_result((payload, True))
+                    return
+                self.stats.cache_misses += 1
+                _inc("serve.cache", 1, outcome="miss", kind=request.kind)
+            loop = self._loop
+            assert loop is not None  # _ensure_started ran in solve()
+            solve_started = time.perf_counter()
+            _gauge(
+                "serve.queue_wait_s",
+                solve_started - queued,
+                kind=request.kind,
+            )
+            batcher = self._batcher
+            if request.kind == "fixed_point" and batcher is not None:
+                result = await batcher.submit(request)
+                events: List[Dict[str, Any]] = []
+                wall = time.perf_counter() - solve_started
+            else:
+                assert self._executor is not None
+                result, events, wall = await loop.run_in_executor(
+                    self._executor, _solve_with_events, self._solver, request
+                )
+                self.stats.solves += 1
+                _inc("serve.solves", 1, mode="solo")
+            _gauge("serve.solve_s", wall, kind=request.kind)
+            if self.cache_enabled:
+                commit_started = time.perf_counter()
+                assert self._executor is not None
+                await loop.run_in_executor(
+                    self._executor, self._commit, request, result, events, wall
+                )
+                _gauge(
+                    "serve.commit_s",
+                    time.perf_counter() - commit_started,
+                    kind=request.kind,
+                )
+            # Pop only after the commit: a request landing between solve
+            # completion and commit coalesces onto this future instead
+            # of missing the cache and re-solving.
+            self._inflight.pop(request.digest, None)
+            future.set_result((result, False))
+        except BaseException as error:  # noqa: BLE001 - published to waiters
+            self.stats.errors += 1
+            _inc("serve.errors", 1, kind=request.kind)
+            self._inflight.pop(request.digest, None)
+            if not future.done():
+                if isinstance(error, ReproError):
+                    future.set_exception(error)
+                else:
+                    future.set_exception(
+                        ServeError(
+                            f"solver failed for kind {request.kind!r}: "
+                            f"{type(error).__name__}: {error}"
+                        )
+                    )
+            if isinstance(error, asyncio.CancelledError):
+                raise
+
+    # -- store plumbing (service layer: impure by design) --------------
+    def _cache_lookup(self, digest: str) -> Optional[Dict[str, Any]]:
+        """Verified store read; corrupt entries degrade to a miss."""
+        if not self.store.contains(digest):
+            return None
+        try:
+            payload = self.store.load_result(digest)
+        except IntegrityError:
+            return None
+        return payload if isinstance(payload, dict) else {"value": payload}
+
+    def _commit(
+        self,
+        request: SolveRequest,
+        result: Dict[str, Any],
+        events: List[Dict[str, Any]],
+        wall: float,
+    ) -> None:
+        """Commit one solved request to the store (executor thread).
+
+        ``put`` serialises against concurrent writers through the
+        store's advisory lock; the committed profile is built from the
+        worker-side events only, so its digest is a pure function of the
+        request (batched solves pass no events and commit no profile).
+        """
+        profile = None
+        if events:
+            profile = build_profile(
+                events,
+                meta={
+                    "experiment_id": request.experiment_id,
+                    "params": request.params,
+                    "serve": True,
+                },
+            )
+        self.store.put(
+            request.experiment_id,
+            request.params,
+            result,
+            wall_time_s=wall,
+            digest=request.digest,
+            profile=profile,
+        )
+
+    def _response(
+        self,
+        request: SolveRequest,
+        result: Dict[str, Any],
+        *,
+        cached: bool,
+        coalesced: bool,
+    ) -> Dict[str, Any]:
+        return {
+            "kind": request.kind,
+            "digest": request.digest,
+            "cached": cached,
+            "coalesced": coalesced,
+            "result": result,
+        }

@@ -1,0 +1,175 @@
+"""Pure request solvers: the cache-entering compute of the serving layer.
+
+:func:`solve_request` maps one normalised :class:`SolveRequest` to a
+plain JSON-typed result document, and :func:`solve_fixed_point_batch`
+folds many ``fixed_point`` requests into a single
+:func:`repro.bianchi.solve_heterogeneous_batch` call (the service's
+micro-batching scheduler groups concurrent requests by ``(n, max_stage)``
+and hands each group here).
+
+Both functions are **pure**: a served result is committed to the
+content-addressed store under the request digest and replayed on every
+later hit, so - exactly like campaign tasks - the cache is only sound if
+these functions are deterministic in their inputs.  ``ANALYSIS_ROOTS``
+registers them with ``repro.lint --deep`` (REPRO101), which certifies
+the whole call tree free of I/O, clock, environment and entropy effects;
+all timing, store traffic and observability for the request lifecycle
+live in :mod:`repro.serve.service`, outside the certified region.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.experiments.export import result_to_dict
+from repro.bianchi.batched import solve_heterogeneous_batch
+from repro.game.definition import MACGame
+from repro.game.deviation import deviation_table
+from repro.game.equilibrium import analyze_equilibria
+from repro.game.utility import symmetric_utility_curve
+from repro.phy.parameters import (
+    AccessMode,
+    PhyParameters,
+    default_parameters,
+    parameters_80211b,
+)
+from repro.phy.timing import slot_times
+from repro.serve.requests import SolveRequest
+
+__all__ = ["solve_fixed_point_batch", "solve_request"]
+
+#: Cache-entering analysis roots for ``repro.lint --deep`` (REPRO101):
+#: everything a served digest maps to was produced by one of these two
+#: calls; replaying a cached response is only sound if they are pure
+#: functions of the canonical request params.
+ANALYSIS_ROOTS = (
+    "repro.serve.solvers.solve_request",
+    "repro.serve.solvers.solve_fixed_point_batch",
+)
+
+
+def _phy(preset: str) -> PhyParameters:
+    if preset == "80211b":
+        return parameters_80211b()
+    return default_parameters()
+
+
+def _game(params: Dict[str, Any]) -> MACGame:
+    return MACGame(
+        n_players=int(params["n_nodes"]),
+        params=_phy(str(params["preset"])),
+        mode=AccessMode(str(params["mode"])),
+    )
+
+
+def _solve_equilibrium(params: Dict[str, Any]) -> Dict[str, Any]:
+    phy = _phy(str(params["preset"]))
+    times = slot_times(phy, AccessMode(str(params["mode"])))
+    analysis = analyze_equilibria(
+        int(params["n_nodes"]),
+        phy,
+        times,
+        ignore_cost=bool(params["ignore_cost"]),
+    )
+    document = result_to_dict(analysis)
+    document["ne_windows"] = [
+        analysis.window_breakeven,
+        analysis.window_star,
+    ]
+    return document
+
+
+def _solve_best_response(params: Dict[str, Any]) -> Dict[str, Any]:
+    game = _game(params)
+    table = deviation_table(
+        game,
+        reaction_stages=int(params["reaction_stages"]),
+        reference_window=params["reference_window"],
+    )
+    best = table.best(float(params["discount"]))
+    document = result_to_dict(best)
+    document["gain"] = best.gain
+    document["profitable"] = best.profitable
+    return document
+
+
+def _solve_deviation_table(params: Dict[str, Any]) -> Dict[str, Any]:
+    game = _game(params)
+    table = deviation_table(
+        game,
+        reaction_stages=int(params["reaction_stages"]),
+        reference_window=params["reference_window"],
+        candidates=params["candidates"],
+    )
+    return result_to_dict(table)
+
+
+def _solve_curve(params: Dict[str, Any]) -> Dict[str, Any]:
+    phy = _phy(str(params["preset"]))
+    times = slot_times(phy, AccessMode(str(params["mode"])))
+    windows = [float(w) for w in params["windows"]]
+    utilities = symmetric_utility_curve(
+        windows,
+        int(params["n_nodes"]),
+        phy,
+        times,
+        ignore_cost=bool(params["ignore_cost"]),
+    )
+    return {
+        "windows": windows,
+        "utilities": result_to_dict(utilities),
+    }
+
+
+def _solve_fixed_point(params: Dict[str, Any]) -> Dict[str, Any]:
+    return solve_fixed_point_batch(
+        [[float(w) for w in params["windows"]]],
+        int(params["max_stage"]),
+    )[0]
+
+
+_SOLVERS = {
+    "equilibrium": _solve_equilibrium,
+    "best_response": _solve_best_response,
+    "deviation_table": _solve_deviation_table,
+    "curve": _solve_curve,
+    "fixed_point": _solve_fixed_point,
+}
+
+
+def solve_request(request: SolveRequest) -> Dict[str, Any]:
+    """Resolve one request to a plain JSON-typed result document."""
+    solver = _SOLVERS.get(request.kind)
+    if solver is None:
+        raise ServeError(f"unknown request kind {request.kind!r}")
+    return solver(request.params)
+
+
+def solve_fixed_point_batch(
+    windows: Sequence[Sequence[float]], max_stage: int
+) -> List[Dict[str, Any]]:
+    """Solve many same-shape ``fixed_point`` requests in one batched call.
+
+    ``windows`` must be rectangular (every request the same ``n``); the
+    stacked ``(B, n)`` family goes through one
+    :func:`~repro.bianchi.batched.solve_heterogeneous_batch` call and the
+    result is split back into one document per request, identical to what
+    a solo :func:`solve_request` would have produced.
+    """
+    stacked = np.asarray([list(w) for w in windows], dtype=float)
+    solution = solve_heterogeneous_batch(stacked, int(max_stage))
+    documents: List[Dict[str, Any]] = []
+    for i in range(solution.n_instances):
+        documents.append(
+            {
+                "tau": result_to_dict(solution.tau[i]),
+                "collision": result_to_dict(solution.collision[i]),
+                "residual": result_to_dict(solution.residual[i]),
+                "iterations": int(solution.iterations[i]),
+                "newton": bool(solution.newton[i]),
+            }
+        )
+    return documents

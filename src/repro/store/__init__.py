@@ -6,8 +6,13 @@
 * :mod:`repro.store.store` - the on-disk store: atomic writes, a
   provenance manifest per run, integrity verification on read, an
   index with ``find``/``latest``/``diff`` queries and ``gc`` retention.
+* :mod:`repro.store.locking` - the advisory inter-process lock
+  serialising index maintenance and GC against concurrent writers.
+* :mod:`repro.store.journal` - per-writer journals and the atomic
+  claim protocol behind multi-writer campaign shards.
 
-See ``docs/store_and_campaigns.md`` for layout and recipes.
+See ``docs/store_and_campaigns.md`` for layout and recipes, and
+``docs/serving.md`` for the multi-writer protocol.
 """
 
 from repro.store.digest import (
@@ -17,6 +22,8 @@ from repro.store.digest import (
     compute_digest,
     digest_material,
 )
+from repro.store.journal import ClaimInfo, WriterJournal, default_writer_id
+from repro.store.locking import StoreLock
 from repro.store.store import (
     ENV_STORE_DIR,
     MANIFEST_SCHEMA,
@@ -35,11 +42,15 @@ __all__ = [
     "DIGEST_SCHEMA",
     "ENV_STORE_DIR",
     "MANIFEST_SCHEMA",
+    "ClaimInfo",
     "Manifest",
     "ResultStore",
     "StoreDiff",
+    "StoreLock",
+    "WriterJournal",
     "canonical_json",
     "canonicalize",
     "compute_digest",
+    "default_writer_id",
     "digest_material",
 ]

@@ -1,0 +1,291 @@
+"""Per-writer journals and the task-claim protocol for multi-writer runs.
+
+One store can now be fed by several writer processes (campaign shards,
+serve workers on different hosts sharing a filesystem).  Two pieces make
+that safe and observable:
+
+* **Claims** - ``<root>/claims/<digest>`` files, taken by atomic
+  exclusive create, mark a task as being computed by one writer so
+  shards that overlap (or a status probe) can tell "nobody started this"
+  from "another writer is on it".  A claim names its writer; re-claiming
+  your own digest is idempotent (that is what makes resume exact after a
+  writer restarts).  Claims from crashed writers are *stolen by rename*:
+  once older than ``stale_after_s`` a contender renames the claim file to
+  a unique tombstone - only one racer's rename can succeed - and then
+  claims afresh.
+* **Journals** - ``<root>/journal/<writer>.jsonl``, append-only records
+  of every digest a writer committed, with the campaign name and task
+  index.  The store's object membership stays the single source of truth
+  for resume (journals are advisory history, like the index), but they
+  are what lets ``repro campaign status`` show per-writer shard progress
+  and lets an operator audit who computed what.
+
+Claim files and journal lines are tiny JSON documents; everything is
+plain files so a shared NFS/EFS mount is a valid multi-host deployment.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.contracts import check_digest
+from repro.errors import StoreError
+
+__all__ = ["ClaimInfo", "WriterJournal", "default_writer_id"]
+
+#: Age (seconds, by claim-file mtime) after which a claim is stealable.
+DEFAULT_CLAIM_STALE_S = 3600.0
+
+
+def default_writer_id() -> str:
+    """A writer id unique enough for one host: ``<hostname>-<pid>``."""
+    return f"{platform.node() or 'writer'}-{os.getpid()}"
+
+
+def _check_writer_id(writer_id: str) -> str:
+    if not writer_id or any(ch in writer_id for ch in "/\\\0\n"):
+        raise StoreError(
+            f"writer id must be a non-empty path-safe string, "
+            f"got {writer_id!r}"
+        )
+    return writer_id
+
+
+class ClaimInfo:
+    """Decoded contents of one claim file."""
+
+    __slots__ = ("digest", "writer", "pid", "host", "claimed_at")
+
+    def __init__(
+        self,
+        digest: str,
+        writer: str,
+        pid: Optional[int],
+        host: Optional[str],
+        claimed_at: Optional[float],
+    ) -> None:
+        self.digest = digest
+        self.writer = writer
+        self.pid = pid
+        self.host = host
+        self.claimed_at = claimed_at
+
+
+class WriterJournal:
+    """One writer's view of a store's claims and journal (see module doc).
+
+    Parameters
+    ----------
+    root:
+        The store root (claims and journals live beside ``objects/``).
+    writer_id:
+        Stable identity of this writer.  Reusing an id across restarts
+        is what makes re-claiming idempotent; two concurrently live
+        writers must use distinct ids.
+    stale_after_s:
+        Age past which another writer's claim may be stolen.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        writer_id: Optional[str] = None,
+        *,
+        stale_after_s: float = DEFAULT_CLAIM_STALE_S,
+    ) -> None:
+        if stale_after_s <= 0:
+            raise StoreError(
+                f"stale_after_s must be > 0, got {stale_after_s!r}"
+            )
+        self.root = Path(root)
+        self.writer_id = _check_writer_id(
+            writer_id if writer_id is not None else default_writer_id()
+        )
+        self.stale_after_s = float(stale_after_s)
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def claims_dir(self) -> Path:
+        return self.root / "claims"
+
+    @property
+    def journal_dir(self) -> Path:
+        return self.root / "journal"
+
+    def claim_path(self, digest: str) -> Path:
+        check_digest(digest)
+        return self.claims_dir / digest
+
+    @property
+    def journal_path(self) -> Path:
+        return self.journal_dir / f"{self.writer_id}.jsonl"
+
+    # -- claims --------------------------------------------------------
+    def claim(self, digest: str) -> bool:
+        """Try to claim ``digest``; True when this writer now owns it.
+
+        Idempotent for the owning writer.  A claim left by a *crashed*
+        writer (older than ``stale_after_s``) is stolen by rename and
+        re-claimed; a fresh claim by another live writer yields False.
+        """
+        if self._try_create(digest):
+            return True
+        owner = self.claim_owner(digest)
+        if owner is not None and owner.writer == self.writer_id:
+            return True
+        if owner is None:
+            # Claim vanished between the create attempt and the read
+            # (released or stolen); take one more shot.
+            return self._try_create(digest)
+        if self._is_stale(digest) and self._steal(digest):
+            return self._try_create(digest)
+        return False
+
+    def release(self, digest: str) -> None:
+        """Drop this writer's claim on ``digest`` (no-op if not held)."""
+        owner = self.claim_owner(digest)
+        if owner is not None and owner.writer == self.writer_id:
+            try:
+                os.unlink(self.claim_path(digest))
+            except FileNotFoundError:  # pragma: no cover - racy release
+                pass
+
+    def claim_owner(self, digest: str) -> Optional[ClaimInfo]:
+        """Decode who holds the claim on ``digest`` (None when unclaimed)."""
+        path = self.claim_path(digest)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict) or "writer" not in data:
+            return None
+        return ClaimInfo(
+            digest=digest,
+            writer=str(data["writer"]),
+            pid=data.get("pid"),
+            host=data.get("host"),
+            claimed_at=data.get("claimed_at"),
+        )
+
+    def _try_create(self, digest: str) -> bool:
+        path = self.claim_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except OSError as error:
+            if error.errno == errno.EEXIST:
+                return False
+            raise StoreError(
+                f"cannot create claim file {path}: {error}"
+            ) from error
+        try:
+            payload = {
+                "writer": self.writer_id,
+                "pid": os.getpid(),
+                "host": platform.node(),
+                "claimed_at": time.time(),
+            }
+            os.write(descriptor, json.dumps(payload).encode("utf-8"))
+        finally:
+            os.close(descriptor)
+        return True
+
+    def _is_stale(self, digest: str) -> bool:
+        try:
+            age = time.time() - self.claim_path(digest).stat().st_mtime
+        except OSError:
+            return False
+        return age >= self.stale_after_s
+
+    def _steal(self, digest: str) -> bool:
+        """Atomic rename-steal of a stale claim; True when we won."""
+        path = self.claim_path(digest)
+        tombstone = path.with_name(
+            f".{path.name}.stale.{os.getpid()}.{time.monotonic_ns()}"
+        )
+        try:
+            os.rename(path, tombstone)
+        except OSError:
+            return False
+        try:
+            os.unlink(tombstone)
+        except OSError:  # pragma: no cover - tombstone already gone
+            pass
+        return True
+
+    # -- journal -------------------------------------------------------
+    def record(
+        self,
+        digest: str,
+        *,
+        campaign: Optional[str] = None,
+        task_index: Optional[int] = None,
+        wall_time_s: Optional[float] = None,
+    ) -> None:
+        """Append one committed-task record to this writer's journal.
+
+        A journal line is a single ``write`` of one ``\\n``-terminated
+        JSON document to a file opened in append mode, so concurrent
+        writers to *different* journal files never interleave and a
+        crash can at worst truncate the final line (readers skip
+        undecodable lines).
+        """
+        check_digest(digest)
+        entry: Dict[str, Any] = {
+            "digest": digest,
+            "writer": self.writer_id,
+            "committed_at": time.time(),
+        }
+        if campaign is not None:
+            entry["campaign"] = campaign
+        if task_index is not None:
+            entry["task_index"] = int(task_index)
+        if wall_time_s is not None:
+            entry["wall_time_s"] = float(wall_time_s)
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry, sort_keys=True, allow_nan=False) + "\n"
+        with self.journal_path.open("a") as handle:
+            handle.write(line)
+
+    def entries(self, writer_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Journal entries of one writer (default: this one)."""
+        writer = _check_writer_id(
+            writer_id if writer_id is not None else self.writer_id
+        )
+        path = self.journal_dir / f"{writer}.jsonl"
+        if not path.is_file():
+            return []
+        entries: List[Dict[str, Any]] = []
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line after a crash
+            if isinstance(entry, dict):
+                entries.append(entry)
+        return entries
+
+    def writers(self) -> List[str]:
+        """Every writer id with a journal at this store root, sorted."""
+        if not self.journal_dir.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in self.journal_dir.glob("*.jsonl")
+            if path.is_file()
+        )
+
+    def all_entries(self) -> List[Dict[str, Any]]:
+        """Journal entries of every writer, writer-major order."""
+        collected: List[Dict[str, Any]] = []
+        for writer in self.writers():
+            collected.extend(self.entries(writer))
+        return collected

@@ -1,0 +1,208 @@
+"""Advisory inter-process locking for the results store.
+
+The store's *object* writes were already crash-safe (atomic
+``os.replace`` via :func:`repro.experiments.export.write_json`), but its
+*index* maintenance was not concurrency-safe: ``put`` performs a
+read-modify-write of ``index.json``, and ``gc``/``prune_incomplete``
+walk the object tree deleting directories - two processes doing both at
+once could drop index entries or reap an object another writer was in
+the middle of committing.  :class:`StoreLock` serialises those critical
+sections across processes with a plain lock *file*:
+
+* **Acquire** is an atomic exclusive create (``O_CREAT | O_EXCL``) of
+  ``<root>/.lock`` - the POSIX-portable advisory lock that needs no
+  ``fcntl`` and works on any local filesystem.
+* **Stale claims are stolen by rename.**  A crashed holder leaves its
+  lock file behind; once the file is older than ``stale_after_s`` a
+  contender *renames* it to a unique tombstone before retrying the
+  exclusive create.  ``os.rename`` of a vanished source raises, so when
+  several processes race for the same stale lock exactly one steal
+  succeeds - the same claim-by-rename protocol
+  :class:`repro.store.journal.WriterJournal` uses for task claims.
+* **Reentrant per instance.**  The store's compound operations
+  (``gc`` -> ``remove``) nest acquisitions on one instance; a depth
+  counter makes that free.  Distinct instances - and distinct
+  processes - always contend through the filesystem.
+
+Lock files carry a JSON payload (pid, host, creation time) purely for
+post-mortem diagnostics; correctness never depends on reading it.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import platform
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import StoreError
+
+__all__ = ["StoreLock"]
+
+#: Default seconds a contender waits for the lock before giving up.
+DEFAULT_TIMEOUT_S = 30.0
+
+#: Default age after which an abandoned lock file may be stolen.
+DEFAULT_STALE_AFTER_S = 300.0
+
+
+class StoreLock:
+    """Advisory file lock guarding a store's mutating critical sections.
+
+    Parameters
+    ----------
+    path:
+        Location of the lock file (conventionally ``<root>/.lock``).
+    timeout_s:
+        Seconds to wait for acquisition before raising
+        :class:`~repro.errors.StoreError`.
+    poll_interval_s:
+        Sleep between acquisition attempts while contending.
+    stale_after_s:
+        Age (by file mtime) past which a lock file is considered
+        abandoned and eligible for the rename-steal protocol.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        poll_interval_s: float = 0.01,
+        stale_after_s: float = DEFAULT_STALE_AFTER_S,
+    ) -> None:
+        if timeout_s < 0:
+            raise StoreError(f"timeout_s must be >= 0, got {timeout_s!r}")
+        if poll_interval_s <= 0:
+            raise StoreError(
+                f"poll_interval_s must be > 0, got {poll_interval_s!r}"
+            )
+        if stale_after_s <= 0:
+            raise StoreError(
+                f"stale_after_s must be > 0, got {stale_after_s!r}"
+            )
+        self.path = Path(path)
+        self.timeout_s = float(timeout_s)
+        self.poll_interval_s = float(poll_interval_s)
+        self.stale_after_s = float(stale_after_s)
+        # Threads within one process (the serve layer commits from a
+        # thread pool) serialise on the RLock; only the outermost
+        # thread-level acquisition touches the file, so the file lock
+        # stays the cross-process arbiter and ``_depth`` needs no
+        # additional synchronisation.
+        self._thread_lock = threading.RLock()
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def held(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._depth > 0
+
+    def acquire(self) -> None:
+        """Take the lock, blocking up to ``timeout_s``; reentrant."""
+        self._thread_lock.acquire()
+        if self._depth > 0:
+            self._depth += 1
+            return
+        try:
+            deadline = time.monotonic() + self.timeout_s
+            while True:
+                if self._try_create():
+                    self._depth = 1
+                    return
+                self._steal_if_stale()
+                if time.monotonic() >= deadline:
+                    raise StoreError(
+                        f"could not acquire store lock {self.path} within "
+                        f"{self.timeout_s:g}s (held by {self._holder()!r}); "
+                        "if the holder crashed the lock becomes stealable "
+                        f"after {self.stale_after_s:g}s"
+                    )
+                time.sleep(self.poll_interval_s)
+        except BaseException:
+            self._thread_lock.release()
+            raise
+
+    def release(self) -> None:
+        """Release one acquisition; removes the file at depth zero."""
+        if self._depth == 0:
+            raise StoreError(
+                f"store lock {self.path} released without being held"
+            )
+        self._depth -= 1
+        if self._depth == 0:
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:  # pragma: no cover - stolen as stale
+                pass
+        self._thread_lock.release()
+
+    def __enter__(self) -> "StoreLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    def _try_create(self) -> bool:
+        """One atomic exclusive-create attempt; True when we now hold it."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            descriptor = os.open(
+                self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except OSError as error:
+            if error.errno in (errno.EEXIST, errno.EACCES):
+                return False
+            raise StoreError(
+                f"cannot create store lock {self.path}: {error}"
+            ) from error
+        try:
+            payload = {
+                "pid": os.getpid(),
+                "host": platform.node(),
+                "created_at": time.time(),
+            }
+            os.write(descriptor, json.dumps(payload).encode("utf-8"))
+        finally:
+            os.close(descriptor)
+        return True
+
+    def _steal_if_stale(self) -> None:
+        """Steal an abandoned lock by renaming it to a tombstone.
+
+        Only one of any number of racing contenders can win the rename
+        (the losers' ``os.rename`` raises ``FileNotFoundError``), so the
+        subsequent exclusive create is contended fairly again.
+        """
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return  # already released or stolen; retry the create
+        if age < self.stale_after_s:
+            return
+        tombstone = self.path.with_name(
+            f"{self.path.name}.stale.{os.getpid()}.{time.monotonic_ns()}"
+        )
+        try:
+            os.rename(self.path, tombstone)
+        except OSError:
+            return  # another contender won the steal
+        try:
+            os.unlink(tombstone)
+        except OSError:  # pragma: no cover - tombstone already gone
+            pass
+
+    def _holder(self) -> Optional[str]:
+        """Best-effort description of the current holder (diagnostics)."""
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return f"pid {data.get('pid')} on {data.get('host')}"

@@ -44,6 +44,7 @@ from repro.contracts import check_digest
 from repro.errors import IntegrityError, StoreError
 from repro.experiments.export import result_to_dict, write_json
 from repro.store.digest import compute_digest
+from repro.store.locking import StoreLock
 
 __all__ = [
     "ENV_STORE_DIR",
@@ -209,6 +210,12 @@ class ResultStore:
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        # One reentrant advisory lock per store instance; all mutating
+        # critical sections (index read-modify-write, gc, prune,
+        # reindex) serialise through it so concurrent writer processes
+        # cannot lose index entries or reap each other's half-committed
+        # objects.  Reads stay lock-free.
+        self._lock = StoreLock(self.root / ".lock")
 
     @classmethod
     def default(cls) -> "ResultStore":
@@ -262,42 +269,48 @@ class ResultStore:
                 experiment_id, params, seed_material=seed_material
             )
         check_digest(digest)
-        result_path = write_json(payload, self.result_path(digest))
-        manifest = Manifest(
-            digest=digest,
-            experiment_id=experiment_id,
-            params=dict(result_to_dict(dict(params))),
-            version=_package_version(),
-            created_at=_utc_now(),
-            git_sha=_git_sha(),
-            host=platform.node(),
-            python_version=platform.python_version(),
-            numpy_version=np.__version__,
-            wall_time_s=wall_time_s,
-            result_sha256=_sha256_file(result_path),
-            rendered=rendered,
-        )
-        write_json(manifest.to_dict(), self.manifest_path(digest))
-        if profile is not None:
-            write_json(dict(profile), self.profile_path(digest))
-        index = self._load_index(repair=True)
-        index[digest] = self._index_entry(manifest)
-        self._write_index(index)
+        # The lock covers the whole commit (object files + index
+        # read-modify-write) so a concurrent gc/prune can never observe
+        # - and reap - a payload whose manifest is still in flight, and
+        # two writers cannot lose each other's index entries.
+        with self._lock:
+            result_path = write_json(payload, self.result_path(digest))
+            manifest = Manifest(
+                digest=digest,
+                experiment_id=experiment_id,
+                params=dict(result_to_dict(dict(params))),
+                version=_package_version(),
+                created_at=_utc_now(),
+                git_sha=_git_sha(),
+                host=platform.node(),
+                python_version=platform.python_version(),
+                numpy_version=np.__version__,
+                wall_time_s=wall_time_s,
+                result_sha256=_sha256_file(result_path),
+                rendered=rendered,
+            )
+            write_json(manifest.to_dict(), self.manifest_path(digest))
+            if profile is not None:
+                write_json(dict(profile), self.profile_path(digest))
+            index = self._load_index(repair=True)
+            index[digest] = self._index_entry(manifest)
+            self._write_index(index)
         return manifest
 
     def remove(self, digest: str) -> bool:
         """Delete one object (and its index entry); True if it existed."""
-        obj = self.object_dir(digest)
-        existed = obj.is_dir()
-        if existed:
-            shutil.rmtree(obj)
-            parent = obj.parent
-            if parent.is_dir() and not any(parent.iterdir()):
-                parent.rmdir()
-        index = self._load_index(repair=True)
-        if index.pop(digest, None) is not None or existed:
-            self._write_index(index)
-            existed = True
+        with self._lock:
+            obj = self.object_dir(digest)
+            existed = obj.is_dir()
+            if existed:
+                shutil.rmtree(obj)
+                parent = obj.parent
+                if parent.is_dir() and not any(parent.iterdir()):
+                    parent.rmdir()
+            index = self._load_index(repair=True)
+            if index.pop(digest, None) is not None or existed:
+                self._write_index(index)
+                existed = True
         return existed
 
     # -- reads ---------------------------------------------------------
@@ -466,51 +479,62 @@ class ResultStore:
         experiment.  With no policy it only drops incomplete objects
         (manifest without payload or vice versa).
         """
-        removed = list(self.prune_incomplete())
-        per_experiment: Dict[str, List[Dict[str, Any]]] = {}
-        for entry in self.find(experiment_id):
-            per_experiment.setdefault(entry["experiment_id"], []).append(entry)
-        for entries in per_experiment.values():
-            doomed: List[Dict[str, Any]] = []
-            if keep_latest is not None:
-                if keep_latest < 0:
-                    raise StoreError(
-                        f"keep_latest must be >= 0, got {keep_latest!r}"
+        with self._lock:
+            removed = list(self.prune_incomplete())
+            per_experiment: Dict[str, List[Dict[str, Any]]] = {}
+            for entry in self.find(experiment_id):
+                per_experiment.setdefault(
+                    entry["experiment_id"], []
+                ).append(entry)
+            for entries in per_experiment.values():
+                doomed: List[Dict[str, Any]] = []
+                if keep_latest is not None:
+                    if keep_latest < 0:
+                        raise StoreError(
+                            f"keep_latest must be >= 0, got {keep_latest!r}"
+                        )
+                    doomed.extend(entries[keep_latest:])
+                if before is not None:
+                    doomed.extend(
+                        e for e in entries if e["created_at"] < before
                     )
-                doomed.extend(entries[keep_latest:])
-            if before is not None:
-                doomed.extend(
-                    e for e in entries if e["created_at"] < before
-                )
-            for entry in doomed:
-                if self.remove(entry["digest"]):
-                    removed.append(entry["digest"])
+                for entry in doomed:
+                    if self.remove(entry["digest"]):
+                        removed.append(entry["digest"])
         return sorted(set(removed))
 
     def prune_incomplete(self) -> List[str]:
-        """Drop half-written objects (no manifest or no payload)."""
+        """Drop half-written objects (no manifest or no payload).
+
+        Holds the store lock for the whole sweep: an in-flight ``put``
+        from another process commits its object files under the same
+        lock, so the sweep can never observe (and reap) a payload whose
+        manifest has not landed yet.
+        """
         removed = []
-        for obj in self._iter_object_dirs():
-            digest = obj.name
-            if not self.contains(digest):
-                shutil.rmtree(obj)
-                removed.append(digest)
-        if removed:
-            self.reindex()
+        with self._lock:
+            for obj in self._iter_object_dirs():
+                digest = obj.name
+                if not self.contains(digest):
+                    shutil.rmtree(obj)
+                    removed.append(digest)
+            if removed:
+                self.reindex()
         return removed
 
     def reindex(self) -> int:
         """Rebuild ``index.json`` from the manifests; returns entry count."""
-        index: Dict[str, Dict[str, Any]] = {}
-        for obj in self._iter_object_dirs():
-            digest = obj.name
-            if not self.contains(digest):
-                continue
-            try:
-                index[digest] = self._index_entry(self.manifest(digest))
-            except IntegrityError:
-                continue
-        self._write_index(index)
+        with self._lock:
+            index: Dict[str, Dict[str, Any]] = {}
+            for obj in self._iter_object_dirs():
+                digest = obj.name
+                if not self.contains(digest):
+                    continue
+                try:
+                    index[digest] = self._index_entry(self.manifest(digest))
+                except IntegrityError:
+                    continue
+            self._write_index(index)
         return len(index)
 
     # -- internals -----------------------------------------------------

@@ -1,0 +1,202 @@
+"""Tests for horizontal campaign sharding and the multi-writer protocol.
+
+The acceptance test at the bottom is the contract the sharding design
+promises: two *processes* run disjoint shards of one campaign against a
+shared store, and a plain single-process resume afterwards finds every
+task cached - zero missing, zero duplicated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    campaign_status,
+    expand_tasks,
+    parse_shard,
+    run_campaign,
+    spec_from_dict,
+)
+from repro.errors import CampaignError
+from repro.store import ResultStore, WriterJournal
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+SWEEP = {
+    "name": "sweep",
+    "experiment": "convergence",
+    "params": {"n_players": 3, "n_stages": 2},
+    "grid": {"seed": [1, 2, 3, 4]},
+    "jobs": 1,
+}
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")
+
+
+class TestParseShard:
+    def test_valid(self):
+        assert parse_shard("0/4") == (0, 4)
+        assert parse_shard("3/4") == (3, 4)
+        assert parse_shard("0/1") == (0, 1)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "4", "a/b", "1.5/4", "0/4/2", "4/4", "-1/4", "0/0", "0/-2"],
+    )
+    def test_invalid(self, text):
+        with pytest.raises(CampaignError):
+            parse_shard(text)
+
+
+class TestShardedRun:
+    def test_shard_runs_only_its_slice(self, store):
+        spec = spec_from_dict(SWEEP)
+        report = run_campaign(
+            spec, store=store, shard=(0, 2), writer_id="w0"
+        )
+        by_status = {o.index: o.status for o in report.outcomes}
+        assert by_status == {
+            0: "executed",
+            1: "other-shard",
+            2: "executed",
+            3: "other-shard",
+        }
+        assert report.other_shard == 2
+        assert not report.complete
+        assert report.writer_progress == {"w0": 2}
+
+    def test_disjoint_shards_cover_the_campaign(self, store):
+        spec = spec_from_dict(SWEEP)
+        run_campaign(spec, store=store, shard=(0, 2), writer_id="w0")
+        run_campaign(spec, store=store, shard=(1, 2), writer_id="w1")
+        resume = run_campaign(spec, store=store)
+        assert resume.complete
+        assert resume.cached == 4
+        assert resume.executed == 0
+
+    def test_claims_are_released_after_commit(self, store):
+        spec = spec_from_dict(SWEEP)
+        run_campaign(spec, store=store, shard=(0, 2), writer_id="w0")
+        journal = WriterJournal(store.root, "probe")
+        for task in expand_tasks(spec):
+            assert journal.claim_owner(task.digest) is None
+
+    def test_foreign_claim_skips_the_task(self, store):
+        spec = spec_from_dict(SWEEP)
+        tasks = expand_tasks(spec)
+        rival = WriterJournal(store.root, "rival")
+        assert rival.claim(tasks[0].digest)
+        report = run_campaign(
+            spec, store=store, shard=(0, 1), writer_id="w0"
+        )
+        skipped = report.outcomes[0]
+        assert skipped.status == "claimed"
+        assert skipped.claimed_by == "rival"
+        assert not store.contains(tasks[0].digest)
+        assert {o.status for o in report.outcomes[1:]} == {"executed"}
+        assert not report.complete
+
+    def test_writer_id_alone_enables_journalling(self, store):
+        spec = spec_from_dict(SWEEP)
+        report = run_campaign(spec, store=store, writer_id="solo")
+        assert report.complete
+        assert report.writer_progress == {"solo": 4}
+        journal = WriterJournal(store.root, "solo")
+        indices = sorted(e["task_index"] for e in journal.entries())
+        assert indices == [0, 1, 2, 3]
+
+
+class TestStatusWithClaims:
+    def test_status_distinguishes_claimed_from_pending(self, store):
+        spec = spec_from_dict(SWEEP)
+        tasks = expand_tasks(spec)
+        run_campaign(spec, store=store, shard=(0, 2), writer_id="w0")
+        rival = WriterJournal(store.root, "rival")
+        assert rival.claim(tasks[1].digest)
+        report = campaign_status(spec, store=store)
+        by_index = {o.index: o for o in report.outcomes}
+        assert by_index[0].status == "cached"
+        assert by_index[1].status == "claimed"
+        assert by_index[1].claimed_by == "rival"
+        assert by_index[3].status == "pending"
+        assert report.writer_progress == {"w0": 2}
+        rendered = report.render()
+        assert "claimed(rival)" in rendered
+        assert "w0: 2 committed" in rendered
+
+
+_SHARD_WORKER = """
+import sys
+from repro.campaign import load_spec, parse_shard, run_campaign
+from repro.store import ResultStore
+
+spec_path, root, shard, writer = sys.argv[1:5]
+spec = load_spec(spec_path)
+report = run_campaign(
+    spec,
+    store=ResultStore(root),
+    shard=parse_shard(shard),
+    writer_id=writer,
+)
+print(report.executed)
+"""
+
+
+class TestTwoProcessAcceptance:
+    def test_disjoint_shard_processes_then_exact_resume(self, tmp_path):
+        spec_dict = dict(SWEEP, grid={"seed": [1, 2, 3, 4, 5, 6]})
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(json.dumps(spec_dict))
+        root = tmp_path / "store"
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    _SHARD_WORKER,
+                    str(spec_path),
+                    str(root),
+                    f"{index}/2",
+                    f"w{index}",
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for index in (0, 1)
+        ]
+        executed = []
+        for worker in workers:
+            out, err = worker.communicate(timeout=240)
+            assert worker.returncode == 0, err
+            executed.append(int(out.strip()))
+        # Each shard computed exactly its half - nothing duplicated.
+        assert executed == [3, 3]
+
+        spec = spec_from_dict(spec_dict)
+        store = ResultStore(root)
+        tasks = expand_tasks(spec)
+        digests = {task.digest for task in tasks}
+        indexed = {entry["digest"] for entry in store.find()}
+        assert indexed == digests  # nothing missing, nothing extra
+
+        # A plain resume (no shard) finds every task cached.
+        resume = run_campaign(spec, store=store)
+        assert resume.complete
+        assert resume.cached == len(tasks)
+        assert resume.executed == 0
+
+        # The status probe credits each writer with its half.
+        status = campaign_status(spec, store=store)
+        assert status.writer_progress == {"w0": 3, "w1": 3}

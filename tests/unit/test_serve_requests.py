@@ -1,0 +1,136 @@
+"""Unit tests for the serving layer's request model and wire encoding."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import REQUEST_KINDS, encode_json, parse_request
+from repro.store import compute_digest
+
+
+class TestParseRequest:
+    def test_kinds_enumerated(self):
+        assert REQUEST_KINDS == (
+            "best_response",
+            "curve",
+            "deviation_table",
+            "equilibrium",
+            "fixed_point",
+        )
+
+    def test_equilibrium_defaults_filled(self):
+        request = parse_request(
+            {"kind": "equilibrium", "params": {"n_nodes": 5}}
+        )
+        assert request.kind == "equilibrium"
+        assert request.params == {
+            "n_nodes": 5,
+            "mode": "basic",
+            "preset": "default",
+            "ignore_cost": True,
+        }
+        assert request.experiment_id == "serve.equilibrium"
+
+    def test_digest_matches_store_recipe(self):
+        request = parse_request(
+            {"kind": "equilibrium", "params": {"n_nodes": 5}}
+        )
+        assert request.digest == compute_digest(
+            "serve.equilibrium", request.params
+        )
+
+    def test_equivalent_documents_share_a_digest(self):
+        implicit = parse_request(
+            {"kind": "equilibrium", "params": {"n_nodes": 5}}
+        )
+        explicit = parse_request(
+            {
+                "kind": "equilibrium",
+                "params": {
+                    "ignore_cost": True,
+                    "preset": "default",
+                    "mode": "basic",
+                    "n_nodes": 5,
+                },
+            }
+        )
+        assert implicit.digest == explicit.digest
+
+    def test_distinct_params_distinct_digests(self):
+        a = parse_request({"kind": "equilibrium", "params": {"n_nodes": 5}})
+        b = parse_request({"kind": "equilibrium", "params": {"n_nodes": 6}})
+        assert a.digest != b.digest
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServeError, match="unknown request kind"):
+            parse_request({"kind": "oracle", "params": {}})
+
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(ServeError, match="requires param 'n_nodes'"):
+            parse_request({"kind": "equilibrium", "params": {}})
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ServeError, match="unknown param"):
+            parse_request(
+                {"kind": "equilibrium", "params": {"n_nodes": 5, "jobs": 4}}
+            )
+
+    def test_non_mapping_document_rejected(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            parse_request([1, 2, 3])
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            {"n_nodes": 1},
+            {"n_nodes": "five"},
+            {"n_nodes": 5, "mode": "turbo"},
+            {"n_nodes": 5, "preset": "802.11ax"},
+        ],
+    )
+    def test_domain_validation(self, params):
+        with pytest.raises(ServeError):
+            parse_request({"kind": "equilibrium", "params": params})
+
+    def test_discount_domain(self):
+        with pytest.raises(ServeError, match="discount"):
+            parse_request(
+                {
+                    "kind": "best_response",
+                    "params": {"n_nodes": 5, "discount": 1.0},
+                }
+            )
+
+    def test_fixed_point_windows_validated(self):
+        request = parse_request(
+            {"kind": "fixed_point", "params": {"windows": [32, 64]}}
+        )
+        assert request.params["windows"] == [32.0, 64.0]
+        assert request.params["max_stage"] == 5
+        with pytest.raises(ServeError, match="windows"):
+            parse_request({"kind": "fixed_point", "params": {"windows": []}})
+
+
+class TestWireEncoding:
+    """REPRO003 at the protocol boundary: no NaN/Infinity on the wire."""
+
+    def test_non_finite_floats_become_null(self):
+        raw = encode_json(
+            {"nan": math.nan, "inf": math.inf, "ninf": -math.inf, "ok": 1.5}
+        )
+        assert b"NaN" not in raw
+        assert b"Infinity" not in raw
+        decoded = json.loads(raw)
+        assert decoded == {"nan": None, "inf": None, "ninf": None, "ok": 1.5}
+
+    def test_nested_payloads_are_cleaned(self):
+        raw = encode_json({"rows": [[1.0, math.nan], [math.inf, 2.0]]})
+        assert json.loads(raw) == {"rows": [[1.0, None], [None, 2.0]]}
+
+    def test_compact_utf8(self):
+        raw = encode_json({"a": 1})
+        assert raw == b'{"a": 1}'

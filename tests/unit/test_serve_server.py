@@ -1,0 +1,128 @@
+"""End-to-end tests of the HTTP protocol layer over real TCP sockets.
+
+Each test boots a :class:`~repro.serve.protocol.ServeServer` on an
+ephemeral loopback port inside the event loop and talks to it with the
+blocking :class:`~repro.serve.client.ServeClient` from an executor
+thread - the same split a real deployment has.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import EquilibriumService, ServeClient, ServeServer
+from repro.store import ResultStore
+
+
+def run_against_server(tmp_path, work: Callable[[ServeClient], Any]) -> Any:
+    """Boot a server, run blocking client ``work`` in a thread, tear down."""
+
+    async def scenario():
+        service = EquilibriumService(ResultStore(tmp_path / "store"))
+        server = ServeServer(service, host="127.0.0.1", port=0)
+        await server.start()
+        port = server.port
+
+        def blocking():
+            with ServeClient("127.0.0.1", port, timeout_s=60.0) as client:
+                return work(client)
+
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, blocking
+            )
+        finally:
+            await server.close()
+
+    return asyncio.run(scenario())
+
+
+class TestEndpoints:
+    def test_health_and_stats(self, tmp_path):
+        def work(client):
+            return client.health(), client.stats()
+
+        health, stats = run_against_server(tmp_path, work)
+        assert health == {"ok": True}
+        assert stats["requests"] == 0
+        assert set(stats) >= {"cache_hits", "coalesced", "solves"}
+
+    def test_solve_roundtrip_cold_then_warm(self, tmp_path):
+        def work(client):
+            cold = client.solve("equilibrium", {"n_nodes": 5})
+            warm = client.solve("equilibrium", {"n_nodes": 5})
+            return cold, warm
+
+        cold, warm = run_against_server(tmp_path, work)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert cold["result"]["window_star"] == warm["result"]["window_star"]
+        assert cold["result"]["n_equilibria"] >= 1
+
+    def test_list_payload_with_inline_error(self, tmp_path):
+        def work(client):
+            return client.solve_many(
+                [
+                    {"kind": "equilibrium", "params": {"n_nodes": 5}},
+                    {"kind": "bogus", "params": {}},
+                    {"kind": "fixed_point", "params": {"windows": [32, 64]}},
+                ]
+            )
+
+        good, bad, fp = run_against_server(tmp_path, work)
+        assert good["result"]["window_star"] > 0
+        assert bad["type"] == "ServeError"
+        assert "unknown request kind" in bad["error"]
+        assert len(fp["result"]["tau"]) == 2
+
+    def test_malformed_requests_rejected(self, tmp_path):
+        def work(client):
+            outcomes = {}
+            with pytest.raises(ServeError, match="400"):
+                client.solve("equilibrium", {"n_nodes": 5, "bogus": 1})
+            with pytest.raises(ServeError, match="404"):
+                client._request("GET", "/v2/everything")
+            with pytest.raises(ServeError, match="400"):
+                client._request("POST", "/v1/solve", payload=None)
+            outcomes["after"] = client.health()
+            return outcomes
+
+        outcomes = run_against_server(tmp_path, work)
+        # The keep-alive connection survives rejected requests.
+        assert outcomes["after"] == {"ok": True}
+
+    def test_raw_wire_bytes_are_standard_json(self, tmp_path):
+        """No NaN/Infinity tokens can appear in a response body."""
+
+        async def scenario():
+            service = EquilibriumService(ResultStore(tmp_path / "store"))
+            server = ServeServer(service, host="127.0.0.1", port=0)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            body = json.dumps(
+                {"kind": "curve", "params": {"n_nodes": 5, "windows": [1]}}
+            ).encode()
+            writer.write(
+                b"POST /v1/solve HTTP/1.1\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await server.close()
+            return raw
+
+        raw = asyncio.run(scenario())
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert b" 200 " in head.split(b"\r\n")[0]
+        assert b"NaN" not in payload
+        assert b"Infinity" not in payload
+        json.loads(payload)  # parses under strict JSON rules

@@ -1,0 +1,369 @@
+"""Unit tests for the async solve service: cache, coalescing, batching.
+
+Each test drives :class:`~repro.serve.service.EquilibriumService` inside
+``asyncio.run`` with injectable solvers: a threading.Event-gated solver
+to hold a solve open while concurrent requests pile on, a crashing
+solver for the error path, and counting wrappers to assert exactly how
+many times the compute layer ran.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, List
+
+import pytest
+
+from repro import obs
+from repro.errors import GameDefinitionError, ServeError
+from repro.serve import EquilibriumService, parse_request
+from repro.serve.solvers import solve_fixed_point_batch, solve_request
+from repro.store import ResultStore
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")
+
+
+EQ5 = {"kind": "equilibrium", "params": {"n_nodes": 5}}
+
+
+class CountingSolver:
+    """Thread-safe call counter around the real (or a fake) solver."""
+
+    def __init__(self, inner=solve_request):
+        self.calls = 0
+        self._lock = threading.Lock()
+        self._inner = inner
+
+    def __call__(self, request):
+        with self._lock:
+            self.calls += 1
+        return self._inner(request)
+
+
+class GatedSolver(CountingSolver):
+    """Blocks inside the worker thread until ``release`` is called."""
+
+    def __init__(self, inner=solve_request):
+        super().__init__(inner)
+        self._gate = threading.Event()
+        self.started = threading.Event()
+
+    def release(self) -> None:
+        self._gate.set()
+
+    def __call__(self, request):
+        self.started.set()
+        if not self._gate.wait(timeout=30.0):  # pragma: no cover - hang guard
+            raise RuntimeError("gate never released")
+        return super().__call__(request)
+
+
+async def _close(service: EquilibriumService) -> None:
+    await service.close()
+
+
+class TestCache:
+    def test_second_call_is_a_store_hit(self, store):
+        async def scenario():
+            service = EquilibriumService(store)
+            first = await service.solve_document(EQ5)
+            second = await service.solve_document(EQ5)
+            await _close(service)
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert first["result"] == second["result"]
+        assert first["digest"] == second["digest"]
+        assert store.contains(first["digest"])
+
+    def test_cache_disabled_always_solves(self, store):
+        solver = CountingSolver()
+
+        async def scenario():
+            service = EquilibriumService(store, cache=False, solver=solver)
+            await service.solve_document(EQ5)
+            await service.solve_document(EQ5)
+            await _close(service)
+
+        asyncio.run(scenario())
+        assert solver.calls == 2
+        assert not store.contains(parse_request(EQ5).digest)
+
+    def test_stored_profile_digest_is_deterministic(self, tmp_path):
+        def profile_digest(root) -> str:
+            async def scenario():
+                service = EquilibriumService(ResultStore(root))
+                response = await service.solve_document(EQ5)
+                await _close(service)
+                return response["digest"]
+
+            digest = asyncio.run(scenario())
+            profile = ResultStore(root).load_profile(digest)
+            return profile["digest"]
+
+        first = profile_digest(tmp_path / "a")
+        second = profile_digest(tmp_path / "b")
+        assert first == second
+
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_share_one_solve(self, store):
+        solver = GatedSolver()
+
+        async def scenario():
+            service = EquilibriumService(store, solver=solver)
+            loop = asyncio.get_running_loop()
+            waiters = [
+                loop.create_task(service.solve_document(EQ5))
+                for _ in range(5)
+            ]
+            await loop.run_in_executor(None, solver.started.wait)
+            await asyncio.sleep(0.05)  # let every waiter attach
+            solver.release()
+            responses = await asyncio.gather(*waiters)
+            await _close(service)
+            return responses
+
+        responses = asyncio.run(scenario())
+        assert solver.calls == 1
+        assert sum(1 for r in responses if r["coalesced"]) == 4
+        results = [r["result"] for r in responses]
+        assert all(result == results[0] for result in results)
+
+    def test_waiter_cancellation_does_not_cancel_the_solve(self, store):
+        solver = GatedSolver()
+
+        async def scenario():
+            service = EquilibriumService(store, solver=solver)
+            loop = asyncio.get_running_loop()
+            doomed = loop.create_task(service.solve_document(EQ5))
+            survivor = loop.create_task(service.solve_document(EQ5))
+            await loop.run_in_executor(None, solver.started.wait)
+            await asyncio.sleep(0.02)
+            doomed.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            solver.release()
+            response = await asyncio.wait_for(survivor, timeout=30.0)
+            await _close(service)
+            return response
+
+        response = asyncio.run(scenario())
+        assert solver.calls == 1
+        assert response["result"]["window_star"] > 0
+
+    def test_worker_crash_errors_every_waiter_without_hanging(self, store):
+        def crashing(request):
+            raise RuntimeError("worker segfaulted, figuratively")
+
+        async def scenario():
+            service = EquilibriumService(store, solver=crashing)
+            waiters = [
+                asyncio.get_running_loop().create_task(
+                    service.solve_document(EQ5)
+                )
+                for _ in range(4)
+            ]
+            outcomes = await asyncio.wait_for(
+                asyncio.gather(*waiters, return_exceptions=True),
+                timeout=30.0,
+            )
+            inflight = service.inflight
+            await _close(service)
+            return outcomes, inflight
+
+        outcomes, inflight = asyncio.run(scenario())
+        assert len(outcomes) == 4
+        for outcome in outcomes:
+            assert isinstance(outcome, ServeError)
+            assert "figuratively" in str(outcome)
+        assert inflight == 0
+        assert not store.contains(parse_request(EQ5).digest)
+
+    def test_repro_errors_pass_through_unwrapped(self, store):
+        async def scenario():
+            service = EquilibriumService(store)
+            try:
+                # The reference window passes request validation but
+                # leaves the game's strategy space; the solver's own
+                # GameDefinitionError must reach the waiter unwrapped
+                # (only non-repro exceptions become ServeError).
+                await service.solve_document(
+                    {
+                        "kind": "best_response",
+                        "params": {
+                            "n_nodes": 5,
+                            "discount": 0.9,
+                            "reference_window": 10_000,
+                        },
+                    }
+                )
+            finally:
+                await _close(service)
+
+        with pytest.raises(GameDefinitionError):
+            asyncio.run(scenario())
+
+    def test_request_between_solve_and_commit_coalesces(self, store):
+        """The in-flight entry must outlive the solve until the commit."""
+        commit_gate = threading.Event()
+        commit_entered = threading.Event()
+
+        async def scenario():
+            service = EquilibriumService(store)
+            original_commit = service._commit
+
+            def gated_commit(request, result, events, wall):
+                commit_entered.set()
+                if not commit_gate.wait(timeout=30.0):  # pragma: no cover
+                    raise RuntimeError("commit gate never released")
+                original_commit(request, result, events, wall)
+
+            service._commit = gated_commit
+            loop = asyncio.get_running_loop()
+            first = loop.create_task(service.solve_document(EQ5))
+            await loop.run_in_executor(None, commit_entered.wait)
+            # Solve is done, commit is in flight: a new identical
+            # request must coalesce, not re-solve or miss the cache.
+            late = loop.create_task(service.solve_document(EQ5))
+            await asyncio.sleep(0.02)
+            commit_gate.set()
+            responses = await asyncio.gather(first, late)
+            await _close(service)
+            return responses
+
+        first, late = asyncio.run(scenario())
+        assert first["coalesced"] is False
+        assert late["coalesced"] is True
+        assert late["result"] == first["result"]
+
+
+class TestMicroBatching:
+    def test_concurrent_fixed_points_fold_into_one_batch(self, store):
+        batch_sizes: List[int] = []
+
+        def counting_batch(windows, max_stage):
+            batch_sizes.append(len(windows))
+            return solve_fixed_point_batch(windows, max_stage)
+
+        documents = [
+            {
+                "kind": "fixed_point",
+                "params": {"windows": [32.0 + i, 64.0], "max_stage": 5},
+            }
+            for i in range(6)
+        ]
+
+        async def scenario():
+            service = EquilibriumService(
+                store, batch_solver=counting_batch, batch_window_s=0.05
+            )
+            responses = await asyncio.gather(
+                *(service.solve_document(d) for d in documents)
+            )
+            await _close(service)
+            return responses
+
+        responses = asyncio.run(scenario())
+        assert batch_sizes == [6]
+        for document, response in zip(documents, responses):
+            solo = solve_fixed_point_batch(
+                [document["params"]["windows"]], 5
+            )[0]
+            assert response["result"]["tau"] == pytest.approx(solo["tau"])
+
+    def test_mixed_shapes_split_into_per_shape_batches(self, store):
+        batch_shapes: List[Any] = []
+
+        def recording_batch(windows, max_stage):
+            batch_shapes.append((len(windows), len(windows[0]), max_stage))
+            return solve_fixed_point_batch(windows, max_stage)
+
+        documents = [
+            {"kind": "fixed_point", "params": {"windows": [32.0, 64.0]}},
+            {"kind": "fixed_point", "params": {"windows": [33.0, 64.0]}},
+            {
+                "kind": "fixed_point",
+                "params": {"windows": [32.0, 64.0, 128.0]},
+            },
+        ]
+
+        async def scenario():
+            service = EquilibriumService(
+                store, batch_solver=recording_batch, batch_window_s=0.05
+            )
+            await asyncio.gather(
+                *(service.solve_document(d) for d in documents)
+            )
+            await _close(service)
+
+        asyncio.run(scenario())
+        assert sorted(batch_shapes) == [(1, 3, 5), (2, 2, 5)]
+
+    def test_batch_solver_failure_reaches_every_waiter(self, store):
+        def broken_batch(windows, max_stage):
+            raise RuntimeError("batch kernel crashed")
+
+        documents = [
+            {"kind": "fixed_point", "params": {"windows": [32.0 + i, 64.0]}}
+            for i in range(3)
+        ]
+
+        async def scenario():
+            service = EquilibriumService(
+                store, batch_solver=broken_batch, batch_window_s=0.02
+            )
+            outcomes = await asyncio.wait_for(
+                asyncio.gather(
+                    *(service.solve_document(d) for d in documents),
+                    return_exceptions=True,
+                ),
+                timeout=30.0,
+            )
+            await _close(service)
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        assert len(outcomes) == 3
+        assert all(isinstance(o, ServeError) for o in outcomes)
+
+
+class TestObservability:
+    def test_lifecycle_counters_reach_the_ambient_recorder(self, store):
+        recorder = obs.MemoryRecorder()
+
+        async def scenario():
+            service = EquilibriumService(store)
+            await service.solve_document(EQ5)
+            await service.solve_document(EQ5)
+            await asyncio.gather(
+                service.solve_document(
+                    {"kind": "equilibrium", "params": {"n_nodes": 7}}
+                ),
+                service.solve_document(
+                    {"kind": "equilibrium", "params": {"n_nodes": 7}}
+                ),
+            )
+            await _close(service)
+
+        with obs.use_recorder(recorder):
+            asyncio.run(scenario())
+
+        names: Dict[str, int] = {}
+        for event in recorder.events:
+            if event["type"] == "counter":
+                key = event["name"]
+                if event.get("labels", {}).get("outcome"):
+                    key = f"{key}.{event['labels']['outcome']}"
+                names[key] = names.get(key, 0) + event["value"]
+        assert names.get("serve.requests") == 4
+        assert names.get("serve.cache.miss") == 2
+        assert names.get("serve.cache.hit") == 1
+        assert names.get("serve.coalesced") == 1
+        assert names.get("serve.solves") == 2
