@@ -19,6 +19,15 @@ from repro.bianchi.batched import (
     solve_heterogeneous_batch,
     solve_symmetric_grid,
 )
+from repro.bianchi.meanfield import (
+    MeanFieldSolution,
+    MeanFieldStatistics,
+    expand_types,
+    mean_field_statistics,
+    solve_mean_field,
+    solve_mean_field_batch,
+    type_collision_probabilities,
+)
 from repro.bianchi.fixedpoint import (
     FixedPointSolution,
     SymmetricSolution,
@@ -45,23 +54,30 @@ __all__ = [
     "BackoffChain",
     "BatchedFixedPoint",
     "FixedPointSolution",
+    "MeanFieldSolution",
+    "MeanFieldStatistics",
     "SlotStatistics",
     "SymmetricGridSolution",
     "SymmetricSolution",
     "access_delay_jitter",
     "collision_probabilities",
+    "expand_types",
     "expected_access_delay",
     "jain_index",
     "mean_backoff_slots",
+    "mean_field_statistics",
     "normalized_throughput",
     "throughput_shares",
     "slot_statistics",
     "solve_heterogeneous",
     "solve_heterogeneous_batch",
     "solve_heterogeneous_reference",
+    "solve_mean_field",
+    "solve_mean_field_batch",
     "solve_symmetric",
     "solve_symmetric_grid",
     "stationary_distribution",
     "symmetric_cache_info",
     "transmission_probability",
+    "type_collision_probabilities",
 ]

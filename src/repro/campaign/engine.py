@@ -165,8 +165,11 @@ class CampaignReport:
             return table
         lines = [table, "writers:"]
         for writer in sorted(self.writer_progress):
+            committed = self.writer_progress[writer]
+            share = committed / self.total if self.total else 0.0
             lines.append(
-                f"  {writer}: {self.writer_progress[writer]} committed"
+                f"  {writer}: {committed}/{self.total} committed "
+                f"({share:.1%})"
             )
         return "\n".join(lines)
 

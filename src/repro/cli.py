@@ -19,6 +19,8 @@ Installed as ``repro-experiments``::
     repro-experiments obs summary [<digest>]  # run-profile of a stored run
     repro-experiments obs diff <a> <b>        # profile delta (timings excluded)
     repro-experiments obs export <digest>     # raw profile JSON
+    repro-experiments run meanfield           # mean-field population study
+    repro-experiments detect screen --nodes 100000   # misbehavior screening
     repro-experiments serve --port 8351       # equilibrium-as-a-service
     repro-experiments bench-serve             # serving benchmark -> JSON
 
@@ -68,6 +70,12 @@ QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
     "fig3": {"n_points": 20},
     "multihop": {"n_nodes": 60, "n_snapshots": 2},
     "search": {"slots_per_probe": 20_000},
+    "meanfield": {
+        "scaling_populations": (1e3, 1e4, 1e5),
+        "replicator_steps": 800,
+        "screening_nodes": 20_000,
+        "screening_slots": 200_000,
+    },
 }
 
 #: Experiments whose runners accept the parallel runner's ``jobs`` knob
@@ -321,6 +329,100 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_option(obs_export)
 
+    detect = commands.add_parser(
+        "detect", help="misbehavior detection over node populations"
+    )
+    detect_commands = detect.add_subparsers(dest="detect_command", required=True)
+
+    screen = detect_commands.add_parser(
+        "screen",
+        help="screen a population for selfish windows in one streaming pass",
+    )
+    screen.add_argument(
+        "--nodes",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="population size for the synthetic population (default: 10^5)",
+    )
+    screen.add_argument(
+        "--window",
+        type=float,
+        default=1024.0,
+        metavar="W",
+        help="compliant contention window (default: 1024)",
+    )
+    screen.add_argument(
+        "--max-stage",
+        type=int,
+        default=5,
+        metavar="M",
+        help="backoff stages m (default: 5)",
+    )
+    screen.add_argument(
+        "--selfish-fraction",
+        type=float,
+        default=0.01,
+        metavar="F",
+        help="fraction of synthetic nodes made selfish (default: 0.01)",
+    )
+    screen.add_argument(
+        "--selfish-boost",
+        type=float,
+        default=4.0,
+        metavar="B",
+        help="attempt-rate multiplier of selfish nodes (default: 4)",
+    )
+    screen.add_argument(
+        "--tau-file",
+        default=None,
+        metavar="FILE",
+        help="JSON array of measured per-node attempt rates "
+        "(replaces the synthetic population)",
+    )
+    screen.add_argument(
+        "--slots",
+        type=int,
+        default=200_000,
+        metavar="S",
+        help="observation slots (default: 200000)",
+    )
+    screen.add_argument(
+        "--chunk-slots",
+        type=int,
+        default=10_000,
+        metavar="C",
+        help="slots per streaming chunk (default: 10000)",
+    )
+    screen.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help="observer shards merged into the verdict (default: 1)",
+    )
+    screen.add_argument(
+        "--z-threshold",
+        type=float,
+        default=6.0,
+        metavar="Z",
+        help="one-sided z-score cut for the rate test (default: 6)",
+    )
+    screen.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        metavar="SEED",
+        help="RNG seed for the population and the observation",
+    )
+    screen.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="FILE",
+        help="write the full screening report as JSON",
+    )
+
     serve = commands.add_parser(
         "serve",
         help="run the equilibrium solve server (see docs/serving.md)",
@@ -535,6 +637,86 @@ def _obs_command(args: argparse.Namespace) -> int:
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def _detect_screen(args: argparse.Namespace) -> int:
+    """Screen a (synthetic or measured) population and summarise verdicts."""
+    import numpy as np
+
+    from repro.bianchi.meanfield import solve_mean_field
+    from repro.detect.screening import (
+        screen_population,
+        synthetic_population_tau,
+    )
+
+    if args.tau_file is not None:
+        try:
+            loaded = json.loads(Path(args.tau_file).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read {args.tau_file}: {error}", file=sys.stderr)
+            return 1
+        tau = np.asarray(loaded, dtype=float)
+        n_nodes = int(tau.shape[0])
+        source = args.tau_file
+    else:
+        n_nodes = args.nodes
+        source = (
+            f"synthetic ({args.selfish_fraction:.1%} selfish, "
+            f"boost x{args.selfish_boost:g})"
+        )
+    reference_tau = float(
+        solve_mean_field(
+            [args.window], [float(n_nodes)], args.max_stage
+        ).tau[0][0]
+    )
+    if args.tau_file is None:
+        tau = synthetic_population_tau(
+            reference_tau,
+            n_nodes,
+            selfish_fraction=args.selfish_fraction,
+            selfish_boost=args.selfish_boost,
+            rng=args.seed,
+        )
+    result = screen_population(
+        tau,
+        reference_tau,
+        args.window,
+        args.max_stage,
+        slots=args.slots,
+        chunk_slots=args.chunk_slots,
+        z_threshold=args.z_threshold,
+        observer_shards=args.shards,
+        rng=args.seed + 1,
+    )
+    print(f"population:     {result.n_nodes} nodes ({source})")
+    print(
+        f"reference:      W = {result.reference_window:g}, "
+        f"tau0 = {result.reference_tau:.6f}"
+    )
+    print(
+        f"observation:    {result.slots_observed} slots, "
+        f"{result.n_chunks} chunk(s), {result.observer_shards} shard(s)"
+    )
+    print(
+        f"flagged:        {int(result.flagged.sum())} "
+        f"({result.flagged_fraction:.4%}) - "
+        f"rate test {int(result.rate_flagged.sum())}, "
+        f"undercut test {int(result.undercut_flagged.sum())}"
+    )
+    print(f"insufficient:   {int(result.insufficient.sum())} node(s)")
+    flagged_nodes = result.flagged_nodes
+    if flagged_nodes.size:
+        shown = ", ".join(str(i) for i in flagged_nodes[:10])
+        more = (
+            f" (+{flagged_nodes.size - 10} more)"
+            if flagged_nodes.size > 10
+            else ""
+        )
+        print(f"flagged nodes:  {shown}{more}")
+    if args.output is not None:
+        write_json(result_to_dict(result), Path(args.output))
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _serve_command(args: argparse.Namespace) -> int:
     """Run the solve server in the foreground until interrupted."""
     import asyncio
@@ -703,6 +885,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "obs":
         try:
             return _obs_command(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    if args.command == "detect":
+        try:
+            if args.detect_command == "screen":
+                return _detect_screen(args)
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1

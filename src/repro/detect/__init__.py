@@ -24,13 +24,21 @@ from repro.detect.estimator import (
 )
 from repro.detect.empirical import EmpiricalRepeatedGame, EmpiricalStage
 from repro.detect.misbehavior import MisbehaviorReport, detect_misbehavior
+from repro.detect.screening import (
+    ScreeningResult,
+    screen_population,
+    synthetic_population_tau,
+)
 
 __all__ = [
     "EmpiricalRepeatedGame",
     "EmpiricalStage",
     "MisbehaviorReport",
+    "ScreeningResult",
     "WindowObserver",
     "detect_misbehavior",
     "estimate_window",
     "estimate_windows",
+    "screen_population",
+    "synthetic_population_tau",
 ]

@@ -24,7 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import ParameterError
+from repro.errors import InsufficientDataError, ParameterError
 from repro.bianchi.markov import _geometric_sum
 from repro.sim.engine import SimulationResult
 
@@ -137,16 +137,39 @@ class WindowObserver:
 
     # ------------------------------------------------------------------
     def tau_estimates(self) -> np.ndarray:
-        """Measured per-node attempt rates."""
+        """Measured per-node attempt rates.
+
+        Raises
+        ------
+        InsufficientDataError
+            If the observation window is empty (zero slots): dividing by
+            the slot count would silently turn into ``nan``/``inf``
+            estimates that leak into downstream hypothesis tests.
+        """
         if self.total_slots == 0:
-            raise ParameterError("no slots observed yet")
+            raise InsufficientDataError("no slots observed yet")
         return self.attempts / self.total_slots
 
     def collision_estimates(self) -> np.ndarray:
-        """Measured per-node collided-attempt fractions."""
-        with np.errstate(invalid="ignore"):
-            p = self.collisions / self.attempts
-        return np.nan_to_num(p)
+        """Measured per-node collided-attempt fractions.
+
+        Nodes that never attempted have no measurable collision fraction;
+        their entries are an explicit 0.0 (never a leaked ``nan`` from a
+        0/0 division).
+
+        Raises
+        ------
+        InsufficientDataError
+            If the observation window is empty (zero slots).
+        """
+        if self.total_slots == 0:
+            raise InsufficientDataError("no slots observed yet")
+        attempted = self.attempts > 0
+        return np.where(
+            attempted,
+            self.collisions / np.maximum(self.attempts, 1),
+            0.0,
+        )
 
     def estimates(self) -> np.ndarray:
         """Per-node window estimates (``nan`` for silent nodes)."""

@@ -14,6 +14,7 @@ __all__ = [
     "ContractError",
     "ConvergenceError",
     "GameDefinitionError",
+    "InsufficientDataError",
     "IntegrityError",
     "LintError",
     "ParameterError",
@@ -41,6 +42,17 @@ class ContractError(ParameterError):
     Subclasses :class:`ParameterError` so boundary callers that catch the
     generic domain error keep working when a check is expressed as a
     contract instead of an inline ``if``/``raise``.
+    """
+
+
+class InsufficientDataError(ParameterError):
+    """An estimator was asked for a result before observing any data.
+
+    Raised by :mod:`repro.detect` when an observation window contains
+    zero slots or zero attempts - the division that would otherwise
+    produce ``nan``/``inf`` estimates and leak into hypothesis tests.
+    Subclasses :class:`ParameterError` so callers catching the generic
+    domain error keep working.
     """
 
 

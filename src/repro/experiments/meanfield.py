@@ -1,0 +1,341 @@
+"""Mean-field equilibrium engine at population scale (perf study).
+
+The exact heterogeneous Bianchi solver couples every node to every
+other node: cost O(n) per instance, infeasible at ``n = 10^6``.  The
+mean-field reduction (:mod:`repro.bianchi.meanfield`) observes that
+nodes sharing a contention window are exchangeable, collapsing the
+fixed point to the K *types* present - O(K) per instance, exact for
+integer counts, not an approximation.  This experiment plays the claim
+out in four acts:
+
+* **agreement** - the mean-field solve matches the exact per-node
+  solver to floating-point noise on populations small enough to expand;
+* **scaling** - one K-type mixture solved at ``10^3 .. 10^6`` nodes,
+  with the channel statistics (idle probability, throughput, expected
+  slot) evaluated in O(K) alongside;
+* **replicator** - the CW-type shares evolved under myopic ("stage")
+  and TFT-enforced ("tft") fitness on the Table II population
+  (``n = 20``): myopic play collapses to the most aggressive type,
+  TFT enforcement lands inside the Theorem 2 NE family
+  ``[W_c0, W_c*]``;
+* **screening** - a synthetic population with a known selfish minority
+  screened in one streaming pass (:mod:`repro.detect.screening`),
+  reporting hits against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bianchi.batched import solve_heterogeneous_batch
+from repro.bianchi.meanfield import (
+    expand_types,
+    mean_field_statistics,
+    solve_mean_field,
+)
+from repro.detect.screening import screen_population, synthetic_population_tau
+from repro.experiments.reporting import format_table
+from repro.game.dynamics import converges_to_ne, run_replicator
+from repro.game.equilibrium import analyze_equilibria
+from repro.phy.parameters import AccessMode, PhyParameters, default_parameters
+from repro.phy.timing import slot_times
+
+__all__ = ["MeanFieldResult", "run"]
+
+#: The K-type contention-window mixture of the scaling study.
+_MIXTURE_WINDOWS: Tuple[float, ...] = (
+    16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0,
+)
+
+#: Population shares of the mixture (sum to 1).
+_MIXTURE_SHARES: Tuple[float, ...] = (
+    0.30, 0.25, 0.15, 0.10, 0.08, 0.06, 0.04, 0.02,
+)
+
+#: The replicator strategy grid (contains W_c* = 335 for n = 20).
+_REPLICATOR_GRID: Tuple[float, ...] = (16.0, 64.0, 335.0, 1024.0)
+
+
+@dataclass(frozen=True)
+class AgreementRow:
+    """Mean-field vs exact solver on one expandable population."""
+
+    population: int
+    n_types: int
+    max_tau_delta: float
+    iterations: int
+    newton: bool
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One population size of the K-type mixture."""
+
+    population: float
+    n_types: int
+    iterations: int
+    p_idle: float
+    throughput: float
+    expected_slot_us: float
+
+
+@dataclass(frozen=True)
+class ReplicatorRow:
+    """One fitness model's replicator outcome."""
+
+    fitness_mode: str
+    dominant_window: float
+    steps: int
+    converged: bool
+    in_ne_family: bool
+
+
+@dataclass(frozen=True)
+class ScreeningRow:
+    """One screening pass against ground truth."""
+
+    population: int
+    selfish_truth: int
+    flagged: int
+    true_positives: int
+    false_positives: int
+    slots: int
+
+
+@dataclass(frozen=True)
+class MeanFieldResult:
+    """All four acts of the mean-field study."""
+
+    agreement: List[AgreementRow]
+    scaling: List[ScalingRow]
+    replicator: List[ReplicatorRow]
+    screening: List[ScreeningRow]
+    ne_window_range: Tuple[int, int]
+
+    def render(self) -> str:
+        """Render the four tables."""
+        blocks = []
+        blocks.append(
+            format_table(
+                ["population", "types", "max |dtau|", "iters", "newton"],
+                [
+                    [
+                        row.population,
+                        row.n_types,
+                        f"{row.max_tau_delta:.3e}",
+                        row.iterations,
+                        "yes" if row.newton else "no",
+                    ]
+                    for row in self.agreement
+                ],
+                title="Mean-field vs exact per-node solver (expandable n)",
+            )
+        )
+        blocks.append(
+            format_table(
+                [
+                    "population",
+                    "types",
+                    "iters",
+                    "P(idle)",
+                    "throughput",
+                    "E[slot] us",
+                ],
+                [
+                    [
+                        f"{row.population:.0f}",
+                        row.n_types,
+                        row.iterations,
+                        f"{row.p_idle:.4f}",
+                        f"{row.throughput:.4f}",
+                        f"{row.expected_slot_us:.1f}",
+                    ]
+                    for row in self.scaling
+                ],
+                title="K-type mixture solved at population scale (O(K))",
+            )
+        )
+        lo, hi = self.ne_window_range
+        blocks.append(
+            format_table(
+                ["fitness", "dominant W", "steps", "converged", "in NE family"],
+                [
+                    [
+                        row.fitness_mode,
+                        f"{row.dominant_window:.0f}",
+                        row.steps,
+                        "yes" if row.converged else "no",
+                        "yes" if row.in_ne_family else "no",
+                    ]
+                    for row in self.replicator
+                ],
+                title=(
+                    "Replicator dynamics, n = 20 "
+                    f"(Theorem 2 NE family [{lo}, {hi}])"
+                ),
+            )
+        )
+        blocks.append(
+            format_table(
+                [
+                    "population",
+                    "selfish",
+                    "flagged",
+                    "true pos",
+                    "false pos",
+                    "slots",
+                ],
+                [
+                    [
+                        row.population,
+                        row.selfish_truth,
+                        row.flagged,
+                        row.true_positives,
+                        row.false_positives,
+                        row.slots,
+                    ]
+                    for row in self.screening
+                ],
+                title="Population-scale misbehavior screening (one pass)",
+            )
+        )
+        return "\n\n".join(blocks)
+
+
+def _mixture_counts(population: float) -> List[float]:
+    return [population * share for share in _MIXTURE_SHARES]
+
+
+def run(
+    *,
+    params: Optional[PhyParameters] = None,
+    mode: AccessMode = AccessMode.BASIC,
+    agreement_populations: Sequence[int] = (8, 16, 32),
+    scaling_populations: Sequence[float] = (1e3, 1e4, 1e5, 1e6),
+    replicator_n: int = 20,
+    replicator_steps: int = 2_000,
+    screening_nodes: int = 50_000,
+    screening_slots: int = 300_000,
+    seed: int = 9,
+) -> MeanFieldResult:
+    """Run the four-act mean-field study."""
+    if params is None:
+        params = default_parameters()
+    times = slot_times(params, mode)
+    max_stage = params.max_backoff_stage
+
+    agreement: List[AgreementRow] = []
+    for n in agreement_populations:
+        windows = list(_MIXTURE_WINDOWS[:4])
+        base, extra = divmod(int(n), len(windows))
+        counts = [
+            float(base + (1 if k < extra else 0)) for k in range(len(windows))
+        ]
+        solution = solve_mean_field(windows, counts, max_stage)
+        per_node = expand_types(windows, counts)
+        exact = solve_heterogeneous_batch(per_node[None, :], max_stage)
+        mean_field_per_node = np.repeat(
+            solution.tau[0], np.asarray(counts, dtype=int)
+        )
+        agreement.append(
+            AgreementRow(
+                population=int(n),
+                n_types=len(windows),
+                max_tau_delta=float(
+                    np.max(np.abs(mean_field_per_node - exact.tau[0]))
+                ),
+                iterations=int(solution.iterations[0]),
+                newton=bool(solution.newton[0]),
+            )
+        )
+
+    scaling: List[ScalingRow] = []
+    for population in scaling_populations:
+        counts = _mixture_counts(float(population))
+        solution = solve_mean_field(
+            list(_MIXTURE_WINDOWS), counts, max_stage
+        )
+        stats = mean_field_statistics(
+            list(_MIXTURE_WINDOWS), counts, max_stage, params, times
+        )
+        scaling.append(
+            ScalingRow(
+                population=float(solution.population[0]),
+                n_types=len(_MIXTURE_WINDOWS),
+                iterations=int(solution.iterations[0]),
+                p_idle=stats.p_idle,
+                throughput=stats.throughput,
+                expected_slot_us=stats.expected_slot_us,
+            )
+        )
+
+    analysis = analyze_equilibria(replicator_n, params, times)
+    replicator: List[ReplicatorRow] = []
+    for fitness_mode in ("stage", "tft"):
+        trajectory = run_replicator(
+            np.asarray(_REPLICATOR_GRID),
+            replicator_n,
+            params,
+            times,
+            fitness_mode=fitness_mode,
+            steps=replicator_steps,
+        )
+        replicator.append(
+            ReplicatorRow(
+                fitness_mode=fitness_mode,
+                dominant_window=float(trajectory.dominant_window),
+                steps=int(trajectory.iterations),
+                converged=bool(trajectory.converged),
+                in_ne_family=converges_to_ne(
+                    trajectory, params, times, analysis=analysis
+                ),
+            )
+        )
+
+    reference_window = 1024.0
+    tau0 = float(
+        solve_mean_field(
+            [reference_window], [float(screening_nodes)], max_stage
+        ).tau[0][0]
+    )
+    tau = synthetic_population_tau(
+        tau0,
+        screening_nodes,
+        selfish_fraction=0.01,
+        selfish_boost=4.0,
+        rng=seed,
+    )
+    screened = screen_population(
+        tau,
+        tau0,
+        reference_window,
+        max_stage,
+        slots=screening_slots,
+        chunk_slots=max(screening_slots // 10, 1),
+        rng=seed + 1,
+    )
+    truth = tau > tau0
+    screening = [
+        ScreeningRow(
+            population=screening_nodes,
+            selfish_truth=int(truth.sum()),
+            flagged=int(screened.flagged.sum()),
+            true_positives=int((screened.flagged & truth).sum()),
+            false_positives=int((screened.flagged & ~truth).sum()),
+            slots=screening_slots,
+        )
+    ]
+
+    return MeanFieldResult(
+        agreement=agreement,
+        scaling=scaling,
+        replicator=replicator,
+        screening=screening,
+        ne_window_range=(
+            int(analysis.window_breakeven),
+            int(analysis.window_star),
+        ),
+    )

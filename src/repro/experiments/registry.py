@@ -18,6 +18,7 @@ from repro.experiments import (
     figure2,
     figure3,
     malicious,
+    meanfield,
     mobility_dynamics,
     multihop_quasi,
     search_protocol,
@@ -137,6 +138,13 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "Myopic best-response collapse vs TFT (Cagalj et al. "
             "reconciliation)",
             bestresponse.run,
+        ),
+        Experiment(
+            "meanfield",
+            "Sections III-V (scale)",
+            "Mean-field engine: exact agreement, 10^6-node scaling, "
+            "replicator NE convergence, screening",
+            meanfield.run,
         ),
         Experiment(
             "mobility",

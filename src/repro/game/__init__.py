@@ -40,6 +40,12 @@ from repro.game.equilibrium import (
     q_function,
     window_for_tau,
 )
+from repro.game.dynamics import (
+    ReplicatorTrajectory,
+    converges_to_ne,
+    replicator_step,
+    run_replicator,
+)
 from repro.game.refinement import RefinementReport, refine_equilibria
 from repro.game.strategies import (
     BestResponseStrategy,
@@ -88,6 +94,7 @@ __all__ = [
     "RateOption",
     "RefinementReport",
     "RepeatedGameEngine",
+    "ReplicatorTrajectory",
     "SearchOutcome",
     "ShortSightedStrategy",
     "StageOutcome",
@@ -98,6 +105,7 @@ __all__ = [
     "analyze_deviation",
     "analyze_equilibria",
     "breakeven_window",
+    "converges_to_ne",
     "default_rate_options",
     "delay_aware_efficient_window",
     "delay_aware_utility",
@@ -109,6 +117,8 @@ __all__ = [
     "optimal_tau",
     "q_function",
     "refine_equilibria",
+    "replicator_step",
+    "run_replicator",
     "run_search_protocol",
     "stage_deviation_gain",
     "stage_outcome",

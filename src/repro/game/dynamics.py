@@ -1,0 +1,330 @@
+"""Replicator dynamics of contention-window strategies over populations.
+
+The single-population question behind Sections IV-V, asked at scale:
+if a population of ``n`` nodes is split across K contention-window
+*types* and strategies spread by imitation of success - the share of a
+type grows with its fitness - where does the population end up?  The
+state is the share vector ``x`` on the simplex; one step is the
+discrete-time replicator (multiplicative-weights) update
+
+``x_k' = x_k exp(eta u_k) / sum_j x_j exp(eta u_j)``,
+
+the exponential form staying well-defined for the negative utilities an
+over-aggressive population produces.  Fitness comes from the mean-field
+solver (:mod:`repro.bianchi.meanfield`), so each step costs O(K)
+regardless of the population size - a million-node population evolves
+as cheaply as a ten-node one.
+
+Two fitness models bracket the paper's story:
+
+``"stage"``
+    Myopic: fitness is the current mean-field stage utility of the
+    type.  More aggressive (smaller-``W``) types always beat the field,
+    so the population ratchets toward the most aggressive type present
+    and collapses into the tragedy of the commons - the dynamic version
+    of the Section IV observation that ``W -> cw_min`` dominates the
+    one-shot game.
+
+``"tft"``
+    Forward-looking under TFT/GTFT enforcement (Section V): a node of
+    type ``k`` anticipates the population copying its window, so its
+    discounted fitness mixes the myopic stage utility with the
+    *symmetric* payoff of its own window,
+    ``u_k = (1 - delta) stage_k + delta sym(W_k)``.  With the paper's
+    ``delta -> 1`` the symmetric term dominates and the replicator
+    climbs the symmetric-utility curve - converging into the Theorem 2
+    NE family ``[W_c0, W_c*]`` (pinned on the Table II parameter set by
+    ``tests/unit/test_game_dynamics.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.typealiases import FloatArray
+from repro.contracts import check_probability, checks_enabled
+from repro.errors import ParameterError
+from repro.obs import enabled as _obs_enabled
+from repro.obs.metrics import inc as _obs_inc
+from repro.obs.metrics import observe as _obs_observe
+from repro.bianchi.meanfield import solve_mean_field_batch
+from repro.game.equilibrium import EquilibriumAnalysis, analyze_equilibria
+from repro.game.utility import symmetric_stage_utility
+from repro.phy.parameters import PhyParameters
+from repro.phy.timing import SlotTimes
+
+__all__ = [
+    "ReplicatorTrajectory",
+    "replicator_step",
+    "run_replicator",
+    "converges_to_ne",
+]
+
+#: Cache-entering analysis roots for ``repro.lint --deep`` (REPRO101):
+#: replicator trajectories land in experiment results and the store, so
+#: the whole update loop must be effect-free.
+ANALYSIS_ROOTS = ("repro.game.dynamics.run_replicator",)
+
+_FITNESS_MODES = ("stage", "tft")
+
+#: Shares below this fraction are treated as extinct: they stop
+#: receiving fitness evaluations (the mean-field solver needs positive
+#: counts) and are frozen at zero mass.
+_EXTINCT = 1e-12
+
+
+@dataclass(frozen=True)
+class ReplicatorTrajectory:
+    """One replicator run over a fixed strategy grid.
+
+    Attributes
+    ----------
+    type_windows:
+        The K candidate windows, shape ``(K,)``.
+    population:
+        Total node count ``n`` (constant along the trajectory).
+    fitness_mode:
+        ``"stage"`` or ``"tft"``.
+    shares:
+        Share trajectory, shape ``(T + 1, K)``; row 0 is the initial
+        distribution, each row sums to 1.
+    fitness:
+        Per-step fitness (utility rate) per type, shape ``(T, K)``.
+    iterations:
+        Steps actually taken (``T``).
+    converged:
+        Whether the update reached the share tolerance before the step
+        budget ran out.
+    dominant_window:
+        Window of the highest-share type in the final state.
+    """
+
+    type_windows: FloatArray
+    population: float
+    fitness_mode: str
+    shares: FloatArray
+    fitness: FloatArray
+    iterations: int
+    converged: bool
+    dominant_window: float
+
+    @property
+    def final_shares(self) -> FloatArray:
+        """Last row of :attr:`shares`."""
+        return self.shares[-1]
+
+
+def replicator_step(
+    shares: FloatArray,
+    fitness: FloatArray,
+    *,
+    learning_rate: float = 1.0,
+) -> FloatArray:
+    """One exponential replicator update on the simplex.
+
+    ``x_k' propto x_k exp(eta u_k)`` with the fitness max-shifted before
+    exponentiation, so the update is invariant to payoff translation and
+    immune to overflow.  Extinct entries (share 0) stay extinct.
+    """
+    x = np.asarray(shares, dtype=float)
+    u = np.asarray(fitness, dtype=float)
+    if x.shape != u.shape or x.ndim != 1:
+        raise ParameterError(
+            "shares and fitness must be matching 1-D vectors, got "
+            f"{x.shape!r} and {u.shape!r}"
+        )
+    if learning_rate <= 0:
+        raise ParameterError(
+            f"learning_rate must be positive, got {learning_rate!r}"
+        )
+    alive = x > 0.0
+    if not np.any(alive):
+        raise ParameterError("all types are extinct; nothing to update")
+    shifted = u - u[alive].max()
+    weights = np.where(alive, x * np.exp(learning_rate * shifted), 0.0)
+    total = weights.sum()
+    if total <= 0.0:  # pragma: no cover - exp underflow of every live type
+        return x
+    return weights / total
+
+
+def run_replicator(
+    type_windows: Union[Sequence[float], FloatArray],
+    n_nodes: int,
+    params: PhyParameters,
+    times: SlotTimes,
+    *,
+    fitness_mode: str = "tft",
+    initial_shares: Optional[Union[Sequence[float], FloatArray]] = None,
+    steps: int = 2_000,
+    learning_rate: Optional[float] = None,
+    tol: float = 1e-10,
+) -> ReplicatorTrajectory:
+    """Evolve the CW-type distribution to a rest point.
+
+    Parameters
+    ----------
+    type_windows:
+        The K candidate windows (the strategy grid).
+    n_nodes:
+        Total population size; per-type counts are ``n x_k``.
+    params, times:
+        Model constants and slot durations (fitness units).
+    fitness_mode:
+        ``"stage"`` (myopic - collapses to aggression) or ``"tft"``
+        (TFT-enforced discounted fitness - converges into the Theorem 2
+        NE family).  See the module docstring.
+    initial_shares:
+        Starting distribution; uniform when omitted.  Must be
+        non-negative and sum to 1.
+    steps:
+        Step budget.
+    learning_rate:
+        Update gain ``eta``.  Defaults to ``1 / (max u_0 - min u_0)``
+        measured on the first step's fitness, so one step moves the
+        best-vs-worst odds by a factor ``e`` whatever the utility
+        units.
+    tol:
+        Rest-point tolerance on the max share change per step.
+    """
+    w = np.asarray(type_windows, dtype=float)
+    if w.ndim != 1 or w.shape[0] < 1:
+        raise ParameterError(
+            f"type_windows must be a non-empty 1-D vector, got {w!r}"
+        )
+    if n_nodes < 2:
+        raise ParameterError(
+            f"replicator dynamics needs n_nodes >= 2, got {n_nodes!r}"
+        )
+    if fitness_mode not in _FITNESS_MODES:
+        raise ParameterError(
+            f"fitness_mode must be one of {_FITNESS_MODES}, "
+            f"got {fitness_mode!r}"
+        )
+    if steps < 1:
+        raise ParameterError(f"steps must be >= 1, got {steps!r}")
+    k = w.shape[0]
+    if initial_shares is None:
+        x = np.full(k, 1.0 / k)
+    else:
+        x = np.asarray(initial_shares, dtype=float)
+        if x.shape != w.shape:
+            raise ParameterError(
+                f"initial_shares shape {x.shape!r} must match "
+                f"type_windows shape {w.shape!r}"
+            )
+        if np.any(x < 0.0) or abs(float(x.sum()) - 1.0) > 1e-9:
+            raise ParameterError(
+                "initial_shares must be non-negative and sum to 1, "
+                f"got {x!r}"
+            )
+        x = x / x.sum()
+
+    # The TFT continuation payoff of window W_k is the symmetric payoff
+    # of the whole population playing W_k - fixed along the trajectory,
+    # so compute the K values once.
+    if fitness_mode == "tft":
+        symmetric = np.array(
+            [
+                symmetric_stage_utility(float(wk), n_nodes, params, times)
+                for wk in w
+            ]
+        )
+        delta = params.discount_factor
+    else:
+        symmetric = np.zeros(k)
+        delta = 0.0
+
+    shares_path = [x.copy()]
+    fitness_path = []
+    eta = learning_rate
+    converged = False
+    iterations = 0
+    for _step in range(steps):
+        alive = x > _EXTINCT
+        counts = n_nodes * x[alive]
+        solution = solve_mean_field_batch(
+            w[alive][None, :],
+            counts[None, :],
+            params.max_backoff_stage,
+        )
+        tau = solution.tau[0]
+        p = solution.collision[0]
+        log_idle = float((counts * np.log1p(-tau)).sum())
+        p_idle = float(np.exp(log_idle))
+        p_single = float((counts * tau * (1.0 - p)).sum())
+        expected_slot = (
+            p_idle * times.idle_us
+            + p_single * times.success_us
+            + ((1.0 - p_idle) - p_single) * times.collision_us
+        )
+        stage = tau * ((1.0 - p) * params.gain - params.cost) / expected_slot
+        fitness = np.zeros(k)
+        fitness[alive] = (1.0 - delta) * stage + delta * symmetric[alive]
+        fitness_path.append(fitness)
+        if eta is None:
+            live = fitness[alive]
+            scale = float(live.max() - live.min())
+            if scale <= 0.0:
+                scale = float(np.max(np.abs(live)))
+            eta = 1.0 / scale if scale > 0.0 else 1.0
+        x_next = replicator_step(
+            np.where(alive, x, 0.0), fitness, learning_rate=eta
+        )
+        iterations = _step + 1
+        delta_x = float(np.max(np.abs(x_next - x)))
+        x = x_next
+        shares_path.append(x.copy())
+        if delta_x < tol:
+            converged = True
+            break
+
+    shares = np.vstack(shares_path)
+    if checks_enabled():
+        check_probability(shares, "shares")
+    dominant = float(w[int(np.argmax(x))])
+    if _obs_enabled():
+        _obs_inc("game.replicator.runs", 1, mode=fitness_mode)
+        _obs_observe("game.replicator.steps", iterations, mode=fitness_mode)
+    return ReplicatorTrajectory(
+        type_windows=w,
+        population=float(n_nodes),
+        fitness_mode=fitness_mode,
+        shares=shares,
+        fitness=(
+            np.vstack(fitness_path) if fitness_path else np.zeros((0, k))
+        ),
+        iterations=iterations,
+        converged=converged,
+        dominant_window=dominant,
+    )
+
+
+def converges_to_ne(
+    trajectory: ReplicatorTrajectory,
+    params: PhyParameters,
+    times: SlotTimes,
+    *,
+    analysis: Optional[EquilibriumAnalysis] = None,
+    mass: float = 0.99,
+) -> bool:
+    """Whether a trajectory's surviving mass sits in the Theorem 2 family.
+
+    Checks that at least ``mass`` of the final distribution lies on
+    windows inside ``[W_c0, W_c*]`` for the trajectory's population
+    size.  Pass a precomputed ``analysis`` to skip the equilibrium
+    search (it only depends on ``n`` and the access mode).
+    """
+    if analysis is None:
+        analysis = analyze_equilibria(
+            int(trajectory.population), params, times
+        )
+    lo = float(analysis.window_breakeven)
+    hi = float(analysis.window_star)
+    inside = (trajectory.type_windows >= lo) & (
+        trajectory.type_windows <= hi
+    )
+    return float(trajectory.final_shares[inside].sum()) >= mass

@@ -97,6 +97,11 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[Any, bool]]] = {
         "windows": (None, True),
         "max_stage": (5, False),
     },
+    "mean_field": {
+        "type_windows": (None, True),
+        "type_counts": (None, True),
+        "max_stage": (5, False),
+    },
 }
 
 #: The request kinds the service resolves, sorted.
@@ -168,6 +173,34 @@ def _check_common(kind: str, params: Dict[str, Any]) -> None:
             _window_vector(params["windows"], "windows")
         )
         params["max_stage"] = _positive_int(params["max_stage"], "max_stage")
+    if kind == "mean_field":
+        params["type_windows"] = list(
+            _window_vector(params["type_windows"], "type_windows")
+        )
+        counts = params["type_counts"]
+        if not isinstance(counts, (list, tuple)) or not counts:
+            raise ServeError(
+                "type_counts must be a non-empty list of node counts, "
+                f"got {counts!r}"
+            )
+        if len(counts) != len(params["type_windows"]):
+            raise ServeError(
+                f"type_counts has {len(counts)} entries but type_windows "
+                f"has {len(params['type_windows'])}"
+            )
+        normalised = []
+        for item in counts:
+            if isinstance(item, bool) or not isinstance(item, (int, float)):
+                raise ServeError(
+                    f"type_counts entries must be numbers, got {item!r}"
+                )
+            if float(item) <= 0.0:
+                raise ServeError(
+                    f"type_counts entries must be positive, got {item!r}"
+                )
+            normalised.append(float(item))
+        params["type_counts"] = normalised
+        params["max_stage"] = _positive_int(params["max_stage"], "max_stage")
     if kind == "deviation_table" and params.get("candidates") is not None:
         candidates = params["candidates"]
         if not isinstance(candidates, (list, tuple)) or not candidates:
@@ -199,7 +232,7 @@ def parse_request(document: Any) -> SolveRequest:
             f"request must be a JSON object, got {type(document).__name__}"
         )
     kind = document.get("kind")
-    if kind not in _SCHEMAS:
+    if not isinstance(kind, str) or kind not in _SCHEMAS:
         raise ServeError(
             f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}"
         )

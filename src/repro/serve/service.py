@@ -17,8 +17,10 @@ objects through four layers, cheapest first:
    completion and commit still coalesces instead of racing the store.
 3. **Micro-batching.**  Concurrent ``fixed_point`` requests are folded
    by a short batching window into single
-   :func:`~repro.bianchi.batched.solve_heterogeneous_batch` calls,
-   grouped by ``(n, max_stage)`` so the stacked ``(B, n)`` family is
+   :func:`~repro.bianchi.batched.solve_heterogeneous_batch` calls, and
+   concurrent ``mean_field`` requests into single
+   :func:`~repro.bianchi.meanfield.solve_mean_field_batch` calls,
+   grouped by ``(kind, width, max_stage)`` so each stacked family is
    rectangular.
 4. **Worker pool.**  Cache misses run the pure solvers of
    :mod:`repro.serve.solvers` on a thread pool; each solo solve records
@@ -49,7 +51,11 @@ from repro.obs import MemoryRecorder, build_profile, span, use_recorder
 from repro.obs.metrics import gauge_set as _gauge
 from repro.obs.metrics import inc as _inc
 from repro.serve.requests import SolveRequest, parse_request
-from repro.serve.solvers import solve_fixed_point_batch, solve_request
+from repro.serve.solvers import (
+    solve_fixed_point_batch,
+    solve_mean_field_request_batch,
+    solve_request,
+)
 from repro.store import ResultStore
 
 __all__ = ["EquilibriumService", "ServiceStats"]
@@ -114,23 +120,30 @@ def _consume_exception(future: "asyncio.Future[Any]") -> None:
         pass
 
 
-class _MicroBatcher:
-    """Folds concurrent ``fixed_point`` requests into batched solves.
+#: Request kinds the micro-batcher folds.  ``fixed_point`` groups by the
+#: per-node vector length; ``mean_field`` by the number of types - a
+#: group key is ``(kind, width, max_stage)`` so every stacked family is
+#: rectangular.
+BATCHABLE_KINDS = ("fixed_point", "mean_field")
 
-    Requests are grouped by ``(n, max_stage)``; the first request of a
-    group opens a ``window_s`` timer, companions arriving within the
-    window join the group, and the flush hands the stacked windows to
-    one ``batch_solver`` call on the executor.  A group also flushes
-    early when it reaches ``max_batch``.
+_BatchKey = Tuple[str, int, int]
+
+
+class _MicroBatcher:
+    """Folds concurrent batchable requests into batched solves.
+
+    Requests are grouped by ``(kind, width, max_stage)``; the first
+    request of a group opens a ``window_s`` timer, companions arriving
+    within the window join the group, and the flush hands the stacked
+    payloads to the kind's batch solver on the executor.  A group also
+    flushes early when it reaches ``max_batch``.
     """
 
     def __init__(
         self,
         loop: asyncio.AbstractEventLoop,
         executor: ThreadPoolExecutor,
-        batch_solver: Callable[
-            [Sequence[Sequence[float]], int], List[Dict[str, Any]]
-        ],
+        batch_solvers: Dict[str, Callable[..., List[Dict[str, Any]]]],
         stats: ServiceStats,
         *,
         window_s: float,
@@ -138,20 +151,31 @@ class _MicroBatcher:
     ) -> None:
         self._loop = loop
         self._executor = executor
-        self._batch_solver = batch_solver
+        self._batch_solvers = batch_solvers
         self._stats = stats
         self._window_s = window_s
         self._max_batch = max_batch
         self._pending: Dict[
-            Tuple[int, int],
+            _BatchKey,
             List[Tuple[SolveRequest, "asyncio.Future[Dict[str, Any]]"]],
         ] = {}
-        self._timers: Dict[Tuple[int, int], asyncio.TimerHandle] = {}
+        self._timers: Dict[_BatchKey, asyncio.TimerHandle] = {}
         self._tasks: set = set()
 
+    def handles(self, kind: str) -> bool:
+        """Whether this batcher has a batch solver for ``kind``."""
+        return kind in self._batch_solvers
+
+    @staticmethod
+    def _key(request: SolveRequest) -> _BatchKey:
+        if request.kind == "mean_field":
+            width = len(request.params["type_windows"])
+        else:
+            width = len(request.params["windows"])
+        return (request.kind, width, int(request.params["max_stage"]))
+
     async def submit(self, request: SolveRequest) -> Dict[str, Any]:
-        windows = request.params["windows"]
-        key = (len(windows), int(request.params["max_stage"]))
+        key = self._key(request)
         future: "asyncio.Future[Dict[str, Any]]" = self._loop.create_future()
         future.add_done_callback(_consume_exception)
         bucket = self._pending.get(key)
@@ -166,7 +190,7 @@ class _MicroBatcher:
             self._flush(key)
         return await future
 
-    def _flush(self, key: Tuple[int, int]) -> None:
+    def _flush(self, key: _BatchKey) -> None:
         timer = self._timers.pop(key, None)
         if timer is not None:
             timer.cancel()
@@ -179,14 +203,25 @@ class _MicroBatcher:
 
     async def _run(
         self,
-        key: Tuple[int, int],
+        key: _BatchKey,
         batch: List[Tuple[SolveRequest, "asyncio.Future[Dict[str, Any]]"]],
     ) -> None:
-        _n, max_stage = key
-        windows = [request.params["windows"] for request, _ in batch]
+        kind, _width, max_stage = key
+        solver = self._batch_solvers[kind]
+        if kind == "mean_field":
+            type_windows = [
+                request.params["type_windows"] for request, _ in batch
+            ]
+            type_counts = [
+                request.params["type_counts"] for request, _ in batch
+            ]
+            call_args: Tuple[Any, ...] = (type_windows, type_counts, max_stage)
+        else:
+            windows = [request.params["windows"] for request, _ in batch]
+            call_args = (windows, max_stage)
         try:
             results = await self._loop.run_in_executor(
-                self._executor, self._batch_solver, windows, max_stage
+                self._executor, solver, *call_args
             )
         except BaseException as error:  # noqa: BLE001 - forwarded to waiters
             for _, future in batch:
@@ -197,8 +232,8 @@ class _MicroBatcher:
         self._stats.batches += 1
         self._stats.batched_requests += len(batch)
         _inc("serve.solves", 1, mode="batched")
-        _inc("serve.batch.flushes", 1)
-        _inc("serve.batch.requests", len(batch))
+        _inc("serve.batch.flushes", 1, kind=kind)
+        _inc("serve.batch.requests", len(batch), kind=kind)
         for (_, future), result in zip(batch, results):
             if not future.done():
                 future.set_result(result)
@@ -226,10 +261,12 @@ class EquilibriumService:
         Micro-batching knobs; ``batch_window_s=0`` still batches
         requests that are already queued concurrently (the timer fires
         on the next loop pass).
-    solver, batch_solver:
+    solver, batch_solver, mean_field_batch_solver:
         Injectable solver callables (tests substitute crashing or
         recording fakes); default to the pure solvers of
-        :mod:`repro.serve.solvers`.
+        :mod:`repro.serve.solvers`.  ``batch_solver`` folds
+        ``fixed_point`` groups, ``mean_field_batch_solver`` folds
+        ``mean_field`` groups.
     """
 
     def __init__(
@@ -244,6 +281,16 @@ class EquilibriumService:
         batch_solver: Optional[
             Callable[[Sequence[Sequence[float]], int], List[Dict[str, Any]]]
         ] = None,
+        mean_field_batch_solver: Optional[
+            Callable[
+                [
+                    Sequence[Sequence[float]],
+                    Sequence[Sequence[float]],
+                    int,
+                ],
+                List[Dict[str, Any]],
+            ]
+        ] = None,
     ) -> None:
         if batch_window_s < 0:
             raise ServeError(
@@ -255,9 +302,18 @@ class EquilibriumService:
         self.cache_enabled = bool(cache)
         self.stats = ServiceStats()
         self._solver = solver if solver is not None else solve_request
-        self._batch_solver = (
-            batch_solver if batch_solver is not None else solve_fixed_point_batch
-        )
+        self._batch_solvers: Dict[str, Callable[..., List[Dict[str, Any]]]] = {
+            "fixed_point": (
+                batch_solver
+                if batch_solver is not None
+                else solve_fixed_point_batch
+            ),
+            "mean_field": (
+                mean_field_batch_solver
+                if mean_field_batch_solver is not None
+                else solve_mean_field_request_batch
+            ),
+        }
         self._max_workers = max_workers
         self._batch_window_s = float(batch_window_s)
         self._max_batch = int(max_batch)
@@ -282,7 +338,7 @@ class EquilibriumService:
             self._batcher = _MicroBatcher(
                 loop,
                 self._executor,
-                self._batch_solver,
+                self._batch_solvers,
                 self.stats,
                 window_s=self._batch_window_s,
                 max_batch=self._max_batch,
@@ -376,7 +432,7 @@ class EquilibriumService:
                 kind=request.kind,
             )
             batcher = self._batcher
-            if request.kind == "fixed_point" and batcher is not None:
+            if batcher is not None and batcher.handles(request.kind):
                 result = await batcher.submit(request)
                 events: List[Dict[str, Any]] = []
                 wall = time.perf_counter() - solve_started

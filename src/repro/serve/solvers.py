@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import ServeError
 from repro.experiments.export import result_to_dict
 from repro.bianchi.batched import solve_heterogeneous_batch
+from repro.bianchi.meanfield import solve_mean_field_batch
 from repro.game.definition import MACGame
 from repro.game.deviation import deviation_table
 from repro.game.equilibrium import analyze_equilibria
@@ -39,15 +40,20 @@ from repro.phy.parameters import (
 from repro.phy.timing import slot_times
 from repro.serve.requests import SolveRequest
 
-__all__ = ["solve_fixed_point_batch", "solve_request"]
+__all__ = [
+    "solve_fixed_point_batch",
+    "solve_mean_field_request_batch",
+    "solve_request",
+]
 
 #: Cache-entering analysis roots for ``repro.lint --deep`` (REPRO101):
-#: everything a served digest maps to was produced by one of these two
+#: everything a served digest maps to was produced by one of these
 #: calls; replaying a cached response is only sound if they are pure
 #: functions of the canonical request params.
 ANALYSIS_ROOTS = (
     "repro.serve.solvers.solve_request",
     "repro.serve.solvers.solve_fixed_point_batch",
+    "repro.serve.solvers.solve_mean_field_request_batch",
 )
 
 
@@ -131,12 +137,21 @@ def _solve_fixed_point(params: Dict[str, Any]) -> Dict[str, Any]:
     )[0]
 
 
+def _solve_mean_field(params: Dict[str, Any]) -> Dict[str, Any]:
+    return solve_mean_field_request_batch(
+        [[float(w) for w in params["type_windows"]]],
+        [[float(c) for c in params["type_counts"]]],
+        int(params["max_stage"]),
+    )[0]
+
+
 _SOLVERS = {
     "equilibrium": _solve_equilibrium,
     "best_response": _solve_best_response,
     "deviation_table": _solve_deviation_table,
     "curve": _solve_curve,
     "fixed_point": _solve_fixed_point,
+    "mean_field": _solve_mean_field,
 }
 
 
@@ -167,6 +182,36 @@ def solve_fixed_point_batch(
             {
                 "tau": result_to_dict(solution.tau[i]),
                 "collision": result_to_dict(solution.collision[i]),
+                "residual": result_to_dict(solution.residual[i]),
+                "iterations": int(solution.iterations[i]),
+                "newton": bool(solution.newton[i]),
+            }
+        )
+    return documents
+
+
+def solve_mean_field_request_batch(
+    type_windows: Sequence[Sequence[float]],
+    type_counts: Sequence[Sequence[float]],
+    max_stage: int,
+) -> List[Dict[str, Any]]:
+    """Solve many same-K ``mean_field`` requests in one batched call.
+
+    The mean-field analogue of :func:`solve_fixed_point_batch`: requests
+    sharing ``(K, max_stage)`` stack into one ``(B, K)``
+    :func:`~repro.bianchi.meanfield.solve_mean_field_batch` call - each
+    lane a whole *population*, however large its node count.
+    """
+    stacked_w = np.asarray([list(w) for w in type_windows], dtype=float)
+    stacked_n = np.asarray([list(c) for c in type_counts], dtype=float)
+    solution = solve_mean_field_batch(stacked_w, stacked_n, int(max_stage))
+    documents: List[Dict[str, Any]] = []
+    for i in range(solution.n_instances):
+        documents.append(
+            {
+                "tau": result_to_dict(solution.tau[i]),
+                "collision": result_to_dict(solution.collision[i]),
+                "population": float(solution.population[i]),
                 "residual": result_to_dict(solution.residual[i]),
                 "iterations": int(solution.iterations[i]),
                 "newton": bool(solution.newton[i]),

@@ -58,6 +58,42 @@ class WelfordAccumulator:
         self.mean = self.mean + delta / self.count
         self._m2 = self._m2 + delta * (sample - self.mean)
 
+    def merge(self, other: "WelfordAccumulator") -> None:
+        """Fold another accumulator's moments into this one in place.
+
+        The parallel-combination formula (Chan et al.): with counts
+        ``na``/``nb``, means and ``M2`` from two disjoint sample
+        streams,
+
+        ``mean = mean_a + delta nb / (na + nb)``,
+        ``M2 = M2_a + M2_b + delta^2 na nb / (na + nb)``,
+
+        where ``delta = mean_b - mean_a``.  The result is exactly the
+        accumulator a single observer would hold after seeing both
+        streams, so sharded observers (e.g. the population screening
+        pipeline splitting chunks across monitors) can combine without
+        revisiting samples.  Merging an empty accumulator is a no-op;
+        merging into an empty one copies ``other``.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            xp = get_namespace(other.mean)
+            self.count = other.count
+            self.mean = other.mean + xp.zeros_like(other.mean)
+            self._m2 = other._m2 + xp.zeros_like(other._m2)
+            return
+        xp = get_namespace(self.mean, other.mean)
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean = self.mean + delta * (other.count / count)
+        self._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * (self.count * other.count / count)
+        )
+        self.count = count
+
     def variance(self) -> Any:
         """Unbiased across-sample variance (zeros until two samples)."""
         if self.count == 0:

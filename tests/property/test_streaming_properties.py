@@ -1,0 +1,143 @@
+"""Property tests for the streaming statistics accumulators.
+
+The population screening pipeline shards its observation chunks across
+monitors and folds them back with ``WelfordAccumulator.merge``, so the
+merge must behave exactly like one observer that saw every sample:
+
+* merge is **commutative** and **associative** up to floating-point
+  noise - shard outputs combine to the same moments in any order or
+  grouping;
+* merged moments agree with a two-pass numpy ``mean``/``var`` over the
+  concatenated samples to 1e-12;
+* merging an empty accumulator is a no-op, and merging *into* an empty
+  one copies the other side without aliasing its arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.streaming import WelfordAccumulator
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_WIDTH = 3
+
+_samples = st.lists(
+    st.lists(
+        st.floats(
+            allow_nan=False,
+            allow_infinity=False,
+            min_value=-1e6,
+            max_value=1e6,
+            width=64,
+        ),
+        min_size=_WIDTH,
+        max_size=_WIDTH,
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+def _fold(samples) -> WelfordAccumulator:
+    accumulator = WelfordAccumulator()
+    for sample in samples:
+        accumulator.update(np.asarray(sample, dtype=float))
+    return accumulator
+
+
+def _merged(*accumulators) -> WelfordAccumulator:
+    result = WelfordAccumulator()
+    for accumulator in accumulators:
+        result.merge(accumulator)
+    return result
+
+
+def _assert_same_moments(a: WelfordAccumulator, b: WelfordAccumulator):
+    assert a.count == b.count
+    if a.count == 0:
+        return
+    # 1e-12 relative to the moment scale (the samples span +-1e6, so a
+    # fixed absolute tolerance would be below one ulp of the data).
+    mean_scale = 1.0 + float(np.max(np.abs(b.mean)))
+    var_scale = 1.0 + float(np.max(np.abs(b.variance())))
+    np.testing.assert_allclose(
+        a.mean, b.mean, rtol=0, atol=1e-12 * mean_scale
+    )
+    np.testing.assert_allclose(
+        a.variance(), b.variance(), rtol=0, atol=1e-12 * var_scale
+    )
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+class TestMergeAlgebra:
+    @settings(max_examples=100, deadline=None)
+    @given(_samples, _samples)
+    def test_merge_is_commutative(self, xs, ys):
+        _assert_same_moments(
+            _merged(_fold(xs), _fold(ys)),
+            _merged(_fold(ys), _fold(xs)),
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(_samples, _samples, _samples)
+    def test_merge_is_associative(self, xs, ys, zs):
+        left = _merged(_merged(_fold(xs), _fold(ys)), _fold(zs))
+        right = _merged(_fold(xs), _merged(_fold(ys), _fold(zs)))
+        _assert_same_moments(left, right)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_samples, _samples)
+    def test_merge_equals_single_observer(self, xs, ys):
+        sharded = _merged(_fold(xs), _fold(ys))
+        single = _fold(list(xs) + list(ys))
+        _assert_same_moments(sharded, single)
+
+
+class TestAgainstTwoPassNumpy:
+    @settings(max_examples=100, deadline=None)
+    @given(_samples, _samples)
+    def test_merged_moments_match_two_pass(self, xs, ys):
+        stacked = np.asarray(list(xs) + list(ys), dtype=float)
+        if stacked.shape[0] < 2:
+            return
+        merged = _merged(_fold(xs), _fold(ys))
+        two_pass_mean = stacked.mean(axis=0)
+        two_pass_var = stacked.var(axis=0, ddof=1)
+        mean_scale = 1.0 + float(np.max(np.abs(two_pass_mean)))
+        var_scale = 1.0 + float(np.max(np.abs(two_pass_var)))
+        np.testing.assert_allclose(
+            merged.mean, two_pass_mean, rtol=0, atol=1e-12 * mean_scale
+        )
+        np.testing.assert_allclose(
+            merged.variance(),
+            two_pass_var,
+            rtol=0,
+            atol=1e-12 * var_scale,
+        )
+
+
+class TestEdgeCases:
+    def test_merging_empty_is_a_noop(self):
+        accumulator = _fold([[1.0, 2.0, 3.0]])
+        before = np.array(accumulator.mean)
+        accumulator.merge(WelfordAccumulator())
+        assert accumulator.count == 1
+        np.testing.assert_array_equal(accumulator.mean, before)
+
+    def test_merge_into_empty_copies_without_aliasing(self):
+        source = _fold([[1.0, 2.0, 3.0], [3.0, 2.0, 1.0]])
+        empty = WelfordAccumulator()
+        empty.merge(source)
+        assert empty.count == source.count
+        np.testing.assert_array_equal(empty.mean, source.mean)
+        empty.update(np.array([100.0, 100.0, 100.0]))
+        # The source's moments must be untouched by the copy's update.
+        np.testing.assert_array_equal(source.mean, [2.0, 2.0, 2.0])
+        assert source.count == 2

@@ -131,7 +131,7 @@ class TestStatusWithClaims:
         assert report.writer_progress == {"w0": 2}
         rendered = report.render()
         assert "claimed(rival)" in rendered
-        assert "w0: 2 committed" in rendered
+        assert "w0: 2/4 committed (50.0%)" in rendered
 
 
 _SHARD_WORKER = """

@@ -137,3 +137,73 @@ class TestCampaignCommands:
 
     def test_interrupted_exit_code_is_130(self):
         assert EXIT_INTERRUPTED == 130
+
+
+class TestDetectCommands:
+    def test_screen_parses_with_defaults(self):
+        args = build_parser().parse_args(["detect", "screen"])
+        assert args.command == "detect"
+        assert args.detect_command == "screen"
+        assert args.nodes == 100_000
+        assert args.shards == 1
+
+    def test_screen_runs_on_a_small_population(self, capsys):
+        assert (
+            main(
+                [
+                    "detect", "screen",
+                    "--nodes", "400",
+                    "--slots", "20000",
+                    "--chunk-slots", "2000",
+                    "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "population:     400 nodes" in out
+        assert "flagged:" in out
+
+    def test_screen_writes_json_report(self, tmp_path, capsys):
+        report = tmp_path / "screen.json"
+        assert (
+            main(
+                [
+                    "detect", "screen",
+                    "--nodes", "300",
+                    "--slots", "10000",
+                    "--chunk-slots", "1000",
+                    "--output", str(report),
+                ]
+            )
+            == 0
+        )
+        document = json.loads(report.read_text())
+        assert document["n_nodes"] == 300
+        assert len(document["flagged"]) == 300
+
+    def test_screen_reads_measured_tau_file(self, tmp_path, capsys):
+        tau_file = tmp_path / "tau.json"
+        tau_file.write_text(json.dumps([0.001] * 50))
+        assert (
+            main(
+                [
+                    "detect", "screen",
+                    "--tau-file", str(tau_file),
+                    "--slots", "5000",
+                    "--chunk-slots", "1000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "population:     50 nodes" in out
+
+    def test_screen_missing_tau_file_fails_cleanly(self, capsys):
+        assert (
+            main(["detect", "screen", "--tau-file", "/nonexistent.json"]) == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_meanfield_quick_overrides_registered(self):
+        assert "meanfield" in QUICK_OVERRIDES

@@ -11,7 +11,11 @@ from repro.detect.estimator import (
     estimate_window,
     estimate_windows,
 )
-from repro.errors import GameDefinitionError, ParameterError
+from repro.errors import (
+    GameDefinitionError,
+    InsufficientDataError,
+    ParameterError,
+)
 from repro.game.definition import MACGame
 from repro.game.strategies import GenerousTitForTat, TitForTat
 from repro.sim.engine import DcfSimulator
@@ -105,6 +109,24 @@ class TestWindowObserver:
             observer.tau_estimates()
         with pytest.raises(ParameterError):
             WindowObserver(n_nodes=0, max_stage=5)
+
+    def test_empty_window_raises_typed_insufficient_data(self):
+        # A zero-observation window must surface as the typed error on
+        # *both* estimators, never as a nan-producing division.
+        observer = WindowObserver(n_nodes=2, max_stage=5)
+        with pytest.raises(InsufficientDataError):
+            observer.tau_estimates()
+        with pytest.raises(InsufficientDataError):
+            observer.collision_estimates()
+        with pytest.raises(InsufficientDataError):
+            observer.estimates()
+
+    def test_silent_node_collision_estimate_is_zero_not_nan(self):
+        observer = WindowObserver(n_nodes=2, max_stage=5)
+        observer.record_transmission([0], success=True)
+        p_hat = observer.collision_estimates()
+        assert p_hat[1] == 0.0  # repro: noqa=REPRO003
+        assert not np.any(np.isnan(p_hat))
 
 
 class TestEmpiricalGame:

@@ -1,0 +1,186 @@
+"""Unit tests for replicator dynamics over CW-type distributions.
+
+The load-bearing claims: under myopic ("stage") fitness the population
+collapses to the most aggressive window present; under TFT-enforced
+("tft") fitness it converges into the Theorem 2 NE family
+``[W_c0, W_c*]`` on the paper's Table II parameter set (n = 20,
+W_c* = 335, basic access).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.game.dynamics import (
+    ReplicatorTrajectory,
+    converges_to_ne,
+    replicator_step,
+    run_replicator,
+)
+from repro.game.equilibrium import analyze_equilibria
+from repro.phy.parameters import AccessMode, PhyParameters
+from repro.phy.timing import slot_times
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = PhyParameters()
+    times = slot_times(params, AccessMode.BASIC)
+    return params, times
+
+
+class TestReplicatorStep:
+    def test_preserves_simplex(self):
+        x = np.array([0.2, 0.3, 0.5])
+        u = np.array([1.0, -2.0, 0.5])
+        x_next = replicator_step(x, u)
+        assert abs(float(x_next.sum()) - 1.0) < 1e-12
+        assert np.all(x_next >= 0.0)
+
+    def test_higher_fitness_gains_share(self):
+        x = np.array([0.5, 0.5])
+        u = np.array([1.0, 0.0])
+        x_next = replicator_step(x, u)
+        assert x_next[0] > 0.5 > x_next[1]
+
+    def test_translation_invariance(self):
+        x = np.array([0.3, 0.7])
+        u = np.array([0.1, -0.4])
+        np.testing.assert_allclose(
+            replicator_step(x, u), replicator_step(x, u + 123.0)
+        )
+
+    def test_extinct_types_stay_extinct(self):
+        x = np.array([0.0, 0.4, 0.6])
+        u = np.array([100.0, 0.0, 0.0])
+        x_next = replicator_step(x, u)
+        assert x_next[0] == 0.0  # repro: noqa=REPRO003
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            replicator_step(np.array([0.5, 0.5]), np.array([1.0]))
+        with pytest.raises(ParameterError):
+            replicator_step(
+                np.array([0.5, 0.5]),
+                np.array([0.0, 0.0]),
+                learning_rate=0.0,
+            )
+        with pytest.raises(ParameterError):
+            replicator_step(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+
+
+class TestStageFitness:
+    def test_collapses_to_most_aggressive_type(self, setup):
+        params, times = setup
+        traj = run_replicator(
+            np.array([16.0, 64.0, 335.0]),
+            20,
+            params,
+            times,
+            fitness_mode="stage",
+        )
+        assert isinstance(traj, ReplicatorTrajectory)
+        assert traj.converged
+        assert traj.dominant_window == 16.0  # repro: noqa=REPRO003
+        assert traj.final_shares[0] > 0.99
+
+
+class TestTFTFitness:
+    def test_converges_into_theorem2_family_table2(self, setup):
+        # Table II, basic access, n = 20: W_c* = 335.  A grid
+        # straddling the NE family must concentrate on W_c* itself.
+        params, times = setup
+        analysis = analyze_equilibria(20, params, times)
+        assert analysis.window_star == 335
+        grid = np.array([16.0, 64.0, 335.0, 1024.0])
+        traj = run_replicator(
+            grid, 20, params, times, fitness_mode="tft"
+        )
+        assert traj.converged
+        assert traj.dominant_window == 335.0  # repro: noqa=REPRO003
+        assert converges_to_ne(traj, params, times, analysis=analysis)
+
+    def test_ne_check_rejects_mass_outside_the_family(self, setup):
+        # A state concentrated above W_c* is outside the Theorem 2
+        # family; the checker must say so for the same analysis that
+        # accepts the TFT rest point.
+        params, times = setup
+        analysis = analyze_equilibria(20, params, times)
+        grid = np.array([16.0, 335.0, 1024.0])
+        outside = ReplicatorTrajectory(
+            type_windows=grid,
+            population=20.0,
+            fitness_mode="stage",
+            shares=np.array([[1 / 3] * 3, [0.0, 0.005, 0.995]]),
+            fitness=np.zeros((1, 3)),
+            iterations=1,
+            converged=True,
+            dominant_window=1024.0,
+        )
+        assert not converges_to_ne(
+            outside, params, times, analysis=analysis
+        )
+
+
+class TestTrajectoryBookkeeping:
+    def test_shapes_and_simplex_rows(self, setup):
+        params, times = setup
+        traj = run_replicator(
+            np.array([32.0, 128.0]),
+            10,
+            params,
+            times,
+            fitness_mode="stage",
+            steps=25,
+            tol=0.0,
+        )
+        assert traj.iterations == 25
+        assert not traj.converged
+        assert traj.shares.shape == (26, 2)
+        assert traj.fitness.shape == (25, 2)
+        np.testing.assert_allclose(
+            traj.shares.sum(axis=1), np.ones(26), atol=1e-12
+        )
+
+    def test_custom_initial_shares(self, setup):
+        params, times = setup
+        traj = run_replicator(
+            np.array([32.0, 128.0]),
+            10,
+            params,
+            times,
+            initial_shares=[0.9, 0.1],
+            steps=1,
+            tol=0.0,
+        )
+        np.testing.assert_allclose(traj.shares[0], [0.9, 0.1])
+
+    def test_rejects_bad_parameters(self, setup):
+        params, times = setup
+        grid = np.array([32.0, 128.0])
+        with pytest.raises(ParameterError):
+            run_replicator(grid, 1, params, times)
+        with pytest.raises(ParameterError):
+            run_replicator(grid, 10, params, times, fitness_mode="nope")
+        with pytest.raises(ParameterError):
+            run_replicator(grid, 10, params, times, steps=0)
+        with pytest.raises(ParameterError):
+            run_replicator(
+                grid, 10, params, times, initial_shares=[0.9, 0.3]
+            )
+        with pytest.raises(ParameterError):
+            run_replicator(np.zeros((0,)), 10, params, times)
+
+    def test_deterministic(self, setup):
+        params, times = setup
+        kwargs = dict(fitness_mode="tft", steps=40, tol=0.0)
+        a = run_replicator(
+            np.array([32.0, 335.0]), 20, params, times, **kwargs
+        )
+        b = run_replicator(
+            np.array([32.0, 335.0]), 20, params, times, **kwargs
+        )
+        np.testing.assert_array_equal(a.shares, b.shares)
+        np.testing.assert_array_equal(a.fitness, b.fitness)

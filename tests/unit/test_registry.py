@@ -28,6 +28,13 @@ TINY_OVERRIDES = {
     "convergence": {"n_players": 3, "n_stages": 2},
     "bestresponse": {"n_players": 3, "n_stages": 2},
     "mobility": {"n_nodes": 6, "n_epochs": 1},
+    "meanfield": {
+        "agreement_populations": (8,),
+        "scaling_populations": (1e3,),
+        "replicator_steps": 150,
+        "screening_nodes": 2_000,
+        "screening_slots": 40_000,
+    },
 }
 
 
@@ -46,6 +53,7 @@ class TestRegistry:
             "convergence",
             "bestresponse",
             "mobility",
+            "meanfield",
         }
         assert set(EXPERIMENTS) == expected
 

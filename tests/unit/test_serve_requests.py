@@ -20,6 +20,7 @@ class TestParseRequest:
             "deviation_table",
             "equilibrium",
             "fixed_point",
+            "mean_field",
         )
 
     def test_equilibrium_defaults_filled(self):
@@ -69,6 +70,13 @@ class TestParseRequest:
         with pytest.raises(ServeError, match="unknown request kind"):
             parse_request({"kind": "oracle", "params": {}})
 
+    @pytest.mark.parametrize("kind", [{"oops": 1}, ["mean_field"], 42, None])
+    def test_non_string_kind_rejected(self, kind):
+        # Unhashable kinds must raise ServeError (wire 400), never leak
+        # a TypeError out of the dict lookup and drop the connection.
+        with pytest.raises(ServeError, match="unknown request kind"):
+            parse_request({"kind": kind, "params": {}})
+
     def test_missing_required_param_rejected(self):
         with pytest.raises(ServeError, match="requires param 'n_nodes'"):
             parse_request({"kind": "equilibrium", "params": {}})
@@ -113,6 +121,41 @@ class TestParseRequest:
         assert request.params["max_stage"] == 5
         with pytest.raises(ServeError, match="windows"):
             parse_request({"kind": "fixed_point", "params": {"windows": []}})
+
+    def test_mean_field_params_normalised(self):
+        request = parse_request(
+            {
+                "kind": "mean_field",
+                "params": {
+                    "type_windows": [32, 64],
+                    "type_counts": [900, 100],
+                },
+            }
+        )
+        assert request.params == {
+            "type_windows": [32.0, 64.0],
+            "type_counts": [900.0, 100.0],
+            "max_stage": 5,
+        }
+        assert request.experiment_id == "serve.mean_field"
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            {"type_windows": [32.0]},
+            {"type_windows": [], "type_counts": []},
+            {"type_windows": [32.0], "type_counts": []},
+            {"type_windows": [32.0, 64.0], "type_counts": [5.0]},
+            {"type_windows": [32.0], "type_counts": [0.0]},
+            {"type_windows": [32.0], "type_counts": [-3.0]},
+            {"type_windows": [32.0], "type_counts": [True]},
+            {"type_windows": [32.0], "type_counts": ["many"]},
+            {"type_windows": [32.0], "type_counts": [5.0], "max_stage": 0},
+        ],
+    )
+    def test_mean_field_domain_validation(self, params):
+        with pytest.raises(ServeError):
+            parse_request({"kind": "mean_field", "params": params})
 
 
 class TestWireEncoding:

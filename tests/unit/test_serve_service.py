@@ -18,7 +18,11 @@ import pytest
 from repro import obs
 from repro.errors import GameDefinitionError, ServeError
 from repro.serve import EquilibriumService, parse_request
-from repro.serve.solvers import solve_fixed_point_batch, solve_request
+from repro.serve.solvers import (
+    solve_fixed_point_batch,
+    solve_mean_field_request_batch,
+    solve_request,
+)
 from repro.store import ResultStore
 
 
@@ -367,3 +371,114 @@ class TestObservability:
         assert names.get("serve.cache.hit") == 1
         assert names.get("serve.coalesced") == 1
         assert names.get("serve.solves") == 2
+
+
+class TestMeanFieldBatching:
+    def test_concurrent_mean_fields_fold_into_one_batch(self, store):
+        batch_sizes: List[int] = []
+
+        def counting_mf_batch(type_windows, type_counts, max_stage):
+            batch_sizes.append(len(type_windows))
+            return solve_mean_field_request_batch(
+                type_windows, type_counts, max_stage
+            )
+
+        documents = [
+            {
+                "kind": "mean_field",
+                "params": {
+                    "type_windows": [32.0 + i, 256.0],
+                    "type_counts": [1000.0, 2000.0],
+                },
+            }
+            for i in range(5)
+        ]
+
+        async def scenario():
+            service = EquilibriumService(
+                store,
+                mean_field_batch_solver=counting_mf_batch,
+                batch_window_s=0.05,
+            )
+            responses = await asyncio.gather(
+                *(service.solve_document(d) for d in documents)
+            )
+            await _close(service)
+            return responses
+
+        responses = asyncio.run(scenario())
+        assert batch_sizes == [5]
+        for document, response in zip(documents, responses):
+            solo = solve_mean_field_request_batch(
+                [document["params"]["type_windows"]],
+                [document["params"]["type_counts"]],
+                5,
+            )[0]
+            assert response["result"]["tau"] == pytest.approx(solo["tau"])
+            assert response["result"]["population"] == 3000.0  # repro: noqa=REPRO003
+
+    def test_mean_field_and_fixed_point_groups_stay_separate(self, store):
+        kinds_run: List[str] = []
+
+        def fp_batch(windows, max_stage):
+            kinds_run.append("fixed_point")
+            return solve_fixed_point_batch(windows, max_stage)
+
+        def mf_batch(type_windows, type_counts, max_stage):
+            kinds_run.append("mean_field")
+            return solve_mean_field_request_batch(
+                type_windows, type_counts, max_stage
+            )
+
+        documents = [
+            {"kind": "fixed_point", "params": {"windows": [32.0, 64.0]}},
+            {
+                "kind": "mean_field",
+                "params": {
+                    # Same width and max_stage as the fixed_point - only
+                    # the kind separates the groups.
+                    "type_windows": [32.0, 64.0],
+                    "type_counts": [10.0, 10.0],
+                },
+            },
+        ]
+
+        async def scenario():
+            service = EquilibriumService(
+                store,
+                batch_solver=fp_batch,
+                mean_field_batch_solver=mf_batch,
+                batch_window_s=0.05,
+            )
+            responses = await asyncio.gather(
+                *(service.solve_document(d) for d in documents)
+            )
+            await _close(service)
+            return responses
+
+        responses = asyncio.run(scenario())
+        assert sorted(kinds_run) == ["fixed_point", "mean_field"]
+        assert responses[0]["kind"] == "fixed_point"
+        assert responses[1]["kind"] == "mean_field"
+
+    def test_mean_field_result_is_cached_by_digest(self, store):
+        document = {
+            "kind": "mean_field",
+            "params": {
+                "type_windows": [64.0, 1024.0],
+                "type_counts": [100000.0, 900000.0],
+            },
+        }
+
+        async def scenario():
+            service = EquilibriumService(store, batch_window_s=0.0)
+            first = await service.solve_document(document)
+            second = await service.solve_document(document)
+            await _close(service)
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["result"] == first["result"]
+        assert second["digest"] == first["digest"]
