@@ -23,6 +23,8 @@ Installed as ``repro-experiments``::
     repro-experiments detect screen --nodes 100000   # misbehavior screening
     repro-experiments serve --port 8351       # equilibrium-as-a-service
     repro-experiments bench-serve             # serving benchmark -> JSON
+    repro-experiments verify --box tableII-small   # certify the claims
+    repro-experiments verify --theorem theorem2 --checkers interval,numeric
 
 The quick overrides mirror ``examples/reproduce_paper.py``.  ``--jobs``
 fans the sweep experiments out over a process pool
@@ -76,6 +78,7 @@ QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
         "screening_nodes": 20_000,
         "screening_slots": 200_000,
     },
+    "verify": {"max_boxes": 4000},
 }
 
 #: Experiments whose runners accept the parallel runner's ``jobs`` knob
@@ -423,6 +426,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full screening report as JSON",
     )
 
+    verify_cmd = commands.add_parser(
+        "verify",
+        help=(
+            "machine-check the equilibrium claims over a parameter box "
+            "(see docs/verification.md)"
+        ),
+    )
+    verify_cmd.add_argument(
+        "--theorem",
+        action="append",
+        choices=("all", "bianchi", "lemma3", "theorem2", "theorem3"),
+        default=None,
+        help="claim to certify (repeatable; default: all)",
+    )
+    verify_cmd.add_argument(
+        "--box",
+        default="tableII-small",
+        metavar="NAME",
+        help="built-in parameter box (default: tableII-small; "
+        "see --list-boxes)",
+    )
+    verify_cmd.add_argument(
+        "--list-boxes",
+        action="store_true",
+        help="list the built-in parameter boxes and exit",
+    )
+    verify_cmd.add_argument(
+        "--checkers",
+        default="interval,smt,numeric",
+        metavar="CSV",
+        help="comma-separated checker subset of interval,smt,numeric "
+        "(default: all three; smt degrades to skipped without z3)",
+    )
+    verify_cmd.add_argument(
+        "--max-boxes",
+        type=int,
+        default=20000,
+        metavar="N",
+        help="interval-subdivision budget per check (default: 20000)",
+    )
+    verify_cmd.add_argument(
+        "--smt-timeout-ms",
+        type=int,
+        default=120000,
+        metavar="MS",
+        help="per-query z3 timeout (default: 120000)",
+    )
+    verify_cmd.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="FILE",
+        help="write the full JSON certificates to FILE",
+    )
+    verify_cmd.add_argument(
+        "--write-scenarios",
+        default=None,
+        metavar="DIR",
+        help="freeze every counterexample as a replayable JSON scenario "
+        "under DIR (e.g. tests/regression/scenarios)",
+    )
+
     serve = commands.add_parser(
         "serve",
         help="run the equilibrium solve server (see docs/serving.md)",
@@ -717,6 +782,88 @@ def _detect_screen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_command(args: argparse.Namespace) -> int:
+    """Certify the selected claims; exit 1 on any counterexample."""
+    from repro.verify import (
+        builtin_boxes,
+        get_box,
+        run_certification,
+        scenarios_from_certificate,
+        write_scenario,
+        z3_available,
+    )
+    from repro.verify.claims import CheckBudget
+
+    if args.list_boxes:
+        for box in builtin_boxes().values():
+            print(
+                f"{box.name:<16} {box.mode:<8} n in [{box.n_lo}, {box.n_hi}]"
+                f"  W in [{box.w_lo:g}, {box.w_hi:g}]  m={box.m}"
+            )
+        return 0
+    checkers = tuple(
+        name for name in args.checkers.split(",") if name.strip()
+    )
+    theorems = args.theorem or ["all"]
+    box = get_box(args.box)
+    budget = CheckBudget(
+        max_boxes=args.max_boxes, smt_timeout_ms=args.smt_timeout_ms
+    )
+    if "smt" in checkers and not z3_available():
+        print(
+            "note: z3 is not installed - SMT queries will be skipped "
+            "(pip install 'repro[verify]' to enable them)"
+        )
+    certificates = run_certification(
+        theorems, box, checkers=checkers, budget=budget
+    )
+    worst = 0
+    for certificate in certificates:
+        unknowns = sum(
+            1 for o in certificate.outcomes if o.verdict == "unknown"
+        )
+        skipped = sum(
+            1 for o in certificate.outcomes if o.verdict == "skipped"
+        )
+        print(
+            f"{certificate.claim:<10} {certificate.status:<15} "
+            f"({len(certificate.outcomes)} checks, {unknowns} unknown, "
+            f"{skipped} skipped, "
+            f"{sum(1 for v in certificate.vertices if v.ok)}/"
+            f"{len(certificate.vertices)} vertices)"
+        )
+        for counterexample in certificate.counterexamples:
+            point = ", ".join(
+                f"{key}={value:.6g}"
+                for key, value in sorted(counterexample["point"].items())
+            )
+            print(
+                f"  counterexample [{counterexample['source']}/"
+                f"{counterexample['label']}]: {point}"
+            )
+        if certificate.status == "counterexample":
+            worst = 1
+    if args.write_scenarios is not None:
+        written = []
+        for certificate in certificates:
+            for scenario in scenarios_from_certificate(certificate):
+                written.append(
+                    write_scenario(scenario, args.write_scenarios)
+                )
+        print(f"wrote {len(written)} scenario(s) to {args.write_scenarios}")
+        for path in written:
+            print(f"  {path}")
+    if args.output is not None:
+        payload = {
+            "box": box.to_dict(),
+            "checkers": list(checkers),
+            "certificates": [c.to_dict() for c in certificates],
+        }
+        write_json(payload, Path(args.output))
+        print(f"wrote {args.output}")
+    return worst
+
+
 def _serve_command(args: argparse.Namespace) -> int:
     """Run the solve server in the foreground until interrupted."""
     import asyncio
@@ -892,6 +1039,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             if args.detect_command == "screen":
                 return _detect_screen(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    if args.command == "verify":
+        try:
+            return _verify_command(args)
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1

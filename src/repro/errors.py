@@ -25,6 +25,7 @@ __all__ = [
     "StoreError",
     "StrategyError",
     "TopologyError",
+    "VerificationError",
 ]
 
 
@@ -111,6 +112,17 @@ class ServeError(ReproError, RuntimeError):
 
     Raised by :mod:`repro.serve` for unknown request kinds, invalid
     request documents and solver failures surfaced to waiting clients.
+    """
+
+
+class VerificationError(ReproError, RuntimeError):
+    """The machine-checked verification layer could not run a check.
+
+    Raised by :mod:`repro.verify` when a requested checker backend is
+    unavailable and was explicitly required (``z3`` missing for an SMT
+    check), when a claim/box name is unknown, or when a scenario file is
+    malformed.  A claim *failing* is never an exception - failures are
+    reported as counterexample verdicts in the certificate.
     """
 
 

@@ -26,6 +26,7 @@ from repro.experiments import (
     table1,
     table2,
     table3,
+    verify,
 )
 
 __all__ = ["EXPERIMENTS", "Experiment", "get_experiment", "run_experiment"]
@@ -145,6 +146,13 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "Mean-field engine: exact agreement, 10^6-node scaling, "
             "replicator NE convergence, screening",
             meanfield.run,
+        ),
+        Experiment(
+            "verify",
+            "Lemma 3, Thms 2-3",
+            "Machine-checked certification of the equilibrium claims "
+            "over a parameter box",
+            verify.run,
         ),
         Experiment(
             "mobility",

@@ -1,0 +1,149 @@
+"""Machine-checked certification of the paper's equilibrium claims.
+
+Runs the :mod:`repro.verify` certification stack - the Bianchi
+fixed-point uniqueness, Lemma 3 stationarity, the Theorem 2 NE window
+family and the Theorem 3 multi-hop drag-down - over one parameter box
+and reports per-claim verdicts.
+
+The default checkers are ``interval`` (outward-rounded subdivision
+proofs) and ``numeric`` (the production solver stack at the box
+vertices): both are deterministic and dependency-free, so the
+experiment runs - and caches - identically on every machine.  Pass
+``checkers=("interval", "smt", "numeric")`` to add z3
+violation-existence queries when the ``verify`` extra is installed;
+without z3 the SMT outcomes degrade to ``skipped`` (never an error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.experiments.reporting import format_table
+from repro.verify.boxes import get_box
+from repro.verify.certify import run_certification
+from repro.verify.claims import CheckBudget
+
+__all__ = ["VerifyResult", "VerifyRow", "run"]
+
+
+@dataclass(frozen=True)
+class VerifyRow:
+    """One claim's certification verdict over the box."""
+
+    claim: str
+    status: str
+    boxes_proved: int
+    unknowns: int
+    violations: int
+    vertices_checked: int
+    vertices_ok: int
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """Certification summary over one parameter box."""
+
+    box: str
+    checkers: Tuple[str, ...]
+    rows: List[VerifyRow]
+    all_certified: bool
+
+    def render(self) -> str:
+        table = format_table(
+            [
+                "claim",
+                "status",
+                "sub-boxes",
+                "unknown",
+                "violated",
+                "vertices",
+            ],
+            [
+                [
+                    row.claim,
+                    row.status,
+                    row.boxes_proved,
+                    row.unknowns,
+                    row.violations,
+                    f"{row.vertices_ok}/{row.vertices_checked}",
+                ]
+                for row in self.rows
+            ],
+            title=(
+                f"Certification over box {self.box!r} "
+                f"(checkers: {', '.join(self.checkers)})"
+            ),
+        )
+        verdict = (
+            "every claim certified over the whole box"
+            if self.all_certified
+            else "NOT fully certified - inspect the per-claim outcomes"
+        )
+        return f"{table}\n{verdict}"
+
+
+def run(
+    box: str = "tableII-small",
+    theorems: Sequence[str] = ("all",),
+    checkers: Sequence[str] = ("interval", "numeric"),
+    max_boxes: int = 20000,
+) -> VerifyResult:
+    """Certify the selected theorems over one built-in box.
+
+    Parameters
+    ----------
+    box:
+        Built-in box name (see :data:`repro.verify.boxes.BOX_NAMES`).
+    theorems:
+        Claim names or ``("all",)``.
+    checkers:
+        Checker subset; the default omits ``smt`` so the artefact is
+        identical with and without the optional z3 dependency.
+    max_boxes:
+        Interval-subdivision budget per check.
+    """
+    parameter_box = get_box(box)
+    budget = CheckBudget(max_boxes=max_boxes)
+    certificates = run_certification(
+        theorems, parameter_box, checkers=tuple(checkers), budget=budget
+    )
+    rows = []
+    for certificate in certificates:
+        interval_outcomes = [
+            outcome
+            for outcome in certificate.outcomes
+            if outcome.checker == "interval"
+        ]
+        rows.append(
+            VerifyRow(
+                claim=certificate.claim,
+                status=certificate.status,
+                boxes_proved=int(
+                    sum(
+                        outcome.stats.get("boxes_proved", 0.0)
+                        for outcome in interval_outcomes
+                    )
+                ),
+                unknowns=sum(
+                    1
+                    for outcome in certificate.outcomes
+                    if outcome.verdict == "unknown"
+                ),
+                violations=sum(
+                    1
+                    for outcome in certificate.outcomes
+                    if outcome.verdict == "violated"
+                ),
+                vertices_checked=len(certificate.vertices),
+                vertices_ok=sum(
+                    1 for vertex in certificate.vertices if vertex.ok
+                ),
+            )
+        )
+    return VerifyResult(
+        box=box,
+        checkers=tuple(checkers),
+        rows=rows,
+        all_certified=all(row.status == "certified" for row in rows),
+    )

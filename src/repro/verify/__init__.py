@@ -1,0 +1,87 @@
+"""Machine-checked equilibria: SMT + interval certification (ROADMAP 4).
+
+The package certifies the paper's equilibrium claims - the Bianchi
+coupling's unique symmetric fixed point, Lemma 3 stationarity and
+uniqueness, the Theorem 2 NE window family ``[W_c0, W_c*]``, and the
+Theorem 3 multi-hop drag-down structure - over bounded parameter boxes
+of ``(n, W, m, g, e, sigma, Ts, Tc)``, instead of merely reproducing
+them numerically at the published points.
+
+Three checkers, one algebra (:mod:`repro.verify.encodings` holds the
+single-source polynomial forms all of them evaluate):
+
+* ``interval`` - dependency-free outward-rounded interval arithmetic
+  with forward-mode duals and adaptive box subdivision
+  (:mod:`repro.verify.interval`); always available.
+* ``smt`` - z3 violation-existence queries behind the optional
+  ``verify`` extra (:mod:`repro.verify.smt`); skipped gracefully when
+  z3 is absent.
+* ``numeric`` - the production solver stack evaluated at the box
+  vertices and differentially compared against the encoder.
+
+Counterexamples found by any checker are frozen into canonical JSON
+scenarios under ``tests/regression/scenarios/``
+(:mod:`repro.verify.scenarios`) and replayed by the regression harness
+forever after.  Entry points: the ``repro-experiments verify`` CLI verb
+and the ``verify`` experiment.
+"""
+
+from __future__ import annotations
+
+from repro.verify.boxes import BOX_NAMES, ParameterBox, builtin_boxes, get_box
+from repro.verify.claims import CLAIMS, CheckBudget, Claim, claims_for
+from repro.verify.certify import (
+    CHECKER_NAMES,
+    Certificate,
+    CheckOutcome,
+    VertexComparison,
+    certify_claim,
+    run_certification,
+)
+from repro.verify.interval import BoxProof, Dual, Interval, prove_sign_on_box
+from repro.verify.scenarios import (
+    QUANTITIES,
+    SCENARIO_SCHEMA,
+    ReplayReport,
+    discover_scenarios,
+    load_scenario,
+    pin_scenario,
+    replay_scenario,
+    scenarios_from_certificate,
+    write_scenario,
+)
+from repro.verify.smt import SmtOutcome, SmtSpec, run_query, z3_available
+
+__all__ = [
+    "BOX_NAMES",
+    "BoxProof",
+    "CHECKER_NAMES",
+    "CLAIMS",
+    "Certificate",
+    "CheckBudget",
+    "CheckOutcome",
+    "Claim",
+    "Dual",
+    "Interval",
+    "ParameterBox",
+    "QUANTITIES",
+    "ReplayReport",
+    "SCENARIO_SCHEMA",
+    "SmtOutcome",
+    "SmtSpec",
+    "VertexComparison",
+    "builtin_boxes",
+    "certify_claim",
+    "claims_for",
+    "discover_scenarios",
+    "get_box",
+    "load_scenario",
+    "pin_scenario",
+    "prove_sign_on_box",
+    "replay_scenario",
+    "run_certification",
+    "run_query",
+    "scenarios_from_certificate",
+    "write_scenario",
+    "z3_available",
+]

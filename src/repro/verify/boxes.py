@@ -1,0 +1,298 @@
+"""Bounded parameter boxes the verification claims quantify over.
+
+A :class:`ParameterBox` is an axis-aligned region of the model space
+``(n, W, m, g, e, sigma, Ts, Tc)``: integer ranges for the network size
+``n`` and a fixed backoff ladder depth ``m``, closed float intervals for
+the window and the utility/timing constants.  Claims are certified *for
+every point of the box* (interval subdivision / SMT universal queries)
+and differentially spot-checked at the box vertices against the numeric
+stack.
+
+The built-in presets anchor the paper's evaluation: the ``tableII`` /
+``tableIII`` family pins the Table I constants (slot times derived from
+:func:`repro.phy.timing.slot_times`, never hand-copied) and spans the
+published network sizes ``n in {5, 20, 50}``; the ``-small`` variants
+restrict to ``n = 5`` and a modest window range so CI certifies them in
+seconds.  Boxes round-trip through canonical dicts so certificates and
+regression scenarios can embed them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.errors import VerificationError
+from repro.phy.parameters import AccessMode, default_parameters
+from repro.phy.timing import SlotTimes, slot_times
+from repro.verify.interval import Interval
+
+__all__ = [
+    "BOX_NAMES",
+    "ParameterBox",
+    "builtin_boxes",
+    "get_box",
+]
+
+#: Dimensions that may be degenerate (lo == hi) or genuine intervals.
+_REAL_DIMS = ("w", "gain", "cost", "sigma", "ts", "tc")
+
+
+@dataclass(frozen=True)
+class ParameterBox:
+    """One axis-aligned box of model parameters.
+
+    ``n_lo <= n <= n_hi`` (integers), ``m`` fixed, and closed float
+    ranges for the window ``w``, utility constants ``gain``/``cost`` and
+    slot times ``sigma``/``ts``/``tc``.  ``mode`` labels which access
+    mode the timing ranges were derived from.
+    """
+
+    name: str
+    mode: str
+    n_lo: int
+    n_hi: int
+    m: int
+    w_lo: float
+    w_hi: float
+    gain_lo: float
+    gain_hi: float
+    cost_lo: float
+    cost_hi: float
+    sigma_lo: float
+    sigma_hi: float
+    ts_lo: float
+    ts_hi: float
+    tc_lo: float
+    tc_hi: float
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("basic", "rts_cts"):
+            raise VerificationError(
+                f"mode must be 'basic' or 'rts_cts', got {self.mode!r}"
+            )
+        if self.n_lo < 2 or self.n_hi < self.n_lo:
+            raise VerificationError(
+                f"need 2 <= n_lo <= n_hi, got [{self.n_lo}, {self.n_hi}]"
+            )
+        if self.m < 0:
+            raise VerificationError(f"m must be >= 0, got {self.m!r}")
+        for dim in _REAL_DIMS:
+            lo = getattr(self, f"{dim}_lo")
+            hi = getattr(self, f"{dim}_hi")
+            if not lo <= hi:
+                raise VerificationError(
+                    f"{dim} range [{lo!r}, {hi!r}] is empty"
+                )
+        if self.w_lo < 1.0:
+            raise VerificationError(
+                f"window range must start at >= 1, got {self.w_lo!r}"
+            )
+        if self.cost_lo < 0.0 or self.cost_hi >= self.gain_lo:
+            raise VerificationError(
+                "cost range must satisfy 0 <= e < g everywhere in the box"
+            )
+        for dim in ("sigma", "ts", "tc"):
+            if getattr(self, f"{dim}_lo") <= 0.0:
+                raise VerificationError(f"{dim} must be positive")
+
+    # -- accessors ----------------------------------------------------
+
+    def interval(self, dim: str) -> Interval:
+        """The closed range of one real dimension as an :class:`Interval`."""
+        if dim not in _REAL_DIMS:
+            raise VerificationError(
+                f"unknown box dimension {dim!r}; expected one of {_REAL_DIMS}"
+            )
+        return Interval(getattr(self, f"{dim}_lo"), getattr(self, f"{dim}_hi"))
+
+    def n_values(self, *, max_values: int = 5) -> Tuple[int, ...]:
+        """Representative network sizes: endpoints plus an even interior grid.
+
+        Claims quantify per integer ``n`` (the polynomial degree depends
+        on it), so wide boxes are sampled at up to ``max_values``
+        deterministic sizes including both endpoints.
+        """
+        if max_values < 1:
+            raise VerificationError(
+                f"max_values must be >= 1, got {max_values!r}"
+            )
+        span = self.n_hi - self.n_lo
+        if span + 1 <= max_values:
+            return tuple(range(self.n_lo, self.n_hi + 1))
+        picks = sorted(
+            {
+                self.n_lo + round(span * k / (max_values - 1))
+                for k in range(max_values)
+            }
+        )
+        return tuple(int(v) for v in picks)
+
+    def slot_times_at(
+        self, sigma: float, ts: float, tc: float
+    ) -> SlotTimes:
+        """Materialise a :class:`SlotTimes` for one timing point."""
+        return SlotTimes(
+            success_us=ts,
+            collision_us=tc,
+            idle_us=sigma,
+            mode=AccessMode(self.mode),
+        )
+
+    def vertices(self, *, max_vertices: int = 64) -> Tuple[Dict[str, float], ...]:
+        """All corner points of the box as flat parameter dicts.
+
+        The cartesian product of ``{lo, hi}`` over every non-degenerate
+        dimension (degenerate dimensions contribute their single value),
+        crossed with the endpoint network sizes.  Deterministically
+        subsampled to ``max_vertices`` with an even stride when the full
+        corner set is larger.
+        """
+        corner_axes = []
+        for dim in _REAL_DIMS:
+            lo = getattr(self, f"{dim}_lo")
+            hi = getattr(self, f"{dim}_hi")
+            corner_axes.append((dim, (lo,) if lo >= hi else (lo, hi)))
+        n_ends = (
+            (self.n_lo,) if self.n_lo == self.n_hi else (self.n_lo, self.n_hi)
+        )
+        points = []
+        for n in n_ends:
+            partial: Tuple[Dict[str, float], ...] = ({"n": float(n), "m": float(self.m)},)
+            for dim, ends in corner_axes:
+                partial = tuple(
+                    {**point, dim: value}
+                    for point in partial
+                    for value in ends
+                )
+            points.extend(partial)
+        if len(points) > max_vertices:
+            stride = len(points) / max_vertices
+            points = [points[int(i * stride)] for i in range(max_vertices)]
+        return tuple(points)
+
+    # -- serialization ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (embedded in certificates/scenarios)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @staticmethod
+    def from_dict(document: Mapping[str, Any]) -> "ParameterBox":
+        """Rebuild a box from :meth:`to_dict` output."""
+        expected = {f.name for f in fields(ParameterBox)}
+        missing = sorted(expected - set(document))
+        unknown = sorted(set(document) - expected)
+        if missing or unknown:
+            raise VerificationError(
+                f"malformed box document: missing {missing}, unknown {unknown}"
+            )
+        try:
+            return ParameterBox(**{key: document[key] for key in expected})
+        except TypeError as exc:  # pragma: no cover - defensive
+            raise VerificationError(f"malformed box document: {exc}") from exc
+
+
+def _preset(
+    name: str,
+    mode: str,
+    n_lo: int,
+    n_hi: int,
+    w_hi: float,
+    *,
+    gain: Tuple[float, float],
+    cost: Tuple[float, float],
+    timing_slack: float,
+) -> ParameterBox:
+    """Build a preset anchored to the Table I constants.
+
+    Slot times come from the production :func:`slot_times` derivation
+    (never hand-copied numbers) and are widened symmetrically by
+    ``timing_slack`` (a fraction) for the non-small boxes.
+    """
+    params = default_parameters()
+    times = slot_times(params, AccessMode(mode))
+
+    def band(value: float) -> Tuple[float, float]:
+        return value * (1.0 - timing_slack), value * (1.0 + timing_slack)
+
+    sigma_lo, sigma_hi = band(times.idle_us)
+    ts_lo, ts_hi = band(times.success_us)
+    tc_lo, tc_hi = band(times.collision_us)
+    return ParameterBox(
+        name=name,
+        mode=mode,
+        n_lo=n_lo,
+        n_hi=n_hi,
+        m=params.max_backoff_stage,
+        w_lo=2.0,
+        w_hi=w_hi,
+        gain_lo=gain[0],
+        gain_hi=gain[1],
+        cost_lo=cost[0],
+        cost_hi=cost[1],
+        sigma_lo=sigma_lo,
+        sigma_hi=sigma_hi,
+        ts_lo=ts_lo,
+        ts_hi=ts_hi,
+        tc_lo=tc_lo,
+        tc_hi=tc_hi,
+    )
+
+
+def builtin_boxes() -> Dict[str, ParameterBox]:
+    """The built-in parameter boxes, keyed by name.
+
+    ``tableII-small`` / ``tableIII-small`` pin the exact Table I point
+    (``n = 5``, degenerate constants) with a CI-sized window range;
+    ``tableII`` / ``tableIII`` span ``n in [5, 50]``, a band of utility
+    constants around ``g = 1, e = 0.01`` and 2% timing slack;
+    ``multihop-small`` covers the small local-domain sizes of the
+    Theorem 3 multi-hop analysis.
+    """
+    params = default_parameters()
+    point_gain = (params.gain, params.gain)
+    point_cost = (params.cost, params.cost)
+    boxes = (
+        _preset(
+            "tableII-small", "basic", 5, 5, 256.0,
+            gain=point_gain, cost=point_cost, timing_slack=0.0,
+        ),
+        _preset(
+            "tableII", "basic", 5, 50, 1024.0,
+            gain=(0.9, 1.1), cost=(0.005, 0.02), timing_slack=0.02,
+        ),
+        _preset(
+            "tableIII-small", "rts_cts", 5, 5, 64.0,
+            gain=point_gain, cost=point_cost, timing_slack=0.0,
+        ),
+        _preset(
+            "tableIII", "rts_cts", 5, 50, 256.0,
+            gain=(0.9, 1.1), cost=(0.005, 0.02), timing_slack=0.02,
+        ),
+        _preset(
+            "multihop-small", "basic", 2, 6, 256.0,
+            gain=point_gain, cost=point_cost, timing_slack=0.0,
+        ),
+    )
+    return {box.name: box for box in boxes}
+
+
+#: Names of the built-in boxes, sorted for help texts.
+BOX_NAMES: Tuple[str, ...] = tuple(sorted(builtin_boxes()))
+
+
+def get_box(name: str) -> ParameterBox:
+    """Look up a built-in box by name.
+
+    Raises
+    ------
+    VerificationError
+        When ``name`` is not a built-in box.
+    """
+    boxes = builtin_boxes()
+    if name not in boxes:
+        raise VerificationError(
+            f"unknown box {name!r}; expected one of {BOX_NAMES}"
+        )
+    return boxes[name]

@@ -1,0 +1,328 @@
+"""Certification driver: run the checkers, assemble JSON certificates.
+
+:func:`certify_claim` runs the requested checkers (``interval``,
+``smt``, ``numeric``) of one claim over one box and folds their
+outcomes into a :class:`Certificate` - a JSON-serialisable record of
+what was proved, what was skipped, and every concrete counterexample
+point found.  Status semantics:
+
+* ``counterexample`` - some checker produced a concrete violating
+  parameter point (the scenario pipeline turns each into a pinned
+  regression test).
+* ``certified`` - every checker that ran passed, and at least one
+  *whole-box* checker (interval proof or SMT ``unsat``) succeeded.
+* ``checked`` - the checkers that ran passed, but none covered the
+  whole box (e.g. only the vertex differential ran, or the interval
+  budget left sub-boxes unknown and z3 was absent).
+* ``skipped`` - nothing ran (e.g. ``--checkers smt`` without z3).
+
+Every run is traced through :mod:`repro.obs` spans and counters so
+certificates can ship an optional run profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.errors import VerificationError
+from repro.verify.boxes import ParameterBox
+from repro.verify.claims import (
+    CLAIMS,
+    CheckBudget,
+    Claim,
+    claims_for,
+)
+from repro.verify.smt import run_query, z3_available
+
+__all__ = [
+    "Certificate",
+    "CheckOutcome",
+    "CHECKER_NAMES",
+    "VertexComparison",
+    "certify_claim",
+    "run_certification",
+]
+
+#: The recognised checker names, in execution order.
+CHECKER_NAMES: Tuple[str, ...] = ("interval", "smt", "numeric")
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """Result of one checker sub-step.
+
+    ``verdict`` is one of ``"proved"``, ``"violated"``, ``"unknown"``
+    or ``"skipped"``; ``counterexample`` holds the concrete float point
+    for ``"violated"``.
+    """
+
+    checker: str
+    label: str
+    verdict: str
+    detail: str = ""
+    counterexample: Optional[Dict[str, float]] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class VertexComparison:
+    """Differential-oracle result at one box vertex."""
+
+    point: Dict[str, float]
+    ok: bool
+    detail: str
+    quantities: Dict[str, float] = field(default_factory=dict)
+    encoder: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Machine-checked certificate of one claim over one box."""
+
+    claim: str
+    description: str
+    box: Dict[str, Any]
+    checkers: Tuple[str, ...]
+    outcomes: Tuple[CheckOutcome, ...]
+    vertices: Tuple[VertexComparison, ...]
+
+    @property
+    def status(self) -> str:
+        """Overall verdict (see the module docstring for semantics)."""
+        verdicts = [outcome.verdict for outcome in self.outcomes]
+        if any(v == "violated" for v in verdicts) or any(
+            not vertex.ok for vertex in self.vertices
+        ):
+            return "counterexample"
+        ran = [v for v in verdicts if v != "skipped"]
+        if not ran and not self.vertices:
+            return "skipped"
+        whole_box_proofs = [
+            outcome
+            for outcome in self.outcomes
+            if outcome.checker in ("interval", "smt")
+            and outcome.verdict == "proved"
+        ]
+        has_unknown = any(v == "unknown" for v in ran)
+        if whole_box_proofs and not has_unknown:
+            return "certified"
+        return "checked"
+
+    @property
+    def counterexamples(self) -> List[Dict[str, Any]]:
+        """Every concrete violating point, with its provenance."""
+        found: List[Dict[str, Any]] = []
+        for outcome in self.outcomes:
+            if outcome.verdict == "violated" and outcome.counterexample:
+                found.append(
+                    {
+                        "source": outcome.checker,
+                        "label": outcome.label,
+                        "detail": outcome.detail,
+                        "point": dict(outcome.counterexample),
+                    }
+                )
+        for vertex in self.vertices:
+            if not vertex.ok:
+                found.append(
+                    {
+                        "source": "numeric",
+                        "label": "vertex-differential",
+                        "detail": vertex.detail,
+                        "point": dict(vertex.point),
+                        "quantities": dict(vertex.quantities),
+                        "encoder": dict(vertex.encoder),
+                    }
+                )
+        return found
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical plain-dict form for JSON export."""
+        return {
+            "claim": self.claim,
+            "description": self.description,
+            "status": self.status,
+            "box": dict(self.box),
+            "checkers": list(self.checkers),
+            "outcomes": [asdict(outcome) for outcome in self.outcomes],
+            "vertices": [asdict(vertex) for vertex in self.vertices],
+            "counterexamples": self.counterexamples,
+        }
+
+
+def _interval_outcomes(
+    claim: Claim, box: ParameterBox, budget: CheckBudget
+) -> List[CheckOutcome]:
+    outcomes = []
+    for check in claim.interval_checks(box, budget):
+        proof = check.proof
+        verdict = {
+            "proved": "proved",
+            "counterexample": "violated",
+            "unknown": "unknown",
+        }[proof.status]
+        detail = (
+            f"{proof.boxes_proved} sub-boxes proved, "
+            f"{proof.boxes_unknown} unknown, depth {proof.deepest_split}"
+        )
+        if proof.status == "counterexample":
+            detail = (
+                f"violating midpoint found (value {proof.witness_value!r})"
+            )
+        obs.inc("verify.interval_checks", claim=claim.name, verdict=verdict)
+        outcomes.append(
+            CheckOutcome(
+                checker="interval",
+                label=check.label,
+                verdict=verdict,
+                detail=detail,
+                counterexample=proof.counterexample,
+                stats={
+                    "boxes_proved": float(proof.boxes_proved),
+                    "boxes_unknown": float(proof.boxes_unknown),
+                    "deepest_split": float(proof.deepest_split),
+                },
+            )
+        )
+    return outcomes
+
+
+def _smt_outcomes(
+    claim: Claim, box: ParameterBox, budget: CheckBudget
+) -> List[CheckOutcome]:
+    outcomes = []
+    for spec in claim.smt_specs(box, budget):
+        result = run_query(spec, timeout_ms=budget.smt_timeout_ms)
+        verdict = {
+            "unsat": "proved",
+            "sat": "violated",
+            "unknown": "unknown",
+            "skipped": "skipped",
+        }[result.verdict]
+        obs.inc("verify.smt_queries", claim=claim.name, verdict=verdict)
+        outcomes.append(
+            CheckOutcome(
+                checker="smt",
+                label=spec.label,
+                verdict=verdict,
+                detail=result.detail,
+                counterexample=result.model,
+            )
+        )
+    return outcomes
+
+
+def _numeric_outcomes(
+    claim: Claim, box: ParameterBox, budget: CheckBudget
+) -> Tuple[List[CheckOutcome], List[VertexComparison]]:
+    vertices = []
+    failures = 0
+    for point in box.vertices(max_vertices=budget.max_vertices):
+        verdict = claim.vertex_check(box, point, budget.tol)
+        obs.inc(
+            "verify.vertices",
+            claim=claim.name,
+            ok=str(verdict.ok).lower(),
+        )
+        if not verdict.ok:
+            failures += 1
+        vertices.append(
+            VertexComparison(
+                point=dict(point),
+                ok=verdict.ok,
+                detail=verdict.detail,
+                quantities=verdict.quantities,
+                encoder=verdict.encoder,
+            )
+        )
+    summary = CheckOutcome(
+        checker="numeric",
+        label="vertex-differential",
+        verdict="violated" if failures else "proved",
+        detail=(
+            f"{len(vertices) - failures}/{len(vertices)} box vertices agree "
+            "across encoder and production solvers"
+        ),
+        stats={"vertices": float(len(vertices)), "failures": float(failures)},
+    )
+    return [summary], vertices
+
+
+def certify_claim(
+    name: str,
+    box: ParameterBox,
+    *,
+    checkers: Sequence[str] = CHECKER_NAMES,
+    budget: Optional[CheckBudget] = None,
+) -> Certificate:
+    """Certify one claim over one box with the selected checkers.
+
+    Parameters
+    ----------
+    name:
+        Claim name (``bianchi``, ``lemma3``, ``theorem2``, ``theorem3``).
+    box:
+        The parameter box to quantify over.
+    checkers:
+        Subset of :data:`CHECKER_NAMES`.  The SMT checker degrades to
+        per-query ``skipped`` outcomes when z3 is absent - it never
+        raises for a missing solver.
+    budget:
+        Work limits; defaults to :class:`CheckBudget`.
+
+    Raises
+    ------
+    VerificationError
+        On unknown claim or checker names.
+    """
+    if name not in CLAIMS:
+        raise VerificationError(
+            f"unknown claim {name!r}; expected one of {tuple(sorted(CLAIMS))}"
+        )
+    unknown = sorted(set(checkers) - set(CHECKER_NAMES))
+    if unknown:
+        raise VerificationError(
+            f"unknown checker(s) {unknown}; expected a subset of "
+            f"{CHECKER_NAMES}"
+        )
+    claim = CLAIMS[name]
+    budget = budget or CheckBudget()
+    outcomes: List[CheckOutcome] = []
+    vertices: List[VertexComparison] = []
+    with obs.span("verify.certify", claim=name, box=box.name):
+        if "interval" in checkers:
+            with obs.span("verify.interval", claim=name):
+                outcomes.extend(_interval_outcomes(claim, box, budget))
+        if "smt" in checkers:
+            with obs.span("verify.smt", claim=name, available=z3_available()):
+                outcomes.extend(_smt_outcomes(claim, box, budget))
+        if "numeric" in checkers:
+            with obs.span("verify.numeric", claim=name):
+                numeric, vertices = _numeric_outcomes(claim, box, budget)
+                outcomes.extend(numeric)
+    certificate = Certificate(
+        claim=name,
+        description=claim.description,
+        box=box.to_dict(),
+        checkers=tuple(checkers),
+        outcomes=tuple(outcomes),
+        vertices=tuple(vertices),
+    )
+    obs.inc("verify.certificates", claim=name, status=certificate.status)
+    return certificate
+
+
+def run_certification(
+    theorems: Any,
+    box: ParameterBox,
+    *,
+    checkers: Sequence[str] = CHECKER_NAMES,
+    budget: Optional[CheckBudget] = None,
+) -> List[Certificate]:
+    """Certify a theorem selection (``"all"`` or a list of names)."""
+    return [
+        certify_claim(claim.name, box, checkers=checkers, budget=budget)
+        for claim in claims_for(theorems)
+    ]

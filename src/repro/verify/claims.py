@@ -1,0 +1,905 @@
+"""The verified claims: Bianchi coupling, Lemma 3, Theorems 2 and 3.
+
+Each :class:`Claim` bundles three independent views of one equilibrium
+property, all driven by the *same* polynomial encodings of
+:mod:`repro.verify.encodings`:
+
+* **interval** - adaptive subdivision proofs over the whole box
+  (:func:`repro.verify.interval.prove_sign_on_box`), using forward-mode
+  :class:`~repro.verify.interval.Dual` numbers for the derivative-sign
+  conditions.  Works without any optional dependency.
+* **smt** - violation-existence queries for z3 (``unsat`` certifies;
+  every ``sat`` model is a counterexample point).  The symbolic
+  derivatives reuse the very same :class:`Dual` arithmetic over z3
+  terms.
+* **numeric** - a differential oracle at the box vertices: the
+  production ``bianchi``/``game.equilibrium`` stack is evaluated at
+  each corner and must agree with the encoder to tolerance.
+
+The mathematical backbone, re-derived from the paper:
+
+* ``R(tau, W) = tau (1 + W + p W S(2p)) - 2`` is strictly increasing in
+  ``tau`` (``dR/dtau >= 1 + W``), so the symmetric Bianchi fixed point
+  is unique; ``dR/dW > 0`` makes ``tau`` strictly decreasing in ``W``
+  (the Theorem 3 drag-down direction).
+* Lemma 3's ``Q`` satisfies ``Q(0+) = sigma > 0 > Q(1-) = -(n-1) Tc``
+  and ``Q' < 0`` on ``(0, 1)`` - a unique stationary ``tau*``.
+* The exact identity ``num'(tau) T(tau) - num(tau) T'(tau)
+  = g (1-tau)^{n-2} Q(tau)`` (``num = g tau (1-tau)^{n-1}``, ``T`` the
+  expected slot) ties the sign of the costless utility slope to ``Q``:
+  the utility rises on ``[0, tau*]`` and falls on ``[tau*, 1)``, which
+  together with the strictly decreasing break-even margin
+  ``(1-p) g - e`` yields the contiguous NE window family
+  ``[W_c0, W_c*]`` of Theorem 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+from repro.errors import VerificationError
+from repro.bianchi.fixedpoint import solve_symmetric
+from repro.game.equilibrium import (
+    analyze_equilibria,
+    efficient_window,
+    optimal_tau,
+    q_function,
+)
+from repro.game.utility import symmetric_utility_from_tau
+from repro.phy.parameters import default_parameters
+from repro.verify.boxes import ParameterBox
+from repro.verify.encodings import (
+    coupling_residual,
+    q_stationarity,
+    slot_length,
+    success_margin,
+    utility_cross_difference,
+    utility_numerator,
+)
+from repro.verify.interval import BoxProof, Dual, Interval, prove_sign_on_box
+from repro.verify.smt import SmtSpec, bounded_real, rational
+
+__all__ = [
+    "CLAIMS",
+    "CheckBudget",
+    "Claim",
+    "IntervalCheck",
+    "PointVerdict",
+    "TAU_EPS",
+    "claims_for",
+]
+
+#: The open interval (0, 1) is approached to this margin: the encodings
+#: are polynomials, so the claims extend to the closure by continuity,
+#: but the fixed-point/stationarity structure lives strictly inside.
+TAU_EPS = 1e-6
+
+#: Upper tau reached by any symmetric profile with W >= 2:
+#: tau = 2/(1 + W + pWS) <= 2/3 < 0.7, so claims over the reachable
+#: region never need tau beyond this cap.
+TAU_RIGHT_CAP = 0.7
+
+
+@dataclass(frozen=True)
+class CheckBudget:
+    """Work limits shared by the checkers of one certification run."""
+
+    max_boxes: int = 20000
+    min_rel_width: float = 1e-4
+    smt_timeout_ms: int = 120000
+    max_vertices: int = 16
+    tol: float = 1e-6
+
+
+@dataclass(frozen=True)
+class IntervalCheck:
+    """One labelled interval-subdivision proof."""
+
+    label: str
+    proof: BoxProof
+
+
+@dataclass(frozen=True)
+class PointVerdict:
+    """Differential verdict at one box vertex."""
+
+    ok: bool
+    detail: str
+    quantities: Dict[str, float] = field(default_factory=dict)
+    encoder: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One machine-checked claim with its three checker views."""
+
+    name: str
+    description: str
+    interval_checks: Callable[[ParameterBox, CheckBudget], List[IntervalCheck]]
+    smt_specs: Callable[[ParameterBox, CheckBudget], List[SmtSpec]]
+    vertex_check: Callable[[ParameterBox, Mapping[str, float], float], PointVerdict]
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+
+def _branch_caps(box: ParameterBox, n: int) -> Tuple[float, float]:
+    """Safe tau caps bracketing ``tau*`` for every point of the box.
+
+    ``tau*`` is the unique root of ``Q`` (Lemma 3), which depends only
+    on ``(n, sigma, Tc)``; ``Q`` increases with ``sigma`` and decreases
+    with ``Tc`` at the crossing, so over the box ``tau*`` is smallest
+    at ``(sigma_lo, tc_hi)`` and largest at ``(sigma_hi, tc_lo)``.  The
+    caps are those two corner roots (production ``optimal_tau``) with a
+    5% guard band.  The paper's large-``n`` approximation
+    ``sqrt(2 sigma / Tc)/n`` is *not* used - it undershoots by >30% at
+    ``n = 2``.  Soundness does not rest on these numeric roots: the
+    caps only select the sub-domains the interval/SMT branch proofs
+    quantify over, so a mis-placed cap surfaces as a counterexample,
+    never as a false certificate.
+    """
+    lo_corner = box.slot_times_at(box.sigma_lo, box.ts_lo, box.tc_hi)
+    hi_corner = box.slot_times_at(box.sigma_hi, box.ts_lo, box.tc_lo)
+    left = 0.95 * optimal_tau(n, lo_corner)
+    right = 1.05 * optimal_tau(n, hi_corner)
+    left = max(left, 2.0 * TAU_EPS)
+    right = min(max(right, left), TAU_RIGHT_CAP)
+    return left, right
+
+
+def _point_params(point: Mapping[str, float]) -> Any:
+    """Production :class:`PhyParameters` at one vertex point."""
+    return default_parameters().with_updates(
+        gain=point["gain"],
+        cost=point["cost"],
+        max_backoff_stage=int(point["m"]),
+    )
+
+
+def _point_times(box: ParameterBox, point: Mapping[str, float]) -> Any:
+    return box.slot_times_at(point["sigma"], point["ts"], point["tc"])
+
+
+def _utility_slope_numerator(
+    tau: Any, n: int, sigma: Any, ts: Any, tc: Any, gain: Any
+) -> Any:
+    """``num'(tau) T(tau) - num(tau) T'(tau)`` via forward-mode duals.
+
+    Positive exactly where the costless symmetric utility increases
+    (``T > 0`` on the whole domain).  Works for Interval *and* z3
+    payloads - the symbolic SMT derivative is literally the same code
+    path as the interval one.
+    """
+    t = Dual.variable(tau)
+    num = utility_numerator(t, n, Dual.constant(gain), 0.0, ignore_cost=True)
+    slot = slot_length(
+        t, n, Dual.constant(sigma), Dual.constant(ts), Dual.constant(tc)
+    )
+    return num.der * slot.val - num.val * slot.der
+
+
+# ----------------------------------------------------------------------
+# Bianchi coupling: unique symmetric fixed point
+# ----------------------------------------------------------------------
+
+
+def _bianchi_interval(
+    box: ParameterBox, budget: CheckBudget
+) -> List[IntervalCheck]:
+    checks = []
+    tau_range = Interval(TAU_EPS, 1.0 - TAU_EPS)
+    for n in box.n_values():
+
+        def evaluate(
+            dims: Mapping[str, Interval], n: int = n, m: int = box.m
+        ) -> Interval:
+            tau = Dual.variable(dims["tau"])
+            resid = coupling_residual(tau, Dual.constant(dims["w"]), n, m)
+            return resid.der
+
+        proof = prove_sign_on_box(
+            evaluate,
+            {"tau": tau_range, "w": box.interval("w")},
+            positive=True,
+            max_boxes=budget.max_boxes,
+            min_rel_width=budget.min_rel_width,
+        )
+        checks.append(IntervalCheck(label=f"n={n}:dR/dtau>0", proof=proof))
+    return checks
+
+
+def _bianchi_smt(box: ParameterBox, budget: CheckBudget) -> List[SmtSpec]:
+    specs = []
+    for n in box.n_values():
+
+        def build(
+            z3: Any, solver: Any, n: int = n, m: int = box.m
+        ) -> Dict[str, Any]:
+            tau1 = bounded_real(z3, solver, "tau1", TAU_EPS, 1.0 - TAU_EPS)
+            tau2 = bounded_real(z3, solver, "tau2", TAU_EPS, 1.0 - TAU_EPS)
+            w = bounded_real(z3, solver, "w", box.w_lo, box.w_hi)
+            solver.add(tau1 < tau2)
+            solver.add(coupling_residual(tau1, w, n, m) == 0)
+            solver.add(coupling_residual(tau2, w, n, m) == 0)
+            return {
+                "tau1": tau1,
+                "tau2": tau2,
+                "w": w,
+                "n": rational(z3, float(n)),
+            }
+
+        specs.append(
+            SmtSpec(label=f"n={n}:two-symmetric-fixed-points", build=build)
+        )
+    return specs
+
+
+def _bianchi_vertex(
+    box: ParameterBox, point: Mapping[str, float], tol: float
+) -> PointVerdict:
+    n = int(point["n"])
+    m = int(point["m"])
+    w = float(point["w"])
+    solution = solve_symmetric(w, n, m)
+    resid = coupling_residual(solution.tau, w, n, m)
+    below = coupling_residual(solution.tau * (1.0 - 1e-3), w, n, m)
+    above = coupling_residual(min(solution.tau * (1.0 + 1e-3), 1.0), w, n, m)
+    scale = 2.0 + w
+    problems = []
+    if abs(resid) > tol * scale:
+        problems.append(
+            f"encoder residual {resid!r} at the production fixed point "
+            f"exceeds {tol * scale!r}"
+        )
+    if not below < 0.0 < above:
+        problems.append(
+            f"residual does not bracket the root: R-={below!r}, R+={above!r}"
+        )
+    return PointVerdict(
+        ok=not problems,
+        detail="; ".join(problems) or "fixed point matches encoder root",
+        quantities={
+            "tau_symmetric": solution.tau,
+            "collision_symmetric": solution.collision,
+        },
+        encoder={"coupling_residual": float(resid)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Lemma 3: unique stationary tau* (Q sign structure)
+# ----------------------------------------------------------------------
+
+
+def _lemma3_interval(
+    box: ParameterBox, budget: CheckBudget
+) -> List[IntervalCheck]:
+    checks = []
+    sigma = box.interval("sigma")
+    tc = box.interval("tc")
+    for n in box.n_values():
+
+        def slope(
+            dims: Mapping[str, Interval], n: int = n
+        ) -> Interval:
+            tau = Dual.variable(dims["tau"])
+            q = q_stationarity(
+                tau, n, Dual.constant(dims["sigma"]), Dual.constant(dims["tc"])
+            )
+            return q.der
+
+        def value(
+            dims: Mapping[str, Interval], n: int = n
+        ) -> Interval:
+            return q_stationarity(dims["tau"], n, dims["sigma"], dims["tc"])
+
+        proof = prove_sign_on_box(
+            slope,
+            {
+                "tau": Interval(TAU_EPS, 1.0 - TAU_EPS),
+                "sigma": sigma,
+                "tc": tc,
+            },
+            positive=False,
+            max_boxes=budget.max_boxes,
+            min_rel_width=budget.min_rel_width,
+        )
+        checks.append(IntervalCheck(label=f"n={n}:dQ/dtau<0", proof=proof))
+        left = prove_sign_on_box(
+            value,
+            {
+                "tau": Interval.point(TAU_EPS),
+                "sigma": sigma,
+                "tc": tc,
+            },
+            positive=True,
+            max_boxes=budget.max_boxes,
+            min_rel_width=budget.min_rel_width,
+        )
+        checks.append(IntervalCheck(label=f"n={n}:Q(eps)>0", proof=left))
+        right = prove_sign_on_box(
+            value,
+            {
+                "tau": Interval.point(1.0 - TAU_EPS),
+                "sigma": sigma,
+                "tc": tc,
+            },
+            positive=False,
+            max_boxes=budget.max_boxes,
+            min_rel_width=budget.min_rel_width,
+        )
+        checks.append(IntervalCheck(label=f"n={n}:Q(1-eps)<0", proof=right))
+    return checks
+
+
+def _lemma3_smt(box: ParameterBox, budget: CheckBudget) -> List[SmtSpec]:
+    specs = []
+    for n in box.n_values():
+
+        def build(z3: Any, solver: Any, n: int = n) -> Dict[str, Any]:
+            tau1 = bounded_real(z3, solver, "tau1", TAU_EPS, 1.0 - TAU_EPS)
+            tau2 = bounded_real(z3, solver, "tau2", TAU_EPS, 1.0 - TAU_EPS)
+            sigma = bounded_real(z3, solver, "sigma", box.sigma_lo, box.sigma_hi)
+            tc = bounded_real(z3, solver, "tc", box.tc_lo, box.tc_hi)
+            solver.add(tau1 < tau2)
+            solver.add(q_stationarity(tau1, n, sigma, tc) <= 0)
+            solver.add(q_stationarity(tau2, n, sigma, tc) >= 0)
+            return {
+                "tau1": tau1,
+                "tau2": tau2,
+                "sigma": sigma,
+                "tc": tc,
+                "n": rational(z3, float(n)),
+            }
+
+        specs.append(
+            SmtSpec(label=f"n={n}:Q-recovers-after-crossing", build=build)
+        )
+    return specs
+
+
+def _lemma3_vertex(
+    box: ParameterBox, point: Mapping[str, float], tol: float
+) -> PointVerdict:
+    n = int(point["n"])
+    times = _point_times(box, point)
+    tau_star = optimal_tau(n, times)
+    scale = point["sigma"] + point["tc"]
+    probes = (0.5 * tau_star, tau_star, min(1.5 * tau_star, 0.99))
+    problems = []
+    for tau in probes:
+        enc = q_stationarity(tau, n, times.idle_us, times.collision_us)
+        prod = q_function(tau, n, times)
+        if abs(enc - prod) > tol * scale:
+            problems.append(
+                f"encoder Q({tau!r})={enc!r} disagrees with production "
+                f"{prod!r}"
+            )
+    q_left = q_stationarity(probes[0], n, times.idle_us, times.collision_us)
+    q_star = q_stationarity(tau_star, n, times.idle_us, times.collision_us)
+    q_right = q_stationarity(probes[2], n, times.idle_us, times.collision_us)
+    if not q_left > 0.0 > q_right:
+        problems.append(
+            f"Q sign pattern broken around tau*: Q-={q_left!r}, Q+={q_right!r}"
+        )
+    if abs(q_star) > tol * scale:
+        problems.append(
+            f"encoder Q(tau*)={q_star!r} is not stationary (tau*={tau_star!r})"
+        )
+    return PointVerdict(
+        ok=not problems,
+        detail="; ".join(problems) or "unique stationary tau* confirmed",
+        quantities={"tau_star": tau_star},
+        encoder={"q_at_tau_star": float(q_star)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 2: the NE window family [W_c0, W_c*]
+# ----------------------------------------------------------------------
+
+
+def _theorem2_interval(
+    box: ParameterBox, budget: CheckBudget
+) -> List[IntervalCheck]:
+    checks = []
+    for n in box.n_values():
+        left_cap, right_cap = _branch_caps(box, n)
+
+        def margin_slope(
+            dims: Mapping[str, Interval], n: int = n
+        ) -> Interval:
+            tau = Dual.variable(dims["tau"])
+            margin = success_margin(
+                tau,
+                n,
+                Dual.constant(dims["gain"]),
+                Dual.constant(dims["cost"]),
+            )
+            return margin.der
+
+        def slope_num(
+            dims: Mapping[str, Interval], n: int = n
+        ) -> Interval:
+            return _utility_slope_numerator(
+                dims["tau"],
+                n,
+                dims["sigma"],
+                dims["ts"],
+                dims["tc"],
+                dims["gain"],
+            )
+
+        proof = prove_sign_on_box(
+            margin_slope,
+            {
+                "tau": Interval(TAU_EPS, 1.0 - TAU_EPS),
+                "gain": box.interval("gain"),
+                "cost": box.interval("cost"),
+            },
+            positive=False,
+            max_boxes=budget.max_boxes,
+            min_rel_width=budget.min_rel_width,
+        )
+        checks.append(
+            IntervalCheck(label=f"n={n}:dmargin/dtau<0", proof=proof)
+        )
+        timing = {
+            "sigma": box.interval("sigma"),
+            "ts": box.interval("ts"),
+            "tc": box.interval("tc"),
+            "gain": box.interval("gain"),
+        }
+        rising = prove_sign_on_box(
+            slope_num,
+            {"tau": Interval(TAU_EPS, left_cap), **timing},
+            positive=True,
+            max_boxes=budget.max_boxes,
+            min_rel_width=budget.min_rel_width,
+        )
+        checks.append(
+            IntervalCheck(label=f"n={n}:U'-positive-below-tau*", proof=rising)
+        )
+        falling = prove_sign_on_box(
+            slope_num,
+            {"tau": Interval(right_cap, TAU_RIGHT_CAP), **timing},
+            positive=False,
+            max_boxes=budget.max_boxes,
+            min_rel_width=budget.min_rel_width,
+        )
+        checks.append(
+            IntervalCheck(label=f"n={n}:U'-negative-above-tau*", proof=falling)
+        )
+    return checks
+
+
+def _theorem2_smt(box: ParameterBox, budget: CheckBudget) -> List[SmtSpec]:
+    specs = []
+    for n in box.n_values():
+
+        def margin_build(z3: Any, solver: Any, n: int = n) -> Dict[str, Any]:
+            tau1 = bounded_real(z3, solver, "tau1", TAU_EPS, 1.0 - TAU_EPS)
+            tau2 = bounded_real(z3, solver, "tau2", TAU_EPS, 1.0 - TAU_EPS)
+            gain = bounded_real(z3, solver, "gain", box.gain_lo, box.gain_hi)
+            cost = bounded_real(z3, solver, "cost", box.cost_lo, box.cost_hi)
+            solver.add(tau1 < tau2)
+            solver.add(
+                success_margin(tau2, n, gain, cost)
+                >= success_margin(tau1, n, gain, cost)
+            )
+            return {
+                "tau1": tau1,
+                "tau2": tau2,
+                "gain": gain,
+                "cost": cost,
+                "n": rational(z3, float(n)),
+            }
+
+        def identity_build(z3: Any, solver: Any, n: int = n) -> Dict[str, Any]:
+            tau = bounded_real(z3, solver, "tau", TAU_EPS, 1.0 - TAU_EPS)
+            sigma = bounded_real(z3, solver, "sigma", box.sigma_lo, box.sigma_hi)
+            ts = bounded_real(z3, solver, "ts", box.ts_lo, box.ts_hi)
+            tc = bounded_real(z3, solver, "tc", box.tc_lo, box.tc_hi)
+            gain = bounded_real(z3, solver, "gain", box.gain_lo, box.gain_hi)
+            slope = _utility_slope_numerator(tau, n, sigma, ts, tc, gain)
+            q = q_stationarity(tau, n, sigma, tc)
+            solver.add(slope != gain * (1 - tau) ** (n - 2) * q)
+            return {
+                "tau": tau,
+                "sigma": sigma,
+                "ts": ts,
+                "tc": tc,
+                "gain": gain,
+                "n": rational(z3, float(n)),
+            }
+
+        def branch_build(z3: Any, solver: Any, n: int = n) -> Dict[str, Any]:
+            tau1 = bounded_real(z3, solver, "tau1", TAU_EPS, 1.0 - TAU_EPS)
+            tau2 = bounded_real(z3, solver, "tau2", TAU_EPS, 1.0 - TAU_EPS)
+            sigma = bounded_real(z3, solver, "sigma", box.sigma_lo, box.sigma_hi)
+            ts = bounded_real(z3, solver, "ts", box.ts_lo, box.ts_hi)
+            tc = bounded_real(z3, solver, "tc", box.tc_lo, box.tc_hi)
+            gain = bounded_real(z3, solver, "gain", box.gain_lo, box.gain_hi)
+            cost = bounded_real(z3, solver, "cost", box.cost_lo, box.cost_hi)
+            solver.add(tau1 < tau2)
+            solver.add(q_stationarity(tau2, n, sigma, tc) >= 0)
+            solver.add(
+                utility_cross_difference(
+                    tau1,
+                    tau2,
+                    n,
+                    sigma,
+                    ts,
+                    tc,
+                    gain,
+                    cost,
+                    ignore_cost=True,
+                )
+                >= 0
+            )
+            return {
+                "tau1": tau1,
+                "tau2": tau2,
+                "sigma": sigma,
+                "tc": tc,
+                "n": rational(z3, float(n)),
+            }
+
+        specs.append(
+            SmtSpec(label=f"n={n}:margin-not-decreasing", build=margin_build)
+        )
+        specs.append(
+            SmtSpec(label=f"n={n}:slope-identity-broken", build=identity_build)
+        )
+        specs.append(
+            SmtSpec(
+                label=f"n={n}:utility-not-increasing-below-tau*",
+                build=branch_build,
+            )
+        )
+    return specs
+
+
+def _theorem2_vertex(
+    box: ParameterBox, point: Mapping[str, float], tol: float
+) -> PointVerdict:
+    n = int(point["n"])
+    m = int(point["m"])
+    params = _point_params(point)
+    times = _point_times(box, point)
+    analysis = analyze_equilibria(n, params, times)
+    sol_zero = solve_symmetric(float(analysis.window_breakeven), n, m)
+    margin_prod = (1.0 - sol_zero.collision) * point["gain"] - point["cost"]
+    margin_enc = success_margin(
+        sol_zero.tau, n, point["gain"], point["cost"]
+    )
+    problems = []
+    if analysis.n_equilibria < 1:
+        problems.append("the NE family of Theorem 2 is empty")
+    if abs(margin_enc - margin_prod) > tol:
+        problems.append(
+            f"encoder margin {margin_enc!r} disagrees with production "
+            f"{margin_prod!r} at W_c0={analysis.window_breakeven}"
+        )
+    if margin_enc <= 0.0:
+        problems.append(
+            f"stage payoff not positive at W_c0={analysis.window_breakeven}"
+        )
+    if analysis.window_breakeven > params.cw_min:
+        below = solve_symmetric(
+            float(analysis.window_breakeven - 1), n, m
+        )
+        margin_below = success_margin(
+            below.tau, n, point["gain"], point["cost"]
+        )
+        if margin_below > tol:
+            problems.append(
+                f"W_c0 is not minimal: margin {margin_below!r} already "
+                f"positive at {analysis.window_breakeven - 1}"
+            )
+    u_zero = symmetric_utility_from_tau(
+        sol_zero.tau, n, params, times, ignore_cost=False
+    )
+    if analysis.utility_at_star < u_zero - tol:
+        problems.append(
+            "W_c* is not the efficient end of the NE family: "
+            f"U(W_c*)={analysis.utility_at_star!r} < U(W_c0)={u_zero!r}"
+        )
+    return PointVerdict(
+        ok=not problems,
+        detail="; ".join(problems) or "NE interval structure confirmed",
+        quantities={
+            "tau_star": analysis.tau_star,
+            "window_star": float(analysis.window_star),
+            "window_breakeven": float(analysis.window_breakeven),
+            "n_equilibria": float(analysis.n_equilibria),
+            "margin_at_breakeven": float(margin_prod),
+            "utility_at_star": analysis.utility_at_star,
+        },
+        encoder={"margin_at_breakeven": float(margin_enc)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 3: multi-hop drag-down NE (tau decreasing in W, utility
+# decreasing beyond tau*)
+# ----------------------------------------------------------------------
+
+
+def _theorem3_interval(
+    box: ParameterBox, budget: CheckBudget
+) -> List[IntervalCheck]:
+    checks = []
+    tau_range = Interval(TAU_EPS, 1.0 - TAU_EPS)
+    for n in box.n_values():
+        _, right_cap = _branch_caps(box, n)
+
+        def dw(dims: Mapping[str, Interval], n: int = n) -> Interval:
+            w = Dual.variable(dims["w"])
+            resid = coupling_residual(Dual.constant(dims["tau"]), w, n, box.m)
+            return resid.der
+
+        def dtau(dims: Mapping[str, Interval], n: int = n) -> Interval:
+            tau = Dual.variable(dims["tau"])
+            resid = coupling_residual(tau, Dual.constant(dims["w"]), n, box.m)
+            return resid.der
+
+        def slope_num(dims: Mapping[str, Interval], n: int = n) -> Interval:
+            return _utility_slope_numerator(
+                dims["tau"],
+                n,
+                dims["sigma"],
+                dims["ts"],
+                dims["tc"],
+                dims["gain"],
+            )
+
+        for label, func, sign in (
+            (f"n={n}:dR/dw>0", dw, True),
+            (f"n={n}:dR/dtau>0", dtau, True),
+        ):
+            proof = prove_sign_on_box(
+                func,
+                {"tau": tau_range, "w": box.interval("w")},
+                positive=sign,
+                max_boxes=budget.max_boxes,
+                min_rel_width=budget.min_rel_width,
+            )
+            checks.append(IntervalCheck(label=label, proof=proof))
+        falling = prove_sign_on_box(
+            slope_num,
+            {
+                "tau": Interval(right_cap, TAU_RIGHT_CAP),
+                "sigma": box.interval("sigma"),
+                "ts": box.interval("ts"),
+                "tc": box.interval("tc"),
+                "gain": box.interval("gain"),
+            },
+            positive=False,
+            max_boxes=budget.max_boxes,
+            min_rel_width=budget.min_rel_width,
+        )
+        checks.append(
+            IntervalCheck(
+                label=f"n={n}:U'-negative-beyond-tau*", proof=falling
+            )
+        )
+    return checks
+
+
+def _theorem3_smt(box: ParameterBox, budget: CheckBudget) -> List[SmtSpec]:
+    specs = []
+    for n in box.n_values():
+
+        def coupling_build(z3: Any, solver: Any, n: int = n) -> Dict[str, Any]:
+            tau1 = bounded_real(z3, solver, "tau1", TAU_EPS, 1.0 - TAU_EPS)
+            tau2 = bounded_real(z3, solver, "tau2", TAU_EPS, 1.0 - TAU_EPS)
+            w1 = bounded_real(z3, solver, "w1", box.w_lo, box.w_hi)
+            w2 = bounded_real(z3, solver, "w2", box.w_lo, box.w_hi)
+            solver.add(w1 < w2)
+            solver.add(coupling_residual(tau1, w1, n, box.m) == 0)
+            solver.add(coupling_residual(tau2, w2, n, box.m) == 0)
+            solver.add(tau2 >= tau1)
+            return {
+                "tau1": tau1,
+                "tau2": tau2,
+                "w1": w1,
+                "w2": w2,
+                "n": rational(z3, float(n)),
+            }
+
+        def branch_build(z3: Any, solver: Any, n: int = n) -> Dict[str, Any]:
+            tau1 = bounded_real(z3, solver, "tau1", TAU_EPS, 1.0 - TAU_EPS)
+            tau2 = bounded_real(z3, solver, "tau2", TAU_EPS, 1.0 - TAU_EPS)
+            sigma = bounded_real(z3, solver, "sigma", box.sigma_lo, box.sigma_hi)
+            ts = bounded_real(z3, solver, "ts", box.ts_lo, box.ts_hi)
+            tc = bounded_real(z3, solver, "tc", box.tc_lo, box.tc_hi)
+            gain = bounded_real(z3, solver, "gain", box.gain_lo, box.gain_hi)
+            cost = bounded_real(z3, solver, "cost", box.cost_lo, box.cost_hi)
+            solver.add(tau1 < tau2)
+            solver.add(q_stationarity(tau1, n, sigma, tc) <= 0)
+            solver.add(
+                utility_cross_difference(
+                    tau2,
+                    tau1,
+                    n,
+                    sigma,
+                    ts,
+                    tc,
+                    gain,
+                    cost,
+                    ignore_cost=True,
+                )
+                >= 0
+            )
+            return {
+                "tau1": tau1,
+                "tau2": tau2,
+                "sigma": sigma,
+                "tc": tc,
+                "n": rational(z3, float(n)),
+            }
+
+        specs.append(
+            SmtSpec(
+                label=f"n={n}:tau-not-decreasing-in-w", build=coupling_build
+            )
+        )
+        specs.append(
+            SmtSpec(
+                label=f"n={n}:utility-not-decreasing-beyond-tau*",
+                build=branch_build,
+            )
+        )
+    return specs
+
+
+def _theorem3_vertex(
+    box: ParameterBox, point: Mapping[str, float], tol: float
+) -> PointVerdict:
+    n = int(point["n"])
+    m = int(point["m"])
+    params = _point_params(point)
+    times = _point_times(box, point)
+    windows = sorted({box.w_lo, 0.5 * (box.w_lo + box.w_hi), box.w_hi})
+    taus = [solve_symmetric(w, n, m).tau for w in windows]
+    problems = []
+    residuals = [
+        float(coupling_residual(tau, w, n, m))
+        for tau, w in zip(taus, windows)
+    ]
+    for w, resid in zip(windows, residuals):
+        if abs(resid) > tol * (2.0 + w):
+            problems.append(
+                f"encoder residual {resid!r} at W={w!r} exceeds tolerance"
+            )
+    for earlier, later in zip(taus, taus[1:]):
+        if not later < earlier:
+            problems.append(
+                f"tau is not strictly decreasing in W: {taus!r}"
+            )
+            break
+    w_star = efficient_window(n, params, times)
+    tau_star_window = solve_symmetric(float(w_star), n, m).tau
+    tau_aggressive = taus[0]
+    if tau_aggressive > tau_star_window + tol:
+        u_star = symmetric_utility_from_tau(
+            tau_star_window, n, params, times, ignore_cost=True
+        )
+        u_aggressive = symmetric_utility_from_tau(
+            tau_aggressive, n, params, times, ignore_cost=True
+        )
+        if not u_star > u_aggressive:
+            problems.append(
+                "production utility does not fall beyond tau*: "
+                f"U(tau*)={u_star!r} <= U(tau_aggr)={u_aggressive!r}"
+            )
+        cross = utility_cross_difference(
+            tau_star_window,
+            tau_aggressive,
+            n,
+            times.idle_us,
+            times.success_us,
+            times.collision_us,
+            point["gain"],
+            point["cost"],
+            ignore_cost=True,
+        )
+        if not cross > 0.0:
+            problems.append(
+                f"encoder cross-difference {cross!r} disagrees with the "
+                "production utility ordering"
+            )
+    return PointVerdict(
+        ok=not problems,
+        detail="; ".join(problems)
+        or "drag-down structure confirmed (tau falls with W, utility "
+        "falls beyond tau*)",
+        quantities={
+            "tau_at_w_lo": taus[0],
+            "tau_at_w_hi": taus[-1],
+            "local_window_star": float(w_star),
+        },
+        encoder={"coupling_residual_at_w_lo": residuals[0]},
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+CLAIMS: Dict[str, Claim] = {
+    "bianchi": Claim(
+        name="bianchi",
+        description=(
+            "The symmetric Bianchi fixed point is unique: the coupling "
+            "residual R(tau, W) is strictly increasing in tau."
+        ),
+        interval_checks=_bianchi_interval,
+        smt_specs=_bianchi_smt,
+        vertex_check=_bianchi_vertex,
+    ),
+    "lemma3": Claim(
+        name="lemma3",
+        description=(
+            "Lemma 3: Q(tau) is strictly decreasing with Q(0+) > 0 > "
+            "Q(1-), so the stationary tau* is unique and the symmetric "
+            "utility is unimodal."
+        ),
+        interval_checks=_lemma3_interval,
+        smt_specs=_lemma3_smt,
+        vertex_check=_lemma3_vertex,
+    ),
+    "theorem2": Claim(
+        name="theorem2",
+        description=(
+            "Theorem 2: the symmetric NE form the contiguous window "
+            "family [W_c0, W_c*] - the utility rises up to tau*, falls "
+            "beyond it, and the break-even margin decreases strictly."
+        ),
+        interval_checks=_theorem2_interval,
+        smt_specs=_theorem2_smt,
+        vertex_check=_theorem2_vertex,
+    ),
+    "theorem3": Claim(
+        name="theorem3",
+        description=(
+            "Theorem 3 (multi-hop): tau falls strictly with W, so TFT "
+            "drags every local domain to W_m = min_i W_i, and the "
+            "utility falls beyond tau* (deviating below the local "
+            "optimum hurts)."
+        ),
+        interval_checks=_theorem3_interval,
+        smt_specs=_theorem3_smt,
+        vertex_check=_theorem3_vertex,
+    ),
+}
+
+
+def claims_for(selection: Any) -> List[Claim]:
+    """Resolve a theorem selection to claims.
+
+    ``selection`` is an iterable of claim names or the string
+    ``"all"``; unknown names raise.
+    """
+    if isinstance(selection, str):
+        selection = [selection]
+    names: List[str] = []
+    for entry in selection:
+        if entry == "all":
+            names.extend(sorted(CLAIMS))
+        elif entry in CLAIMS:
+            names.append(entry)
+        else:
+            raise VerificationError(
+                f"unknown theorem {entry!r}; expected one of "
+                f"{('all',) + tuple(sorted(CLAIMS))}"
+            )
+    seen = []
+    for name in names:
+        if name not in seen:
+            seen.append(name)
+    return [CLAIMS[name] for name in seen]

@@ -1,0 +1,393 @@
+"""Dependency-free interval arithmetic and forward-mode duals.
+
+This module is the fallback prover of :mod:`repro.verify`: when z3 is
+not installed, claims are still checked - more coarsely - by evaluating
+the same polynomial encodings (:mod:`repro.verify.encodings`) over
+:class:`Interval` operands and adaptively subdividing a parameter box
+until the sign of the target expression is decided on every sub-box.
+
+Soundness discipline
+--------------------
+Every arithmetic operation widens its result outward by one ulp with
+:func:`math.nextafter` after computing the float endpoints in
+round-to-nearest.  A single IEEE-754 operation in round-to-nearest is
+off by at most one ulp from the true real value, so the widened
+endpoints bracket the exact real-arithmetic result; composition
+preserves the enclosure inductively.  The enclosures are therefore
+*conservative*: ``prove_sign_on_box`` can answer "unknown" but never
+falsely "proved".
+
+:class:`Dual` layers forward-mode differentiation on top: a dual number
+``(value, derivative)`` whose payloads are floats or Intervals, so one
+set of generic encodings yields guaranteed derivative enclosures (used
+to prove strict monotonicity, e.g. Lemma 3 uniqueness via ``Q' < 0``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import VerificationError
+
+__all__ = [
+    "BoxProof",
+    "Dual",
+    "Interval",
+    "prove_sign_on_box",
+]
+
+_INF = math.inf
+
+
+def _down(x: float) -> float:
+    """One ulp towards -inf (identity on infinities)."""
+    if math.isinf(x):
+        return x
+    return math.nextafter(x, -_INF)
+
+
+def _up(x: float) -> float:
+    """One ulp towards +inf (identity on infinities)."""
+    if math.isinf(x):
+        return x
+    return math.nextafter(x, _INF)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed real interval ``[lo, hi]`` with outward-rounded ops."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise VerificationError("interval endpoints must not be NaN")
+        if self.lo > self.hi:
+            raise VerificationError(
+                f"interval lower bound {self.lo!r} exceeds upper {self.hi!r}"
+            )
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def point(value: float) -> "Interval":
+        """The degenerate interval ``[value, value]``."""
+        return Interval(float(value), float(value))
+
+    @staticmethod
+    def hull(*values: float) -> "Interval":
+        """The smallest interval containing all ``values``."""
+        if not values:
+            raise VerificationError("hull of no points is undefined")
+        return Interval(min(values), max(values))
+
+    @staticmethod
+    def _coerce(value: Union["Interval", float, int]) -> "Interval":
+        if isinstance(value, Interval):
+            return value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise VerificationError(
+                f"cannot coerce {value!r} to an interval"
+            )
+        return Interval.point(float(value))
+
+    # -- geometry -----------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        mid = 0.5 * (self.lo + self.hi)
+        if not math.isfinite(mid):
+            mid = 0.5 * self.lo + 0.5 * self.hi
+        return min(max(mid, self.lo), self.hi)
+
+    @property
+    def is_point(self) -> bool:
+        return self.width <= 0.0
+
+    @property
+    def strictly_positive(self) -> bool:
+        return self.lo > 0.0
+
+    @property
+    def strictly_negative(self) -> bool:
+        return self.hi < 0.0
+
+    def __contains__(self, value: float) -> bool:
+        return self.lo <= float(value) <= self.hi
+
+    def split(self) -> Tuple["Interval", "Interval"]:
+        """Bisect at the midpoint."""
+        mid = self.midpoint
+        return Interval(self.lo, mid), Interval(mid, self.hi)
+
+    # -- arithmetic ---------------------------------------------------
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __add__(self, other: Union["Interval", float, int]) -> "Interval":
+        o = Interval._coerce(other)
+        return Interval(_down(self.lo + o.lo), _up(self.hi + o.hi))
+
+    def __radd__(self, other: Union[float, int]) -> "Interval":
+        return self.__add__(other)
+
+    def __sub__(self, other: Union["Interval", float, int]) -> "Interval":
+        o = Interval._coerce(other)
+        return Interval(_down(self.lo - o.hi), _up(self.hi - o.lo))
+
+    def __rsub__(self, other: Union[float, int]) -> "Interval":
+        return Interval._coerce(other).__sub__(self)
+
+    def __mul__(self, other: Union["Interval", float, int]) -> "Interval":
+        o = Interval._coerce(other)
+        products = (
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        )
+        return Interval(_down(min(products)), _up(max(products)))
+
+    def __rmul__(self, other: Union[float, int]) -> "Interval":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: Union["Interval", float, int]) -> "Interval":
+        o = Interval._coerce(other)
+        if o.lo <= 0.0 <= o.hi:
+            raise VerificationError(
+                f"interval division by {o!r} which contains zero"
+            )
+        quotients = (
+            self.lo / o.lo,
+            self.lo / o.hi,
+            self.hi / o.lo,
+            self.hi / o.hi,
+        )
+        return Interval(_down(min(quotients)), _up(max(quotients)))
+
+    def __rtruediv__(self, other: Union[float, int]) -> "Interval":
+        return Interval._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: int) -> "Interval":
+        if isinstance(exponent, bool) or not isinstance(exponent, int):
+            raise VerificationError(
+                f"interval powers require integer exponents, got {exponent!r}"
+            )
+        if exponent < 0:
+            raise VerificationError(
+                "negative interval exponents are not supported"
+            )
+        if exponent == 0:
+            return Interval.point(1.0)
+        result = self
+        for _ in range(exponent - 1):
+            result = result * self
+        if exponent % 2 == 0 and self.lo <= 0.0 <= self.hi:
+            # An even power of a zero-straddling interval is nonnegative;
+            # repeated multiplication loses that, so clamp the floor.
+            result = Interval(max(result.lo, 0.0), max(result.hi, 0.0))
+        return result
+
+
+_Scalar = Union[float, int]
+_Payload = Union[float, Interval]
+
+
+def _zero_like(payload: _Payload) -> _Payload:
+    if isinstance(payload, Interval):
+        return Interval.point(0.0)
+    return 0.0
+
+
+@dataclass(frozen=True)
+class Dual:
+    """Forward-mode dual number generic over float/Interval payloads."""
+
+    val: _Payload
+    der: _Payload
+
+    @staticmethod
+    def variable(value: _Payload) -> "Dual":
+        """The differentiation variable: derivative one."""
+        one: _Payload
+        if isinstance(value, Interval):
+            one = Interval.point(1.0)
+        else:
+            one = 1.0
+        return Dual(value, one)
+
+    @staticmethod
+    def constant(value: _Payload) -> "Dual":
+        return Dual(value, _zero_like(value))
+
+    def _coerce(self, other: Union["Dual", _Scalar, Interval]) -> "Dual":
+        if isinstance(other, Dual):
+            return other
+        if isinstance(other, Interval):
+            return Dual(other, _zero_like(self.val))
+        if isinstance(other, bool) or not isinstance(other, (int, float)):
+            raise VerificationError(f"cannot coerce {other!r} to a dual")
+        if isinstance(self.val, Interval):
+            return Dual(Interval.point(float(other)), Interval.point(0.0))
+        return Dual(float(other), 0.0)
+
+    def __neg__(self) -> "Dual":
+        return Dual(-self.val, -self.der)
+
+    def __add__(self, other: Union["Dual", _Scalar, Interval]) -> "Dual":
+        o = self._coerce(other)
+        return Dual(self.val + o.val, self.der + o.der)
+
+    def __radd__(self, other: _Scalar) -> "Dual":
+        return self.__add__(other)
+
+    def __sub__(self, other: Union["Dual", _Scalar, Interval]) -> "Dual":
+        o = self._coerce(other)
+        return Dual(self.val - o.val, self.der - o.der)
+
+    def __rsub__(self, other: _Scalar) -> "Dual":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: Union["Dual", _Scalar, Interval]) -> "Dual":
+        o = self._coerce(other)
+        return Dual(
+            self.val * o.val,
+            self.der * o.val + self.val * o.der,
+        )
+
+    def __rmul__(self, other: _Scalar) -> "Dual":
+        return self.__mul__(other)
+
+    def __pow__(self, exponent: int) -> "Dual":
+        if isinstance(exponent, bool) or not isinstance(exponent, int):
+            raise VerificationError(
+                f"dual powers require integer exponents, got {exponent!r}"
+            )
+        if exponent < 0:
+            raise VerificationError(
+                "negative dual exponents are not supported"
+            )
+        if exponent == 0:
+            one = 1.0 + _zero_like(self.val)
+            return Dual(one, _zero_like(self.val))
+        result = self
+        for _ in range(exponent - 1):
+            result = result * self
+        return result
+
+
+@dataclass(frozen=True)
+class BoxProof:
+    """Outcome of an adaptive sign proof over a parameter box.
+
+    ``status`` is ``"proved"`` (the sign condition holds on the whole
+    box), ``"counterexample"`` (a concrete float point violating the
+    condition was found - recorded in ``counterexample`` together with
+    the violating ``witness_value``), or ``"unknown"`` (the subdivision
+    budget ran out before every sub-box was decided; no violation was
+    observed).
+    """
+
+    status: str
+    boxes_proved: int
+    boxes_unknown: int
+    deepest_split: int
+    counterexample: Optional[Dict[str, float]] = None
+    witness_value: Optional[float] = None
+
+
+def _violates(value: float, positive: bool) -> bool:
+    return value <= 0.0 if positive else value >= 0.0
+
+
+def prove_sign_on_box(
+    evaluate: Callable[[Mapping[str, Interval]], Interval],
+    dims: Mapping[str, Interval],
+    *,
+    positive: bool,
+    max_boxes: int = 20000,
+    min_rel_width: float = 1e-4,
+) -> BoxProof:
+    """Prove ``evaluate(box) > 0`` (or ``< 0``) over a parameter box.
+
+    ``evaluate`` maps named :class:`Interval` coordinates to an interval
+    enclosure of the target expression.  The prover bisects the widest
+    remaining dimension until each sub-box either certifies the sign,
+    shrinks below ``min_rel_width`` of its original width (then the
+    float midpoint is tested: a strict violation becomes a
+    counterexample, otherwise the sub-box is left "unknown"), or the
+    ``max_boxes`` work budget is exhausted.
+
+    Deterministic: subdivision order is a fixed depth-first traversal
+    and no randomness is involved, so identical inputs always yield the
+    identical proof object.
+    """
+    if not dims:
+        raise VerificationError("cannot prove a sign over an empty box")
+    names = sorted(dims)
+    original_width = {
+        name: max(dims[name].width, 1e-12) for name in names
+    }
+    stack: List[Tuple[Dict[str, Interval], int]] = [
+        ({name: dims[name] for name in names}, 0)
+    ]
+    proved = 0
+    unknown = 0
+    deepest = 0
+    examined = 0
+    while stack:
+        box, depth = stack.pop()
+        examined += 1
+        deepest = max(deepest, depth)
+        if examined > max_boxes:
+            # Budget exhausted: everything still on the stack is unknown.
+            unknown += 1 + len(stack)
+            break
+        enclosure = evaluate(box)
+        if (positive and enclosure.strictly_positive) or (
+            not positive and enclosure.strictly_negative
+        ):
+            proved += 1
+            continue
+        # Probe the float midpoint for a concrete violation before
+        # deciding whether to keep splitting.
+        midpoint = {
+            name: Interval.point(box[name].midpoint) for name in names
+        }
+        probe = evaluate(midpoint)
+        if _violates(probe.midpoint, positive):
+            point = {name: box[name].midpoint for name in names}
+            return BoxProof(
+                status="counterexample",
+                boxes_proved=proved,
+                boxes_unknown=unknown,
+                deepest_split=deepest,
+                counterexample=point,
+                witness_value=probe.midpoint,
+            )
+        widest = max(
+            names,
+            key=lambda name: box[name].width / original_width[name],
+        )
+        rel = box[widest].width / original_width[widest]
+        if rel <= min_rel_width or box[widest].is_point:
+            unknown += 1
+            continue
+        low, high = box[widest].split()
+        stack.append(({**box, widest: high}, depth + 1))
+        stack.append(({**box, widest: low}, depth + 1))
+    status = "proved" if unknown == 0 else "unknown"
+    return BoxProof(
+        status=status,
+        boxes_proved=proved,
+        boxes_unknown=unknown,
+        deepest_split=deepest,
+    )

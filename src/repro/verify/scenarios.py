@@ -1,0 +1,431 @@
+"""Counterexample-to-regression pipeline: scenario JSON files + replay.
+
+Every concrete violating point a checker finds (SMT ``sat`` model,
+interval midpoint violation, vertex differential mismatch) is frozen
+into a canonical JSON *scenario*: the parameter point, the violation's
+provenance, and a list of production-solver quantities pinned at
+creation time.  Scenarios live under ``tests/regression/scenarios/``
+where the replay harness auto-discovers them and asserts the numeric
+stack still reproduces every pinned quantity - so each verifier finding
+permanently hardens the test suite, even on machines without z3.
+
+Schema (``repro.verify/scenario-v1``)::
+
+    {
+      "schema": "repro.verify/scenario-v1",
+      "claim": "theorem2",
+      "source": "numeric" | "smt" | "interval" | "pin",
+      "detail": "<human-readable provenance>",
+      "box": { ... ParameterBox.to_dict() ... },
+      "point": {"n": 5, "m": 5, "w": 2.0, "gain": 1.0, ...},
+      "violation": { ... optional checker-specific payload ... },
+      "expect": [
+        {"quantity": "tau_star", "value": 0.0229..., "rtol": 1e-9,
+         "atol": 1e-12, "args": {}}
+      ]
+    }
+
+``expect`` quantities are evaluated by name against the production
+``bianchi``/``game.equilibrium`` stack (:data:`QUANTITIES`), so a
+scenario is self-contained: no verifier code is needed to replay it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Tuple, Union
+
+from repro.errors import VerificationError
+from repro.bianchi.fixedpoint import solve_symmetric
+from repro.game.equilibrium import analyze_equilibria, optimal_tau, q_function
+from repro.game.utility import symmetric_utility_from_tau
+from repro.verify.boxes import ParameterBox
+from repro.verify.certify import Certificate
+
+__all__ = [
+    "QUANTITIES",
+    "ReplayReport",
+    "SCENARIO_SCHEMA",
+    "discover_scenarios",
+    "load_scenario",
+    "pin_scenario",
+    "replay_scenario",
+    "scenarios_from_certificate",
+    "write_scenario",
+]
+
+SCENARIO_SCHEMA = "repro.verify/scenario-v1"
+
+#: Dimensions a completed scenario point always carries.
+_POINT_KEYS = ("n", "m", "w", "gain", "cost", "sigma", "ts", "tc")
+
+#: Default production quantities pinned per claim when a counterexample
+#: is frozen into a scenario.
+_DEFAULT_PINS: Dict[str, Tuple[str, ...]] = {
+    "bianchi": ("tau_symmetric", "collision_symmetric"),
+    "lemma3": ("tau_star", "q_at_half_tau_star"),
+    "theorem2": (
+        "tau_star",
+        "window_star",
+        "window_breakeven",
+        "n_equilibria",
+        "margin_at_breakeven",
+    ),
+    "theorem3": ("tau_symmetric", "tau_star"),
+}
+
+
+def _point_context(
+    box: ParameterBox, point: Mapping[str, float]
+) -> Tuple[int, int, Any, Any]:
+    """Production params/times for one completed scenario point."""
+    from repro.phy.parameters import default_parameters
+
+    n = int(point["n"])
+    m = int(point["m"])
+    params = default_parameters().with_updates(
+        gain=point["gain"],
+        cost=point["cost"],
+        max_backoff_stage=m,
+    )
+    times = box.slot_times_at(point["sigma"], point["ts"], point["tc"])
+    return n, m, params, times
+
+
+def _eval_tau_symmetric(
+    box: ParameterBox, point: Mapping[str, float], args: Mapping[str, Any]
+) -> float:
+    n, m, _, _ = _point_context(box, point)
+    window = float(args.get("w", point["w"]))
+    return float(solve_symmetric(window, n, m).tau)
+
+
+def _eval_collision_symmetric(
+    box: ParameterBox, point: Mapping[str, float], args: Mapping[str, Any]
+) -> float:
+    n, m, _, _ = _point_context(box, point)
+    window = float(args.get("w", point["w"]))
+    return float(solve_symmetric(window, n, m).collision)
+
+
+def _eval_tau_star(
+    box: ParameterBox, point: Mapping[str, float], args: Mapping[str, Any]
+) -> float:
+    n, _, _, times = _point_context(box, point)
+    return float(optimal_tau(n, times))
+
+
+def _eval_q_at_half_tau_star(
+    box: ParameterBox, point: Mapping[str, float], args: Mapping[str, Any]
+) -> float:
+    n, _, _, times = _point_context(box, point)
+    tau_star = optimal_tau(n, times)
+    return float(q_function(0.5 * tau_star, n, times))
+
+
+def _eval_window_star(
+    box: ParameterBox, point: Mapping[str, float], args: Mapping[str, Any]
+) -> float:
+    n, _, params, times = _point_context(box, point)
+    return float(analyze_equilibria(n, params, times).window_star)
+
+
+def _eval_window_breakeven(
+    box: ParameterBox, point: Mapping[str, float], args: Mapping[str, Any]
+) -> float:
+    n, _, params, times = _point_context(box, point)
+    return float(analyze_equilibria(n, params, times).window_breakeven)
+
+
+def _eval_n_equilibria(
+    box: ParameterBox, point: Mapping[str, float], args: Mapping[str, Any]
+) -> float:
+    n, _, params, times = _point_context(box, point)
+    return float(analyze_equilibria(n, params, times).n_equilibria)
+
+
+def _eval_margin_at_breakeven(
+    box: ParameterBox, point: Mapping[str, float], args: Mapping[str, Any]
+) -> float:
+    n, m, params, times = _point_context(box, point)
+    analysis = analyze_equilibria(n, params, times)
+    solution = solve_symmetric(float(analysis.window_breakeven), n, m)
+    return float(
+        (1.0 - solution.collision) * point["gain"] - point["cost"]
+    )
+
+
+def _eval_utility_at_star(
+    box: ParameterBox, point: Mapping[str, float], args: Mapping[str, Any]
+) -> float:
+    n, _, params, times = _point_context(box, point)
+    return float(analyze_equilibria(n, params, times).utility_at_star)
+
+
+def _eval_utility_at_tau(
+    box: ParameterBox, point: Mapping[str, float], args: Mapping[str, Any]
+) -> float:
+    n, _, params, times = _point_context(box, point)
+    return float(
+        symmetric_utility_from_tau(
+            float(args["tau"]),
+            n,
+            params,
+            times,
+            ignore_cost=bool(args.get("ignore_cost", True)),
+        )
+    )
+
+
+#: Quantity name -> evaluator against the production numeric stack.
+QUANTITIES: Dict[
+    str,
+    Callable[[ParameterBox, Mapping[str, float], Mapping[str, Any]], float],
+] = {
+    "tau_symmetric": _eval_tau_symmetric,
+    "collision_symmetric": _eval_collision_symmetric,
+    "tau_star": _eval_tau_star,
+    "q_at_half_tau_star": _eval_q_at_half_tau_star,
+    "window_star": _eval_window_star,
+    "window_breakeven": _eval_window_breakeven,
+    "n_equilibria": _eval_n_equilibria,
+    "margin_at_breakeven": _eval_margin_at_breakeven,
+    "utility_at_star": _eval_utility_at_star,
+    "utility_at_tau": _eval_utility_at_tau,
+}
+
+
+def _complete_point(
+    box: ParameterBox, raw: Mapping[str, float]
+) -> Dict[str, float]:
+    """Fill missing point dimensions from the box lower corner.
+
+    Checker counterexamples are often partial (an SMT model names only
+    its free variables); the completed point anchors every remaining
+    dimension at the box's lower corner so replay is deterministic.
+    """
+    defaults = {
+        "n": float(box.n_lo),
+        "m": float(box.m),
+        "w": box.w_lo,
+        "gain": box.gain_lo,
+        "cost": box.cost_lo,
+        "sigma": box.sigma_lo,
+        "ts": box.ts_lo,
+        "tc": box.tc_lo,
+    }
+    completed = dict(defaults)
+    for key in _POINT_KEYS:
+        if key in raw:
+            completed[key] = float(raw[key])
+    return completed
+
+
+def scenarios_from_certificate(
+    certificate: Certificate, *, rtol: float = 1e-9, atol: float = 1e-12
+) -> List[Dict[str, Any]]:
+    """Freeze every counterexample of a certificate into scenarios.
+
+    The production quantities of the claim's default pin list are
+    evaluated *now* and stored as the expected values, so replay checks
+    the numeric stack against its behaviour at scenario-creation time.
+    """
+    box = ParameterBox.from_dict(certificate.box)
+    scenarios = []
+    for finding in certificate.counterexamples:
+        point = _complete_point(box, finding.get("point", {}))
+        expect = []
+        for quantity in _DEFAULT_PINS.get(certificate.claim, ("tau_star",)):
+            value = QUANTITIES[quantity](box, point, {})
+            expect.append(
+                {
+                    "quantity": quantity,
+                    "value": value,
+                    "rtol": rtol,
+                    "atol": atol,
+                    "args": {},
+                }
+            )
+        violation = {
+            key: value
+            for key, value in finding.items()
+            if key != "point"
+        }
+        violation["raw_point"] = dict(finding.get("point", {}))
+        scenarios.append(
+            {
+                "schema": SCENARIO_SCHEMA,
+                "claim": certificate.claim,
+                "source": finding.get("source", "numeric"),
+                "detail": finding.get("detail", ""),
+                "box": certificate.box,
+                "point": point,
+                "violation": violation,
+                "expect": expect,
+            }
+        )
+    return scenarios
+
+
+def _canonical_text(scenario: Mapping[str, Any]) -> str:
+    # Imported lazily: repro.store pulls in the experiment registry for
+    # manifest digests, and the registry pulls this module back in via
+    # the ``verify`` experiment — a module-level import would be a cycle.
+    from repro.store import canonicalize
+
+    return json.dumps(
+        canonicalize(dict(scenario)),
+        sort_keys=True,
+        indent=2,
+        allow_nan=False,
+    )
+
+
+def write_scenario(
+    scenario: Mapping[str, Any], directory: Union[str, Path]
+) -> Path:
+    """Write one scenario as canonical JSON; filename from its digest."""
+    if scenario.get("schema") != SCENARIO_SCHEMA:
+        raise VerificationError(
+            f"scenario schema must be {SCENARIO_SCHEMA!r}, "
+            f"got {scenario.get('schema')!r}"
+        )
+    text = _canonical_text(scenario)
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"{scenario['claim']}-{digest}.json"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def load_scenario(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate one scenario file.
+
+    Raises
+    ------
+    VerificationError
+        On unreadable files, wrong schema or missing required keys.
+    """
+    source = Path(path)
+    try:
+        document = json.loads(source.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise VerificationError(
+            f"cannot read scenario {source}: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise VerificationError(
+            f"scenario {source} must be a JSON object"
+        )
+    if document.get("schema") != SCENARIO_SCHEMA:
+        raise VerificationError(
+            f"scenario {source} has schema {document.get('schema')!r}, "
+            f"expected {SCENARIO_SCHEMA!r}"
+        )
+    for key in ("claim", "box", "point", "expect"):
+        if key not in document:
+            raise VerificationError(
+                f"scenario {source} is missing required key {key!r}"
+            )
+    if not isinstance(document["expect"], list) or not document["expect"]:
+        raise VerificationError(
+            f"scenario {source} must pin at least one expected quantity"
+        )
+    return document
+
+
+def discover_scenarios(directory: Union[str, Path]) -> List[Path]:
+    """All scenario files under a directory, sorted for determinism."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.json"))
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of replaying one scenario against the numeric stack."""
+
+    ok: bool
+    failures: Tuple[str, ...]
+    observed: Dict[str, float]
+
+
+def replay_scenario(scenario: Mapping[str, Any]) -> ReplayReport:
+    """Re-evaluate every pinned quantity with the production solvers."""
+    box = ParameterBox.from_dict(scenario["box"])
+    point = {key: float(value) for key, value in scenario["point"].items()}
+    failures = []
+    observed: Dict[str, float] = {}
+    for entry in scenario["expect"]:
+        quantity = entry.get("quantity")
+        if quantity not in QUANTITIES:
+            failures.append(
+                f"unknown quantity {quantity!r}; expected one of "
+                f"{tuple(sorted(QUANTITIES))}"
+            )
+            continue
+        args = entry.get("args", {}) or {}
+        value = QUANTITIES[quantity](box, point, args)
+        observed[str(quantity)] = value
+        expected = float(entry["value"])
+        rtol = float(entry.get("rtol", 1e-9))
+        atol = float(entry.get("atol", 1e-12))
+        if abs(value - expected) > atol + rtol * abs(expected):
+            failures.append(
+                f"{quantity}: numeric stack now produces {value!r}, "
+                f"scenario pinned {expected!r} (rtol={rtol}, atol={atol})"
+            )
+    return ReplayReport(
+        ok=not failures, failures=tuple(failures), observed=observed
+    )
+
+
+def pin_scenario(
+    box: ParameterBox,
+    claim: str,
+    point: Mapping[str, float],
+    quantities: Mapping[str, Mapping[str, Any]],
+    *,
+    detail: str = "",
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> Dict[str, Any]:
+    """Build a ``source: "pin"`` scenario from live production values.
+
+    Used to freeze known-good equilibrium quantities (Tables II/III) so
+    the replay harness guards them against solver drift; ``quantities``
+    maps quantity names to their ``args`` dicts.
+    """
+    completed = _complete_point(box, point)
+    expect = []
+    for quantity, args in quantities.items():
+        if quantity not in QUANTITIES:
+            raise VerificationError(
+                f"unknown quantity {quantity!r}; expected one of "
+                f"{tuple(sorted(QUANTITIES))}"
+            )
+        value = QUANTITIES[quantity](box, completed, args)
+        expect.append(
+            {
+                "quantity": quantity,
+                "value": value,
+                "rtol": rtol,
+                "atol": atol,
+                "args": dict(args),
+            }
+        )
+    return {
+        "schema": SCENARIO_SCHEMA,
+        "claim": claim,
+        "source": "pin",
+        "detail": detail,
+        "box": box.to_dict(),
+        "point": completed,
+        "violation": {},
+        "expect": expect,
+    }

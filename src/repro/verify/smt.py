@@ -1,0 +1,161 @@
+"""Gated z3 access: SMT queries with a graceful degrade path.
+
+z3 is an *optional* dependency (the ``verify`` extra).  Everything here
+works without it installed: :func:`z3_available` reports the fact,
+:func:`run_query` returns a ``"skipped"`` outcome instead of raising,
+and the interval fallback of :mod:`repro.verify.interval` carries the
+certification (more coarsely).  Only :func:`load_z3` - used when a
+caller *explicitly requires* SMT - raises :class:`VerificationError`.
+
+Queries are *violation-existence* formulations: the claim is encoded as
+"there exists a parameter point inside the box violating the property",
+so ``unsat`` is the certificate and every ``sat`` model is a concrete
+counterexample, extracted to floats for the regression-scenario
+pipeline.  Constants enter as exact rationals
+(:func:`fractions.Fraction` of the IEEE-754 value via ``RatVal``), so
+the SMT layer reasons about precisely the numbers the float stack uses.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import VerificationError
+
+__all__ = [
+    "SmtOutcome",
+    "SmtSpec",
+    "bounded_real",
+    "load_z3",
+    "rational",
+    "run_query",
+    "z3_available",
+]
+
+
+def z3_available() -> bool:
+    """Whether the optional z3 solver can be imported."""
+    return importlib.util.find_spec("z3") is not None
+
+
+def load_z3() -> Any:
+    """Import and return the z3 module, or raise if it is missing.
+
+    Raises
+    ------
+    VerificationError
+        When z3 is not installed; the message names the extra so the
+        remedy is obvious (``pip install 'repro-selfish-mac[verify]'``).
+    """
+    if not z3_available():
+        raise VerificationError(
+            "the SMT checker requires z3, which is not installed; "
+            "install the 'verify' extra (repro-selfish-mac[verify]) or "
+            "run with the interval/numeric checkers only"
+        )
+    return importlib.import_module("z3")
+
+
+def rational(z3: Any, value: float) -> Any:
+    """The exact rational of an IEEE-754 double as a z3 term."""
+    fraction = Fraction(value)
+    return z3.RatVal(fraction.numerator, fraction.denominator)
+
+
+def bounded_real(
+    z3: Any, solver: Any, name: str, lo: float, hi: float
+) -> Any:
+    """A real variable constrained to ``[lo, hi]``.
+
+    Degenerate ranges collapse to the exact rational constant - fewer
+    free variables keeps the nonlinear queries tractable.
+    """
+    if hi <= lo:
+        return rational(z3, lo)
+    var = z3.Real(name)
+    solver.add(var >= rational(z3, lo), var <= rational(z3, hi))
+    return var
+
+
+@dataclass(frozen=True)
+class SmtSpec:
+    """One violation-existence query of a claim.
+
+    ``build(z3, solver)`` asserts the violation formula and returns the
+    named free variables whose model values become the counterexample
+    point on ``sat``.  ``expect`` documents the certifying verdict
+    (always ``"unsat"`` for the shipped claims).
+    """
+
+    label: str
+    build: Callable[[Any, Any], Dict[str, Any]]
+    expect: str = "unsat"
+
+
+@dataclass(frozen=True)
+class SmtOutcome:
+    """Result of one SMT query.
+
+    ``verdict`` is ``"unsat"`` (property certified), ``"sat"``
+    (violated - ``model`` holds the float counterexample point),
+    ``"unknown"`` (solver gave up within the timeout) or ``"skipped"``
+    (z3 not installed).
+    """
+
+    label: str
+    verdict: str
+    model: Optional[Dict[str, float]] = None
+    detail: str = ""
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+def _model_float(z3: Any, model: Any, var: Any) -> float:
+    """Evaluate a model value to a float (rationals and algebraics)."""
+    value = model.eval(var, model_completion=True)
+    if hasattr(value, "as_fraction"):
+        try:
+            return float(value.as_fraction())
+        except z3.Z3Exception:
+            pass
+    # Irrational algebraic numbers: take a high-precision rational
+    # approximation instead.
+    approx = value.approx(20)
+    return float(approx.as_fraction())
+
+
+def run_query(spec: SmtSpec, *, timeout_ms: int = 60000) -> SmtOutcome:
+    """Run one violation-existence query (gracefully skipped without z3)."""
+    if not z3_available():
+        return SmtOutcome(
+            label=spec.label,
+            verdict="skipped",
+            detail="z3 is not installed; install the 'verify' extra",
+        )
+    z3 = load_z3()
+    solver = z3.Solver()
+    solver.set("timeout", int(timeout_ms))
+    variables = spec.build(z3, solver)
+    result = solver.check()
+    if result == z3.unsat:
+        return SmtOutcome(label=spec.label, verdict="unsat")
+    if result == z3.sat:
+        model = solver.model()
+        point = {
+            name: _model_float(z3, model, var)
+            for name, var in sorted(variables.items())
+        }
+        return SmtOutcome(
+            label=spec.label,
+            verdict="sat",
+            model=point,
+            detail="violation model found",
+        )
+    return SmtOutcome(
+        label=spec.label,
+        verdict="unknown",
+        detail=f"solver returned unknown: {solver.reason_unknown()}",
+    )

@@ -30,6 +30,7 @@ SMALL_KWARGS = {
     "convergence": {"n_players": 4, "n_stages": 6},
     "bestresponse": {"n_players": 3, "n_stages": 3},
     "mobility": {"n_nodes": 20, "n_epochs": 3},
+    "verify": {"max_boxes": 4000},
     "meanfield": {
         "agreement_populations": (8, 16),
         "scaling_populations": (1e3, 1e5),

@@ -1,0 +1,177 @@
+"""Hypothesis differential suite: mean-field vs exact per-node solver.
+
+The type-distribution formulation of :mod:`repro.bianchi.meanfield` is
+*exact* for integer counts - two nodes with the same window share the
+same fixed-point ``tau``, so collapsing the per-node system to types
+loses nothing.  These properties pin that equivalence on randomized
+populations, plus the simplex invariants of the replicator update the
+mean-field solver feeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bianchi.batched import solve_heterogeneous_batch
+from repro.bianchi.meanfield import expand_types, solve_mean_field
+from repro.errors import ParameterError
+from repro.game.dynamics import replicator_step
+
+TAU_AGREEMENT = 1e-9
+
+populations = st.lists(
+    st.tuples(
+        st.floats(min_value=2.0, max_value=1024.0),
+        st.integers(min_value=1, max_value=12),
+    ),
+    min_size=1,
+    max_size=5,
+).filter(lambda types: sum(count for _, count in types) >= 2)
+
+stages = st.sampled_from([0, 1, 3, 5])
+
+
+class TestMeanFieldMatchesExactSolver:
+    @given(populations, stages)
+    @settings(max_examples=60, deadline=None)
+    def test_tau_agrees_with_per_node_solve(self, types, max_stage):
+        windows = [w for w, _ in types]
+        counts = [c for _, c in types]
+        mean_field = solve_mean_field(windows, counts, max_stage)
+        per_node = solve_heterogeneous_batch(
+            [expand_types(windows, counts)], max_stage
+        )
+        expanded_mf = np.repeat(mean_field.tau[0], counts)
+        assert expanded_mf.shape == per_node.tau[0].shape
+        np.testing.assert_allclose(
+            expanded_mf, per_node.tau[0], rtol=0.0, atol=TAU_AGREEMENT
+        )
+
+    @given(populations, stages)
+    @settings(max_examples=60, deadline=None)
+    def test_collision_agrees_with_per_node_solve(self, types, max_stage):
+        windows = [w for w, _ in types]
+        counts = [c for _, c in types]
+        mean_field = solve_mean_field(windows, counts, max_stage)
+        per_node = solve_heterogeneous_batch(
+            [expand_types(windows, counts)], max_stage
+        )
+        expanded = np.repeat(mean_field.collision[0], counts)
+        np.testing.assert_allclose(
+            expanded, per_node.collision[0], rtol=0.0, atol=1e-8
+        )
+
+    @given(populations, stages)
+    @settings(max_examples=60, deadline=None)
+    def test_solution_is_physical(self, types, max_stage):
+        windows = [w for w, _ in types]
+        counts = [c for _, c in types]
+        solution = solve_mean_field(windows, counts, max_stage)
+        assert np.all(solution.tau > 0.0)
+        assert np.all(solution.tau <= 1.0)
+        assert np.all(solution.collision >= 0.0)
+        assert np.all(solution.collision < 1.0)
+        assert np.all(solution.residual <= 1e-8)
+
+    @given(populations, stages)
+    @settings(max_examples=40, deadline=None)
+    def test_duplicate_types_collapse(self, types, max_stage):
+        """Splitting one type into two identical halves changes nothing."""
+        windows = [w for w, _ in types]
+        counts = [c for _, c in types]
+        split_windows = windows + [windows[0]]
+        split_counts = counts + [counts[0]]
+        merged = solve_mean_field(
+            windows[:1] + windows[1:],
+            [counts[0] * 2] + counts[1:],
+            max_stage,
+        )
+        split = solve_mean_field(split_windows, split_counts, max_stage)
+        assert split.tau[0, 0] == pytest.approx(
+            split.tau[0, -1], abs=TAU_AGREEMENT
+        )
+        assert merged.tau[0, 0] == pytest.approx(
+            split.tau[0, 0], abs=TAU_AGREEMENT
+        )
+
+
+shares_vectors = st.integers(min_value=1, max_value=6).flatmap(
+    lambda k: st.lists(
+        st.floats(min_value=0.0, max_value=1.0),
+        min_size=k,
+        max_size=k,
+    ).filter(lambda raw: sum(raw) > 1e-6)
+)
+
+fitness_values = st.floats(min_value=-50.0, max_value=50.0)
+
+
+class TestReplicatorInvariants:
+    @given(shares_vectors, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_step_stays_on_simplex(self, raw, data):
+        shares = np.asarray(raw) / sum(raw)
+        fitness = np.asarray(
+            data.draw(
+                st.lists(
+                    fitness_values,
+                    min_size=len(raw),
+                    max_size=len(raw),
+                )
+            )
+        )
+        updated = replicator_step(shares, fitness)
+        assert updated.sum() == pytest.approx(1.0, abs=1e-12)
+        assert np.all(updated >= 0.0)
+
+    @given(shares_vectors, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_extinct_types_stay_extinct(self, raw, data):
+        shares = np.asarray(raw) / sum(raw)
+        shares[0] = 0.0
+        total = shares.sum()
+        if total <= 0.0:
+            return
+        shares = shares / total
+        fitness = np.asarray(
+            data.draw(
+                st.lists(
+                    fitness_values,
+                    min_size=len(raw),
+                    max_size=len(raw),
+                )
+            )
+        )
+        # Even a huge fitness advantage cannot resurrect share zero.
+        fitness[0] = 100.0
+        updated = replicator_step(shares, fitness)
+        assert updated[0] == 0
+        assert updated.sum() == pytest.approx(1.0, abs=1e-12)
+
+    @given(st.integers(min_value=1, max_value=8), fitness_values)
+    @settings(max_examples=60, deadline=None)
+    def test_equal_fitness_is_a_fixed_point(self, k, level):
+        shares = np.full(k, 1.0 / k)
+        fitness = np.full(k, level)
+        updated = replicator_step(shares, fitness)
+        np.testing.assert_allclose(updated, shares, rtol=0.0, atol=1e-12)
+
+    @given(shares_vectors, fitness_values, fitness_values)
+    @settings(max_examples=60, deadline=None)
+    def test_translation_invariance(self, raw, level, shift):
+        shares = np.asarray(raw) / sum(raw)
+        fitness = np.linspace(level, level + 1.0, len(raw))
+        base = replicator_step(shares, fitness)
+        shifted = replicator_step(shares, fitness + shift)
+        np.testing.assert_allclose(base, shifted, rtol=0.0, atol=1e-12)
+
+    def test_all_extinct_rejected(self):
+        with pytest.raises(ParameterError, match="extinct"):
+            replicator_step(np.zeros(3), np.zeros(3))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ParameterError, match="matching"):
+            replicator_step(np.full(3, 1.0 / 3.0), np.zeros(2))

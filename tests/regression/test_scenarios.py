@@ -1,0 +1,113 @@
+"""Auto-replay of pinned verification scenarios.
+
+Every JSON file under ``tests/regression/scenarios/`` is a frozen
+parameter point with production-solver quantities pinned at creation
+time (see :mod:`repro.verify.scenarios`).  This harness discovers them
+all and asserts the numeric stack still reproduces every pin - new
+counterexamples dropped into the directory become regression tests
+without touching any code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.scenarios import (
+    SCENARIO_SCHEMA,
+    discover_scenarios,
+    load_scenario,
+    replay_scenario,
+)
+
+SCENARIO_DIR = Path(__file__).parent / "scenarios"
+SCENARIO_PATHS = discover_scenarios(SCENARIO_DIR)
+
+
+def test_shipped_scenarios_exist():
+    """The repo ships pinned Table II/III equilibria as scenarios."""
+    assert len(SCENARIO_PATHS) >= 4
+    claims = {path.name.split("-")[0] for path in SCENARIO_PATHS}
+    assert "theorem2" in claims
+    assert "bianchi" in claims
+
+
+@pytest.mark.parametrize(
+    "path", SCENARIO_PATHS, ids=[path.stem for path in SCENARIO_PATHS]
+)
+def test_scenario_replays(path):
+    scenario = load_scenario(path)
+    report = replay_scenario(scenario)
+    assert report.ok, "\n".join(report.failures)
+    assert set(report.observed) == {
+        entry["quantity"] for entry in scenario["expect"]
+    }
+
+
+@pytest.mark.parametrize(
+    "path", SCENARIO_PATHS, ids=[path.stem for path in SCENARIO_PATHS]
+)
+def test_scenario_files_are_canonical(path):
+    """Filenames embed the content digest; files are sorted-key JSON."""
+    document = json.loads(path.read_text(encoding="utf-8"))
+    assert document["schema"] == SCENARIO_SCHEMA
+    assert path.stem.startswith(document["claim"] + "-")
+
+
+def test_tampered_pin_is_detected():
+    """Replay must fail when a pinned value drifts from production."""
+    scenario = load_scenario(SCENARIO_PATHS[0])
+    scenario["expect"][0]["value"] = scenario["expect"][0]["value"] + 0.5
+    report = replay_scenario(scenario)
+    assert not report.ok
+    assert any("pinned" in failure for failure in report.failures)
+
+
+def test_unknown_quantity_is_reported_not_raised():
+    scenario = load_scenario(SCENARIO_PATHS[0])
+    scenario["expect"].append(
+        {"quantity": "mystery", "value": 1.0, "rtol": 1e-9, "atol": 1e-12}
+    )
+    report = replay_scenario(scenario)
+    assert not report.ok
+    assert any("mystery" in failure for failure in report.failures)
+
+
+class TestLoadValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(VerificationError, match="cannot read"):
+            load_scenario(tmp_path / "missing.json")
+
+    def test_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(VerificationError, match="cannot read"):
+            load_scenario(bad)
+
+    def test_wrong_schema(self, tmp_path):
+        bad = tmp_path / "schema.json"
+        bad.write_text(json.dumps({"schema": "v0"}), encoding="utf-8")
+        with pytest.raises(VerificationError, match="schema"):
+            load_scenario(bad)
+
+    def test_missing_required_key(self, tmp_path):
+        document = load_scenario(SCENARIO_PATHS[0])
+        del document["point"]
+        bad = tmp_path / "partial.json"
+        bad.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(VerificationError, match="point"):
+            load_scenario(bad)
+
+    def test_empty_expect_rejected(self, tmp_path):
+        document = load_scenario(SCENARIO_PATHS[0])
+        document["expect"] = []
+        bad = tmp_path / "empty.json"
+        bad.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(VerificationError, match="at least one"):
+            load_scenario(bad)
+
+    def test_discover_missing_directory_is_empty(self, tmp_path):
+        assert discover_scenarios(tmp_path / "nope") == []

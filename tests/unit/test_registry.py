@@ -28,6 +28,7 @@ TINY_OVERRIDES = {
     "convergence": {"n_players": 3, "n_stages": 2},
     "bestresponse": {"n_players": 3, "n_stages": 2},
     "mobility": {"n_nodes": 6, "n_epochs": 1},
+    "verify": {"theorems": ("bianchi", "lemma3"), "max_boxes": 2_000},
     "meanfield": {
         "agreement_populations": (8,),
         "scaling_populations": (1e3,),
@@ -54,6 +55,7 @@ class TestRegistry:
             "bestresponse",
             "mobility",
             "meanfield",
+            "verify",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -130,6 +130,69 @@ class TestInsufficientData:
         assert not np.any(np.isnan(result.tau_hat))
 
 
+class TestStarvedObservations:
+    """Edge cases where shards or nodes see (almost) no data."""
+
+    def test_more_shards_than_chunks_merges_empty_accumulators(self):
+        # 4 chunks spread over 9 shards leaves 5 shards with no data at
+        # all; the merge must not divide by a zero count or emit nan.
+        tau = synthetic_population_tau(0.02, 50, rng=4)
+        result = screen_population(
+            tau, 0.02, 64.0, MAX_STAGE,
+            slots=4_000, chunk_slots=1_000, observer_shards=9, rng=6,
+        )
+        assert result.n_chunks == 4
+        assert result.observer_shards == 9
+        assert not np.any(np.isnan(result.tau_hat))
+        assert not np.any(np.isnan(result.tau_std))
+        assert not np.any(np.isnan(result.z_scores))
+
+    def test_single_node_population(self):
+        result = screen_population(
+            [0.05], 0.01, 64.0, MAX_STAGE,
+            slots=20_000, chunk_slots=2_000, rng=8,
+        )
+        assert result.n_nodes == 1
+        assert result.tau_hat.shape == (1,)
+        # A lone node attempting 5x the reference must be caught.
+        assert bool(result.flagged[0])
+        assert np.isfinite(result.window_hat[0])
+
+    def test_single_node_single_chunk(self):
+        # One chunk gives zero across-chunk variance; the statistics
+        # must stay finite and the totals-based z test still applies.
+        result = screen_population(
+            [0.05], 0.05, 64.0, MAX_STAGE,
+            slots=1_000, chunk_slots=1_000, rng=9,
+        )
+        assert result.n_chunks == 1
+        assert np.isfinite(result.tau_std[0])
+        assert not bool(result.flagged[0])
+
+    def test_fully_starved_population_is_insufficient_everywhere(self):
+        # So few slots that no node reaches the attempt floor: the
+        # whole population lands in the insufficient mask, nothing is
+        # flagged, and every window estimate is +inf.
+        tau = np.full(5, 1e-4)
+        result = screen_population(
+            tau, 1e-4, 4096.0, MAX_STAGE,
+            slots=100, chunk_slots=10, rng=10,
+        )
+        assert np.all(result.insufficient)
+        assert not np.any(result.flagged)
+        assert np.all(np.isinf(result.window_hat))
+        assert np.all(result.z_scores == 0)
+
+    def test_ragged_final_chunk_counts_all_slots(self):
+        tau = synthetic_population_tau(0.02, 20, rng=12)
+        result = screen_population(
+            tau, 0.02, 64.0, MAX_STAGE,
+            slots=2_500, chunk_slots=1_000, rng=13,
+        )
+        assert result.slots_observed == 2_500
+        assert result.n_chunks == 3
+
+
 class TestValidation:
     def test_rejects_bad_parameters(self):
         good = dict(slots=100, chunk_slots=10)

@@ -96,6 +96,58 @@ class TestEndpoints:
         # The keep-alive connection survives rejected requests.
         assert outcomes["after"] == {"ok": True}
 
+    def test_mean_field_error_paths_are_clean_400s(self, tmp_path):
+        """Bad mean-field payloads reject without poisoning the socket."""
+
+        def work(client):
+            outcomes = {}
+            with pytest.raises(ServeError, match="400"):
+                client.solve(
+                    "mean_field",
+                    {"type_windows": [32.0, 64.0], "type_counts": [3, -2]},
+                )
+            with pytest.raises(ServeError, match="400"):
+                client.solve(
+                    "mean_field", {"type_windows": [], "type_counts": []}
+                )
+            with pytest.raises(ServeError, match="400"):
+                client.solve(
+                    "mean_field",
+                    {"type_windows": [32.0, 64.0], "type_counts": [5]},
+                )
+            with pytest.raises(ServeError, match="400"):
+                client.solve(
+                    "mean_field",
+                    {
+                        "type_windows": [32.0],
+                        "type_counts": ["many"],
+                    },
+                )
+            with pytest.raises(ServeError, match="400"):
+                client.solve(
+                    "mean_field",
+                    {
+                        "type_windows": [32.0],
+                        "type_counts": [5],
+                        "max_stage": 0,
+                    },
+                )
+            outcomes["after"] = client.health()
+            # The same connection still solves a valid request.
+            outcomes["solve"] = client.solve(
+                "mean_field",
+                {"type_windows": [32.0, 256.0], "type_counts": [4, 2]},
+            )
+            return outcomes
+
+        outcomes = run_against_server(tmp_path, work)
+        assert outcomes["after"] == {"ok": True}
+        result = outcomes["solve"]["result"]
+        taus = result["tau"]
+        assert len(taus) == 2
+        # The smaller window is the more aggressive type.
+        assert taus[0] > taus[1]
+
     def test_raw_wire_bytes_are_standard_json(self, tmp_path):
         """No NaN/Infinity tokens can appear in a response body."""
 

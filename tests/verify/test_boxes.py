@@ -1,0 +1,158 @@
+"""Unit tests for the verification parameter boxes."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.phy.parameters import AccessMode, default_parameters
+from repro.phy.timing import slot_times
+from repro.verify.boxes import BOX_NAMES, ParameterBox, builtin_boxes, get_box
+
+
+def small_box(**overrides):
+    base = dict(
+        name="test-box",
+        mode="basic",
+        n_lo=2,
+        n_hi=5,
+        m=5,
+        w_lo=2.0,
+        w_hi=64.0,
+        gain_lo=1.0,
+        gain_hi=1.0,
+        cost_lo=0.01,
+        cost_hi=0.01,
+        sigma_lo=50.0,
+        sigma_hi=50.0,
+        ts_lo=8980.0,
+        ts_hi=8980.0,
+        tc_lo=8612.0,
+        tc_hi=8612.0,
+    )
+    base.update(overrides)
+    return ParameterBox(**base)
+
+
+class TestValidation:
+    def test_valid_box_constructs(self):
+        assert small_box().name == "test-box"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(VerificationError, match="mode"):
+            small_box(mode="tdma")
+
+    def test_single_node_rejected(self):
+        with pytest.raises(VerificationError, match="n_lo"):
+            small_box(n_lo=1)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(VerificationError, match="empty"):
+            small_box(w_lo=64.0, w_hi=2.0)
+
+    def test_cost_must_stay_below_gain(self):
+        with pytest.raises(VerificationError, match="e < g"):
+            small_box(cost_lo=0.5, cost_hi=1.5, gain_lo=1.0, gain_hi=1.0)
+
+    def test_nonpositive_timing_rejected(self):
+        with pytest.raises(VerificationError, match="positive"):
+            small_box(sigma_lo=0.0, sigma_hi=0.0)
+
+    def test_window_below_one_rejected(self):
+        with pytest.raises(VerificationError, match="window"):
+            small_box(w_lo=0.5)
+
+
+class TestAccessors:
+    def test_interval_accessor(self):
+        box = small_box()
+        w = box.interval("w")
+        assert w.lo == 2 and w.hi == 64
+        assert box.interval("sigma").is_point
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(VerificationError, match="dimension"):
+            small_box().interval("n")
+
+    def test_n_values_small_span_is_exhaustive(self):
+        assert small_box().n_values() == (2, 3, 4, 5)
+
+    def test_n_values_wide_span_keeps_endpoints(self):
+        box = small_box(n_lo=5, n_hi=50)
+        values = box.n_values(max_values=5)
+        assert values[0] == 5 and values[-1] == 50
+        assert len(values) <= 5
+        assert list(values) == sorted(set(values))
+
+    def test_slot_times_at_materialises_mode(self):
+        times = small_box().slot_times_at(50.0, 8980.0, 8612.0)
+        assert times.idle_us == 50
+        assert times.mode is AccessMode.BASIC
+
+    def test_vertices_cover_corners(self):
+        box = small_box()
+        points = box.vertices()
+        # Non-degenerate dims: n (2 ends) x w (2 ends) -> 4 corners.
+        assert len(points) == 4
+        ns = {point["n"] for point in points}
+        ws = {point["w"] for point in points}
+        assert ns == {2.0, 5.0}
+        assert ws == {2.0, 64.0}
+        for point in points:
+            assert set(point) == {
+                "n", "m", "w", "gain", "cost", "sigma", "ts", "tc"
+            }
+
+    def test_vertices_subsampled_deterministically(self):
+        box = get_box("tableII")
+        first = box.vertices(max_vertices=8)
+        second = box.vertices(max_vertices=8)
+        assert first == second
+        assert len(first) == 8
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", BOX_NAMES)
+    def test_builtin_round_trips(self, name):
+        box = get_box(name)
+        assert ParameterBox.from_dict(box.to_dict()) == box
+
+    def test_missing_key_rejected(self):
+        document = small_box().to_dict()
+        del document["tc_hi"]
+        with pytest.raises(VerificationError, match="missing"):
+            ParameterBox.from_dict(document)
+
+    def test_unknown_key_rejected(self):
+        document = small_box().to_dict()
+        document["surprise"] = 1.0
+        with pytest.raises(VerificationError, match="unknown"):
+            ParameterBox.from_dict(document)
+
+
+class TestBuiltins:
+    def test_names_match_registry(self):
+        assert set(BOX_NAMES) == set(builtin_boxes())
+
+    def test_unknown_box_rejected(self):
+        with pytest.raises(VerificationError, match="unknown box"):
+            get_box("tableXLII")
+
+    def test_small_boxes_pin_table_one_timing(self):
+        """The -small presets embed the production slot-time derivation."""
+        for name, mode in (
+            ("tableII-small", AccessMode.BASIC),
+            ("tableIII-small", AccessMode.RTS_CTS),
+        ):
+            box = get_box(name)
+            times = slot_times(default_parameters(), mode)
+            assert box.sigma_lo == box.sigma_hi == times.idle_us
+            assert box.ts_lo == box.ts_hi == times.success_us
+            assert box.tc_lo == box.tc_hi == times.collision_us
+
+    def test_boxes_are_frozen(self):
+        box = get_box("tableII-small")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            box.n_lo = 3  # type: ignore[misc]

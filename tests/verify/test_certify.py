@@ -1,0 +1,149 @@
+"""Certification-driver tests, including the injected-bug self-test.
+
+The self-test is the suite's tripwire: a deliberately wrong constant is
+injected through the test-only perturbation hook of
+:mod:`repro.verify.encodings`, and the verifier must (a) notice, (b)
+produce a concrete counterexample point, and (c) round-trip that point
+through the scenario pipeline into a replayable regression file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.boxes import get_box
+from repro.verify.certify import (
+    CHECKER_NAMES,
+    Certificate,
+    certify_claim,
+    run_certification,
+)
+from repro.verify.claims import CLAIMS, CheckBudget, claims_for
+from repro.verify.encodings import perturbed
+from repro.verify.scenarios import (
+    load_scenario,
+    replay_scenario,
+    scenarios_from_certificate,
+    write_scenario,
+)
+
+BUDGET = CheckBudget(max_boxes=20000)
+SMALL_BOXES = ("tableII-small", "tableIII-small", "multihop-small")
+
+
+class TestClaimRegistry:
+    def test_all_claims_registered(self):
+        assert set(CLAIMS) == {"bianchi", "lemma3", "theorem2", "theorem3"}
+
+    def test_claims_for_all_and_explicit(self):
+        assert [c.name for c in claims_for("all")] == sorted(CLAIMS)
+        assert [c.name for c in claims_for(["theorem2"])] == ["theorem2"]
+
+    def test_claims_for_unknown_rejected(self):
+        with pytest.raises(VerificationError, match="unknown"):
+            claims_for(["theorem9"])
+
+
+class TestCertifyClaim:
+    def test_unknown_claim_rejected(self):
+        with pytest.raises(VerificationError, match="unknown claim"):
+            certify_claim("theorem9", get_box("tableII-small"))
+
+    def test_unknown_checker_rejected(self):
+        with pytest.raises(VerificationError, match="unknown checker"):
+            certify_claim(
+                "theorem2", get_box("tableII-small"), checkers=("fuzzer",)
+            )
+
+    @pytest.mark.parametrize("box_name", SMALL_BOXES)
+    @pytest.mark.parametrize("claim", sorted(CLAIMS))
+    def test_small_boxes_certify(self, claim, box_name):
+        """Every shipped claim certifies on every -small preset box."""
+        certificate = certify_claim(
+            claim,
+            get_box(box_name),
+            checkers=("interval", "numeric"),
+            budget=BUDGET,
+        )
+        assert certificate.status == "certified", certificate.to_dict()
+        assert certificate.counterexamples == []
+
+    def test_smt_only_without_z3_is_skipped_or_certified(self):
+        """--checkers smt must degrade cleanly whether or not z3 exists."""
+        certificate = certify_claim(
+            "lemma3", get_box("tableII-small"), checkers=("smt",)
+        )
+        assert certificate.status in ("skipped", "certified")
+
+    def test_certificate_serialises(self):
+        certificate = certify_claim(
+            "bianchi",
+            get_box("tableII-small"),
+            checkers=("interval", "numeric"),
+            budget=BUDGET,
+        )
+        document = certificate.to_dict()
+        assert document["status"] == certificate.status
+        assert document["claim"] == "bianchi"
+        assert isinstance(document["outcomes"], list)
+        assert document["counterexamples"] == []
+
+    def test_run_certification_covers_selection(self):
+        certificates = run_certification(
+            ["lemma3", "bianchi"],
+            get_box("tableII-small"),
+            checkers=("numeric",),
+            budget=BUDGET,
+        )
+        assert sorted(c.claim for c in certificates) == ["bianchi", "lemma3"]
+        # numeric alone never gives a whole-box proof.
+        assert all(c.status == "checked" for c in certificates)
+
+
+class TestInjectedBug:
+    """A seeded fault must surface as a replayable counterexample."""
+
+    def _bugged_certificate(self) -> Certificate:
+        with perturbed(cost=1e-3):
+            return certify_claim(
+                "theorem2",
+                get_box("tableII-small"),
+                checkers=("interval", "numeric"),
+                budget=BUDGET,
+            )
+
+    def test_injected_cost_bug_is_caught(self):
+        certificate = self._bugged_certificate()
+        assert certificate.status == "counterexample"
+        assert certificate.counterexamples
+        point = certificate.counterexamples[0]["point"]
+        assert point, "counterexample must carry a concrete point"
+
+    def test_counterexample_round_trips_through_scenarios(self, tmp_path):
+        certificate = self._bugged_certificate()
+        scenarios = scenarios_from_certificate(certificate)
+        assert scenarios, "every counterexample must become a scenario"
+        path = write_scenario(scenarios[0], tmp_path)
+        assert path.exists()
+        loaded = load_scenario(path)
+        assert loaded["claim"] == "theorem2"
+        # The pins were taken from the *clean* production stack, so the
+        # replay must pass once the injected bug is gone.
+        report = replay_scenario(loaded)
+        assert report.ok, report.failures
+
+    def test_clean_rerun_certifies_again(self):
+        """The perturbation is scoped: after the context, all is well."""
+        certificate = certify_claim(
+            "theorem2",
+            get_box("tableII-small"),
+            checkers=("interval", "numeric"),
+            budget=BUDGET,
+        )
+        assert certificate.status == "certified"
+
+
+class TestCheckerNames:
+    def test_execution_order_is_stable(self):
+        assert CHECKER_NAMES == ("interval", "smt", "numeric")

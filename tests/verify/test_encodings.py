@@ -1,0 +1,170 @@
+"""Encoder-vs-production differential tests.
+
+The encodings of :mod:`repro.verify.encodings` must agree with the
+numeric stack they re-state (``repro.bianchi`` / ``repro.game``) to
+floating-point noise at ordinary float operands - the whole
+three-checker design rests on that equivalence.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.bianchi.fixedpoint import solve_symmetric
+from repro.bianchi.markov import transmission_probability
+from repro.game.equilibrium import q_function
+from repro.game.utility import symmetric_utility_from_tau
+from repro.phy.parameters import AccessMode, default_parameters
+from repro.phy.timing import slot_times
+from repro.verify.encodings import (
+    collision_from_tau,
+    coupling_residual,
+    geometric_series,
+    perturbation,
+    perturbed,
+    q_stationarity,
+    slot_length,
+    success_margin,
+    utility_cross_difference,
+    utility_numerator,
+)
+
+taus = st.floats(min_value=1e-4, max_value=0.7)
+nodes = st.integers(min_value=2, max_value=60)
+windows = st.integers(min_value=2, max_value=4096)
+stages = st.sampled_from([0, 1, 3, 5, 7])
+
+
+class TestGeometricSeries:
+    @given(st.floats(min_value=-0.99, max_value=0.99), st.integers(1, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_closed_form(self, x, terms):
+        expected = sum(x**j for j in range(terms))
+        assert geometric_series(x, terms) == pytest.approx(
+            expected, rel=1e-12, abs=1e-12
+        )
+
+    def test_total_at_one(self):
+        assert geometric_series(1.0, 6) == pytest.approx(6.0)
+
+    def test_zero_terms(self):
+        assert geometric_series(0.5, 0) == 0
+
+
+class TestCouplingResidual:
+    @given(windows, nodes, stages)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_at_production_fixed_point(self, window, n, max_stage):
+        solution = solve_symmetric(float(window), n, max_stage)
+        residual = coupling_residual(
+            solution.tau, float(window), n, max_stage
+        )
+        # R is scaled by ~(1 + W); the fixed point solves tau to ~1e-12.
+        assert abs(residual) <= 1e-8 * (2.0 + window)
+
+    @given(taus, windows, nodes, stages)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_markov_inversion(self, tau, window, n, max_stage):
+        """R(tau, W) = 0 iff tau equals the Markov-chain attempt rate."""
+        p = collision_from_tau(tau, n)
+        # At large n and tau the float p rounds to exactly 1, which the
+        # production validator rejects; the identity needs p in [0, 1).
+        assume(p < 1.0)
+        tau_markov = transmission_probability(float(window), p, max_stage)
+        residual = coupling_residual(tau, float(window), n, max_stage)
+        # tau (2 / tau_markov) - 2 == R by construction.
+        assert residual == pytest.approx(
+            2.0 * tau / tau_markov - 2.0, rel=1e-9, abs=1e-9
+        )
+
+
+class TestQStationarity:
+    @given(taus, nodes)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_production_q(self, tau, n):
+        times = slot_times(default_parameters(), AccessMode.BASIC)
+        expected = q_function(tau, n, times)
+        actual = q_stationarity(tau, n, times.idle_us, times.collision_us)
+        scale = times.idle_us + times.collision_us
+        assert abs(actual - expected) <= 1e-9 * scale
+
+
+class TestSlotAndUtility:
+    @given(taus, nodes)
+    @settings(max_examples=60, deadline=None)
+    def test_utility_matches_num_over_slot(self, tau, n):
+        params = default_parameters()
+        times = slot_times(params, AccessMode.BASIC)
+        num = utility_numerator(
+            tau, n, params.gain, params.cost, ignore_cost=False
+        )
+        slot = slot_length(
+            tau, n, times.idle_us, times.success_us, times.collision_us
+        )
+        expected = symmetric_utility_from_tau(
+            tau, n, params, times, ignore_cost=False
+        )
+        assert num / slot == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    @given(taus, taus, nodes)
+    @settings(max_examples=60, deadline=None)
+    def test_cross_difference_sign_matches_utility_order(self, a, b, n):
+        params = default_parameters()
+        times = slot_times(params, AccessMode.RTS_CTS)
+        u_a = symmetric_utility_from_tau(a, n, params, times, ignore_cost=True)
+        u_b = symmetric_utility_from_tau(b, n, params, times, ignore_cost=True)
+        cross = utility_cross_difference(
+            a,
+            b,
+            n,
+            times.idle_us,
+            times.success_us,
+            times.collision_us,
+            params.gain,
+            params.cost,
+            ignore_cost=True,
+        )
+        if abs(u_a - u_b) > 1e-12:
+            assert math.copysign(1.0, cross) == math.copysign(1.0, u_a - u_b)
+
+    @given(taus, nodes)
+    @settings(max_examples=60, deadline=None)
+    def test_margin_matches_collision_complement(self, tau, n):
+        params = default_parameters()
+        margin = success_margin(tau, n, params.gain, params.cost)
+        expected = (
+            1.0 - collision_from_tau(tau, n)
+        ) * params.gain - params.cost
+        assert margin == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+
+class TestPerturbationHook:
+    def test_clean_by_default(self):
+        assert perturbation("cost") == 0
+        assert perturbation("anything-else") == 0
+
+    def test_perturbed_shifts_and_restores(self):
+        margin_clean = success_margin(0.1, 5, 1.0, 0.01)
+        with perturbed(cost=1e-3):
+            assert perturbation("cost") == pytest.approx(1e-3)
+            margin_bugged = success_margin(0.1, 5, 1.0, 0.01)
+            assert margin_bugged == pytest.approx(margin_clean - 1e-3)
+        assert perturbation("cost") == 0
+        assert success_margin(0.1, 5, 1.0, 0.01) == pytest.approx(margin_clean)
+
+    def test_perturbed_restores_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with perturbed(cost=5.0):
+                raise RuntimeError("boom")
+        assert perturbation("cost") == 0
+
+    def test_nested_perturbations(self):
+        with perturbed(cost=1.0):
+            with perturbed(cost=2.0):
+                assert perturbation("cost") == 2
+            assert perturbation("cost") == 1
+        assert perturbation("cost") == 0

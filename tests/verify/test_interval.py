@@ -1,0 +1,205 @@
+"""Unit tests for the outward-rounded interval/dual arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VerificationError
+from repro.verify.interval import (
+    Dual,
+    Interval,
+    _down,
+    _up,
+    prove_sign_on_box,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def make_interval(a: float, b: float) -> Interval:
+    return Interval(min(a, b), max(a, b))
+
+
+class TestIntervalConstruction:
+    def test_ordering_enforced(self):
+        with pytest.raises(VerificationError):
+            Interval(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(VerificationError):
+            Interval(float("nan"), 1.0)
+
+    def test_point_and_width(self):
+        point = Interval.point(3.0)
+        assert point.is_point
+        assert point.width == 0
+        assert 3.0 in point
+
+    def test_hull(self):
+        hull = Interval.hull(2.0, 0.0, 3.0)
+        assert hull.lo == 0 and hull.hi == 3
+
+    def test_hull_of_nothing_rejected(self):
+        with pytest.raises(VerificationError):
+            Interval.hull()
+
+    def test_coerce_rejects_non_numbers(self):
+        with pytest.raises(VerificationError):
+            Interval.point(1.0) + "nope"  # type: ignore[operator]
+
+
+class TestOutwardRounding:
+    """Every operation must contain the exact real result."""
+
+    @given(finite, finite, finite, finite)
+    @settings(max_examples=200, deadline=None)
+    def test_add_mul_sub_containment(self, a, b, c, d):
+        x = make_interval(a, b)
+        y = make_interval(c, d)
+        for px in (x.lo, x.midpoint, x.hi):
+            for py in (y.lo, y.midpoint, y.hi):
+                assert px + py in x + y
+                assert px * py in x * y
+                assert px - py in x - y
+
+    @given(finite, finite, st.integers(min_value=0, max_value=6))
+    @settings(max_examples=200, deadline=None)
+    def test_pow_containment(self, a, b, exponent):
+        x = make_interval(a, b)
+        for px in (x.lo, x.midpoint, x.hi):
+            assert px**exponent in x**exponent
+
+    def test_even_power_of_straddling_interval_is_nonnegative(self):
+        squared = Interval(-2.0, 3.0) ** 2
+        assert squared.lo >= 0.0
+        assert 0.0 in squared
+        assert 9.0 in squared
+
+    def test_division_by_zero_crossing_raises(self):
+        with pytest.raises(VerificationError):
+            Interval(1.0, 2.0) / Interval(-1.0, 1.0)
+
+    def test_division_containment(self):
+        quotient = Interval(1.0, 2.0) / Interval(4.0, 8.0)
+        assert 1.0 / 4.0 in quotient
+        assert 2.0 / 4.0 in quotient
+        assert 1.0 / 8.0 in quotient
+
+    def test_scalar_mixing(self):
+        x = Interval(1.0, 2.0)
+        assert 3.0 in 1.0 + x * 1.0
+        difference = 2.0 - x
+        assert difference.lo <= 0.0 <= difference.hi
+
+    def test_ulp_directions(self):
+        assert _down(1.0) < 1.0 < _up(1.0)
+        assert _down(-1.0) < -1.0 < _up(-1.0)
+
+
+class TestDual:
+    def test_variable_derivative_is_one(self):
+        x = Dual.variable(Interval.point(2.0))
+        assert 1.0 in x.der
+        assert 2.0 in x.val
+
+    def test_constant_derivative_is_zero(self):
+        c = Dual.constant(Interval.point(5.0))
+        assert c.der.is_point and c.der.lo == 0
+
+    def test_product_rule(self):
+        # d/dx [x (x + 3)] = 2x + 3 -> 7 at x = 2.
+        x = Dual.variable(Interval.point(2.0))
+        y = x * (x + 3.0)
+        assert 10.0 in y.val
+        assert 7.0 in y.der
+
+    def test_power_rule(self):
+        # d/dx [x^3] = 3 x^2 -> 12 at x = 2.
+        x = Dual.variable(Interval.point(2.0))
+        y = x**3
+        assert 8.0 in y.val
+        assert 12.0 in y.der
+
+    def test_float_payload(self):
+        # d/dx [(1 - x)^2] = -2 (1 - x) -> 2 at x = 2.
+        x = Dual.variable(2.0)
+        y = (1.0 - x) ** 2
+        assert y.val == pytest.approx(1.0)
+        assert y.der == pytest.approx(2.0)
+
+    def test_zeroth_power_is_constant_one(self):
+        x = Dual.variable(3.0)
+        y = x**0
+        assert y.val == pytest.approx(1.0)
+        assert y.der == pytest.approx(0.0)
+
+
+class TestProveSignOnBox:
+    def test_proves_positive_polynomial(self):
+        proof = prove_sign_on_box(
+            lambda dims: dims["x"] * dims["x"] + 1.0,
+            {"x": Interval(-2.0, 2.0)},
+            positive=True,
+        )
+        assert proof.status == "proved"
+        assert proof.boxes_proved >= 1
+        assert proof.counterexample is None
+
+    def test_finds_counterexample(self):
+        proof = prove_sign_on_box(
+            lambda dims: dims["x"] - 1.0,
+            {"x": Interval(0.0, 2.0)},
+            positive=True,
+        )
+        assert proof.status == "counterexample"
+        assert proof.counterexample is not None
+        assert proof.counterexample["x"] <= 1.0
+        assert proof.witness_value is not None
+        assert proof.witness_value <= 0.0
+
+    def test_budget_exhaustion_is_unknown(self):
+        # x - x + 1 is identically 1, but the naive enclosure keeps the
+        # full dependency width, so a tiny budget cannot decide the sign
+        # - and no midpoint probe witnesses a violation.  The prover
+        # must answer "unknown", never mislabel.
+        proof = prove_sign_on_box(
+            lambda dims: dims["x"] - dims["x"] + 1.0,
+            {"x": Interval(-1e6, 1e6)},
+            positive=True,
+            max_boxes=64,
+        )
+        assert proof.status == "unknown"
+        assert proof.boxes_unknown >= 1
+
+    def test_multidimensional_proof(self):
+        proof = prove_sign_on_box(
+            lambda dims: dims["x"] + dims["y"] + 3.0,
+            {"x": Interval(-1.0, 1.0), "y": Interval(-1.0, 1.0)},
+            positive=True,
+        )
+        assert proof.status == "proved"
+
+    def test_negative_sign_direction(self):
+        proof = prove_sign_on_box(
+            lambda dims: -(dims["x"] * dims["x"]) - 0.5,
+            {"x": Interval(-1.0, 1.0)},
+            positive=False,
+        )
+        assert proof.status == "proved"
+
+    def test_empty_box_rejected(self):
+        with pytest.raises(VerificationError):
+            prove_sign_on_box(lambda dims: Interval.point(1.0), {}, positive=True)
+
+    def test_deterministic(self):
+        def f(dims):
+            return dims["x"] * dims["x"] - 0.25
+
+        box = {"x": Interval(0.6, 2.0)}
+        first = prove_sign_on_box(f, box, positive=True)
+        second = prove_sign_on_box(f, box, positive=True)
+        assert first == second

@@ -1,0 +1,91 @@
+"""Tests of the gated SMT layer.
+
+The z3 dependency is optional, so the suite must pass both with and
+without it installed: the degrade path (skipped outcomes, helpful
+errors) is tested unconditionally, the live-solver paths only when z3
+imports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.smt import (
+    SmtOutcome,
+    SmtSpec,
+    bounded_real,
+    load_z3,
+    rational,
+    run_query,
+    z3_available,
+)
+
+needs_z3 = pytest.mark.skipif(not z3_available(), reason="z3 not installed")
+without_z3 = pytest.mark.skipif(
+    z3_available(), reason="degrade path needs z3 absent"
+)
+
+
+def _trivial_spec() -> SmtSpec:
+    def build(z3, solver):
+        x = bounded_real(z3, solver, "x", 0.0, 1.0)
+        solver.add(x * x > rational(z3, 2.0))
+        return {"x": x}
+
+    return SmtSpec(label="x^2 > 2 on [0, 1]", build=build)
+
+
+class TestDegradePath:
+    @without_z3
+    def test_load_z3_names_the_extra(self):
+        with pytest.raises(VerificationError, match="verify"):
+            load_z3()
+
+    @without_z3
+    def test_run_query_skips_without_solver(self):
+        outcome = run_query(_trivial_spec())
+        assert outcome.verdict == "skipped"
+        assert "z3" in outcome.detail
+        assert outcome.model is None
+
+    def test_outcome_defaults(self):
+        outcome = SmtOutcome(label="x", verdict="unsat")
+        assert outcome.model is None
+        assert outcome.stats == {}
+
+
+class TestLiveSolver:
+    @needs_z3
+    def test_unsat_certifies(self):
+        outcome = run_query(_trivial_spec())
+        assert outcome.verdict == "unsat"
+
+    @needs_z3
+    def test_sat_extracts_float_model(self):
+        def build(z3, solver):
+            x = bounded_real(z3, solver, "x", 0.0, 2.0)
+            solver.add(x * x > rational(z3, 2.0))
+            return {"x": x}
+
+        outcome = run_query(SmtSpec(label="x^2 > 2 on [0, 2]", build=build))
+        assert outcome.verdict == "sat"
+        assert outcome.model is not None
+        value = outcome.model["x"]
+        assert isinstance(value, float)
+        assert value * value > 2.0 - 1e-9
+
+    @needs_z3
+    def test_rational_is_exact(self):
+        z3 = load_z3()
+        term = rational(z3, 0.1)
+        # 0.1 is stored as its exact IEEE-754 value, not the decimal.
+        assert term.as_fraction() == __import__("fractions").Fraction(0.1)
+
+    @needs_z3
+    def test_degenerate_range_collapses_to_constant(self):
+        z3 = load_z3()
+        solver = z3.Solver()
+        constant = bounded_real(z3, solver, "c", 3.0, 3.0)
+        assert len(solver.assertions()) == 0
+        assert constant.as_fraction() == 3
